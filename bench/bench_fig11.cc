@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 11: normalized number of DRAM accesses (over the SmartExchange
+ * accelerator). The paper reports baselines needing 1.1x-3.5x the
+ * DRAM accesses of SmartExchange, with compact (activation-dominated)
+ * models showing the smallest gap.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/annotate.hh"
+#include "accel/baselines.hh"
+#include "accel/smartexchange_accel.hh"
+#include "base/table.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace se;
+
+    std::vector<accel::AcceleratorPtr> accs;
+    accs.push_back(std::make_unique<accel::DianNao>());
+    accs.push_back(std::make_unique<accel::Scnn>());
+    accs.push_back(std::make_unique<accel::CambriconX>());
+    accs.push_back(std::make_unique<accel::BitPragmatic>());
+    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+
+    std::printf("=== Fig. 11: normalized # DRAM accesses over "
+                "SmartExchange ===\n");
+    std::printf("paper: baselines need 1.1x-3.5x; smallest gaps on "
+                "compact models\n\n");
+
+    std::vector<std::string> header{"accelerator"};
+    auto ids = models::acceleratorBenchmarkModels();
+    for (auto id : ids)
+        header.push_back(models::modelName(id));
+    header.push_back("geomean");
+    Table t(header);
+
+    std::vector<int64_t> se_bytes;
+    for (auto id : ids) {
+        auto w = accel::annotatedWorkload(id);
+        se_bytes.push_back(
+            accs.back()->runNetwork(w, false).dramAccessBytes());
+    }
+
+    for (const auto &acc : accs) {
+        t.row().cell(acc->name());
+        std::vector<double> ratios;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            if (acc->name() == "SCNN" &&
+                ids[i] == models::ModelId::EfficientNetB0) {
+                t.cell("-");
+                continue;
+            }
+            auto w = accel::annotatedWorkload(ids[i]);
+            const double ratio =
+                (double)acc->runNetwork(w, false).dramAccessBytes() /
+                (double)se_bytes[i];
+            ratios.push_back(ratio);
+            t.cell(ratio, 2);
+        }
+        t.cell(bench::geomean(ratios), 2);
+    }
+    t.print();
+    return 0;
+}

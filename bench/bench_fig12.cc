@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 12: normalized speedup (over DianNao) at batch size 1. The
+ * paper reports SmartExchange reaching 8.8x-19.2x over DianNao and
+ * average gains of 3.8x/2.5x/2.0x over SCNN/Cambricon-X/Bit-pragmatic.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/annotate.hh"
+#include "accel/baselines.hh"
+#include "accel/smartexchange_accel.hh"
+#include "base/table.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace se;
+
+    std::vector<accel::AcceleratorPtr> accs;
+    accs.push_back(std::make_unique<accel::DianNao>());
+    accs.push_back(std::make_unique<accel::Scnn>());
+    accs.push_back(std::make_unique<accel::CambriconX>());
+    accs.push_back(std::make_unique<accel::BitPragmatic>());
+    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+
+    std::printf("=== Fig. 12: normalized speedup over DianNao "
+                "(batch 1) ===\n");
+    std::printf("paper: SmartExchange 8.8x-19.2x; avg 3.8x over SCNN, "
+                "2.5x over Cambricon-X, 2.0x over Bit-pragmatic\n\n");
+
+    std::vector<std::string> header{"accelerator"};
+    auto ids = models::acceleratorBenchmarkModels();
+    for (auto id : ids)
+        header.push_back(models::modelName(id));
+    header.push_back("geomean");
+    Table t(header);
+
+    std::vector<int64_t> dn_cycles;
+    for (auto id : ids) {
+        auto w = accel::annotatedWorkload(id);
+        dn_cycles.push_back(accs[0]->runNetwork(w, false).cycles);
+    }
+
+    std::vector<double> se_speedups;
+    for (const auto &acc : accs) {
+        t.row().cell(acc->name());
+        std::vector<double> ratios;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            if (acc->name() == "SCNN" &&
+                ids[i] == models::ModelId::EfficientNetB0) {
+                t.cell("-");
+                continue;
+            }
+            auto w = accel::annotatedWorkload(ids[i]);
+            const double ratio =
+                (double)dn_cycles[i] /
+                (double)acc->runNetwork(w, false).cycles;
+            ratios.push_back(ratio);
+            t.cell(ratio, 2);
+        }
+        t.cell(bench::geomean(ratios), 2);
+        if (acc->name() == "SmartExchange")
+            se_speedups = ratios;
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 9: evolution of the SmartExchange decomposition on one weight
+ * matrix W in R^{192x3} (the paper takes it from the second CONV layer
+ * of the second block of a CIFAR-10 ResNet164). We train the
+ * reduced-scale ResNet164 and pull a real 3x3-conv weight, reshaped
+ * per the CONV rule, padding with a synthetic matrix of the same shape
+ * if the trained one is smaller.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "core/smart_exchange.hh"
+
+int
+main()
+{
+    using namespace se;
+
+    // Train the reduced ResNet164 and take a real trained 3x3 conv.
+    auto tm = bench::trainSimModel(models::ModelId::ResNet164,
+                                   /*epochs=*/3);
+    Tensor w192({192, 3});
+    {
+        // Find the first 3x3 conv with enough rows; tile if needed.
+        Tensor src;
+        tm.net->visit([&](nn::Layer &l) {
+            if (src.empty())
+                if (auto *c = dynamic_cast<nn::Conv2d *>(&l))
+                    if (c->kernelSize() == 3)
+                        src = c->weightTensor();
+        });
+        // Reshape (M, C, 3, 3) -> rows of 3, tiling to 192 rows.
+        const int64_t total = src.size() / 3;
+        for (int64_t i = 0; i < 192; ++i)
+            for (int64_t j = 0; j < 3; ++j)
+                w192.at(i, j) = src[(i % total) * 3 + j];
+        // Normalize overall scale so the ||B - I|| trace starts near
+        // the identity, as in the paper's plot.
+        double norm = 0.0;
+        for (int64_t i = 0; i < w192.size(); ++i)
+            norm += (double)w192[i] * w192[i];
+        const float inv =
+            (float)(1.0 / std::sqrt(norm / 3.0 + 1e-12));
+        for (int64_t i = 0; i < w192.size(); ++i)
+            w192[i] *= inv;
+    }
+
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.045;
+    opts.maxIterations = 20;
+    core::SeTrace trace;
+    core::decomposeMatrix(w192, opts, &trace);
+
+    std::printf("=== Fig. 9: SmartExchange solution evolution on a "
+                "192x3 ResNet164 weight ===\n");
+    std::printf("paper shape: sparsity rises early at the cost of a "
+                "bump in error; fitting then\nremedies the error while "
+                "sparsity is maintained; ||B - I|| grows steadily.\n\n");
+    Table t({"iter", "||W-CeB||/||W||", "Ce sparsity (%)",
+             "||B-I||/||I||"});
+    for (size_t i = 0; i < trace.reconError.size(); ++i)
+        t.row()
+            .cell((int64_t)(i + 1))
+            .cell(trace.reconError[i], 4)
+            .cell(100.0 * trace.vectorSparsity[i], 1)
+            .cell(trace.basisDrift[i], 4);
+    t.print();
+    return 0;
+}

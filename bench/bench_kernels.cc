@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core kernels: the
+ * SmartExchange decomposition itself, the ALS solvers, convolution
+ * forward, Booth encoding and the accelerator layer models. These are
+ * engineering benchmarks (throughput of this library), not paper
+ * figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/annotate.hh"
+#include "accel/smartexchange_accel.hh"
+#include "base/random.hh"
+#include "core/smart_exchange.hh"
+#include "linalg/linalg.hh"
+#include "nn/layers.hh"
+#include "quant/quant.hh"
+
+namespace {
+
+using namespace se;
+
+void
+BM_DecomposeMatrix(benchmark::State &state)
+{
+    Rng rng(1);
+    Tensor w = randn({state.range(0), 3}, rng, 0.0f, 0.1f);
+    core::SeOptions opts;
+    for (auto _ : state) {
+        auto se_mat = core::decomposeMatrix(w, opts);
+        benchmark::DoNotOptimize(se_mat.reconRelError);
+    }
+}
+BENCHMARK(BM_DecomposeMatrix)->Arg(48)->Arg(192)->Arg(768);
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    Rng rng(2);
+    const int64_t n = state.range(0);
+    Tensor a = randn({n, n}, rng);
+    Tensor b = randn({n, n}, rng);
+    for (auto _ : state) {
+        Tensor c = linalg::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_FitBasis(benchmark::State &state)
+{
+    Rng rng(3);
+    Tensor w = randn({state.range(0), 3}, rng);
+    Tensor ce = randn({state.range(0), 3}, rng);
+    for (auto _ : state) {
+        Tensor b = linalg::fitBasis(w, ce);
+        benchmark::DoNotOptimize(b.data());
+    }
+}
+BENCHMARK(BM_FitBasis)->Arg(192)->Arg(1536);
+
+void
+BM_Conv2dForward(benchmark::State &state)
+{
+    Rng rng(4);
+    nn::Conv2d conv(16, 16, 3, 1, 1, 1, rng);
+    Tensor x = randn({1, 16, (int64_t)state.range(0),
+                      (int64_t)state.range(0)}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16);
+
+void
+BM_BoothEncoding(benchmark::State &state)
+{
+    Rng rng(5);
+    Tensor t = randn({4096}, rng);
+    for (auto _ : state) {
+        auto s = quant::measureBitSparsity(t, 8);
+        benchmark::DoNotOptimize(s.boothBitSparsity);
+    }
+}
+BENCHMARK(BM_BoothEncoding);
+
+void
+BM_AcceleratorNetworkRun(benchmark::State &state)
+{
+    auto w = accel::annotatedWorkload(models::ModelId::ResNet50);
+    accel::SmartExchangeAccel acc;
+    for (auto _ : state) {
+        auto st = acc.runNetwork(w, false);
+        benchmark::DoNotOptimize(st.cycles);
+    }
+}
+BENCHMARK(BM_AcceleratorNetworkRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table I: unit energy cost per 8-bit in a commercial 28 nm technology,
+ * plus the derived ratios the paper argues from (memory access >= 9.5x
+ * the cost of a MAC).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "sim/energy_model.hh"
+
+int
+main()
+{
+    using namespace se;
+    sim::EnergyModel em;
+
+    std::printf("=== Table I: unit energy cost per 8-bit (pJ), "
+                "28 nm ===\n\n");
+    Table t({"component", "energy (pJ/8bit)"});
+    t.row().cell("DRAM").cell(em.dramPj8, 2);
+    char sram[64];
+    std::snprintf(sram, sizeof(sram), "%.2f - %.2f", em.sramMinPj8,
+                  em.sramMaxPj8);
+    t.row().cell("SRAM").cell(std::string(sram));
+    t.row().cell("MAC").cell(em.macPj, 3);
+    t.row().cell("multiplier").cell(em.multPj, 3);
+    t.row().cell("adder").cell(em.addPj, 3);
+    t.print();
+
+    std::printf("\nderived ratios (Section II-C motivation):\n");
+    Table r({"ratio", "value"});
+    r.row().cell("DRAM / MAC").cell(em.dramPj8 / em.macPj, 1);
+    r.row().cell("SRAM(min) / MAC").cell(em.sramMinPj8 / em.macPj, 1);
+    r.row().cell("SRAM(max) / MAC").cell(em.sramMaxPj8 / em.macPj, 1);
+    r.row().cell("MAC / adder").cell(em.macPj / em.addPj, 1);
+    r.print();
+
+    std::printf("\nSRAM interpolation by macro capacity:\n");
+    Table s({"capacity", "pJ/8bit"});
+    for (int kb : {2, 4, 8, 16, 32, 64})
+        s.row()
+            .cell(std::to_string(kb) + " KB")
+            .cell(em.sramPj8((int64_t)kb * 1024), 2);
+    s.print();
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: deterministic training of
+ * reduced-scale models, paper-scale storage projection from measured
+ * sparsity, and geometric means.
+ */
+
+#ifndef SE_BENCH_BENCH_UTIL_HH
+#define SE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/trainer.hh"
+#include "models/zoo.hh"
+
+namespace se {
+namespace bench {
+
+/** A trained reduced-scale model plus its task. */
+struct TrainedModel
+{
+    std::unique_ptr<nn::Sequential> net;
+    data::ClassificationTask task;
+    double accuracy = 0.0;
+};
+
+/** Deterministically train a Sim-scale model on a synthetic task. */
+inline TrainedModel
+trainSimModel(models::ModelId id, int epochs = 8, int num_classes = 6,
+              int64_t hw = 10, int64_t base_width = 6,
+              uint64_t seed = 42)
+{
+    TrainedModel out;
+    data::ClassSetConfig dcfg;
+    dcfg.numClasses = num_classes;
+    dcfg.height = dcfg.width = hw;
+    dcfg.trainBatches = 12;
+    dcfg.testBatches = 5;
+    dcfg.noise = 0.4f;
+    dcfg.seed = seed;
+    dcfg.noise = 0.75f;  // hard enough that damage shows up
+    out.task = data::makeClassification(dcfg);
+
+    models::SimConfig mcfg;
+    mcfg.numClasses = num_classes;
+    mcfg.inHeight = mcfg.inWidth = hw;
+    mcfg.baseWidth = base_width;
+    mcfg.seed = seed;
+    out.net = models::buildSim(id, mcfg);
+
+    core::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.lr = 0.05f;
+    out.accuracy = core::trainClassifier(*out.net, out.task, tc);
+    return out;
+}
+
+/** Paper-scale storage projection of the SmartExchange format. */
+struct ProjectedStorage
+{
+    double originalMB = 0.0;  ///< FP32 dense
+    double ceMB = 0.0;        ///< non-zero rows + 1-bit index
+    double basisMB = 0.0;
+    double
+    paramMB() const
+    {
+        return ceMB + basisMB;
+    }
+    double
+    compressionRate() const
+    {
+        return originalMB / std::max(paramMB(), 1e-12);
+    }
+};
+
+/**
+ * Project the storage of a paper-scale workload under the SmartExchange
+ * format with the given measured vector sparsity (uniform), 4-bit
+ * coefficients and 8-bit basis matrices.
+ */
+inline ProjectedStorage
+projectStorage(const sim::Workload &w, double vector_sparsity,
+               int coef_bits = 4, int basis_bits = 8)
+{
+    ProjectedStorage out;
+    for (const auto &l : w.layers) {
+        const int64_t s = std::max<int64_t>(l.s, 1);
+        const int64_t rows = std::max<int64_t>(1, l.weightCount() / s);
+        const int64_t nz_rows =
+            (int64_t)((double)rows * (1.0 - vector_sparsity));
+        const int64_t ce_bits = rows + nz_rows * s * coef_bits;
+        int64_t basis_bits_total;
+        if (l.kind == sim::LayerKind::Conv ||
+            l.kind == sim::LayerKind::DepthwiseConv)
+            basis_bits_total = l.m * s * s * basis_bits;
+        else
+            basis_bits_total =
+                std::max<int64_t>(1, l.m / 64) * s * s * basis_bits;
+        out.originalMB += (double)(l.weightCount() * 32) / 8e6;
+        out.ceMB += (double)ce_bits / 8e6;
+        out.basisMB += (double)basis_bits_total / 8e6;
+    }
+    return out;
+}
+
+/** Geometric mean of a series of positive ratios. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / (double)v.size());
+}
+
+} // namespace bench
+} // namespace se
+
+#endif // SE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Accelerator comparison: run the seven paper-scale benchmark models
+ * through the SmartExchange accelerator and the four baselines and
+ * print energy / latency / DRAM-access comparisons (the Fig. 10-12
+ * protocol in one program).
+ *
+ * Usage: ./accelerator_compare
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/annotate.hh"
+#include "accel/baselines.hh"
+#include "accel/smartexchange_accel.hh"
+#include "base/table.hh"
+
+int
+main()
+{
+    using namespace se;
+
+    std::vector<accel::AcceleratorPtr> accs;
+    accs.push_back(std::make_unique<accel::DianNao>());
+    accs.push_back(std::make_unique<accel::Scnn>());
+    accs.push_back(std::make_unique<accel::CambriconX>());
+    accs.push_back(std::make_unique<accel::BitPragmatic>());
+    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+
+    for (models::ModelId id : models::acceleratorBenchmarkModels()) {
+        auto w = accel::annotatedWorkload(id);
+        std::printf("\n%s on %s (%lld conv-ish layers, %.2f GMACs)\n",
+                    w.name.c_str(), w.dataset.c_str(),
+                    (long long)w.layers.size(),
+                    (double)w.totalMacs() / 1e9);
+        Table t({"accelerator", "energy(mJ)", "latency(ms@1GHz)",
+                 "DRAM(MB)", "vs DianNao energy", "vs DianNao speed"});
+        double dn_energy = 0.0;
+        int64_t dn_cycles = 0;
+        for (const auto &acc : accs) {
+            // SCNN cannot run the squeeze-excite network (paper
+            // protocol: Eff-B0 excluded for SCNN).
+            if (acc->name() == "SCNN" &&
+                id == models::ModelId::EfficientNetB0)
+                continue;
+            auto st = acc->runNetwork(w, /*include_fc=*/false);
+            if (acc->name() == "DianNao") {
+                dn_energy = st.totalEnergyPj();
+                dn_cycles = st.cycles;
+            }
+            t.row()
+                .cell(acc->name())
+                .cell(st.totalEnergyPj() / 1e9, 3)
+                .cell((double)st.cycles / 1e6, 3)
+                .cell((double)st.dramAccessBytes() / 1e6, 2)
+                .cell(dn_energy / st.totalEnergyPj(), 2)
+                .cell((double)dn_cycles / (double)st.cycles, 2);
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,19 @@
+#include "accel/accelerator.hh"
+
+namespace se {
+namespace accel {
+
+sim::RunStats
+Accelerator::runNetwork(const sim::Workload &w, bool include_fc) const
+{
+    sim::RunStats total;
+    for (const auto &l : w.layers) {
+        if (!include_fc && l.kind == sim::LayerKind::FullyConnected)
+            continue;
+        total += runLayer(l);
+    }
+    return total;
+}
+
+} // namespace accel
+} // namespace se

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Base class of the cycle-approximate accelerator models.
+ *
+ * Methodology: every accelerator is evaluated per layer under the same
+ * Table V resource budget and the same Table I unit energies. A layer
+ * run produces cycles (max of compute-bound and DRAM-bandwidth-bound
+ * terms) and an energy breakdown over the Fig. 13 components. The
+ * models count the same quantities the paper's RTL-validated simulator
+ * counts — DRAM/GB/RF accesses and datapath operations under each
+ * dataflow — which is what the published relative results reduce to.
+ */
+
+#ifndef SE_ACCEL_ACCELERATOR_HH
+#define SE_ACCEL_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/energy_model.hh"
+#include "sim/layer_shape.hh"
+#include "sim/stats.hh"
+
+namespace se {
+namespace accel {
+
+/** Abstract accelerator model. */
+class Accelerator
+{
+  public:
+    Accelerator(sim::ArrayConfig cfg, sim::EnergyModel em)
+        : cfg(cfg), em(em)
+    {}
+    virtual ~Accelerator() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Simulate one layer at batch 1. */
+    virtual sim::RunStats runLayer(const sim::LayerShape &l) const = 0;
+
+    /**
+     * Simulate a whole network. include_fc=false reproduces the
+     * paper's Figures 10-12 protocol (FC layers excluded for fairness
+     * to SCNN); squeeze-excite layers always run.
+     */
+    sim::RunStats runNetwork(const sim::Workload &w,
+                             bool include_fc = true) const;
+
+    const sim::ArrayConfig &config() const { return cfg; }
+    const sim::EnergyModel &energyModel() const { return em; }
+
+  protected:
+    /** Add DRAM traffic + energy for one tensor stream. */
+    void
+    addDram(sim::RunStats &st, sim::Component comp, int64_t bits) const
+    {
+        st.energy(comp) += em.dramEnergy(bits);
+        st.dramTrafficBits += bits;
+    }
+
+    /** Add one SRAM stream against a bank of the given capacity. */
+    void
+    addSram(sim::RunStats &st, sim::Component comp, int64_t bits,
+            int64_t bank_bytes) const
+    {
+        st.energy(comp) += em.sramEnergy(bits, bank_bytes);
+    }
+
+    /**
+     * Combine compute-bound and weight-fetch-bound cycles. Activation
+     * streams are double-buffered behind compute (the paper expands
+     * the input GB bandwidth 4x for exactly this reason), so only the
+     * weight/index DRAM stream can stall the array.
+     */
+    int64_t
+    boundCycles(double compute_cycles, int64_t weight_dram_bits) const
+    {
+        const double dram_cycles =
+            (double)weight_dram_bits / 8.0 / cfg.dramBytesPerCycle;
+        return (int64_t)std::max(compute_cycles, dram_cycles) + 1;
+    }
+
+    /**
+     * DRAM traffic fraction for an activation tensor: tensors that fit
+     * in the input GB are mostly retained on chip between layers.
+     */
+    double
+    actDramFraction(int64_t bits) const
+    {
+        return bits / 8 > cfg.inputGbBytes
+                   ? 1.0 : cfg.onChipRetentionResidual;
+    }
+
+    /** Charge the per-cycle array control/static energy. */
+    void
+    addControl(sim::RunStats &st) const
+    {
+        st.energy(sim::Component::Pe) +=
+            (double)st.cycles * em.arrayControlPjPerCycle;
+    }
+
+    sim::ArrayConfig cfg;
+    sim::EnergyModel em;
+};
+
+using AcceleratorPtr = std::unique_ptr<Accelerator>;
+
+} // namespace accel
+} // namespace se
+
+#endif // SE_ACCEL_ACCELERATOR_HH

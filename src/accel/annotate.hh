@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sparsity annotation of paper-scale workloads.
+ *
+ * The accelerator models consume per-layer sparsity statistics. Two
+ * sources exist: (a) measured values from reduced-scale functional runs
+ * (SmartExchange compression reports + activation statistics), and
+ * (b) calibrated per-model defaults matching the statistics the paper
+ * reports (Table II/III sparsity columns, Fig. 4 bit-level sparsity).
+ */
+
+#ifndef SE_ACCEL_ANNOTATE_HH
+#define SE_ACCEL_ANNOTATE_HH
+
+#include "models/zoo.hh"
+#include "sim/layer_shape.hh"
+
+namespace se {
+namespace accel {
+
+/** Uniform sparsity statistics applied across a workload. */
+struct SparsityProfile
+{
+    double weightVectorSparsity = 0.0;
+    double weightElementSparsity = 0.0;
+    double channelSparsity = 0.0;
+    double actValueSparsity = 0.45;
+    double actVectorSparsity = 0.05;
+    double actAvgBoothDigits = 1.2;   ///< of 4 possible digits
+    double actAvgEssentialBits = 1.3; ///< of 8 possible bits
+};
+
+/** Apply a profile to every layer (first layer's input stays dense). */
+void annotate(sim::Workload &w, const SparsityProfile &p);
+
+/**
+ * Per-model default profiles calibrated to the paper's reported
+ * statistics: SmartExchange sparsity from Tables II/III, activation
+ * bit-level sparsity from Fig. 4.
+ */
+SparsityProfile defaultProfile(models::ModelId id);
+
+/** An annotated paper-scale workload in one call. */
+sim::Workload annotatedWorkload(models::ModelId id);
+
+} // namespace accel
+} // namespace se
+
+#endif // SE_ACCEL_ANNOTATE_HH

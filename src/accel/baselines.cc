@@ -1,0 +1,266 @@
+#include "accel/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace se {
+namespace accel {
+
+using sim::Component;
+using sim::LayerKind;
+using sim::LayerShape;
+using sim::RunStats;
+
+namespace {
+
+/**
+ * Structural utilization of a parallel PE array on a layer: how much
+ * of the inner-product parallelism (dimC x dimF lanes) a layer can
+ * actually occupy. Depth-wise layers have a single input channel per
+ * group and starve dense arrays; squeeze-excite/FC layers have no
+ * weight reuse but can fill lanes.
+ */
+double
+structuralUtilization(const sim::ArrayConfig &cfg, const LayerShape &l)
+{
+    const double lanes = (double)(cfg.dimC * cfg.dimF);
+    switch (l.kind) {
+      case LayerKind::DepthwiseConv:
+        // Only R*S useful products per output; channels do not help.
+        return std::min(1.0, (double)(l.r * l.s) / lanes);
+      case LayerKind::FullyConnected:
+      case LayerKind::SqueezeExcite:
+        return std::min(1.0, (double)l.c / lanes);
+      case LayerKind::Conv:
+        return std::min(1.0, (double)(l.c * l.r * l.s) / lanes);
+    }
+    return 1.0;
+}
+
+/** Output-channel tiling passes over the input. */
+int64_t
+outputPasses(const sim::ArrayConfig &cfg, const LayerShape &l)
+{
+    return std::max<int64_t>(1, (l.m + cfg.dimM - 1) / cfg.dimM);
+}
+
+} // namespace
+
+// --------------------------------------------------------------- DianNao
+
+RunStats
+DianNao::runLayer(const LayerShape &l) const
+{
+    RunStats st;
+    const int64_t macs = l.macs();
+    const int64_t in_bits = l.inputCount() * l.actBits;
+    const int64_t out_bits = l.outputCount() * l.actBits;
+    const int64_t w_bits = l.weightCount() * l.weightBits;
+
+    // DRAM: dense weights; activations pay only the non-retained
+    // fraction when they fit on chip.
+    addDram(st, Component::DramInput,
+            (int64_t)((double)in_bits * actDramFraction(in_bits)));
+    addDram(st, Component::DramWeight, w_bits);
+    addDram(st, Component::DramOutput,
+            (int64_t)((double)out_bits * actDramFraction(out_bits)));
+
+    // GB traffic. Inputs are broadcast across the dimM parallel output
+    // neurons and re-streamed once per output-channel pass; weights
+    // stream from the buffer with only the inner spatial loop (dimF)
+    // of reuse.
+    const int64_t in_reads = in_bits * outputPasses(cfg, l);
+    const int64_t w_reads = macs / std::max<int64_t>(1, cfg.dimF) * 8;
+    addSram(st, Component::InputGbWrite, in_bits, cfg.inputGbBankBytes);
+    addSram(st, Component::InputGbRead, in_reads, cfg.inputGbBankBytes);
+    addSram(st, Component::WeightGbWrite, w_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::WeightGbRead, w_reads,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::OutputGbWrite, out_bits,
+            cfg.outputGbBankBytes);
+    addSram(st, Component::OutputGbRead, out_bits,
+            cfg.outputGbBankBytes);
+
+    // Datapath: one 8-bit MAC per operation plus adder-tree merges.
+    st.energy(Component::Pe) += (double)macs * em.macPj;
+    st.energy(Component::Accumulator) +=
+        (double)macs / (double)cfg.dimF * em.addPj;
+
+    const double util =
+        std::max(structuralUtilization(cfg, l), 1e-3);
+    const double compute =
+        (double)macs / ((double)cfg.parallelMultipliers() * util);
+    st.cycles = boundCycles(compute, w_bits);
+    addControl(st);
+    return st;
+}
+
+// ----------------------------------------------------------- Cambricon-X
+
+RunStats
+CambriconX::runLayer(const LayerShape &l) const
+{
+    RunStats st;
+    // Baselines run the rebuilt dense model, where the visible zero
+    // weights are the vector-wise-pruned rows (the Ce-space element
+    // sparsity is not observable without the SmartExchange format).
+    const double keep = 1.0 - l.weightVectorSparsity;
+    const int64_t macs = l.macs();
+    const double eff_macs = (double)macs * keep;
+
+    const int64_t in_bits = l.inputCount() * l.actBits;
+    const int64_t out_bits = l.outputCount() * l.actBits;
+    // Non-zero weights + step index (4b per nnz, unstructured).
+    const int64_t nnz = (int64_t)((double)l.weightCount() * keep);
+    const int64_t w_bits = nnz * l.weightBits;
+    const int64_t idx_bits = nnz * 4;
+
+    addDram(st, Component::DramInput,
+            (int64_t)((double)in_bits * actDramFraction(in_bits)));
+    addDram(st, Component::DramWeight, w_bits);
+    addDram(st, Component::DramIndex, idx_bits);
+    addDram(st, Component::DramOutput,
+            (int64_t)((double)out_bits * actDramFraction(out_bits)));
+
+    // The indexing module gathers the needed activations per PE; input
+    // reads scale with surviving MACs.
+    const int64_t in_reads = in_bits * outputPasses(cfg, l);
+    addSram(st, Component::InputGbWrite, in_bits, cfg.inputGbBankBytes);
+    addSram(st, Component::InputGbRead, in_reads, cfg.inputGbBankBytes);
+    addSram(st, Component::WeightGbWrite, w_bits + idx_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::WeightGbRead, w_bits + idx_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::OutputGbWrite, out_bits,
+            cfg.outputGbBankBytes);
+    addSram(st, Component::OutputGbRead, out_bits,
+            cfg.outputGbBankBytes);
+
+    st.energy(Component::Pe) += eff_macs * em.macPj;
+    st.energy(Component::Accumulator) +=
+        eff_macs / (double)cfg.dimF * em.addPj;
+    // Indexing-module overhead per surviving weight.
+    st.energy(Component::IndexSelector) +=
+        (double)nnz * em.indexSelectPj * 4.0;
+
+    // Unstructured sparsity causes lane imbalance: ~85% of ideal.
+    const double util =
+        std::max(structuralUtilization(cfg, l) * 0.85, 1e-3);
+    const double compute =
+        eff_macs / ((double)cfg.parallelMultipliers() * util);
+    st.cycles = boundCycles(compute, w_bits + idx_bits);
+    addControl(st);
+    return st;
+}
+
+// ------------------------------------------------------------------ SCNN
+
+RunStats
+Scnn::runLayer(const LayerShape &l) const
+{
+    RunStats st;
+    // Same dense-model visibility argument as Cambricon-X.
+    const double w_keep = 1.0 - l.weightVectorSparsity;
+    const double a_keep = 1.0 - l.actValueSparsity;
+    const int64_t macs = l.macs();
+    const double eff_macs = (double)macs * w_keep * a_keep;
+
+    // Both tensors move compressed: value + 4-bit RLC index.
+    const int64_t in_vals =
+        (int64_t)((double)l.inputCount() * a_keep);
+    const int64_t out_bits = l.outputCount() * l.actBits;
+    const int64_t w_nnz = (int64_t)((double)l.weightCount() * w_keep);
+    const int64_t in_bits = in_vals * (l.actBits + 4);
+    const int64_t w_bits = w_nnz * l.weightBits;
+    const int64_t idx_bits = w_nnz * 4;
+
+    addDram(st, Component::DramInput,
+            (int64_t)((double)in_bits * actDramFraction(in_bits)));
+    addDram(st, Component::DramWeight, w_bits);
+    addDram(st, Component::DramIndex, idx_bits);
+    addDram(st, Component::DramOutput,
+            (int64_t)((double)out_bits * actDramFraction(out_bits)));
+
+    // SCNN's Cartesian-product dataflow multicasts both operands, so
+    // GB reads are proportional to the compressed tensors.
+    const int64_t in_reads = in_bits * outputPasses(cfg, l);
+    addSram(st, Component::InputGbWrite, in_bits, cfg.inputGbBankBytes);
+    addSram(st, Component::InputGbRead, in_reads, cfg.inputGbBankBytes);
+    addSram(st, Component::WeightGbWrite, w_bits + idx_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::WeightGbRead, w_bits + idx_bits,
+            cfg.weightBufBankBytes);
+    // Scatter-accumulation doubles output-buffer traffic.
+    addSram(st, Component::OutputGbWrite, out_bits * 2,
+            cfg.outputGbBankBytes);
+    addSram(st, Component::OutputGbRead, out_bits * 2,
+            cfg.outputGbBankBytes);
+
+    st.energy(Component::Pe) += eff_macs * em.macPj;
+    // Crossbar scatter adds cost more than tree accumulation.
+    st.energy(Component::Accumulator) += eff_macs * em.addPj;
+
+    // Cartesian-product PEs suffer contention; 1x1/depth-wise layers
+    // map poorly (the paper excludes squeeze-excite nets for SCNN).
+    double util = structuralUtilization(cfg, l) * 0.7;
+    if (l.kind == LayerKind::Conv && l.r == 1 && l.s == 1)
+        util *= 0.5;
+    util = std::max(util, 1e-3);
+    const double compute =
+        eff_macs / ((double)cfg.parallelMultipliers() * util);
+    st.cycles = boundCycles(compute, w_bits + idx_bits);
+    addControl(st);
+    return st;
+}
+
+// --------------------------------------------------------- Bit-pragmatic
+
+RunStats
+BitPragmatic::runLayer(const LayerShape &l) const
+{
+    RunStats st;
+    const int64_t macs = l.macs();
+    const int64_t in_bits = l.inputCount() * l.actBits;
+    const int64_t out_bits = l.outputCount() * l.actBits;
+    const int64_t w_bits = l.weightCount() * l.weightBits;
+
+    addDram(st, Component::DramInput,
+            (int64_t)((double)in_bits * actDramFraction(in_bits)));
+    addDram(st, Component::DramWeight, w_bits);
+    addDram(st, Component::DramOutput,
+            (int64_t)((double)out_bits * actDramFraction(out_bits)));
+
+    const int64_t in_reads = in_bits * outputPasses(cfg, l);
+    const int64_t w_reads = macs / std::max<int64_t>(1, cfg.dimF) * 8;
+    addSram(st, Component::InputGbWrite, in_bits, cfg.inputGbBankBytes);
+    addSram(st, Component::InputGbRead, in_reads, cfg.inputGbBankBytes);
+    addSram(st, Component::WeightGbWrite, w_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::WeightGbRead, w_reads,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::OutputGbWrite, out_bits,
+            cfg.outputGbBankBytes);
+    addSram(st, Component::OutputGbRead, out_bits,
+            cfg.outputGbBankBytes);
+
+    // Serial processing of non-zero Booth digits only; synchronized
+    // lanes pay the digit-sync overhead in time (not energy).
+    const double digit_ops = (double)macs * l.actAvgBoothDigits;
+    st.energy(Component::Pe) += digit_ops * em.bitSerialDigitPj;
+    st.energy(Component::Accumulator) +=
+        (double)macs / (double)cfg.dimF * em.addPj;
+
+    const double util =
+        std::max(structuralUtilization(cfg, l), 1e-3);
+    const double serial_digits = std::max(
+        1.0, l.actAvgBoothDigits * cfg.digitSyncOverhead);
+    const double compute = (double)macs * serial_digits /
+                           ((double)cfg.bitSerialLanes() * util);
+    st.cycles = boundCycles(compute, w_bits);
+    addControl(st);
+    return st;
+}
+
+} // namespace accel
+} // namespace se

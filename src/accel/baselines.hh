@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The four baseline accelerators of Table IV, reimplemented from their
+ * papers' dataflow descriptions under the shared Table V resources:
+ *
+ *   DianNao      — dense models, 1K parallel 8-bit multipliers;
+ *   Cambricon-X  — unstructured weight sparsity (step indexing);
+ *   SCNN         — unstructured weight sparsity + activation value
+ *                  sparsity (RLC-compressed tensors, scatter adds);
+ *   Bit-pragmatic— bit-level activation sparsity (serial essential
+ *                  Booth digits, 8K bit-serial lanes).
+ */
+
+#ifndef SE_ACCEL_BASELINES_HH
+#define SE_ACCEL_BASELINES_HH
+
+#include "accel/accelerator.hh"
+
+namespace se {
+namespace accel {
+
+/** DianNao: dense dataflow, no sparsity exploitation. */
+class DianNao : public Accelerator
+{
+  public:
+    explicit DianNao(sim::EnergyModel em = {})
+        : Accelerator(sim::ArrayConfig::parallelDefault(), em)
+    {}
+
+    std::string name() const override { return "DianNao"; }
+    sim::RunStats runLayer(const sim::LayerShape &l) const override;
+};
+
+/** Cambricon-X: skips zero weights via per-PE step indexing. */
+class CambriconX : public Accelerator
+{
+  public:
+    explicit CambriconX(sim::EnergyModel em = {})
+        : Accelerator(sim::ArrayConfig::parallelDefault(), em)
+    {}
+
+    std::string name() const override { return "Cambricon-X"; }
+    sim::RunStats runLayer(const sim::LayerShape &l) const override;
+};
+
+/** SCNN: compressed weights and activations, Cartesian-product PEs. */
+class Scnn : public Accelerator
+{
+  public:
+    explicit Scnn(sim::EnergyModel em = {})
+        : Accelerator(sim::ArrayConfig::parallelDefault(), em)
+    {}
+
+    std::string name() const override { return "SCNN"; }
+    sim::RunStats runLayer(const sim::LayerShape &l) const override;
+};
+
+/** Bit-pragmatic: activation-bit-serial lanes, dense weights. */
+class BitPragmatic : public Accelerator
+{
+  public:
+    explicit BitPragmatic(sim::EnergyModel em = {})
+        : Accelerator(sim::ArrayConfig::bitSerialDefault(), em)
+    {}
+
+    std::string name() const override { return "Bit-pragmatic"; }
+    sim::RunStats runLayer(const sim::LayerShape &l) const override;
+};
+
+} // namespace accel
+} // namespace se
+
+#endif // SE_ACCEL_BASELINES_HH

@@ -1,0 +1,176 @@
+#include "accel/program_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace accel {
+
+using compiler::Instruction;
+using compiler::Opcode;
+using compiler::TilePlan;
+using sim::LayerKind;
+using sim::LayerShape;
+
+namespace {
+
+/** Per-layer derived quantities used while walking the stream. */
+struct LayerContext
+{
+    double computeCyclesPerTilePair = 0.0;  ///< one (mt, ct) Compute
+    double coeffBytesPerMTile = 0.0;
+    double basisBytesPerMTile = 0.0;
+    double inputBytesPerTile = 0.0;
+    double outputBytesPerMTile = 0.0;
+};
+
+LayerContext
+deriveContext(const LayerShape &l, const TilePlan &plan,
+              const sim::ArrayConfig &cfg)
+{
+    LayerContext ctx;
+    // Effective work after vector skipping, with the partial
+    // cycle-conversion used by the analytical model.
+    const double keep_pairs = (1.0 - l.weightVectorSparsity) *
+                              (1.0 - l.actVectorSparsity);
+    const double cycle_keep =
+        1.0 - cfg.vectorSkipCycleEfficiency * (1.0 - keep_pairs);
+    const double serial_digits =
+        std::max(1.0, l.actAvgBoothDigits * cfg.digitSyncOverhead);
+    const double util = std::max(plan.utilization, 1e-3);
+    const double total_compute =
+        (double)l.macs() * cycle_keep * serial_digits /
+        ((double)cfg.bitSerialLanes() * util);
+    const double tile_pairs =
+        (double)(plan.mTiles * std::max<int64_t>(plan.cTiles, 1));
+    ctx.computeCyclesPerTilePair = total_compute / tile_pairs;
+
+    const int64_t s = std::max<int64_t>(l.s, 1);
+    const int64_t rows = std::max<int64_t>(1, l.weightCount() / s);
+    const int64_t nz_rows =
+        (int64_t)((double)rows * (1.0 - l.weightVectorSparsity));
+    const double ce_bytes =
+        (double)(nz_rows * s * l.coefBits + rows) / 8.0;
+    const double basis_bytes =
+        (l.kind == LayerKind::Conv ||
+         l.kind == LayerKind::DepthwiseConv)
+            ? (double)(l.m * s * s * l.basisBits) / 8.0
+            : (double)(s * s * l.basisBits) / 8.0;
+    ctx.coeffBytesPerMTile = ce_bytes / (double)plan.mTiles;
+    ctx.basisBytesPerMTile = basis_bytes / (double)plan.mTiles;
+
+    const int64_t input_tiles =
+        plan.inputFitsGb
+            ? 1
+            : std::max<int64_t>(
+                  1, (plan.inputGbBytes + cfg.inputGbBytes - 1) /
+                         cfg.inputGbBytes);
+    ctx.inputBytesPerTile =
+        (double)(l.inputCount() * l.actBits) / 8.0 /
+        (double)input_tiles;
+    ctx.outputBytesPerMTile =
+        (double)(l.outputCount() * l.actBits) / 8.0 /
+        (double)plan.mTiles;
+    return ctx;
+}
+
+} // namespace
+
+ProgramStats
+simulateProgram(const compiler::Program &prog, const sim::Workload &w,
+                const sim::ArrayConfig &cfg)
+{
+    SE_ASSERT(prog.plans.size() == w.layers.size(),
+              "program/workload layer count mismatch");
+
+    ProgramStats st;
+    st.layerCycles.assign(w.layers.size(), 0);
+
+    std::vector<LayerContext> ctx;
+    ctx.reserve(w.layers.size());
+    for (size_t i = 0; i < w.layers.size(); ++i)
+        ctx.push_back(
+            deriveContext(w.layers[i], prog.plans[i], cfg));
+
+    // Resource availability times (cycle stamps). Outputs drain
+    // through the FIFO-buffered write-back path (Section IV-B) so
+    // stores do not block the read channel that feeds the next tile's
+    // coefficient/input loads.
+    double dram_free = 0.0, compute_free = 0.0, writeback_free = 0.0;
+    // Readiness of the data the next Compute needs, per layer walk.
+    double input_ready = 0.0, coeff_ready = 0.0, basis_ready = 0.0;
+    std::vector<double> layer_start(w.layers.size(), -1.0);
+    std::vector<double> layer_end(w.layers.size(), 0.0);
+    double mtile_compute_done = 0.0;
+
+    auto dramOp = [&](double bytes, double earliest) {
+        const double dur = bytes / cfg.dramBytesPerCycle;
+        const double start = std::max(dram_free, earliest);
+        dram_free = start + dur;
+        st.dramBusyCycles += (int64_t)dur;
+        return dram_free;
+    };
+
+    for (const auto &ins : prog.instructions) {
+        const size_t li = (size_t)ins.layer;
+        const LayerContext &c = ctx[li];
+        switch (ins.op) {
+          case Opcode::ConfigLayer:
+            // One controller cycle; negligible, but marks layer start.
+            if (layer_start[li] < 0.0)
+                layer_start[li] =
+                    std::max(dram_free, compute_free);
+            mtile_compute_done = 0.0;
+            break;
+          case Opcode::LoadInput:
+            input_ready = dramOp(c.inputBytesPerTile, 0.0);
+            break;
+          case Opcode::LoadCoeff:
+            coeff_ready = dramOp(c.coeffBytesPerMTile, 0.0);
+            break;
+          case Opcode::LoadBasis:
+            // Basis moves from the weight buffer to the RE register
+            // files; the ping-pong pair hides it unless it is the
+            // very first basis of the layer (already covered by the
+            // coefficient load time).
+            basis_ready = coeff_ready;
+            break;
+          case Opcode::Compute: {
+            const double ready = std::max(
+                {input_ready, coeff_ready, basis_ready});
+            const double start = std::max(compute_free, ready);
+            st.stallCycles += (int64_t)std::max(
+                0.0, ready - compute_free);
+            compute_free = start + c.computeCyclesPerTilePair;
+            st.computeBusyCycles +=
+                (int64_t)c.computeCyclesPerTilePair;
+            mtile_compute_done = compute_free;
+            layer_end[li] = std::max(layer_end[li], compute_free);
+            break;
+          }
+          case Opcode::StoreOutput: {
+            const double dur =
+                c.outputBytesPerMTile / cfg.dramBytesPerCycle;
+            const double start =
+                std::max(writeback_free, mtile_compute_done);
+            writeback_free = start + dur;
+            st.writebackBusyCycles += (int64_t)dur;
+            layer_end[li] = std::max(layer_end[li], writeback_free);
+            break;
+          }
+        }
+    }
+
+    const double total =
+        std::max({dram_free, compute_free, writeback_free});
+    st.totalCycles = (int64_t)total + 1;
+    for (size_t i = 0; i < w.layers.size(); ++i)
+        st.layerCycles[i] = (int64_t)std::max(
+            0.0, layer_end[i] - std::max(layer_start[i], 0.0));
+    return st;
+}
+
+} // namespace accel
+} // namespace se

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instruction-driven program simulator: executes the compiler's
+ * instruction stream (Fig. 7) on a two-resource timeline — the DRAM
+ * channel and the PE array — with data dependencies between loads and
+ * computes. Because loads only contend for the DRAM resource, the
+ * next tile's coefficient/input loads naturally overlap the current
+ * tile's compute, modelling the double-buffered (ping-pong) operation
+ * of Section IV-B.
+ *
+ * This sits between the per-layer analytical models (src/accel) and
+ * the functional engine (src/arch): it is driven by the *compiled
+ * program*, so tiling decisions and load/compute overlap are visible.
+ */
+
+#ifndef SE_ACCEL_PROGRAM_SIM_HH
+#define SE_ACCEL_PROGRAM_SIM_HH
+
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "sim/config.hh"
+#include "sim/energy_model.hh"
+#include "sim/layer_shape.hh"
+
+namespace se {
+namespace accel {
+
+/** Timeline outcome of one program execution. */
+struct ProgramStats
+{
+    int64_t totalCycles = 0;
+    std::vector<int64_t> layerCycles;   ///< end-to-end per layer
+    int64_t dramBusyCycles = 0;      ///< read channel (loads)
+    int64_t writebackBusyCycles = 0; ///< write-back channel (stores)
+    int64_t computeBusyCycles = 0;
+    int64_t stallCycles = 0;            ///< compute waiting on data
+
+    double
+    dramUtilization() const
+    {
+        return totalCycles > 0
+                   ? (double)dramBusyCycles / (double)totalCycles
+                   : 0.0;
+    }
+    double
+    computeUtilization() const
+    {
+        return totalCycles > 0
+                   ? (double)computeBusyCycles / (double)totalCycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Execute a compiled program against its workload. The workload must
+ * be the one the program was compiled from (layer indices must
+ * correspond).
+ */
+ProgramStats simulateProgram(const compiler::Program &prog,
+                             const sim::Workload &w,
+                             const sim::ArrayConfig &cfg);
+
+} // namespace accel
+} // namespace se
+
+#endif // SE_ACCEL_PROGRAM_SIM_HH

@@ -1,0 +1,217 @@
+#include "accel/smartexchange_accel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace se {
+namespace accel {
+
+using sim::Component;
+using sim::LayerKind;
+using sim::LayerShape;
+using sim::RunStats;
+
+RunStats
+SmartExchangeAccel::runLayer(const LayerShape &l) const
+{
+    RunStats st;
+    const int64_t macs = l.macs();
+    const int64_t s = std::max<int64_t>(l.s, 1);
+
+    // ---- effective work after sparsity skipping ------------------------
+    const double vec_keep =
+        opts.useIndexSelector ? 1.0 - l.weightVectorSparsity : 1.0;
+    const double act_vec_keep =
+        opts.useIndexSelector ? 1.0 - l.actVectorSparsity : 1.0;
+    const double eff_macs = (double)macs * vec_keep * act_vec_keep;
+
+    // ---- weight storage format ----------------------------------------
+    // Rows of Ce across the layer: one per S-element weight vector.
+    const int64_t rows =
+        std::max<int64_t>(1, l.weightCount() / s);
+    const int64_t nonzero_rows =
+        (int64_t)((double)rows * (1.0 - l.weightVectorSparsity));
+    // Basis matrices: one S x S per filter (8-bit entries).
+    const int64_t basis_bits =
+        (l.kind == LayerKind::Conv || l.kind == LayerKind::DepthwiseConv)
+            ? l.m * s * s * l.basisBits
+            : s * s * l.basisBits * std::max<int64_t>(1, l.m / 64);
+    int64_t w_bits, idx_bits;
+    if (opts.useCompression) {
+        w_bits = nonzero_rows * s * l.coefBits + basis_bits;
+        // 1-bit direct vector index; clustered zeros from channel
+        // pruning are removed wholesale and carry no index bits.
+        idx_bits =
+            (int64_t)((double)rows * (1.0 - l.channelSparsity));
+    } else {
+        w_bits = l.weightCount() * l.weightBits;
+        idx_bits = 0;
+    }
+
+    // ---- DRAM traffic ---------------------------------------------------
+    // Channel-wise pruning lets the accelerator skip fetching the
+    // input-feature-map regions of pruned channels.
+    // Input skipping: pruned channels never fetch, and the aligned
+    // share of vector-wise weight sparsity skips input rows from DRAM
+    // too (Fig. 14's input DRAM+GB reduction with weight sparsity).
+    const double in_vec_skip =
+        opts.useIndexSelector
+            ? cfg.inputVectorSkipAlignment * l.weightVectorSparsity
+            : 0.0;
+    const int64_t in_bits = (int64_t)((double)l.inputCount() *
+                                      l.actBits *
+                                      (1.0 - l.channelSparsity) *
+                                      (1.0 - in_vec_skip));
+    // Filter-pruned output channels (the next layer's pruned input
+    // channels under the uniform profile) are never produced.
+    const int64_t out_bits =
+        (int64_t)((double)l.outputCount() * l.actBits *
+                  (1.0 - l.channelSparsity));
+    addDram(st, Component::DramInput,
+            (int64_t)((double)in_bits * actDramFraction(in_bits)));
+    addDram(st, Component::DramWeight, w_bits);
+    addDram(st, Component::DramIndex, idx_bits);
+    addDram(st, Component::DramOutput,
+            (int64_t)((double)out_bits * actDramFraction(out_bits)));
+
+    // ---- GB traffic ------------------------------------------------------
+    // Inputs: written once; read once per output-channel pass, with
+    // the index selector dropping rows whose coefficient vector (or
+    // activation row) is zero. The 1D row-stationary FIFO amortizes S
+    // reuses per fetch.
+    const int64_t passes =
+        std::max<int64_t>(1, (l.m + cfg.dimM - 1) / cfg.dimM);
+    int64_t in_reads =
+        (int64_t)((double)in_bits * (double)passes * vec_keep *
+                  act_vec_keep);
+    // Without the dedicated compact-model remap, the lone active PE
+    // line per slice re-streams the input region that the remapped R
+    // lines would have shared.
+    if (l.kind == LayerKind::DepthwiseConv &&
+        !opts.dedicatedCompactSupport)
+        in_reads *= l.r;
+    addSram(st, Component::InputGbWrite, in_bits, cfg.inputGbBankBytes);
+    addSram(st, Component::InputGbRead, in_reads, cfg.inputGbBankBytes);
+
+    // Weights: compressed coefficients/basis enter the distributed
+    // per-slice buffers once and are consumed once (rows stay
+    // stationary in the RE until their computations finish).
+    const int64_t w_gb_bits =
+        opts.rebuildInPeLine ? w_bits + idx_bits
+                             : l.weightCount() * l.weightBits;
+    addSram(st, Component::WeightGbWrite, w_gb_bits,
+            cfg.weightBufBankBytes);
+    addSram(st, Component::WeightGbRead, w_gb_bits,
+            cfg.weightBufBankBytes);
+    if (!opts.rebuildInPeLine) {
+        // Rebuilding at the GB still pays the (cheap) rebuild ops but
+        // moves dense weights across the array interconnect.
+        addSram(st, Component::WeightGbRead,
+                l.weightCount() * l.weightBits, cfg.weightBufBankBytes);
+    }
+
+    // Outputs: FIFO-buffered, written once, read once for write-back.
+    addSram(st, Component::OutputGbWrite, out_bits,
+            cfg.outputGbBankBytes);
+    addSram(st, Component::OutputGbRead, out_bits,
+            cfg.outputGbBankBytes);
+
+    // ---- datapath ---------------------------------------------------------
+    if (opts.useBitSerial) {
+        const double digit_ops = eff_macs * l.actAvgBoothDigits;
+        st.energy(Component::Pe) += digit_ops * em.bitSerialDigitPj;
+    } else {
+        st.energy(Component::Pe) += eff_macs * em.macPj;
+    }
+    st.energy(Component::Accumulator) +=
+        eff_macs / (double)cfg.dimF * em.addPj;
+
+    // RE: each surviving coefficient row rebuilds S weights with
+    // shift-and-add (non-zero coefficients only) plus an RF read.
+    if (opts.useCompression) {
+        const double rebuilt_rows = (double)nonzero_rows;
+        const double nnz_per_row =
+            (double)s * (1.0 - l.weightElementSparsity) /
+            std::max(1e-9, 1.0 - l.weightVectorSparsity);
+        const double rebuild_adds =
+            rebuilt_rows * std::min((double)s, nnz_per_row) * (double)s;
+        st.energy(Component::Re) +=
+            rebuild_adds * em.addPj + rebuilt_rows * em.rfPj8;
+    }
+
+    // Index selector: one comparison per (coefficient row, activation
+    // row) pair examined.
+    if (opts.useIndexSelector)
+        st.energy(Component::IndexSelector) +=
+            (double)rows * 2.0 * em.indexSelectPj;
+
+    // ---- cycles --------------------------------------------------------------
+    // Structural utilization of the 3D array under the SmartExchange
+    // dataflow; the dedicated compact-model support remaps depth-wise
+    // and squeeze-excite/FC layers to keep lanes busy.
+    double util = 1.0;
+    switch (l.kind) {
+      case LayerKind::Conv:
+        util = std::min(1.0, (double)l.c / (double)cfg.dimC) *
+               std::min(1.0, (double)l.outW() / (double)cfg.dimF);
+        break;
+      case LayerKind::DepthwiseConv:
+        if (opts.dedicatedCompactSupport) {
+            // Map the R 1D convolutions of each filter across PE
+            // lines and split MAC arrays into clusters.
+            util = std::min(1.0, (double)l.r / (double)cfg.dimC) *
+                   std::min(1.0, (double)l.outW() / (double)cfg.dimF);
+        } else {
+            // One PE line per slice does all the work.
+            util = (1.0 / (double)cfg.dimC) *
+                   std::min(1.0, (double)l.outW() / (double)cfg.dimF);
+        }
+        break;
+      case LayerKind::FullyConnected:
+      case LayerKind::SqueezeExcite:
+        if (opts.dedicatedCompactSupport) {
+            // MAC clusters serve multiple output pixels; both REs
+            // feed the clusters.
+            util = std::min(1.0, (double)l.c / (double)cfg.dimC) * 0.5;
+        } else {
+            util = std::min(1.0, (double)l.c / (double)cfg.dimC) /
+                   (double)cfg.dimF;
+        }
+        break;
+    }
+    util = std::max(util, 1e-3);
+
+    // Vector skipping converts only partially into cycle savings: the
+    // index selector removes row pairs, but lockstepped PE lines leave
+    // bubbles when their skip patterns diverge.
+    const double keep_pairs = vec_keep * act_vec_keep;
+    const double cycle_keep =
+        1.0 - cfg.vectorSkipCycleEfficiency * (1.0 - keep_pairs);
+    const double cycle_macs = (double)macs * cycle_keep;
+    double compute;
+    if (opts.useBitSerial) {
+        const double serial_digits = std::max(
+            1.0, l.actAvgBoothDigits * cfg.digitSyncOverhead);
+        compute = cycle_macs * serial_digits /
+                  ((double)cfg.bitSerialLanes() * util);
+    } else {
+        compute = cycle_macs /
+                  ((double)(cfg.bitSerialLanes() / 8) * util);
+    }
+
+    // Basis-load stalls: each basis matrix occupies its RE for S*S
+    // cycles of loading; ping-pong double REs hide this behind
+    // compute, a single RE exposes it.
+    if (opts.useCompression && !opts.pingPongRe) {
+        const double basis_loads =
+            (double)basis_bits / (double)l.basisBits;  // elements
+        compute += basis_loads;
+    }
+
+    st.cycles = boundCycles(compute, w_bits + idx_bits);
+    addControl(st);
+    return st;
+}
+
+} // namespace accel
+} // namespace se

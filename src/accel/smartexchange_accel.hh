@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The SmartExchange accelerator model (Section IV).
+ *
+ * Features modelled:
+ *  - weights travel as {Ce, B}: non-zero coefficient rows (4-bit) plus
+ *    a 1-bit vector index and a tiny 8-bit basis per filter;
+ *  - rebuild engines (REs) inside the PE lines restore weights via
+ *    shift-and-add, with ping-pong double-REs hiding basis-load
+ *    stalls;
+ *  - an index selector pairs non-zero coefficient rows with non-zero
+ *    activation rows, skipping both computation and GB traffic;
+ *  - bit-serial Booth multipliers exploit activation bit-level
+ *    sparsity;
+ *  - 1D row-stationary dataflow within PE lines (input rows reused
+ *    for S cycles), output-stationary across a slice;
+ *  - a dedicated dataflow remap for depth-wise CONV (R 1D convolutions
+ *    spread across PE lines) and MAC-array clustering for
+ *    squeeze-excite/FC layers.
+ *
+ * Every feature has an ablation switch so the benches can reproduce
+ * the paper's component-contribution studies (Section V-B, Fig. 15).
+ */
+
+#ifndef SE_ACCEL_SMARTEXCHANGE_ACCEL_HH
+#define SE_ACCEL_SMARTEXCHANGE_ACCEL_HH
+
+#include "accel/accelerator.hh"
+
+namespace se {
+namespace accel {
+
+/** Ablation switches for the SmartExchange accelerator. */
+struct SeAccelOptions
+{
+    /** Vector-sparsity skipping via the index selector. */
+    bool useIndexSelector = true;
+    /** Bit-serial Booth MACs (otherwise plain 8-bit parallel MACs). */
+    bool useBitSerial = true;
+    /** SmartExchange weight compression in DRAM/GB (otherwise dense
+     *  8-bit weights move). */
+    bool useCompression = true;
+    /** Dedicated depth-wise / squeeze-excite dataflow (Section IV-B,
+     *  Fig. 15 ablation). */
+    bool dedicatedCompactSupport = true;
+    /** REs placed inside PE lines; when false, weights are rebuilt at
+     *  the GB and move to PEs dense (RE-placement principle). */
+    bool rebuildInPeLine = true;
+    /** Ping-pong double REs; when false, basis loads stall the PEs. */
+    bool pingPongRe = true;
+};
+
+/** The SmartExchange accelerator. */
+class SmartExchangeAccel : public Accelerator
+{
+  public:
+    explicit SmartExchangeAccel(SeAccelOptions opts = {},
+                                sim::EnergyModel em = {})
+        : Accelerator(sim::ArrayConfig::bitSerialDefault(), em),
+          opts(opts)
+    {}
+
+    std::string name() const override { return "SmartExchange"; }
+    sim::RunStats runLayer(const sim::LayerShape &l) const override;
+
+    const SeAccelOptions &options() const { return opts; }
+
+  private:
+    SeAccelOptions opts;
+};
+
+} // namespace accel
+} // namespace se
+
+#endif // SE_ACCEL_SMARTEXCHANGE_ACCEL_HH

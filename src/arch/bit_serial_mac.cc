@@ -1,0 +1,27 @@
+#include "arch/bit_serial_mac.hh"
+
+#include "quant/quant.hh"
+
+namespace se {
+namespace arch {
+
+BitSerialMac::Product
+BitSerialMac::multiply(int32_t activation, int32_t weight, int act_bits)
+{
+    Product p;
+    const auto digits = quant::boothDigits(activation, act_bits);
+    for (size_t d = 0; d < digits.size(); ++d) {
+        if (digits[d] == 0)
+            continue;
+        // digit in {-2,-1,+1,+2}: one shift-and-add step.
+        p.value += (int64_t)digits[d] * weight << (2 * d);
+        ++p.cycles;
+    }
+    // Even an all-zero activation occupies the issue slot one cycle.
+    if (p.cycles == 0)
+        p.cycles = 1;
+    return p;
+}
+
+} // namespace arch
+} // namespace se

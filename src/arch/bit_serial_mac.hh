@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional model of the Booth-encoded bit-serial multiplier used in
+ * the SmartExchange and Bit-pragmatic datapaths.
+ *
+ * The multiplier streams the non-zero radix-4 Booth digits of the
+ * activation; each digit costs one cycle and contributes
+ * (digit * weight) << (2 * position) to the product. Zero digits are
+ * skipped entirely, which is how bit-level activation sparsity turns
+ * into cycle savings (Section IV-A, third observation).
+ */
+
+#ifndef SE_ARCH_BIT_SERIAL_MAC_HH
+#define SE_ARCH_BIT_SERIAL_MAC_HH
+
+#include <cstdint>
+
+namespace se {
+namespace arch {
+
+/** One bit-serial multiply-accumulate unit. */
+class BitSerialMac
+{
+  public:
+    /** Result of one serial multiplication. */
+    struct Product
+    {
+        int64_t value = 0;  ///< exact product
+        int cycles = 0;     ///< non-zero Booth digits processed (>= 1)
+    };
+
+    /**
+     * Multiply an `act_bits`-wide two's-complement activation by a
+     * weight by streaming the activation's Booth digits. Exact.
+     */
+    static Product multiply(int32_t activation, int32_t weight,
+                            int act_bits = 8);
+
+    /** Accumulate a product into the local partial sum register. */
+    void
+    accumulate(int64_t value)
+    {
+        psum += value;
+    }
+
+    int64_t partialSum() const { return psum; }
+    void reset() { psum = 0; }
+
+  private:
+    int64_t psum = 0;
+};
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_BIT_SERIAL_MAC_HH

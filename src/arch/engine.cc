@@ -1,0 +1,162 @@
+#include "arch/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/index_selector.hh"
+#include "arch/pe_line.hh"
+#include "arch/rebuild_engine.hh"
+#include "quant/quant.hh"
+
+namespace se {
+namespace arch {
+
+namespace {
+
+/** Quantize one padded input row of channel c at height ih. */
+std::vector<int32_t>
+paddedInputRow(const Tensor &input, int64_t c, int64_t ih, int64_t pad,
+               const quant::FixedPointQuantizer &q)
+{
+    const int64_t w = input.dim(3);
+    std::vector<int32_t> row((size_t)(w + 2 * pad), 0);
+    if (ih < 0 || ih >= input.dim(2))
+        return row;  // vertical padding: all zeros
+    for (int64_t j = 0; j < w; ++j)
+        row[(size_t)(j + pad)] = q.toInt(input.at(0, c, ih, j));
+    return row;
+}
+
+} // namespace
+
+EngineResult
+runConvLayer(const Tensor &input,
+             const std::vector<core::SeMatrix> &pieces, int64_t kernel,
+             int64_t stride, int64_t pad, const EngineConfig &cfg)
+{
+    SE_ASSERT(input.ndim() == 4 && input.dim(0) == 1,
+              "engine expects a single (1,C,H,W) input");
+    const int64_t c_in = input.dim(1), h = input.dim(2),
+                  w = input.dim(3);
+    const int64_t m = (int64_t)pieces.size();
+    const int64_t e_out = (h + 2 * pad - kernel) / stride + 1;
+    const int64_t f_out = (w + 2 * pad - kernel) / stride + 1;
+
+    // Per-tensor activation scale; per-layer rebuilt-weight scale.
+    auto act_q = quant::FixedPointQuantizer::calibrate(input,
+                                                       cfg.actBits);
+    float w_max = 0.0f;
+    for (const auto &p : pieces) {
+        Tensor rec = p.reconstruct();
+        for (int64_t i = 0; i < rec.size(); ++i)
+            w_max = std::max(w_max, std::abs(rec[i]));
+    }
+    quant::FixedPointQuantizer w_q;
+    w_q.bits = cfg.weightBits;
+    const int32_t w_qmax = (1 << (cfg.weightBits - 1)) - 1;
+    w_q.scale = w_max > 0 ? w_max / (float)w_qmax : 1.0f;
+
+    EngineResult res;
+    res.output = Tensor({1, m, e_out, f_out});
+
+    // Pre-quantize all padded input rows and their zero/non-zero
+    // vector index (used by the index selector).
+    std::vector<std::vector<int32_t>> in_rows(
+        (size_t)(c_in * (h + 2 * pad)));
+    std::vector<uint8_t> in_row_nonzero(in_rows.size(), 0);
+    for (int64_t c = 0; c < c_in; ++c)
+        for (int64_t ih = -pad; ih < h + pad; ++ih) {
+            auto row = paddedInputRow(input, c, ih, pad, act_q);
+            uint8_t nz = 0;
+            for (int32_t v : row)
+                if (v != 0) {
+                    nz = 1;
+                    break;
+                }
+            const size_t slot = (size_t)(c * (h + 2 * pad) +
+                                         (ih + pad));
+            in_rows[slot] = std::move(row);
+            in_row_nonzero[slot] = nz;
+        }
+
+    PeLineConfig line_cfg{cfg.dimF, cfg.actBits};
+    RebuildEnginePair re;
+    // Integer accumulators per (m, e, f).
+    std::vector<int64_t> acc((size_t)(m * e_out * f_out), 0);
+
+    int64_t fg_cycles_since_prefetch = 0;
+    for (int64_t filt = 0; filt < m; ++filt) {
+        const auto &piece = pieces[(size_t)filt];
+        SE_ASSERT(piece.ce.dim(0) == c_in * kernel,
+                  "piece rows do not match layer geometry");
+        // Ping-pong: the basis for this filter was prefetched while
+        // the previous filter computed (first filter pays the load).
+        re.prefetchBasis(piece.basis);
+        res.reStallCycles += re.swap(fg_cycles_since_prefetch);
+        fg_cycles_since_prefetch = 0;
+
+        for (int64_t c = 0; c < c_in; ++c) {
+            for (int64_t kr = 0; kr < kernel; ++kr) {
+                const int64_t row_idx = c * kernel + kr;
+                // Vector-index bits for this coefficient row.
+                std::vector<float> ce_row((size_t)kernel);
+                bool row_nonzero = false;
+                for (int64_t s = 0; s < kernel; ++s) {
+                    ce_row[(size_t)s] =
+                        piece.ce.at(row_idx, s);
+                    row_nonzero |= ce_row[(size_t)s] != 0.0f;
+                }
+                ++res.selectorCycles;
+                if (cfg.skipZeroRows && !row_nonzero) {
+                    ++res.rowsSkipped;
+                    continue;
+                }
+
+                // Rebuild the weight row in the RE, then quantize it
+                // for the integer datapath.
+                auto w_row_f = re.rebuildRow(ce_row);
+                std::vector<int32_t> w_row((size_t)kernel);
+                bool all_zero = true;
+                for (int64_t s = 0; s < kernel; ++s) {
+                    w_row[(size_t)s] = w_q.toInt(w_row_f[(size_t)s]);
+                    all_zero &= w_row[(size_t)s] == 0;
+                }
+                if (all_zero) {
+                    ++res.rowsSkipped;
+                    continue;
+                }
+                ++res.rowsProcessed;
+
+                // This weight row slides over every output row whose
+                // receptive field contains input row (e*U + kr - pad).
+                for (int64_t e = 0; e < e_out; ++e) {
+                    const int64_t ih = e * stride + kr - pad;
+                    const size_t slot =
+                        (size_t)(c * (h + 2 * pad) + (ih + pad));
+                    if (cfg.skipZeroRows && !in_row_nonzero[slot]) {
+                        // Activation-vector skip: whole row of zeros.
+                        continue;
+                    }
+                    auto line = conv1d(w_row, in_rows[slot], f_out,
+                                       stride, line_cfg);
+                    res.macCycles += line.cycles;
+                    fg_cycles_since_prefetch += line.cycles;
+                    int64_t *dst =
+                        acc.data() + (filt * e_out + e) * f_out;
+                    for (int64_t f = 0; f < f_out; ++f)
+                        dst[f] += line.outputs[(size_t)f];
+                }
+            }
+        }
+        res.reCycles = re.totalCycles();
+    }
+
+    // Dequantize.
+    const double out_scale = (double)act_q.scale * w_q.scale;
+    for (int64_t i = 0; i < res.output.size(); ++i)
+        res.output[i] = (float)((double)acc[(size_t)i] * out_scale);
+    return res;
+}
+
+} // namespace arch
+} // namespace se

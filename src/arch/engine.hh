@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional SmartExchange execution engine: runs one CONV layer end
+ * to end through the modelled hardware — index selector, ping-pong
+ * rebuild engines, and bit-serial row-stationary PE lines — producing
+ * both the numerical output (validated against the NN reference in
+ * the tests) and the cycle/activity counts the analytical accelerator
+ * models abstract.
+ */
+
+#ifndef SE_ARCH_ENGINE_HH
+#define SE_ARCH_ENGINE_HH
+
+#include <vector>
+
+#include "core/smart_exchange.hh"
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace arch {
+
+/** Datapath configuration of the functional engine. */
+struct EngineConfig
+{
+    int64_t dimF = 8;          ///< MACs per PE line
+    int actBits = 8;           ///< activation precision
+    int weightBits = 8;        ///< rebuilt-weight precision
+    bool skipZeroRows = true;  ///< index-selector vector skipping
+};
+
+/** Functional run outcome. */
+struct EngineResult
+{
+    Tensor output;             ///< (1, M, E, F) dequantized floats
+
+    int64_t macCycles = 0;     ///< synchronized bit-serial cycles
+    int64_t reCycles = 0;      ///< rebuild-engine busy cycles
+    int64_t reStallCycles = 0; ///< basis-load stalls exposed
+    int64_t selectorCycles = 0;
+
+    int64_t rowsProcessed = 0; ///< coefficient rows reaching PE lines
+    int64_t rowsSkipped = 0;   ///< rows dropped by the selector
+
+    int64_t
+    totalCycles() const
+    {
+        // REs run in the shadow of the MACs except for exposed
+        // stalls; the selector runs ahead of the array.
+        return macCycles + reStallCycles;
+    }
+};
+
+/**
+ * Execute one standard convolution (groups = 1, square kernel) from
+ * its SmartExchange form. `pieces` holds one SeMatrix per output
+ * filter, in order, with Ce rows laid out as (c * R + kr) — exactly
+ * what core::decomposeConvWeight produces without slicing.
+ */
+EngineResult runConvLayer(const Tensor &input,
+                          const std::vector<core::SeMatrix> &pieces,
+                          int64_t kernel, int64_t stride, int64_t pad,
+                          const EngineConfig &cfg);
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_ENGINE_HH

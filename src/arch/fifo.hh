@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FIFO models: a bounded ring-buffer FIFO (the per-PE-line activation
+ * FIFO of Fig. 5) and a ping-pong double buffer (the paper implements
+ * "all the FIFOs in the PE lines in a ping-pong manner using double
+ * buffers" to sustain the input GB bandwidth).
+ */
+
+#ifndef SE_ARCH_FIFO_HH
+#define SE_ARCH_FIFO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace arch {
+
+/** Bounded single-clock FIFO. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(size_t capacity) : buf(capacity), cap(capacity)
+    {
+        SE_ASSERT(capacity > 0, "FIFO capacity must be positive");
+    }
+
+    bool full() const { return count == cap; }
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+    size_t capacity() const { return cap; }
+
+    /** Push one element; returns false (and drops) when full. */
+    bool
+    push(const T &v)
+    {
+        if (full())
+            return false;
+        buf[tail] = v;
+        tail = (tail + 1) % cap;
+        ++count;
+        return true;
+    }
+
+    /** Pop the oldest element; FIFO must not be empty. */
+    T
+    pop()
+    {
+        SE_ASSERT(!empty(), "pop from empty FIFO");
+        T v = buf[head];
+        head = (head + 1) % cap;
+        --count;
+        return v;
+    }
+
+    /** Peek the n-th oldest element without removing it. */
+    const T &
+    peek(size_t n = 0) const
+    {
+        SE_ASSERT(n < count, "peek beyond FIFO contents");
+        return buf[(head + n) % cap];
+    }
+
+  private:
+    std::vector<T> buf;
+    size_t cap;
+    size_t head = 0, tail = 0, count = 0;
+};
+
+/**
+ * Ping-pong double buffer: the producer fills the shadow bank while
+ * the consumer drains the active bank; swap() flips them and reports
+ * whether the producer had finished (a not-ready swap is a stall).
+ */
+template <typename T>
+class DoubleBuffer
+{
+  public:
+    /** Write the next shadow-bank contents. */
+    void
+    fill(std::vector<T> data)
+    {
+        shadow = std::move(data);
+        shadowReady = true;
+    }
+
+    /** True when the shadow bank has been filled since last swap. */
+    bool ready() const { return shadowReady; }
+
+    /**
+     * Swap banks. Returns true on a clean swap, false when the
+     * shadow bank was not ready (the consumer must stall).
+     */
+    bool
+    swap()
+    {
+        const bool ok = shadowReady;
+        std::swap(active, shadow);
+        shadow.clear();
+        shadowReady = false;
+        return ok;
+    }
+
+    const std::vector<T> &current() const { return active; }
+
+  private:
+    std::vector<T> active, shadow;
+    bool shadowReady = false;
+};
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_FIFO_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Streaming model of the index selector (Fig. 5 (a), "Index Sel."),
+ * after Cambricon-S: it walks the 1-bit vector indexes of the
+ * coefficient rows and the activation rows in lockstep and emits only
+ * the positions where both are non-zero — the row pairs that reach the
+ * PE lines. One position is examined per cycle.
+ */
+
+#ifndef SE_ARCH_INDEX_SELECTOR_HH
+#define SE_ARCH_INDEX_SELECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace arch {
+
+/** Streaming AND-selector over two 1-bit index streams. */
+class IndexSelector
+{
+  public:
+    IndexSelector(std::vector<uint8_t> weight_index,
+                  std::vector<uint8_t> act_index)
+        : wIdx(std::move(weight_index)), aIdx(std::move(act_index))
+    {
+        SE_ASSERT(wIdx.size() == aIdx.size(),
+                  "index selector stream length mismatch");
+    }
+
+    /**
+     * Advance to the next selected position. Returns std::nullopt at
+     * end of stream. Each call consumes the cycles needed to scan the
+     * skipped positions (one per cycle).
+     */
+    std::optional<int64_t>
+    next()
+    {
+        while (pos < (int64_t)wIdx.size()) {
+            const int64_t p = pos++;
+            ++cycles;
+            if (wIdx[(size_t)p] && aIdx[(size_t)p])
+                return p;
+        }
+        return std::nullopt;
+    }
+
+    /** Drain the stream and return all selected positions. */
+    std::vector<int64_t>
+    selectAll()
+    {
+        std::vector<int64_t> out;
+        while (auto p = next())
+            out.push_back(*p);
+        return out;
+    }
+
+    int64_t cyclesUsed() const { return cycles; }
+
+  private:
+    std::vector<uint8_t> wIdx, aIdx;
+    int64_t pos = 0;
+    int64_t cycles = 0;
+};
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_INDEX_SELECTOR_HH

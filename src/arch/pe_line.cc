@@ -1,0 +1,52 @@
+#include "arch/pe_line.hh"
+
+#include <algorithm>
+
+#include "arch/bit_serial_mac.hh"
+#include "base/logging.hh"
+
+namespace se {
+namespace arch {
+
+PeLineResult
+conv1d(const std::vector<int32_t> &weight_row,
+       const std::vector<int32_t> &input_row, int64_t f_out,
+       int64_t stride, const PeLineConfig &cfg)
+{
+    const int64_t s_len = (int64_t)weight_row.size();
+    PeLineResult res;
+    res.outputs.assign((size_t)f_out, 0);
+
+    // Process output pixels in groups of dimF lanes.
+    for (int64_t f0 = 0; f0 < f_out; f0 += cfg.dimF) {
+        const int64_t lanes =
+            std::min<int64_t>(cfg.dimF, f_out - f0);
+        // The weight element w[s] is broadcast; all lanes multiply it
+        // by their own activation, serially over Booth digits. The
+        // group advances at the pace of the slowest lane.
+        for (int64_t s = 0; s < s_len; ++s) {
+            if (weight_row[(size_t)s] == 0) {
+                // Zero weight: the broadcast slot is skipped entirely
+                // (the rebuilt row carries its own zero pattern).
+                continue;
+            }
+            int max_lane_cycles = 0;
+            for (int64_t l = 0; l < lanes; ++l) {
+                const int64_t idx = (f0 + l) * stride + s;
+                SE_ASSERT(idx >= 0 &&
+                              idx < (int64_t)input_row.size(),
+                          "input row index out of range");
+                const auto p = BitSerialMac::multiply(
+                    input_row[(size_t)idx], weight_row[(size_t)s],
+                    cfg.actBits);
+                res.outputs[(size_t)(f0 + l)] += p.value;
+                max_lane_cycles = std::max(max_lane_cycles, p.cycles);
+            }
+            res.cycles += max_lane_cycles;
+        }
+    }
+    return res;
+}
+
+} // namespace arch
+} // namespace se

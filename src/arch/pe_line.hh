@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional model of one PE line executing a 1D convolution with the
+ * row-stationary schedule of Fig. 6: a weight row stays in the line
+ * while input activations shift past dimF bit-serial MACs; each weight
+ * element is broadcast to all MACs in a cycle group, and the group
+ * advances only when the slowest lane has streamed all non-zero Booth
+ * digits of its activation (lane synchronization).
+ */
+
+#ifndef SE_ARCH_PE_LINE_HH
+#define SE_ARCH_PE_LINE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace se {
+namespace arch {
+
+/** Outcome of one 1D convolution on a PE line. */
+struct PeLineResult
+{
+    std::vector<int64_t> outputs;  ///< F partial sums (exact ints)
+    int64_t cycles = 0;            ///< synchronized bit-serial cycles
+};
+
+/** Configuration of the PE line datapath. */
+struct PeLineConfig
+{
+    int64_t dimF = 8;  ///< MACs per line
+    int actBits = 8;   ///< activation precision
+};
+
+/**
+ * Run one 1D convolution: out[f] = sum_s w[s] * in[f * stride + s].
+ * The input row must already include any horizontal padding.
+ */
+PeLineResult conv1d(const std::vector<int32_t> &weight_row,
+                    const std::vector<int32_t> &input_row,
+                    int64_t f_out, int64_t stride,
+                    const PeLineConfig &cfg);
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_PE_LINE_HH

@@ -1,0 +1,84 @@
+#include "arch/rebuild_engine.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace arch {
+
+namespace {
+
+/** Decompose a power-of-2 value into (sign, exponent); value != 0. */
+std::pair<int, int>
+pow2Parts(float v)
+{
+    const float av = std::abs(v);
+    int exp;
+    const float frac = std::frexp(av, &exp);
+    SE_ASSERT(frac == 0.5f, "RE coefficient ", v,
+              " is not a power of two");
+    return {v > 0 ? 1 : -1, exp - 1};
+}
+
+} // namespace
+
+void
+RebuildEngine::loadBasis(const Tensor &basis)
+{
+    SE_ASSERT(basis.ndim() == 2, "basis must be 2-D");
+    rf = basis;
+    rows = basis.dim(0);
+    cols = basis.dim(1);
+    loaded = true;
+    cycles += rows * cols;
+}
+
+std::vector<float>
+RebuildEngine::rebuildRow(const std::vector<float> &ce_row)
+{
+    SE_ASSERT(loaded, "rebuild before basis load");
+    SE_ASSERT((int64_t)ce_row.size() == rows,
+              "coefficient row length mismatch");
+    std::vector<float> out((size_t)cols, 0.0f);
+    bool any = false;
+    for (int64_t j = 0; j < rows; ++j) {
+        const float c = ce_row[(size_t)j];
+        if (c == 0.0f)
+            continue;
+        any = true;
+        const auto [sign, exp] = pow2Parts(c);
+        // One shift-and-add pass over the basis row per non-zero
+        // coefficient.
+        for (int64_t k = 0; k < cols; ++k) {
+            const float shifted =
+                std::ldexp(rf.at(j, k), exp);
+            out[(size_t)k] += sign > 0 ? shifted : -shifted;
+        }
+        cycles += cols;
+    }
+    if (!any)
+        ++cycles;  // zero-row bypass
+    return out;
+}
+
+void
+RebuildEnginePair::prefetchBasis(const Tensor &basis)
+{
+    engines[1 - active].loadBasis(basis);
+    pendingLoadCycles = basis.dim(0) * basis.dim(1);
+}
+
+int64_t
+RebuildEnginePair::swap(int64_t foreground_cycles_since_prefetch)
+{
+    const int64_t exposed = std::max<int64_t>(
+        0, pendingLoadCycles - foreground_cycles_since_prefetch);
+    stallCycles += exposed;
+    pendingLoadCycles = 0;
+    active = 1 - active;
+    return exposed;
+}
+
+} // namespace arch
+} // namespace se

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional model of the rebuild engine (RE) inside each PE line
+ * (Fig. 5 (b)): an S x S register file holding one basis matrix and a
+ * shift-and-add unit that restores weight rows from power-of-2
+ * coefficient rows. A RebuildEnginePair models the ping-pong double-RE
+ * arrangement that hides basis-load latency (Section IV-B, buffer
+ * design).
+ */
+
+#ifndef SE_ARCH_REBUILD_ENGINE_HH
+#define SE_ARCH_REBUILD_ENGINE_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace arch {
+
+/** One rebuild engine with an S x S basis register file. */
+class RebuildEngine
+{
+  public:
+    /**
+     * Load a basis matrix (r x n) into the RF. Costs r * n cycles
+     * (one element per cycle through MUX1 path 2).
+     */
+    void loadBasis(const Tensor &basis);
+
+    /**
+     * Rebuild one weight row: w = ce_row * B via shift-and-add.
+     * Every non-zero coefficient must be +-2^p (checked); each
+     * non-zero coefficient costs n shift-add cycles. Zero rows cost a
+     * single bypass cycle.
+     */
+    std::vector<float> rebuildRow(const std::vector<float> &ce_row);
+
+    bool basisLoaded() const { return loaded; }
+    int64_t basisRows() const { return rows; }
+    int64_t basisCols() const { return cols; }
+
+    /** Total cycles spent loading and rebuilding. */
+    int64_t cyclesUsed() const { return cycles; }
+    void resetCycles() { cycles = 0; }
+
+  private:
+    Tensor rf;      ///< the basis register file
+    bool loaded = false;
+    int64_t rows = 0, cols = 0;
+    int64_t cycles = 0;
+};
+
+/**
+ * The ping-pong RE pair of a PE line: while one RE serves rebuilds,
+ * the other loads the next basis in the background, so the swap is
+ * free once the background load has finished.
+ */
+class RebuildEnginePair
+{
+  public:
+    /** Begin loading the next basis into the shadow RE. */
+    void prefetchBasis(const Tensor &basis);
+
+    /**
+     * Make the shadow RE active. Returns the stall cycles exposed
+     * (zero when the prefetch had at least `elapsed` cycles of
+     * foreground work to hide behind).
+     */
+    int64_t swap(int64_t foreground_cycles_since_prefetch);
+
+    /** Rebuild on the active RE. */
+    std::vector<float>
+    rebuildRow(const std::vector<float> &ce_row)
+    {
+        return engines[active].rebuildRow(ce_row);
+    }
+
+    RebuildEngine &activeEngine() { return engines[active]; }
+    RebuildEngine &shadowEngine() { return engines[1 - active]; }
+
+    int64_t
+    totalCycles() const
+    {
+        return engines[0].cyclesUsed() + engines[1].cyclesUsed() +
+               stallCycles;
+    }
+    int64_t stalls() const { return stallCycles; }
+
+  private:
+    RebuildEngine engines[2];
+    int active = 0;
+    int64_t pendingLoadCycles = 0;
+    int64_t stallCycles = 0;
+};
+
+} // namespace arch
+} // namespace se
+
+#endif // SE_ARCH_REBUILD_ENGINE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the quantizers and the bit-serial
+ * datapath models.
+ */
+
+#ifndef SE_BASE_BITUTILS_HH
+#define SE_BASE_BITUTILS_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace se {
+
+/** Number of set bits in an unsigned value. */
+inline int
+popcount(uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** True when v is an exact power of two (v > 0). */
+inline bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Ceil of log2 for positive values; ceilLog2(1) == 0. */
+inline int
+ceilLog2(uint64_t v)
+{
+    int bits = 0;
+    uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Integer ceiling division. */
+inline int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Round |x| to the nearest power of two exponent, i.e. the p minimizing
+ * | |x| - 2^p |. Returns the exponent; caller handles sign and zero.
+ *
+ * Rounding in log domain: p = round(log2|x|), then the neighbour check
+ * fixes the one-off cases where linear distance disagrees with log
+ * distance (e.g. 3.0 is closer to 4 than to 2 linearly).
+ */
+inline int
+nearestPow2Exp(double x)
+{
+    double ax = std::abs(x);
+    int p = (int)std::lround(std::log2(ax));
+    // Linear-distance neighbour correction.
+    double best = std::abs(ax - std::ldexp(1.0, p));
+    for (int dp : {-1, 1}) {
+        double cand = std::abs(ax - std::ldexp(1.0, p + dp));
+        if (cand < best) {
+            best = cand;
+            p += dp;
+        }
+    }
+    return p;
+}
+
+} // namespace se
+
+#endif // SE_BASE_BITUTILS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            prints and aborts.
+ * fatal()  — the simulation cannot continue because of a user error (bad
+ *            configuration, invalid argument); prints and exits(1).
+ * warn()   — something is approximated or may behave unexpectedly.
+ * inform() — plain status output.
+ */
+
+#ifndef SE_BASE_LOGGING_HH
+#define SE_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace se {
+
+namespace detail {
+
+/** Compose a message out of stream-insertable parts. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace se
+
+/** Abort on an internal invariant violation (library bug). */
+#define SE_PANIC(...) \
+    ::se::detail::panicImpl(__FILE__, __LINE__, \
+                            ::se::detail::composeMessage(__VA_ARGS__))
+
+/** Exit on an unrecoverable user/configuration error. */
+#define SE_FATAL(...) \
+    ::se::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::se::detail::composeMessage(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define SE_WARN(...) \
+    ::se::detail::warnImpl(::se::detail::composeMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define SE_INFORM(...) \
+    ::se::detail::informImpl(::se::detail::composeMessage(__VA_ARGS__))
+
+/** Checked assertion that survives NDEBUG; use for cheap invariants. */
+#define SE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SE_PANIC("assertion '", #cond, "' failed: ", \
+                     ::se::detail::composeMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // SE_BASE_LOGGING_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the benchmark binaries
+ * to emit the paper's tables/figure series in a readable form.
+ */
+
+#ifndef SE_BASE_TABLE_HH
+#define SE_BASE_TABLE_HH
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace se {
+
+/**
+ * Accumulates rows of string cells and prints them with per-column
+ * widths. Numeric helpers format floats with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : columns(std::move(header))
+    {}
+
+    /** Begin a new row; cells are appended with cell(). */
+    Table &
+    row()
+    {
+        rows.emplace_back();
+        return *this;
+    }
+
+    Table &
+    cell(const std::string &s)
+    {
+        rows.back().push_back(s);
+        return *this;
+    }
+
+    Table &
+    cell(double v, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return cell(os.str());
+    }
+
+    Table &
+    cell(int64_t v)
+    {
+        return cell(std::to_string(v));
+    }
+
+    /** Render to the stream with aligned columns. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<size_t> widths(columns.size(), 0);
+        for (size_t c = 0; c < columns.size(); ++c)
+            widths[c] = columns[c].size();
+        for (const auto &r : rows)
+            for (size_t c = 0; c < r.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], r[c].size());
+
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (size_t c = 0; c < columns.size(); ++c) {
+                const std::string &s = c < cells.size() ? cells[c] : "";
+                os << std::left << std::setw((int)widths[c] + 2) << s;
+            }
+            os << "\n";
+        };
+        line(columns);
+        std::vector<std::string> sep;
+        for (auto w : widths)
+            sep.push_back(std::string(w, '-'));
+        line(sep);
+        for (const auto &r : rows)
+            line(r);
+        os.flush();
+    }
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace se
+
+#endif // SE_BASE_TABLE_HH

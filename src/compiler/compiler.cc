@@ -1,0 +1,138 @@
+#include "compiler/compiler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/bitutils.hh"
+
+namespace se {
+namespace compiler {
+
+using sim::ArrayConfig;
+using sim::LayerKind;
+using sim::LayerShape;
+
+TilePlan
+planLayer(const LayerShape &l, const ArrayConfig &cfg)
+{
+    TilePlan p;
+    switch (l.kind) {
+      case LayerKind::Conv:
+        p.dataflow = Dataflow::RowStationary2d;
+        p.mTiles = ceilDiv(l.m, cfg.dimM);
+        p.cTiles = ceilDiv(l.c, cfg.dimC);
+        p.fTiles = ceilDiv(l.outW(), cfg.dimF);
+        p.utilization =
+            std::min(1.0, (double)l.c / (double)cfg.dimC) *
+            std::min(1.0, (double)l.outW() / (double)cfg.dimF);
+        break;
+      case LayerKind::DepthwiseConv:
+        // The dedicated remap: the R 1D convolutions of one filter
+        // spread across PE lines.
+        p.dataflow = Dataflow::DepthwiseRemapped;
+        p.mTiles = ceilDiv(l.m, cfg.dimM);
+        p.cTiles = 1;
+        p.fTiles = ceilDiv(l.outW(), cfg.dimF);
+        p.utilization =
+            std::min(1.0, (double)l.r / (double)cfg.dimC) *
+            std::min(1.0, (double)l.outW() / (double)cfg.dimF);
+        break;
+      case LayerKind::FullyConnected:
+      case LayerKind::SqueezeExcite:
+        p.dataflow = Dataflow::FcClustered;
+        p.mTiles = ceilDiv(l.m, cfg.dimM);
+        p.cTiles = ceilDiv(l.c, cfg.dimC * cfg.dimF);
+        p.fTiles = 1;
+        p.utilization =
+            std::min(1.0, (double)l.c / (double)cfg.dimC) * 0.5;
+        break;
+    }
+
+    p.inputGbBytes = l.inputCount() * l.actBits / 8;
+    p.inputFitsGb = p.inputGbBytes <= cfg.inputGbBytes;
+
+    // Per-slice weight footprint: the Ce rows + basis of the filters
+    // mapped to one slice.
+    const int64_t s = std::max<int64_t>(l.s, 1);
+    const int64_t rows_per_filter =
+        std::max<int64_t>(1, l.weightCount() / std::max<int64_t>(l.m, 1) / s);
+    const int64_t filters_per_slice = ceilDiv(l.m, cfg.dimM);
+    p.weightBufBytes =
+        filters_per_slice *
+        (rows_per_filter * s * l.coefBits + s * s * l.basisBits + rows_per_filter) / 8;
+    return p;
+}
+
+Program
+compileNetwork(const sim::Workload &w, const ArrayConfig &cfg)
+{
+    Program prog;
+    for (size_t li = 0; li < w.layers.size(); ++li) {
+        const auto &l = w.layers[li];
+        TilePlan plan = planLayer(l, cfg);
+        prog.plans.push_back(plan);
+
+        const int64_t layer = (int64_t)li;
+        prog.instructions.push_back(
+            {Opcode::ConfigLayer, layer, (int64_t)plan.dataflow, 0});
+
+        // Inputs stream in per input tile (or once, when they fit).
+        const int64_t input_tiles =
+            plan.inputFitsGb
+                ? 1
+                : ceilDiv(plan.inputGbBytes, cfg.inputGbBytes);
+        for (int64_t t = 0; t < input_tiles; ++t)
+            prog.instructions.push_back(
+                {Opcode::LoadInput, layer, t, 0});
+
+        // Per output-channel pass: coefficients stream into the
+        // weight buffers, bases into the REs (ping-pong pairs), then
+        // the array computes over the input-channel tiles.
+        for (int64_t mt = 0; mt < plan.mTiles; ++mt) {
+            prog.instructions.push_back(
+                {Opcode::LoadCoeff, layer, mt, 0});
+            prog.instructions.push_back(
+                {Opcode::LoadBasis, layer, mt, 0});
+            for (int64_t ct = 0; ct < plan.cTiles; ++ct)
+                prog.instructions.push_back(
+                    {Opcode::Compute, layer, mt, ct});
+            prog.instructions.push_back(
+                {Opcode::StoreOutput, layer, mt, 0});
+        }
+    }
+    return prog;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConfigLayer: return "CONFIG";
+      case Opcode::LoadInput: return "LD.IN";
+      case Opcode::LoadBasis: return "LD.BASIS";
+      case Opcode::LoadCoeff: return "LD.COEFF";
+      case Opcode::Compute: return "COMPUTE";
+      case Opcode::StoreOutput: return "ST.OUT";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Program &p, size_t max_lines)
+{
+    std::ostringstream os;
+    size_t n = 0;
+    for (const auto &i : p.instructions) {
+        if (n++ >= max_lines) {
+            os << "... (" << p.instructions.size() - max_lines
+               << " more)\n";
+            break;
+        }
+        os << opcodeName(i.op) << " layer=" << i.layer
+           << " a0=" << i.arg0 << " a1=" << i.arg1 << "\n";
+    }
+    return os.str();
+}
+
+} // namespace compiler
+} // namespace se

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The DNN Compiler of the software-hardware interface (Fig. 7): maps
+ * each parsed layer onto the PE array (tiling plan + dataflow choice),
+ * allocates global-buffer space, and emits the instruction stream the
+ * accelerator's controller executes.
+ */
+
+#ifndef SE_COMPILER_COMPILER_HH
+#define SE_COMPILER_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/layer_shape.hh"
+
+namespace se {
+namespace compiler {
+
+/** Dataflow selected for a layer (Section IV-B). */
+enum class Dataflow
+{
+    RowStationary2d,    ///< standard CONV: 1D row stationary per line
+    DepthwiseRemapped,  ///< dw-CONV: R 1D convs spread across lines
+    FcClustered,        ///< FC / squeeze-excite: MAC-array clusters
+};
+
+/** How one layer tiles onto the array. */
+struct TilePlan
+{
+    Dataflow dataflow = Dataflow::RowStationary2d;
+    int64_t mTiles = 1;  ///< output-channel passes (dimM slices each)
+    int64_t cTiles = 1;  ///< input-channel groups (dimC lines each)
+    int64_t fTiles = 1;  ///< output-pixel groups (dimF MACs each)
+    double utilization = 1.0;  ///< fraction of lanes doing real work
+    int64_t inputGbBytes = 0;  ///< input tile footprint
+    int64_t weightBufBytes = 0;  ///< Ce+B footprint per slice
+    bool inputFitsGb = true;
+};
+
+/** Controller opcodes. */
+enum class Opcode
+{
+    ConfigLayer,  ///< set dataflow, dims, precisions
+    LoadInput,    ///< DRAM -> input GB (one tile)
+    LoadBasis,    ///< weight buffer -> RE register file
+    LoadCoeff,    ///< DRAM -> weight buffer (Ce rows + index)
+    Compute,      ///< run the PE array for one (m, c) tile pair
+    StoreOutput,  ///< output GB -> DRAM
+};
+
+/** One controller instruction. */
+struct Instruction
+{
+    Opcode op;
+    int64_t layer = 0;  ///< layer index
+    int64_t arg0 = 0;   ///< tile index / row count (op-specific)
+    int64_t arg1 = 0;
+};
+
+/** A compiled network: plans plus the flat instruction stream. */
+struct Program
+{
+    std::vector<TilePlan> plans;         ///< one per layer
+    std::vector<Instruction> instructions;
+
+    int64_t
+    countOps(Opcode op) const
+    {
+        int64_t n = 0;
+        for (const auto &i : instructions)
+            n += i.op == op;
+        return n;
+    }
+};
+
+/** Plan one layer's mapping onto the array. */
+TilePlan planLayer(const sim::LayerShape &l,
+                   const sim::ArrayConfig &cfg);
+
+/** Compile a whole workload into a Program. */
+Program compileNetwork(const sim::Workload &w,
+                       const sim::ArrayConfig &cfg);
+
+/** Human-readable opcode name. */
+std::string opcodeName(Opcode op);
+
+/** Render an instruction stream for inspection. */
+std::string disassemble(const Program &p, size_t max_lines = 64);
+
+} // namespace compiler
+} // namespace se
+
+#endif // SE_COMPILER_COMPILER_HH

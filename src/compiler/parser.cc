@@ -1,0 +1,148 @@
+#include "compiler/parser.hh"
+
+#include "base/logging.hh"
+
+namespace se {
+namespace compiler {
+
+namespace {
+
+/** Symbolic activation geometry during the walk. */
+struct ShapeState
+{
+    int64_t c = 0, h = 0, w = 0;
+    bool flattened = false;  ///< after Flatten, c holds features
+};
+
+void walkSequential(nn::Sequential &seq, ShapeState &st,
+                    sim::Workload &out, int &idx);
+
+void
+walkLayer(nn::Layer &l, ShapeState &st, sim::Workload &out, int &idx)
+{
+    using sim::LayerKind;
+    using sim::LayerShape;
+
+    if (auto *seq = dynamic_cast<nn::Sequential *>(&l)) {
+        walkSequential(*seq, st, out, idx);
+    } else if (auto *conv = dynamic_cast<nn::Conv2d *>(&l)) {
+        SE_ASSERT(!st.flattened, "conv after flatten");
+        SE_ASSERT(st.c == conv->inChannels(),
+                  "parser: channel mismatch at conv (", st.c, " vs ",
+                  conv->inChannels(), ")");
+        LayerShape s;
+        s.name = "layer" + std::to_string(idx++);
+        const bool depthwise =
+            conv->groupCount() == conv->inChannels() &&
+            conv->inChannels() == conv->outChannels() &&
+            conv->groupCount() > 1;
+        s.kind = depthwise ? LayerKind::DepthwiseConv
+                           : LayerKind::Conv;
+        s.c = conv->inChannels();
+        s.m = conv->outChannels();
+        s.h = st.h;
+        s.w = st.w;
+        s.r = s.s = conv->kernelSize();
+        s.stride = conv->strideLen();
+        // Fold dilation into the effective kernel extent so output
+        // geometry stays exact.
+        const int64_t kext =
+            conv->dilationLen() * (conv->kernelSize() - 1) + 1;
+        s.pad = conv->padLen() - (kext - conv->kernelSize()) / 2;
+        const int64_t oh =
+            (st.h + 2 * conv->padLen() - kext) / conv->strideLen() + 1;
+        const int64_t ow =
+            (st.w + 2 * conv->padLen() - kext) / conv->strideLen() + 1;
+        out.layers.push_back(s);
+        st.c = conv->outChannels();
+        st.h = oh;
+        st.w = ow;
+    } else if (auto *lin = dynamic_cast<nn::Linear *>(&l)) {
+        LayerShape s;
+        s.name = "layer" + std::to_string(idx++);
+        s.kind = LayerKind::FullyConnected;
+        s.c = lin->inFeatures();
+        s.m = lin->outFeatures();
+        out.layers.push_back(s);
+        st.c = lin->outFeatures();
+        st.flattened = true;
+    } else if (auto *pool = dynamic_cast<nn::MaxPool2d *>(&l)) {
+        st.h = (st.h - pool->kernelSize()) / pool->strideLen() + 1;
+        st.w = (st.w - pool->kernelSize()) / pool->strideLen() + 1;
+    } else if (dynamic_cast<nn::GlobalAvgPool *>(&l)) {
+        st.h = st.w = 1;
+    } else if (dynamic_cast<nn::Flatten *>(&l)) {
+        st.c = st.c * st.h * st.w;
+        st.h = st.w = 1;
+        st.flattened = true;
+    } else if (auto *up = dynamic_cast<nn::UpsampleNearest *>(&l)) {
+        st.h *= up->factor();
+        st.w *= up->factor();
+    } else if (auto *res = dynamic_cast<nn::Residual *>(&l)) {
+        ShapeState main_state = st;
+        walkSequential(res->main(), main_state, out, idx);
+        if (res->shortcut()) {
+            ShapeState short_state = st;
+            walkSequential(*res->shortcut(), short_state, out, idx);
+            SE_ASSERT(short_state.c == main_state.c,
+                      "residual branch channel mismatch");
+        }
+        st = main_state;
+    } else if (auto *inv = dynamic_cast<nn::InvertedResidual *>(&l)) {
+        walkSequential(inv->body(), st, out, idx);
+    } else if (auto *se_gate = dynamic_cast<nn::SqueezeExcite *>(&l)) {
+        LayerShape s;
+        s.name = "layer" + std::to_string(idx++);
+        s.kind = sim::LayerKind::SqueezeExcite;
+        s.c = se_gate->reduceFc().inFeatures();
+        s.m = 2 * se_gate->reduceFc().outFeatures();
+        out.layers.push_back(s);
+        // Shape unchanged: the gate rescales channels.
+    }
+    // BN / ReLU / Sigmoid: shape-preserving, nothing to record.
+}
+
+void
+walkSequential(nn::Sequential &seq, ShapeState &st, sim::Workload &out,
+               int &idx)
+{
+    for (size_t i = 0; i < seq.size(); ++i)
+        walkLayer(*seq.layer(i), st, out, idx);
+}
+
+} // namespace
+
+sim::Workload
+parseNetwork(nn::Sequential &net, int64_t in_channels,
+             int64_t in_height, int64_t in_width,
+             const std::string &name)
+{
+    sim::Workload out;
+    out.name = name;
+    out.dataset = "parsed";
+    ShapeState st{in_channels, in_height, in_width, false};
+    int idx = 0;
+    walkSequential(net, st, out, idx);
+    return out;
+}
+
+void
+annotateFromReport(sim::Workload &w,
+                   const std::vector<double> &vector_sparsity,
+                   const std::vector<double> &element_sparsity,
+                   double act_value_sparsity,
+                   double act_avg_booth_digits)
+{
+    for (size_t i = 0; i < w.layers.size(); ++i) {
+        auto &l = w.layers[i];
+        if (i < vector_sparsity.size())
+            l.weightVectorSparsity = vector_sparsity[i];
+        if (i < element_sparsity.size())
+            l.weightElementSparsity = element_sparsity[i];
+        l.actValueSparsity = i == 0 ? 0.1 : act_value_sparsity;
+        l.actAvgBoothDigits = act_avg_booth_digits;
+    }
+}
+
+} // namespace compiler
+} // namespace se

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The DNN Parser of the software-hardware interface (Fig. 7): walks a
+ * live network, infers every layer's activation geometry by symbolic
+ * shape propagation, and emits the Workload descriptor the compiler
+ * and the accelerator models consume (layer type, C, M, E, F, R, S, U
+ * — exactly the parameters the paper lists).
+ */
+
+#ifndef SE_COMPILER_PARSER_HH
+#define SE_COMPILER_PARSER_HH
+
+#include "nn/blocks.hh"
+#include "sim/layer_shape.hh"
+
+namespace se {
+namespace compiler {
+
+/**
+ * Parse a network into a Workload given the input geometry
+ * (channels, height, width). Weight-bearing layers (conv, linear,
+ * squeeze-excite) become workload entries; shape-only layers (BN,
+ * ReLU, pooling, flatten, upsample) only advance the symbolic shape.
+ */
+sim::Workload parseNetwork(nn::Sequential &net, int64_t in_channels,
+                           int64_t in_height, int64_t in_width,
+                           const std::string &name = "parsed");
+
+/**
+ * Attach measured sparsity statistics to a parsed workload from a
+ * compression report (per-layer vector/element/channel sparsity, in
+ * layer order) and a single activation profile.
+ */
+void annotateFromReport(sim::Workload &w,
+                        const std::vector<double> &vector_sparsity,
+                        const std::vector<double> &element_sparsity,
+                        double act_value_sparsity,
+                        double act_avg_booth_digits);
+
+} // namespace compiler
+} // namespace se
+
+#endif // SE_COMPILER_PARSER_HH

@@ -1,0 +1,370 @@
+#include "core/apply.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace se {
+namespace core {
+
+namespace {
+
+/** Split `rows` into near-equal slices no taller than max_rows. */
+std::vector<std::pair<int64_t, int64_t>>
+sliceRows(int64_t rows, int64_t max_rows, int64_t min_rows)
+{
+    std::vector<std::pair<int64_t, int64_t>> slices;
+    if (max_rows <= 0 || rows <= max_rows) {
+        slices.emplace_back(0, rows);
+        return slices;
+    }
+    const int64_t count = (rows + max_rows - 1) / max_rows;
+    const int64_t base = rows / count;
+    int64_t extra = rows % count;
+    int64_t at = 0;
+    for (int64_t i = 0; i < count; ++i) {
+        int64_t len = base + (extra-- > 0 ? 1 : 0);
+        // Keep every slice at least min_rows tall (m >= n requirement).
+        if (len < min_rows && !slices.empty()) {
+            slices.back().second += len;
+        } else {
+            slices.emplace_back(at, len);
+        }
+        at += len;
+    }
+    return slices;
+}
+
+/** Decompose one tall matrix, slicing if requested. */
+std::vector<SeMatrix>
+decomposeTall(const Tensor &mat, const SeOptions &se_opts,
+              int64_t max_slice_rows)
+{
+    std::vector<SeMatrix> pieces;
+    const int64_t rows = mat.dim(0), cols = mat.dim(1);
+    for (auto [at, len] : sliceRows(rows, max_slice_rows, cols)) {
+        Tensor slice({len, cols});
+        for (int64_t i = 0; i < len; ++i)
+            for (int64_t j = 0; j < cols; ++j)
+                slice.at(i, j) = mat.at(at + i, j);
+        pieces.push_back(decomposeMatrix(slice, se_opts));
+    }
+    return pieces;
+}
+
+/** Rebuild the tall matrix from its slices. */
+Tensor
+reconstructTall(const std::vector<SeMatrix> &pieces, int64_t rows,
+                int64_t cols)
+{
+    Tensor out({rows, cols});
+    int64_t at = 0;
+    for (const auto &p : pieces) {
+        Tensor r = p.reconstruct();
+        for (int64_t i = 0; i < r.dim(0); ++i)
+            for (int64_t j = 0; j < cols; ++j)
+                out.at(at + i, j) = r.at(i, j);
+        at += r.dim(0);
+    }
+    SE_ASSERT(at == rows, "slice reconstruction row mismatch");
+    return out;
+}
+
+/** Accumulate piece statistics into a layer report. */
+void
+accumulate(LayerReport &rep, const std::vector<SeMatrix> &pieces,
+           const SeOptions &se_opts)
+{
+    int64_t rows_total = 0, zero_rows = 0, elems = 0, zero_elems = 0;
+    double err_weighted = 0.0;
+    for (const auto &p : pieces) {
+        const int64_t m = p.ce.dim(0), r = p.ce.dim(1);
+        rows_total += m;
+        zero_rows += (int64_t)std::llround(p.vectorSparsity() * m);
+        elems += m * r;
+        zero_elems +=
+            (int64_t)std::llround(p.elementSparsity() * m * r);
+        rep.ceBits += p.ceStorageBits(se_opts.coefBits);
+        rep.basisBits += p.basisStorageBits(se_opts.basisBits);
+        err_weighted += p.reconRelError * (double)(m * r);
+    }
+    rep.pieces = (int)pieces.size();
+    rep.vectorSparsity =
+        rows_total > 0 ? (double)zero_rows / rows_total : 0.0;
+    rep.elementSparsity = elems > 0 ? (double)zero_elems / elems : 0.0;
+    rep.reconRelError = elems > 0 ? err_weighted / (double)elems : 0.0;
+    rep.decomposed = true;
+}
+
+} // namespace
+
+int64_t
+CompressionReport::originalBits() const
+{
+    int64_t t = 0;
+    for (const auto &l : layers)
+        t += l.originalBits;
+    return t;
+}
+
+int64_t
+CompressionReport::compressedBits() const
+{
+    int64_t t = 0;
+    for (const auto &l : layers) {
+        if (l.decomposed)
+            t += l.ceBits + l.basisBits;
+        else
+            t += l.weightCount * 8;  // undecomposed layers kept at 8b
+    }
+    return t;
+}
+
+int64_t
+CompressionReport::ceBitsTotal() const
+{
+    int64_t t = 0;
+    for (const auto &l : layers)
+        t += l.ceBits;
+    return t;
+}
+
+int64_t
+CompressionReport::basisBitsTotal() const
+{
+    int64_t t = 0;
+    for (const auto &l : layers)
+        t += l.basisBits;
+    return t;
+}
+
+double
+CompressionReport::compressionRate() const
+{
+    const int64_t c = compressedBits();
+    return c > 0 ? (double)originalBits() / (double)c : 0.0;
+}
+
+double
+CompressionReport::overallVectorSparsity() const
+{
+    double num = 0.0;
+    int64_t den = 0;
+    for (const auto &l : layers)
+        if (l.decomposed) {
+            num += l.vectorSparsity * (double)l.weightCount;
+            den += l.weightCount;
+        }
+    return den > 0 ? num / (double)den : 0.0;
+}
+
+double
+CompressionReport::prunedParamRatio() const
+{
+    double num = 0.0;
+    int64_t den = 0;
+    for (const auto &l : layers)
+        if (l.decomposed) {
+            num += l.elementSparsity * (double)l.weightCount;
+            den += l.weightCount;
+        }
+    return den > 0 ? num / (double)den : 0.0;
+}
+
+std::vector<SeMatrix>
+decomposeConvWeight(const Tensor &weight, const SeOptions &se_opts,
+                    const ApplyOptions &apply_opts)
+{
+    // weight is (M, Cg, R, S). R == S > 1 assumed by the caller;
+    // each filter reshapes to (Cg*R, S).
+    const int64_t m = weight.dim(0), cg = weight.dim(1);
+    const int64_t r = weight.dim(2), s = weight.dim(3);
+    std::vector<SeMatrix> pieces;
+    for (int64_t f = 0; f < m; ++f) {
+        Tensor mat({cg * r, s});
+        for (int64_t c = 0; c < cg; ++c)
+            for (int64_t kr = 0; kr < r; ++kr)
+                for (int64_t ks = 0; ks < s; ++ks)
+                    mat.at(c * r + kr, ks) = weight.at(f, c, kr, ks);
+        auto filter_pieces =
+            decomposeTall(mat, se_opts, apply_opts.maxSliceRows);
+        for (auto &p : filter_pieces)
+            pieces.push_back(std::move(p));
+    }
+    return pieces;
+}
+
+std::vector<SeMatrix>
+decomposeFcWeight(const Tensor &weight, const SeOptions &se_opts,
+                  const ApplyOptions &apply_opts)
+{
+    // weight is (M, C); each row reshapes to (ceil(C/S) x S), padded.
+    const int64_t m = weight.dim(0), c = weight.dim(1);
+    const int64_t s = apply_opts.fcGroupSize;
+    const int64_t rows = (c + s - 1) / s;
+    SE_ASSERT(rows >= s, "FC layer too narrow for group size ", s);
+    std::vector<SeMatrix> pieces;
+    for (int64_t i = 0; i < m; ++i) {
+        Tensor mat({rows, s});
+        for (int64_t j = 0; j < c; ++j)
+            mat.at(j / s, j % s) = weight.at(i, j);
+        auto row_pieces =
+            decomposeTall(mat, se_opts, apply_opts.maxSliceRows);
+        for (auto &p : row_pieces)
+            pieces.push_back(std::move(p));
+    }
+    return pieces;
+}
+
+CompressionReport
+applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
+                   const ApplyOptions &apply_opts)
+{
+    // Flatten the leaf layers in execution order so conv->BN pairs can
+    // be detected for channel pruning.
+    std::vector<nn::Layer *> leaves;
+    net.visit([&](nn::Layer &l) { leaves.push_back(&l); });
+
+    // Channel-wise pruning (applied once, before decomposition).
+    if (apply_opts.channelGammaThreshold > 0.0) {
+        for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+            auto *conv = dynamic_cast<nn::Conv2d *>(leaves[i]);
+            auto *bn = dynamic_cast<nn::BatchNorm2d *>(leaves[i + 1]);
+            if (!conv || !bn)
+                continue;
+            Tensor &gamma = bn->gammaTensor();
+            Tensor &w = conv->weightTensor();
+            const int64_t per_filter = w.size() / w.dim(0);
+            for (int64_t ch = 0; ch < gamma.size(); ++ch) {
+                if (std::abs(gamma[ch]) >=
+                    apply_opts.channelGammaThreshold)
+                    continue;
+                gamma[ch] = 0.0f;
+                bn->betaTensor()[ch] = 0.0f;
+                for (int64_t k = 0; k < per_filter; ++k)
+                    w[ch * per_filter + k] = 0.0f;
+            }
+        }
+    }
+
+    CompressionReport report;
+    int layer_idx = 0;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        nn::Layer *l = leaves[i];
+        LayerReport rep;
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(l)) {
+            Tensor &w = conv->weightTensor();
+            rep.name = "conv" + std::to_string(layer_idx++) + "_" +
+                       std::to_string(conv->kernelSize()) + "x" +
+                       std::to_string(conv->kernelSize());
+            rep.weightCount = w.size();
+            rep.originalBits = w.size() * 32;
+
+            // Channel sparsity after gamma pruning.
+            const int64_t per_filter = w.size() / w.dim(0);
+            int64_t dead = 0;
+            for (int64_t f = 0; f < w.dim(0); ++f) {
+                bool all_zero = true;
+                for (int64_t k = 0; k < per_filter && all_zero; ++k)
+                    all_zero = w[f * per_filter + k] == 0.0f;
+                dead += all_zero;
+            }
+            rep.channelSparsity = (double)dead / (double)w.dim(0);
+
+            if (w.size() < apply_opts.minWeightsToDecompose) {
+                report.layers.push_back(rep);
+                continue;
+            }
+            if (conv->kernelSize() > 1) {
+                auto pieces =
+                    decomposeConvWeight(w, se_opts, apply_opts);
+                accumulate(rep, pieces, se_opts);
+                // Write back: rebuild each filter.
+                const int64_t cg = w.dim(1), r = w.dim(2),
+                              s = w.dim(3);
+                // Pieces are grouped per filter; each filter may have
+                // several slices. Reassemble sequentially.
+                size_t pi = 0;
+                for (int64_t f = 0; f < w.dim(0); ++f) {
+                    int64_t rows_needed = cg * r;
+                    std::vector<SeMatrix> filter_pieces;
+                    int64_t got = 0;
+                    while (got < rows_needed) {
+                        SE_ASSERT(pi < pieces.size(),
+                                  "piece bookkeeping error");
+                        got += pieces[pi].ce.dim(0);
+                        filter_pieces.push_back(std::move(pieces[pi]));
+                        ++pi;
+                    }
+                    Tensor mat = reconstructTall(filter_pieces,
+                                                 rows_needed, s);
+                    for (int64_t c = 0; c < cg; ++c)
+                        for (int64_t kr = 0; kr < r; ++kr)
+                            for (int64_t ks = 0; ks < s; ++ks)
+                                w.at(f, c, kr, ks) =
+                                    mat.at(c * r + kr, ks);
+                }
+            } else if ((w.dim(1) + apply_opts.fcGroupSize - 1) /
+                           apply_opts.fcGroupSize <
+                       apply_opts.fcGroupSize) {
+                // 1x1 conv too narrow for the FC reshape rule (would
+                // produce a wide matrix): leave it dense.
+                report.layers.push_back(rep);
+                continue;
+            } else {
+                // 1x1 conv: FC rule on the (M, C) view.
+                Tensor flat = w.reshaped({w.dim(0), w.dim(1)});
+                auto pieces =
+                    decomposeFcWeight(flat, se_opts, apply_opts);
+                accumulate(rep, pieces, se_opts);
+                const int64_t s = apply_opts.fcGroupSize;
+                const int64_t rows = (flat.dim(1) + s - 1) / s;
+                size_t pi = 0;
+                for (int64_t f = 0; f < flat.dim(0); ++f) {
+                    std::vector<SeMatrix> row_pieces;
+                    int64_t got = 0;
+                    while (got < rows) {
+                        got += pieces[pi].ce.dim(0);
+                        row_pieces.push_back(std::move(pieces[pi]));
+                        ++pi;
+                    }
+                    Tensor mat = reconstructTall(row_pieces, rows, s);
+                    for (int64_t j = 0; j < flat.dim(1); ++j)
+                        w.at(f, j, 0, 0) = mat.at(j / s, j % s);
+                }
+            }
+            report.layers.push_back(rep);
+        } else if (auto *lin = dynamic_cast<nn::Linear *>(l)) {
+            Tensor &w = lin->weightTensor();
+            rep.name = "fc" + std::to_string(layer_idx++);
+            rep.weightCount = w.size();
+            rep.originalBits = w.size() * 32;
+            const int64_t s = apply_opts.fcGroupSize;
+            const int64_t rows = (w.dim(1) + s - 1) / s;
+            if (w.size() < apply_opts.minWeightsToDecompose ||
+                rows < s) {
+                report.layers.push_back(rep);
+                continue;
+            }
+            auto pieces = decomposeFcWeight(w, se_opts, apply_opts);
+            accumulate(rep, pieces, se_opts);
+            size_t pi = 0;
+            for (int64_t f = 0; f < w.dim(0); ++f) {
+                std::vector<SeMatrix> row_pieces;
+                int64_t got = 0;
+                while (got < rows) {
+                    got += pieces[pi].ce.dim(0);
+                    row_pieces.push_back(std::move(pieces[pi]));
+                    ++pi;
+                }
+                Tensor mat = reconstructTall(row_pieces, rows, s);
+                for (int64_t j = 0; j < w.dim(1); ++j)
+                    w.at(f, j) = mat.at(j / s, j % s);
+            }
+            report.layers.push_back(rep);
+        }
+    }
+    return report;
+}
+
+} // namespace core
+} // namespace se

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Applying the SmartExchange algorithm to whole networks
+ * (Section III-C): layer reshaping rules, channel-wise BN-gamma
+ * pruning, in-place weight replacement with the Ce*B reconstruction,
+ * and the storage accounting behind the paper's CR / Param / B / Ce /
+ * Spar. columns (Tables II and III).
+ */
+
+#ifndef SE_CORE_APPLY_HH
+#define SE_CORE_APPLY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/smart_exchange.hh"
+#include "nn/blocks.hh"
+
+namespace se {
+namespace core {
+
+/** Network-level application knobs. */
+struct ApplyOptions
+{
+    /** S used when reshaping FC rows into (C/S x S) matrices. */
+    int64_t fcGroupSize = 4;
+    /**
+     * Slice reshaped matrices taller than this along the first
+     * dimension (the paper's imbalanced-dimension mitigation);
+     * 0 disables slicing.
+     */
+    int64_t maxSliceRows = 0;
+    /**
+     * Channel-wise pruning: zero conv output channels whose following
+     * BN gamma magnitude is below this (0 disables). Applied once, as
+     * in the paper.
+     */
+    double channelGammaThreshold = 0.0;
+    /** Skip layers with fewer weights than this (tiny layers). */
+    int64_t minWeightsToDecompose = 16;
+};
+
+/** Per-layer compression outcome. */
+struct LayerReport
+{
+    std::string name;
+    int64_t weightCount = 0;
+    int64_t originalBits = 0;  ///< FP32 storage of the dense weights
+    int64_t ceBits = 0;        ///< non-zero Ce rows + 1-bit row index
+    int64_t basisBits = 0;
+    double vectorSparsity = 0.0;
+    double elementSparsity = 0.0;
+    double channelSparsity = 0.0;
+    double reconRelError = 0.0;
+    bool decomposed = false;
+    int pieces = 0;            ///< number of {Ce,B} pairs in the layer
+};
+
+/** Whole-network compression outcome. */
+struct CompressionReport
+{
+    std::vector<LayerReport> layers;
+
+    int64_t originalBits() const;
+    int64_t compressedBits() const;  ///< Ce + B + index (+ dense rest)
+    int64_t ceBitsTotal() const;
+    int64_t basisBitsTotal() const;
+
+    /** Paper's CR: FP32 bits / (Ce + B + index) bits. */
+    double compressionRate() const;
+
+    /** Weighted mean vector-wise sparsity over decomposed layers. */
+    double overallVectorSparsity() const;
+
+    /** Paper's "Spar.": pruned / total parameters. */
+    double prunedParamRatio() const;
+
+    double originalMB() const { return (double)originalBits() / 8e6; }
+    double paramMB() const { return (double)compressedBits() / 8e6; }
+    double ceMB() const { return (double)ceBitsTotal() / 8e6; }
+    double basisMB() const { return (double)basisBitsTotal() / 8e6; }
+};
+
+/**
+ * Apply SmartExchange to every eligible layer of a network, replacing
+ * weights in place with their Ce*B reconstruction so the network runs
+ * exactly what the accelerator would rebuild.
+ */
+CompressionReport applySmartExchange(nn::Sequential &net,
+                                     const SeOptions &se_opts,
+                                     const ApplyOptions &apply_opts);
+
+/**
+ * Decompose one conv layer's weights (per-filter reshape, CONV rules
+ * from Section III-C) without touching the network. Used by unit tests
+ * and by the single-matrix benches.
+ */
+std::vector<SeMatrix> decomposeConvWeight(const Tensor &weight,
+                                          const SeOptions &se_opts,
+                                          const ApplyOptions &apply_opts);
+
+/**
+ * Decompose an FC weight (per-row C/S x S reshape with zero padding).
+ */
+std::vector<SeMatrix> decomposeFcWeight(const Tensor &weight,
+                                        const SeOptions &se_opts,
+                                        const ApplyOptions &apply_opts);
+
+} // namespace core
+} // namespace se
+
+#endif // SE_CORE_APPLY_HH

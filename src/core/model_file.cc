@@ -1,0 +1,167 @@
+#include "core/model_file.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace core {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x5345584Du;  // "SEXM"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    SE_ASSERT(is.good(), "unexpected end of SmartExchange model file");
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<uint32_t>(os, (uint32_t)s.size());
+    os.write(s.data(), (std::streamsize)s.size());
+}
+
+std::string
+readString(std::istream &is)
+{
+    const uint32_t len = readPod<uint32_t>(is);
+    SE_ASSERT(len < (1u << 20), "implausible string length in file");
+    std::string s((size_t)len, '\0');
+    is.read(s.data(), len);
+    return s;
+}
+
+/** Encode a power-of-2 coefficient as one byte. */
+uint8_t
+encodeCoef(float v, const quant::Pow2Alphabet &a)
+{
+    if (v == 0.0f)
+        return 0;
+    int exp;
+    const float frac = std::frexp(std::abs(v), &exp);
+    SE_ASSERT(frac == 0.5f, "non-power-of-2 coefficient in file save");
+    const int code = (exp - 1) - a.expMin() + 1;  // 1..numLevels
+    SE_ASSERT(code >= 1 && code <= a.numLevels,
+              "coefficient exponent outside alphabet");
+    return (uint8_t)((v < 0 ? 0x80 : 0x00) | code);
+}
+
+float
+decodeCoef(uint8_t byte, const quant::Pow2Alphabet &a)
+{
+    if (byte == 0)
+        return 0.0f;
+    const bool neg = (byte & 0x80) != 0;
+    const int code = byte & 0x7F;
+    const int exp = a.expMin() + code - 1;
+    const float mag = std::ldexp(1.0f, exp);
+    return neg ? -mag : mag;
+}
+
+} // namespace
+
+void
+saveSeMatrix(std::ostream &os, const SeMatrix &m)
+{
+    writePod<int64_t>(os, m.ce.dim(0));
+    writePod<int64_t>(os, m.ce.dim(1));
+    writePod<int64_t>(os, m.basis.dim(1));
+    writePod<int32_t>(os, m.alphabet.expMax);
+    writePod<int32_t>(os, m.alphabet.numLevels);
+    writePod<int32_t>(os, m.iterations);
+    writePod<double>(os, m.reconRelError);
+    for (int64_t i = 0; i < m.ce.size(); ++i)
+        writePod<uint8_t>(os, encodeCoef(m.ce[i], m.alphabet));
+    for (int64_t i = 0; i < m.basis.size(); ++i)
+        writePod<float>(os, m.basis[i]);
+}
+
+SeMatrix
+loadSeMatrix(std::istream &is)
+{
+    SeMatrix m;
+    const int64_t rows = readPod<int64_t>(is);
+    const int64_t rank = readPod<int64_t>(is);
+    const int64_t cols = readPod<int64_t>(is);
+    m.alphabet.expMax = readPod<int32_t>(is);
+    m.alphabet.numLevels = readPod<int32_t>(is);
+    m.iterations = readPod<int32_t>(is);
+    m.reconRelError = readPod<double>(is);
+    m.ce = Tensor({rows, rank});
+    for (int64_t i = 0; i < m.ce.size(); ++i)
+        m.ce[i] = decodeCoef(readPod<uint8_t>(is), m.alphabet);
+    m.basis = Tensor({rank, cols});
+    for (int64_t i = 0; i < m.basis.size(); ++i)
+        m.basis[i] = readPod<float>(is);
+    return m;
+}
+
+void
+saveModel(std::ostream &os, const std::vector<SeLayerRecord> &layers)
+{
+    writePod<uint32_t>(os, kMagic);
+    writePod<uint32_t>(os, kVersion);
+    writePod<uint32_t>(os, (uint32_t)layers.size());
+    for (const auto &l : layers) {
+        writeString(os, l.name);
+        writePod<uint32_t>(os, (uint32_t)l.pieces.size());
+        for (const auto &p : l.pieces)
+            saveSeMatrix(os, p);
+    }
+}
+
+std::vector<SeLayerRecord>
+loadModel(std::istream &is)
+{
+    SE_ASSERT(readPod<uint32_t>(is) == kMagic,
+              "not a SmartExchange model file");
+    SE_ASSERT(readPod<uint32_t>(is) == kVersion,
+              "unsupported model file version");
+    const uint32_t n = readPod<uint32_t>(is);
+    std::vector<SeLayerRecord> layers((size_t)n);
+    for (auto &l : layers) {
+        l.name = readString(is);
+        const uint32_t pieces = readPod<uint32_t>(is);
+        l.pieces.reserve(pieces);
+        for (uint32_t i = 0; i < pieces; ++i)
+            l.pieces.push_back(loadSeMatrix(is));
+    }
+    return layers;
+}
+
+void
+saveModelFile(const std::string &path,
+              const std::vector<SeLayerRecord> &layers)
+{
+    std::ofstream os(path, std::ios::binary);
+    SE_ASSERT(os.good(), "cannot open ", path, " for writing");
+    saveModel(os, layers);
+}
+
+std::vector<SeLayerRecord>
+loadModelFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    SE_ASSERT(is.good(), "cannot open ", path, " for reading");
+    return loadModel(is);
+}
+
+} // namespace core
+} // namespace se

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * On-disk format for SmartExchange-form weights — what a deployment
+ * pipeline would ship to the accelerator.
+ *
+ * Each SeMatrix is stored compactly: coefficients as one byte per
+ * entry holding {zero | sign, exponent-code} (the hardware packs two
+ * such codes per byte at 4-bit precision; the file trades that last
+ * 2x for simplicity and self-description), the basis as float32, plus
+ * the alphabet so the power-of-2 codes decode exactly.
+ */
+
+#ifndef SE_CORE_MODEL_FILE_HH
+#define SE_CORE_MODEL_FILE_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/smart_exchange.hh"
+
+namespace se {
+namespace core {
+
+/** Serialize one SmartExchange matrix. */
+void saveSeMatrix(std::ostream &os, const SeMatrix &m);
+
+/** Deserialize one SmartExchange matrix (exact round trip). */
+SeMatrix loadSeMatrix(std::istream &is);
+
+/** A named bundle of SeMatrix pieces (e.g. one conv layer). */
+struct SeLayerRecord
+{
+    std::string name;
+    std::vector<SeMatrix> pieces;
+};
+
+/** Serialize a whole model's decomposed layers to a stream. */
+void saveModel(std::ostream &os,
+               const std::vector<SeLayerRecord> &layers);
+
+/** Load a model bundle back. */
+std::vector<SeLayerRecord> loadModel(std::istream &is);
+
+/** Save to / load from a file path. */
+void saveModelFile(const std::string &path,
+                   const std::vector<SeLayerRecord> &layers);
+std::vector<SeLayerRecord> loadModelFile(const std::string &path);
+
+} // namespace core
+} // namespace se
+
+#endif // SE_CORE_MODEL_FILE_HH

@@ -1,0 +1,244 @@
+#include "core/smart_exchange.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/linalg.hh"
+
+namespace se {
+namespace core {
+
+namespace {
+
+/**
+ * Normalize each column of ce to unit L2 norm, scaling the matching row
+ * of basis so the product Ce * B is unchanged. Zero columns are left
+ * alone.
+ */
+void
+normalizeColumns(Tensor &ce, Tensor &basis)
+{
+    const int64_t m = ce.dim(0), r = ce.dim(1), n = basis.dim(1);
+    for (int64_t j = 0; j < r; ++j) {
+        double norm = 0.0;
+        for (int64_t i = 0; i < m; ++i)
+            norm += (double)ce.at(i, j) * ce.at(i, j);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            continue;
+        for (int64_t i = 0; i < m; ++i)
+            ce.at(i, j) = (float)(ce.at(i, j) / norm);
+        for (int64_t k = 0; k < n; ++k)
+            basis.at(j, k) = (float)(basis.at(j, k) * norm);
+    }
+}
+
+/**
+ * Zero rows of ce whose max |element| is below theta; also honour a
+ * minimum vector-sparsity floor by pruning the smallest-norm rows.
+ * At least `min_keep` rows (the basis rank) always survive so no
+ * filter is zeroed outright — the paper's per-layer manual Sc control
+ * implies the same safeguard. Returns the row mask (1 = kept).
+ */
+std::vector<bool>
+sparsifyRows(Tensor &ce, double theta, double min_vector_sparsity,
+             int64_t min_keep)
+{
+    const int64_t m = ce.dim(0), r = ce.dim(1);
+    std::vector<double> row_mag((size_t)m, 0.0);
+    for (int64_t i = 0; i < m; ++i) {
+        double mx = 0.0;
+        for (int64_t j = 0; j < r; ++j)
+            mx = std::max(mx, (double)std::abs(ce.at(i, j)));
+        row_mag[(size_t)i] = mx;
+    }
+
+    std::vector<bool> keep((size_t)m, true);
+    int64_t zeroed = 0;
+    for (int64_t i = 0; i < m; ++i)
+        if (row_mag[(size_t)i] < theta) {
+            keep[(size_t)i] = false;
+            ++zeroed;
+        }
+
+    // Enforce the sparsity floor by dropping the weakest extra rows,
+    // but never below min_keep survivors.
+    const int64_t want = std::min(
+        (int64_t)std::ceil(min_vector_sparsity * m),
+        std::max<int64_t>(0, m - min_keep));
+    if (zeroed < want) {
+        std::vector<int64_t> order;
+        for (int64_t i = 0; i < m; ++i)
+            if (keep[(size_t)i])
+                order.push_back(i);
+        std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+            return row_mag[(size_t)a] < row_mag[(size_t)b];
+        });
+        for (int64_t k = 0; k < want - zeroed &&
+                            k < (int64_t)order.size(); ++k)
+            keep[(size_t)order[(size_t)k]] = false;
+    } else if (zeroed > m - min_keep) {
+        // Threshold pruning went too far: resurrect the strongest
+        // pruned rows (their values return on the next Ce refit).
+        std::vector<int64_t> order;
+        for (int64_t i = 0; i < m; ++i)
+            if (!keep[(size_t)i])
+                order.push_back(i);
+        std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+            return row_mag[(size_t)a] > row_mag[(size_t)b];
+        });
+        for (int64_t k = 0; k < zeroed - (m - min_keep) &&
+                            k < (int64_t)order.size(); ++k)
+            keep[(size_t)order[(size_t)k]] = true;
+    }
+
+    for (int64_t i = 0; i < m; ++i)
+        if (!keep[(size_t)i])
+            for (int64_t j = 0; j < r; ++j)
+                ce.at(i, j) = 0.0f;
+    return keep;
+}
+
+double
+rowVectorSparsity(const Tensor &ce)
+{
+    const int64_t m = ce.dim(0), r = ce.dim(1);
+    int64_t zero_rows = 0;
+    for (int64_t i = 0; i < m; ++i) {
+        bool all_zero = true;
+        for (int64_t j = 0; j < r; ++j)
+            if (ce.at(i, j) != 0.0f) {
+                all_zero = false;
+                break;
+            }
+        zero_rows += all_zero;
+    }
+    return m > 0 ? (double)zero_rows / (double)m : 0.0;
+}
+
+} // namespace
+
+Tensor
+SeMatrix::reconstruct() const
+{
+    return linalg::matmul(ce, basis);
+}
+
+double
+SeMatrix::vectorSparsity() const
+{
+    return rowVectorSparsity(ce);
+}
+
+double
+SeMatrix::elementSparsity() const
+{
+    int64_t zeros = 0;
+    for (int64_t i = 0; i < ce.size(); ++i)
+        zeros += ce[i] == 0.0f;
+    return ce.size() > 0 ? (double)zeros / (double)ce.size() : 0.0;
+}
+
+int64_t
+SeMatrix::ceStorageBits(int coef_bits) const
+{
+    // 1-bit direct vector index per row; non-zero rows stored dense.
+    const int64_t m = ce.dim(0), r = ce.dim(1);
+    const int64_t nonzero_rows =
+        m - (int64_t)std::llround(vectorSparsity() * (double)m);
+    return m /* index bits */ + nonzero_rows * r * coef_bits;
+}
+
+int64_t
+SeMatrix::basisStorageBits(int basis_bits) const
+{
+    return basis.dim(0) * basis.dim(1) * basis_bits;
+}
+
+SeMatrix
+decomposeMatrix(const Tensor &w, const SeOptions &opts, SeTrace *trace)
+{
+    SE_ASSERT(w.ndim() == 2, "decomposeMatrix needs a 2-D weight");
+    const int64_t m = w.dim(0), n = w.dim(1);
+    SE_ASSERT(n <= m, "expected tall matrix (m >= n); got ", m, "x", n);
+
+    const double w_norm = std::max(linalg::frobNorm(w), 1e-30);
+
+    SeMatrix out;
+    // Paper initialization: Ce = W, B = I (r = n).
+    out.ce = w;
+    out.basis = eye(n);
+    const Tensor identity = eye(n);
+    const double id_norm = linalg::frobNorm(identity);
+
+    std::vector<bool> keep((size_t)m, true);
+    auto record = [&]() {
+        if (!trace)
+            return;
+        trace->reconError.push_back(
+            linalg::frobDiff(w, linalg::matmul(out.ce, out.basis)) /
+            w_norm);
+        trace->vectorSparsity.push_back(rowVectorSparsity(out.ce));
+        trace->basisDrift.push_back(
+            linalg::frobDiff(out.basis, identity) / id_norm);
+    };
+
+    out.iterations = 0;
+    for (int iter = 0; iter < opts.maxIterations; ++iter) {
+        ++out.iterations;
+        // Step 1: normalize columns, choose Omega_P, quantize Ce.
+        normalizeColumns(out.ce, out.basis);
+        out.alphabet = quant::choosePow2Alphabet(out.ce, opts.coefBits);
+        const double delta =
+            quant::pow2Distance(out.ce, out.alphabet) / (double)(m * n);
+        out.ce = quant::projectPow2(out.ce, out.alphabet);
+
+        // Step 2: fit B to the quantized Ce. The trace records this
+        // state — quantized coefficients with a fitted basis — which
+        // is the solution quality Fig. 9 plots.
+        out.basis = linalg::fitBasis(w, out.ce, opts.ridge);
+        record();
+
+        // ... then refit Ce freely for the next round.
+        out.ce = linalg::fitCoefficients(w, out.basis, opts.ridge);
+
+        // Step 3: vector-wise sparsification (monotone: once a row is
+        // pruned it stays pruned, mirroring the hard-threshold
+        // practice in the paper).
+        for (int64_t i = 0; i < m; ++i)
+            if (!keep[(size_t)i])
+                for (int64_t j = 0; j < n; ++j)
+                    out.ce.at(i, j) = 0.0f;
+        auto mask = sparsifyRows(out.ce, opts.vectorThreshold,
+                                 opts.minVectorSparsity, n);
+        for (int64_t i = 0; i < m; ++i)
+            keep[(size_t)i] = keep[(size_t)i] && mask[(size_t)i];
+
+        if (delta < opts.tol)
+            break;
+    }
+
+    // Optional support-restricted refinement before concluding.
+    if (opts.refineOnSupport) {
+        Tensor mask({m, n});
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                mask.at(i, j) = keep[(size_t)i] ? 1.0f : 0.0f;
+        out.ce = linalg::fitCoefficientsMasked(w, out.basis, mask,
+                                               opts.ridge);
+    }
+
+    // Conclusion: re-quantize Ce and re-fit B on the final support.
+    normalizeColumns(out.ce, out.basis);
+    out.alphabet = quant::choosePow2Alphabet(out.ce, opts.coefBits);
+    out.ce = quant::projectPow2(out.ce, out.alphabet);
+    out.basis = linalg::fitBasis(w, out.ce, opts.ridge);
+    record();
+
+    out.reconRelError =
+        linalg::frobDiff(w, linalg::matmul(out.ce, out.basis)) / w_norm;
+    return out;
+}
+
+} // namespace core
+} // namespace se

@@ -1,0 +1,95 @@
+#include "core/trainer.hh"
+
+#include "base/logging.hh"
+
+namespace se {
+namespace core {
+
+double
+trainClassifier(nn::Sequential &net, const data::ClassificationTask &task,
+                const TrainConfig &cfg)
+{
+    nn::Sgd opt(cfg.lr, cfg.momentum, cfg.weightDecay);
+    for (int e = 0; e < cfg.epochs; ++e) {
+        double loss_sum = 0.0;
+        for (size_t b = 0; b < task.train.batches.size(); ++b) {
+            Tensor logits =
+                net.forward(task.train.batches[b], /*train=*/true);
+            auto res =
+                nn::softmaxCrossEntropy(logits, task.train.labels[b]);
+            loss_sum += res.loss;
+            net.backward(res.grad);
+            opt.step(net.params());
+        }
+        if (cfg.verbose)
+            SE_INFORM("epoch ", e, " loss ",
+                      loss_sum / (double)task.train.batches.size());
+    }
+    return evaluate(net, task.test);
+}
+
+double
+evaluate(nn::Sequential &net, const data::ClassificationSet &set)
+{
+    double acc = 0.0;
+    for (size_t b = 0; b < set.batches.size(); ++b) {
+        Tensor logits = net.forward(set.batches[b], /*train=*/false);
+        acc += nn::accuracy(logits, set.labels[b]);
+    }
+    return set.batches.empty() ? 0.0 : acc / (double)set.batches.size();
+}
+
+double
+trainSegmenter(nn::Sequential &net, const data::SegmentationTask &task,
+               const TrainConfig &cfg)
+{
+    nn::Sgd opt(cfg.lr, cfg.momentum, cfg.weightDecay);
+    for (int e = 0; e < cfg.epochs; ++e) {
+        for (size_t b = 0; b < task.train.images.size(); ++b) {
+            Tensor logits =
+                net.forward(task.train.images[b], /*train=*/true);
+            auto res =
+                nn::pixelCrossEntropy(logits, task.train.labels[b]);
+            net.backward(res.grad);
+            opt.step(net.params());
+        }
+    }
+    return evaluateSegmenter(net, task.test);
+}
+
+double
+evaluateSegmenter(nn::Sequential &net, const data::SegmentationSet &set)
+{
+    double miou = 0.0;
+    for (size_t b = 0; b < set.images.size(); ++b) {
+        Tensor logits = net.forward(set.images[b], /*train=*/false);
+        miou += nn::meanIoU(logits, set.labels[b], set.numClasses);
+    }
+    return set.images.empty() ? 0.0 : miou / (double)set.images.size();
+}
+
+SeRetrainResult
+retrainWithSmartExchange(nn::Sequential &net,
+                         const data::ClassificationTask &task,
+                         const SeOptions &se_opts,
+                         const ApplyOptions &apply_opts,
+                         const SeRetrainConfig &cfg)
+{
+    SeRetrainResult out;
+    out.accBaseline = evaluate(net, task.test);
+
+    out.report = applySmartExchange(net, se_opts, apply_opts);
+    out.accPostProcess = evaluate(net, task.test);
+
+    // Alternate: one epoch of SGD (which breaks the Ce structure),
+    // then re-apply SmartExchange (which restores it).
+    for (int r = 0; r < cfg.rounds; ++r) {
+        trainClassifier(net, task, cfg.perRound);
+        out.report = applySmartExchange(net, se_opts, apply_opts);
+    }
+    out.accRetrained = evaluate(net, task.test);
+    return out;
+}
+
+} // namespace core
+} // namespace se

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Training, evaluation and the SmartExchange re-training loop
+ * (Section III-C: alternate one epoch of SGD with re-applying the
+ * SmartExchange projection so the Ce structure survives training).
+ */
+
+#ifndef SE_CORE_TRAINER_HH
+#define SE_CORE_TRAINER_HH
+
+#include "core/apply.hh"
+#include "data/synthetic.hh"
+#include "nn/blocks.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+
+namespace se {
+namespace core {
+
+/** Plain-SGD training options. */
+struct TrainConfig
+{
+    int epochs = 10;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weightDecay = 1e-4f;
+    bool verbose = false;
+};
+
+/** Train a classifier; returns final test accuracy. */
+double trainClassifier(nn::Sequential &net,
+                       const data::ClassificationTask &task,
+                       const TrainConfig &cfg);
+
+/** Top-1 accuracy over a classification set. */
+double evaluate(nn::Sequential &net, const data::ClassificationSet &set);
+
+/** Train a segmentation net; returns final test mIoU. */
+double trainSegmenter(nn::Sequential &net,
+                      const data::SegmentationTask &task,
+                      const TrainConfig &cfg);
+
+/** Mean IoU over a segmentation set. */
+double evaluateSegmenter(nn::Sequential &net,
+                         const data::SegmentationSet &set);
+
+/** Outcome of the compress + re-train pipeline. */
+struct SeRetrainResult
+{
+    double accBaseline = 0.0;     ///< before compression
+    double accPostProcess = 0.0;  ///< right after SE, no re-training
+    double accRetrained = 0.0;    ///< after the alternating loop
+    CompressionReport report;     ///< from the final SE application
+};
+
+/** Re-training loop options. */
+struct SeRetrainConfig
+{
+    int rounds = 6;          ///< alternations (paper: 50/25 epochs)
+    TrainConfig perRound{1, 0.02f, 0.9f, 0.0f, false};
+};
+
+/**
+ * Post-process a trained net with SmartExchange, then alternate
+ * {1 training epoch, SE projection} for `rounds` rounds, as the paper
+ * does to recover accuracy while keeping the Ce structure.
+ */
+SeRetrainResult retrainWithSmartExchange(
+    nn::Sequential &net, const data::ClassificationTask &task,
+    const SeOptions &se_opts, const ApplyOptions &apply_opts,
+    const SeRetrainConfig &cfg);
+
+} // namespace core
+} // namespace se
+
+#endif // SE_CORE_TRAINER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic synthetic datasets standing in for CIFAR-10 / ImageNet /
+ * MNIST / CamVid (none of which are available offline).
+ *
+ * Classification sets draw images as class prototype + structured noise:
+ * each class owns a smooth random prototype so that a small CNN can
+ * reach high accuracy with a few epochs while an untrained or damaged
+ * network cannot — exactly the sensitivity the compression experiments
+ * need. Segmentation sets place geometric objects on a textured
+ * background with per-pixel labels.
+ */
+
+#ifndef SE_DATA_SYNTHETIC_HH
+#define SE_DATA_SYNTHETIC_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace data {
+
+/** A batched classification dataset. */
+struct ClassificationSet
+{
+    std::vector<Tensor> batches;               ///< each (N, C, H, W)
+    std::vector<std::vector<int>> labels;      ///< per-batch labels
+    int numClasses = 0;
+};
+
+/** Configuration for the synthetic classification generator. */
+struct ClassSetConfig
+{
+    int numClasses = 10;
+    int64_t channels = 3;
+    int64_t height = 16;
+    int64_t width = 16;
+    int batchSize = 16;
+    int trainBatches = 24;
+    int testBatches = 8;
+    float noise = 0.45f;     ///< per-pixel noise stddev
+    uint64_t seed = 1234;
+};
+
+/** Train/test split of a synthetic classification task. */
+struct ClassificationTask
+{
+    ClassificationSet train;
+    ClassificationSet test;
+};
+
+/** Build a classification task from prototypes + noise. */
+ClassificationTask makeClassification(const ClassSetConfig &cfg);
+
+/** A batched segmentation dataset (labels are HxW class-index maps). */
+struct SegmentationSet
+{
+    std::vector<Tensor> images;  ///< each (N, C, H, W)
+    std::vector<Tensor> labels;  ///< each (N, H, W) of class indices
+    int numClasses = 0;
+};
+
+/** Configuration for the synthetic segmentation generator. */
+struct SegSetConfig
+{
+    int numClasses = 4;          ///< background + 3 object classes
+    int64_t channels = 3;
+    int64_t height = 24;
+    int64_t width = 24;
+    int batchSize = 8;
+    int trainBatches = 16;
+    int testBatches = 6;
+    float noise = 0.25f;
+    uint64_t seed = 4321;
+};
+
+struct SegmentationTask
+{
+    SegmentationSet train;
+    SegmentationSet test;
+};
+
+/** Build a CamVid-like segmentation task with geometric objects. */
+SegmentationTask makeSegmentation(const SegSetConfig &cfg);
+
+} // namespace data
+} // namespace se
+
+#endif // SE_DATA_SYNTHETIC_HH

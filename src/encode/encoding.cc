@@ -1,0 +1,177 @@
+#include "encode/encoding.hh"
+
+namespace se {
+namespace encode {
+
+Bitmap
+directBitmap(const std::vector<float> &values)
+{
+    Bitmap b;
+    b.bits.reserve(values.size());
+    for (float v : values)
+        b.bits.push_back(v != 0.0f ? 1 : 0);
+    return b;
+}
+
+Bitmap
+vectorBitmap(const Tensor &mat)
+{
+    SE_ASSERT(mat.ndim() == 2, "vectorBitmap needs a 2-D tensor");
+    Bitmap b;
+    for (int64_t i = 0; i < mat.dim(0); ++i) {
+        uint8_t any = 0;
+        for (int64_t j = 0; j < mat.dim(1); ++j)
+            if (mat.at(i, j) != 0.0f) {
+                any = 1;
+                break;
+            }
+        b.bits.push_back(any);
+    }
+    return b;
+}
+
+int64_t
+RunLength::storageBits() const
+{
+    return (int64_t)runs.size() * codeBits;
+}
+
+RunLength
+runLengthEncode(const std::vector<float> &values, int code_bits,
+                int64_t *padded)
+{
+    RunLength rl;
+    rl.codeBits = code_bits;
+    const uint32_t max_run = (1u << code_bits) - 1;
+    uint32_t run = 0;
+    int64_t pad_count = 0;
+    for (float v : values) {
+        if (v == 0.0f) {
+            if (run == max_run) {
+                // Emit a padding zero entry, as Eyeriss RLC does.
+                rl.runs.push_back(run);
+                ++pad_count;
+                run = 0;
+            } else {
+                ++run;
+            }
+        } else {
+            rl.runs.push_back(run);
+            run = 0;
+        }
+    }
+    if (padded)
+        *padded = pad_count;
+    return rl;
+}
+
+std::vector<float>
+runLengthPayload(const std::vector<float> &values, int code_bits)
+{
+    const uint32_t max_run = (1u << code_bits) - 1;
+    std::vector<float> payload;
+    uint32_t run = 0;
+    for (float v : values) {
+        if (v == 0.0f) {
+            if (run == max_run) {
+                payload.push_back(0.0f);  // padding entry
+                run = 0;
+            } else {
+                ++run;
+            }
+        } else {
+            payload.push_back(v);
+            run = 0;
+        }
+    }
+    return payload;
+}
+
+std::vector<float>
+runLengthDecode(const RunLength &rl, const std::vector<float> &payload,
+                int64_t total_len)
+{
+    SE_ASSERT(rl.runs.size() == payload.size(),
+              "RLC runs/payload length mismatch");
+    std::vector<float> out;
+    out.reserve((size_t)total_len);
+    for (size_t i = 0; i < rl.runs.size(); ++i) {
+        for (uint32_t z = 0; z < rl.runs[i]; ++z)
+            out.push_back(0.0f);
+        out.push_back(payload[i]);
+    }
+    SE_ASSERT((int64_t)out.size() <= total_len,
+              "RLC stream longer than declared length");
+    out.resize((size_t)total_len, 0.0f);
+    return out;
+}
+
+std::vector<float>
+bitmapPayload(const std::vector<float> &values)
+{
+    std::vector<float> payload;
+    for (float v : values)
+        if (v != 0.0f)
+            payload.push_back(v);
+    return payload;
+}
+
+std::vector<float>
+bitmapDecode(const Bitmap &bitmap, const std::vector<float> &payload)
+{
+    std::vector<float> out(bitmap.bits.size(), 0.0f);
+    size_t p = 0;
+    for (size_t i = 0; i < bitmap.bits.size(); ++i)
+        if (bitmap.bits[i]) {
+            SE_ASSERT(p < payload.size(),
+                      "bitmap payload too short");
+            out[i] = payload[p++];
+        }
+    SE_ASSERT(p == payload.size(), "bitmap payload too long");
+    return out;
+}
+
+CrsCost
+crsCost(const Tensor &mat)
+{
+    SE_ASSERT(mat.ndim() == 2, "crsCost needs a 2-D tensor");
+    CrsCost c;
+    const int64_t rows = mat.dim(0), cols = mat.dim(1);
+    int col_bits = 1;
+    while ((1LL << col_bits) < cols)
+        ++col_bits;
+    for (int64_t i = 0; i < rows; ++i)
+        for (int64_t j = 0; j < cols; ++j)
+            if (mat.at(i, j) != 0.0f)
+                ++c.nnz;
+    int ptr_bits = 1;
+    while ((1LL << ptr_bits) < c.nnz + 1)
+        ++ptr_bits;
+    c.columnIndexBits = c.nnz * col_bits;
+    c.rowPointerBits = (rows + 1) * ptr_bits;
+    return c;
+}
+
+std::vector<int64_t>
+selectPairs(const Bitmap &weight_rows, const Bitmap &activation_rows)
+{
+    SE_ASSERT(weight_rows.bits.size() == activation_rows.bits.size(),
+              "index selector length mismatch");
+    std::vector<int64_t> pairs;
+    for (size_t i = 0; i < weight_rows.bits.size(); ++i)
+        if (weight_rows.bits[i] && activation_rows.bits[i])
+            pairs.push_back((int64_t)i);
+    return pairs;
+}
+
+IndexOverhead
+indexOverhead(int64_t rows, int64_t cols)
+{
+    IndexOverhead o;
+    o.elementWiseBits = rows * cols;
+    o.vectorWiseBits = rows;
+    return o;
+}
+
+} // namespace encode
+} // namespace se

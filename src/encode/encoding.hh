@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sparse index encodings discussed in Sections II/IV of the paper:
+ *  - 1-bit direct indexing (Cambricon-S style): one bit per element
+ *    (or per vector, the SmartExchange choice),
+ *  - run-length coding (RLC, Eyeriss/SCNN style),
+ *  - compressed row storage (CRS, EIE style),
+ * plus the index-selector pairing logic that matches non-zero
+ * coefficient rows with non-zero activation rows so both memory
+ * accesses and computation can be skipped.
+ */
+
+#ifndef SE_ENCODE_ENCODING_HH
+#define SE_ENCODE_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace encode {
+
+/** A 1-bit-per-entry occupancy bitmap. */
+struct Bitmap
+{
+    std::vector<uint8_t> bits;  ///< 0/1 per position
+    int64_t storageBits() const { return (int64_t)bits.size(); }
+};
+
+/** Build the bitmap of non-zero entries of a flat vector. */
+Bitmap directBitmap(const std::vector<float> &values);
+
+/**
+ * Build the vector-wise bitmap of a matrix: one bit per row, set when
+ * the row has any non-zero (the SmartExchange Fig. 3 encoding).
+ */
+Bitmap vectorBitmap(const Tensor &mat);
+
+/** Run-length encoded zero-run lengths with a fixed code width. */
+struct RunLength
+{
+    std::vector<uint32_t> runs;  ///< zero-run length before each nnz
+    int codeBits = 4;
+
+    int64_t storageBits() const;
+};
+
+/** RLC-encode the zero runs of a flat vector. Runs longer than the
+ *  code capacity emit placeholder zero-valued entries, as in Eyeriss;
+ *  the count of such padding entries is returned via padded. */
+RunLength runLengthEncode(const std::vector<float> &values,
+                          int code_bits = 4, int64_t *padded = nullptr);
+
+/** The non-zero (and padding-zero) payload entries matching an RLC
+ *  stream, in order. Together with RunLength this is the full
+ *  compressed form. */
+std::vector<float> runLengthPayload(const std::vector<float> &values,
+                                    int code_bits = 4);
+
+/**
+ * Reverse runLengthEncode: expand (runs, payload) back to the flat
+ * vector of the original length (trailing zeros restored from
+ * total_len).
+ */
+std::vector<float> runLengthDecode(const RunLength &rl,
+                                   const std::vector<float> &payload,
+                                   int64_t total_len);
+
+/** Expand a bitmap + packed non-zero values to the flat vector. */
+std::vector<float> bitmapDecode(const Bitmap &bitmap,
+                                const std::vector<float> &payload);
+
+/** Pack the non-zero values of a flat vector (bitmap payload). */
+std::vector<float> bitmapPayload(const std::vector<float> &values);
+
+/** CRS storage cost for a sparse matrix with given index width. */
+struct CrsCost
+{
+    int64_t nnz = 0;
+    int64_t columnIndexBits = 0;
+    int64_t rowPointerBits = 0;
+
+    int64_t
+    storageBits(int value_bits) const
+    {
+        return nnz * value_bits + columnIndexBits + rowPointerBits;
+    }
+};
+
+/** Compute CRS cost of a 2-D tensor. */
+CrsCost crsCost(const Tensor &mat);
+
+/**
+ * Index selector (Section IV-B, inspired by Cambricon-S): given the
+ * 1-bit vector indexes of coefficient rows and activation rows, emit
+ * the list of positions where BOTH are non-zero — the only row pairs
+ * that reach the PE lines.
+ */
+std::vector<int64_t> selectPairs(const Bitmap &weight_rows,
+                                 const Bitmap &activation_rows);
+
+/**
+ * Encoding overhead comparison behind Fig. 3 (b): bits of index needed
+ * under element-wise vs vector-wise encoding of an (rows x cols)
+ * weight block.
+ */
+struct IndexOverhead
+{
+    int64_t elementWiseBits = 0;  ///< rows * cols
+    int64_t vectorWiseBits = 0;   ///< rows
+};
+
+IndexOverhead indexOverhead(int64_t rows, int64_t cols);
+
+} // namespace encode
+} // namespace se
+
+#endif // SE_ENCODE_ENCODING_HH

@@ -1,0 +1,603 @@
+#include "models/zoo.hh"
+
+#include <algorithm>
+
+#include "base/random.hh"
+
+namespace se {
+namespace models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::InvertedResidual;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Residual;
+using nn::Sequential;
+using nn::SqueezeExcite;
+using nn::UpsampleNearest;
+using sim::LayerKind;
+using sim::LayerShape;
+using sim::Workload;
+
+std::string
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::VGG11: return "VGG11";
+      case ModelId::VGG19: return "VGG19";
+      case ModelId::ResNet50: return "ResNet50";
+      case ModelId::ResNet164: return "ResNet164";
+      case ModelId::MobileNetV2: return "MobileNetV2";
+      case ModelId::EfficientNetB0: return "EfficientNet-B0";
+      case ModelId::DeepLabV3Plus: return "DeepLabV3+";
+      case ModelId::MLP1: return "MLP-1";
+      case ModelId::MLP2: return "MLP-2";
+    }
+    return "?";
+}
+
+std::string
+datasetName(ModelId id)
+{
+    switch (id) {
+      case ModelId::VGG11:
+      case ModelId::ResNet50:
+      case ModelId::MobileNetV2:
+      case ModelId::EfficientNetB0:
+        return "ImageNet";
+      case ModelId::VGG19:
+      case ModelId::ResNet164:
+        return "CIFAR-10";
+      case ModelId::DeepLabV3Plus:
+        return "CamVid";
+      case ModelId::MLP1:
+      case ModelId::MLP2:
+        return "MNIST";
+    }
+    return "?";
+}
+
+std::vector<ModelId>
+acceleratorBenchmarkModels()
+{
+    return {ModelId::VGG11, ModelId::ResNet50, ModelId::MobileNetV2,
+            ModelId::EfficientNetB0, ModelId::VGG19, ModelId::ResNet164,
+            ModelId::DeepLabV3Plus};
+}
+
+// ====================================================================
+// Reduced-scale trainable builders
+// ====================================================================
+
+namespace {
+
+void
+addConvBnRelu(Sequential &net, int64_t in_ch, int64_t out_ch,
+              int64_t kernel, int64_t stride, int64_t pad, Rng &rng)
+{
+    net.add<Conv2d>(in_ch, out_ch, kernel, stride, pad, 1, rng, false);
+    net.add<BatchNorm2d>(out_ch);
+    net.add<ReLU>();
+}
+
+/** Bottleneck residual (1x1 -> 3x3 -> 1x1) with optional projection. */
+std::unique_ptr<Residual>
+makeBottleneck(int64_t in_ch, int64_t mid_ch, int64_t out_ch,
+               int64_t stride, Rng &rng)
+{
+    auto main = std::make_unique<Sequential>();
+    main->add<Conv2d>(in_ch, mid_ch, 1, 1, 0, 1, rng, false);
+    main->add<BatchNorm2d>(mid_ch);
+    main->add<ReLU>();
+    main->add<Conv2d>(mid_ch, mid_ch, 3, stride, 1, 1, rng, false);
+    main->add<BatchNorm2d>(mid_ch);
+    main->add<ReLU>();
+    main->add<Conv2d>(mid_ch, out_ch, 1, 1, 0, 1, rng, false);
+    main->add<BatchNorm2d>(out_ch);
+
+    std::unique_ptr<Sequential> shortcut;
+    if (stride != 1 || in_ch != out_ch) {
+        shortcut = std::make_unique<Sequential>();
+        shortcut->add<Conv2d>(in_ch, out_ch, 1, stride, 0, 1, rng,
+                              false);
+        shortcut->add<BatchNorm2d>(out_ch);
+    }
+    return std::make_unique<Residual>(std::move(main),
+                                      std::move(shortcut));
+}
+
+std::unique_ptr<Sequential>
+buildVggSim(const SimConfig &cfg, int convs_per_stage, Rng &rng)
+{
+    auto net = std::make_unique<Sequential>();
+    int64_t ch = cfg.inChannels;
+    int64_t width = cfg.baseWidth;
+    // Three stages with pooling between; VGG19-sim gets deeper stages.
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int i = 0; i < convs_per_stage; ++i) {
+            addConvBnRelu(*net, ch, width, 3, 1, 1, rng);
+            ch = width;
+        }
+        net->add<MaxPool2d>(2, 2);
+        width *= 2;
+    }
+    net->add<GlobalAvgPool>();
+    net->add<Flatten>();
+    net->add<Linear>(ch, cfg.numClasses, rng);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildResNetSim(const SimConfig &cfg, int blocks_per_stage, Rng &rng)
+{
+    auto net = std::make_unique<Sequential>();
+    int64_t w = cfg.baseWidth;
+    addConvBnRelu(*net, cfg.inChannels, w, 3, 1, 1, rng);
+    int64_t in_ch = w;
+    for (int stage = 0; stage < 3; ++stage) {
+        const int64_t mid = w << stage;
+        const int64_t out = mid * 2;
+        for (int b = 0; b < blocks_per_stage; ++b) {
+            const int64_t stride = (b == 0 && stage > 0) ? 2 : 1;
+            net->addLayer(makeBottleneck(in_ch, mid, out, stride, rng));
+            in_ch = out;
+        }
+    }
+    net->add<GlobalAvgPool>();
+    net->add<Flatten>();
+    net->add<Linear>(in_ch, cfg.numClasses, rng);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildMobileNetSim(const SimConfig &cfg, bool use_se, Rng &rng)
+{
+    auto net = std::make_unique<Sequential>();
+    const int64_t w = cfg.baseWidth;
+    addConvBnRelu(*net, cfg.inChannels, w, 3, 1, 1, rng);
+    // (expand, out, stride) triplets, scaled-down MBV2 profile.
+    struct Cfg { int64_t t, c, s; };
+    const Cfg stages[] = {{1, w, 1}, {4, w * 2, 2}, {4, w * 2, 1},
+                          {4, w * 4, 2}, {4, w * 4, 1}};
+    int64_t in_ch = w;
+    for (const auto &st : stages) {
+        net->add<InvertedResidual>(in_ch, st.c, st.s, st.t, use_se, rng);
+        in_ch = st.c;
+    }
+    addConvBnRelu(*net, in_ch, w * 8, 1, 1, 0, rng);
+    net->add<GlobalAvgPool>();
+    net->add<Flatten>();
+    net->add<Linear>(w * 8, cfg.numClasses, rng);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildDeepLabSim(const SimConfig &cfg, Rng &rng)
+{
+    // Encoder (stride 4) -> atrous conv -> 1x1 classifier -> upsample.
+    auto net = std::make_unique<Sequential>();
+    const int64_t w = cfg.baseWidth;
+    addConvBnRelu(*net, cfg.inChannels, w, 3, 1, 1, rng);
+    net->add<MaxPool2d>(2, 2);
+    addConvBnRelu(*net, w, w * 2, 3, 1, 1, rng);
+    net->add<MaxPool2d>(2, 2);
+    net->addLayer(makeBottleneck(w * 2, w, w * 4, 1, rng));
+    // Atrous 3x3 (dilation 2) emulating the ASPP branch.
+    net->add<Conv2d>(w * 4, w * 4, 3, 1, 2, 1, rng, false, 2);
+    net->add<BatchNorm2d>(w * 4);
+    net->add<ReLU>();
+    net->add<Conv2d>(w * 4, cfg.numClasses, 1, 1, 0, 1, rng, true);
+    net->add<UpsampleNearest>(4);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildMlpSim(const SimConfig &cfg, std::vector<int64_t> hidden, Rng &rng)
+{
+    auto net = std::make_unique<Sequential>();
+    net->add<Flatten>();
+    int64_t in_f = cfg.inChannels * cfg.inHeight * cfg.inWidth;
+    for (int64_t h : hidden) {
+        net->add<Linear>(in_f, h, rng);
+        net->add<ReLU>();
+        in_f = h;
+    }
+    net->add<Linear>(in_f, cfg.numClasses, rng);
+    return net;
+}
+
+} // namespace
+
+std::unique_ptr<nn::Sequential>
+buildSim(ModelId id, const SimConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    switch (id) {
+      case ModelId::VGG11:
+        return buildVggSim(cfg, 1, rng);
+      case ModelId::VGG19:
+        return buildVggSim(cfg, 2, rng);
+      case ModelId::ResNet50:
+        return buildResNetSim(cfg, 2, rng);
+      case ModelId::ResNet164:
+        return buildResNetSim(cfg, 3, rng);
+      case ModelId::MobileNetV2:
+        return buildMobileNetSim(cfg, false, rng);
+      case ModelId::EfficientNetB0:
+        return buildMobileNetSim(cfg, true, rng);
+      case ModelId::DeepLabV3Plus:
+        return buildDeepLabSim(cfg, rng);
+      case ModelId::MLP1:
+        return buildMlpSim(cfg, {128, 64}, rng);
+      case ModelId::MLP2:
+        return buildMlpSim(cfg, {64}, rng);
+    }
+    SE_PANIC("unknown model id");
+}
+
+// ====================================================================
+// Paper-scale geometry
+// ====================================================================
+
+namespace {
+
+LayerShape
+conv(const std::string &name, int64_t c, int64_t m, int64_t hw,
+     int64_t k, int64_t stride, int64_t pad)
+{
+    LayerShape l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.c = c;
+    l.m = m;
+    l.h = hw;
+    l.w = hw;
+    l.r = k;
+    l.s = k;
+    l.stride = stride;
+    l.pad = pad;
+    return l;
+}
+
+LayerShape
+convHW(const std::string &name, int64_t c, int64_t m, int64_t h,
+       int64_t w, int64_t k, int64_t stride, int64_t pad)
+{
+    LayerShape l = conv(name, c, m, h, k, stride, pad);
+    l.w = w;
+    return l;
+}
+
+LayerShape
+dwconv(const std::string &name, int64_t c, int64_t hw, int64_t k,
+       int64_t stride, int64_t pad)
+{
+    LayerShape l = conv(name, c, c, hw, k, stride, pad);
+    l.kind = LayerKind::DepthwiseConv;
+    return l;
+}
+
+LayerShape
+fc(const std::string &name, int64_t c, int64_t m)
+{
+    LayerShape l;
+    l.name = name;
+    l.kind = LayerKind::FullyConnected;
+    l.c = c;
+    l.m = m;
+    return l;
+}
+
+LayerShape
+seGate(const std::string &name, int64_t c, int64_t reduced)
+{
+    // Modeled as the pair of FC layers c->reduced->c; the simulator
+    // treats SqueezeExcite like FC with no weight reuse.
+    LayerShape l;
+    l.name = name;
+    l.kind = LayerKind::SqueezeExcite;
+    l.c = c;
+    l.m = 2 * reduced;  // total MACs c*reduced + reduced*c == c * (2r)
+    return l;
+}
+
+Workload
+vgg11Paper()
+{
+    Workload w;
+    w.name = "VGG11";
+    w.dataset = "ImageNet";
+    // conv layers (C, M, in HW); pool halves HW after marked layers.
+    w.layers = {
+        conv("conv1", 3, 64, 224, 3, 1, 1),
+        conv("conv2", 64, 128, 112, 3, 1, 1),
+        conv("conv3", 128, 256, 56, 3, 1, 1),
+        conv("conv4", 256, 256, 56, 3, 1, 1),
+        conv("conv5", 256, 512, 28, 3, 1, 1),
+        conv("conv6", 512, 512, 28, 3, 1, 1),
+        conv("conv7", 512, 512, 14, 3, 1, 1),
+        conv("conv8", 512, 512, 14, 3, 1, 1),
+        fc("fc1", 512 * 7 * 7, 4096),
+        fc("fc2", 4096, 4096),
+        fc("fc3", 4096, 1000),
+    };
+    return w;
+}
+
+Workload
+vgg19CifarPaper()
+{
+    Workload w;
+    w.name = "VGG19";
+    w.dataset = "CIFAR-10";
+    const struct { int64_t c, m, hw; } cfg[] = {
+        {3, 64, 32},    {64, 64, 32},
+        {64, 128, 16},  {128, 128, 16},
+        {128, 256, 8},  {256, 256, 8},  {256, 256, 8},  {256, 256, 8},
+        {256, 512, 4},  {512, 512, 4},  {512, 512, 4},  {512, 512, 4},
+        {512, 512, 2},  {512, 512, 2},  {512, 512, 2},  {512, 512, 2},
+    };
+    int idx = 1;
+    for (const auto &l : cfg)
+        w.layers.push_back(conv("conv" + std::to_string(idx++), l.c,
+                                l.m, l.hw, 3, 1, 1));
+    w.layers.push_back(fc("fc", 512, 10));
+    return w;
+}
+
+void
+addBottleneckPaper(Workload &w, const std::string &prefix, int64_t in_ch,
+                   int64_t mid, int64_t out, int64_t hw, int64_t stride,
+                   bool project)
+{
+    w.layers.push_back(conv(prefix + ".conv1", in_ch, mid, hw, 1, 1, 0));
+    w.layers.push_back(
+        conv(prefix + ".conv2", mid, mid, hw, 3, stride, 1));
+    const int64_t hw2 = (hw + 2 - 3) / stride + 1;
+    w.layers.push_back(conv(prefix + ".conv3", mid, out, hw2, 1, 1, 0));
+    if (project)
+        w.layers.push_back(
+            conv(prefix + ".proj", in_ch, out, hw, 1, stride, 0));
+}
+
+Workload
+resnet50Paper()
+{
+    Workload w;
+    w.name = "ResNet50";
+    w.dataset = "ImageNet";
+    w.layers.push_back(conv("conv1", 3, 64, 224, 7, 2, 3));
+    // After conv1 + maxpool: 56x56, 64 channels.
+    const struct { int64_t mid, out, blocks, hw; } stages[] = {
+        {64, 256, 3, 56}, {128, 512, 4, 56},
+        {256, 1024, 6, 28}, {512, 2048, 3, 14},
+    };
+    int64_t in_ch = 64;
+    for (int s = 0; s < 4; ++s) {
+        int64_t hw = stages[s].hw;
+        for (int64_t b = 0; b < stages[s].blocks; ++b) {
+            const int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+            const std::string prefix =
+                "stage" + std::to_string(s + 1) + ".block" +
+                std::to_string(b + 1);
+            addBottleneckPaper(w, prefix, in_ch, stages[s].mid,
+                               stages[s].out, hw, stride, b == 0);
+            in_ch = stages[s].out;
+            if (stride == 2)
+                hw /= 2;
+        }
+    }
+    w.layers.push_back(fc("fc", 2048, 1000));
+    return w;
+}
+
+Workload
+resnet164Paper()
+{
+    Workload w;
+    w.name = "ResNet164";
+    w.dataset = "CIFAR-10";
+    w.layers.push_back(conv("conv1", 3, 16, 32, 3, 1, 1));
+    // 3 stages x 18 bottleneck blocks.
+    const struct { int64_t mid, out, hw; } stages[] = {
+        {16, 64, 32}, {32, 128, 32}, {64, 256, 16},
+    };
+    int64_t in_ch = 16;
+    for (int s = 0; s < 3; ++s) {
+        int64_t hw = stages[s].hw;
+        for (int b = 0; b < 18; ++b) {
+            const int64_t stride = (b == 0 && s > 0) ? 2 : 1;
+            const std::string prefix =
+                "stage" + std::to_string(s + 1) + ".block" +
+                std::to_string(b + 1);
+            addBottleneckPaper(w, prefix, in_ch, stages[s].mid,
+                               stages[s].out, hw, stride, b == 0);
+            in_ch = stages[s].out;
+            if (stride == 2)
+                hw /= 2;
+        }
+    }
+    w.layers.push_back(fc("fc", 256, 10));
+    return w;
+}
+
+Workload
+mobileNetV2Paper()
+{
+    Workload w;
+    w.name = "MobileNetV2";
+    w.dataset = "ImageNet";
+    w.layers.push_back(conv("stem", 3, 32, 224, 3, 2, 1));
+    // t (expand), c (out), n (repeat), s (first stride).
+    const struct { int64_t t, c, n, s; } cfg[] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    int64_t in_ch = 32, hw = 112;
+    int blk = 0;
+    for (const auto &st : cfg) {
+        for (int64_t i = 0; i < st.n; ++i) {
+            const int64_t stride = i == 0 ? st.s : 1;
+            const int64_t hidden = in_ch * st.t;
+            const std::string p = "block" + std::to_string(++blk);
+            if (st.t != 1)
+                w.layers.push_back(
+                    conv(p + ".expand", in_ch, hidden, hw, 1, 1, 0));
+            w.layers.push_back(
+                dwconv(p + ".dw", hidden, hw, 3, stride, 1));
+            if (stride == 2)
+                hw /= 2;
+            w.layers.push_back(
+                conv(p + ".project", hidden, st.c, hw, 1, 1, 0));
+            in_ch = st.c;
+        }
+    }
+    w.layers.push_back(conv("head", 320, 1280, 7, 1, 1, 0));
+    w.layers.push_back(fc("fc", 1280, 1000));
+    return w;
+}
+
+Workload
+efficientNetB0Paper()
+{
+    Workload w;
+    w.name = "EfficientNet-B0";
+    w.dataset = "ImageNet";
+    w.layers.push_back(conv("stem", 3, 32, 224, 3, 2, 1));
+    // MBConv: t, c, n, s, kernel; every block has squeeze-excite with
+    // reduction computed from the block input channels (ratio 0.25).
+    const struct { int64_t t, c, n, s, k; } cfg[] = {
+        {1, 16, 1, 1, 3}, {6, 24, 2, 2, 3}, {6, 40, 2, 2, 5},
+        {6, 80, 3, 2, 3}, {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+        {6, 320, 1, 1, 3},
+    };
+    int64_t in_ch = 32, hw = 112;
+    int blk = 0;
+    for (const auto &st : cfg) {
+        for (int64_t i = 0; i < st.n; ++i) {
+            const int64_t stride = i == 0 ? st.s : 1;
+            const int64_t hidden = in_ch * st.t;
+            const int64_t se_red =
+                std::max<int64_t>(1, in_ch / 4);
+            const std::string p = "mbconv" + std::to_string(++blk);
+            if (st.t != 1)
+                w.layers.push_back(
+                    conv(p + ".expand", in_ch, hidden, hw, 1, 1, 0));
+            w.layers.push_back(dwconv(p + ".dw", hidden, hw, st.k,
+                                      stride, st.k / 2));
+            if (stride == 2)
+                hw /= 2;
+            w.layers.push_back(seGate(p + ".se", hidden, se_red));
+            w.layers.push_back(
+                conv(p + ".project", hidden, st.c, hw, 1, 1, 0));
+            in_ch = st.c;
+        }
+    }
+    w.layers.push_back(conv("head", 320, 1280, 7, 1, 1, 0));
+    w.layers.push_back(fc("fc", 1280, 1000));
+    return w;
+}
+
+Workload
+deepLabV3PlusPaper()
+{
+    // DeepLabV3+ with ResNet50 backbone at output stride 16 on
+    // CamVid-sized inputs (360x480). The last ResNet stage runs at
+    // stride 1 with dilation 2 (geometry below keeps the dilated
+    // spatial size).
+    Workload w;
+    w.name = "DeepLabV3+";
+    w.dataset = "CamVid";
+    const int64_t H = 360, W = 480;
+    w.layers.push_back(convHW("conv1", 3, 64, H, W, 7, 2, 3));
+    const struct { int64_t mid, out, blocks; } stages[] = {
+        {64, 256, 3}, {128, 512, 4}, {256, 1024, 6}, {512, 2048, 3},
+    };
+    int64_t in_ch = 64;
+    int64_t h = H / 4, ww = W / 4;  // after conv1 + maxpool
+    for (int s = 0; s < 4; ++s) {
+        for (int64_t b = 0; b < stages[s].blocks; ++b) {
+            // Output stride 16: stage 4 keeps stride 1.
+            const int64_t stride = (b == 0 && s > 0 && s < 3) ? 2 : 1;
+            const std::string prefix =
+                "stage" + std::to_string(s + 1) + ".block" +
+                std::to_string(b + 1);
+            w.layers.push_back(convHW(prefix + ".conv1", in_ch,
+                                      stages[s].mid, h, ww, 1, 1, 0));
+            w.layers.push_back(convHW(prefix + ".conv2", stages[s].mid,
+                                      stages[s].mid, h, ww, 3, stride,
+                                      1));
+            if (stride == 2) {
+                h /= 2;
+                ww /= 2;
+            }
+            w.layers.push_back(convHW(prefix + ".conv3", stages[s].mid,
+                                      stages[s].out, h, ww, 1, 1, 0));
+            if (b == 0)
+                w.layers.push_back(convHW(prefix + ".proj", in_ch,
+                                          stages[s].out, h * stride,
+                                          ww * stride, 1, stride, 0));
+            in_ch = stages[s].out;
+        }
+    }
+    // ASPP at 23x30: 1x1 + 3 atrous 3x3 + image pooling, all to 256.
+    w.layers.push_back(convHW("aspp.conv1x1", 2048, 256, h, ww, 1, 1, 0));
+    for (int rate : {6, 12, 18})
+        w.layers.push_back(convHW(
+            "aspp.atrous" + std::to_string(rate), 2048, 256, h, ww, 3, 1,
+            1));
+    w.layers.push_back(convHW("aspp.pool", 2048, 256, 1, 1, 1, 1, 0));
+    w.layers.push_back(convHW("aspp.merge", 1280, 256, h, ww, 1, 1, 0));
+    // Decoder on stride-4 low-level features.
+    w.layers.push_back(
+        convHW("decoder.lowlevel", 256, 48, H / 4, W / 4, 1, 1, 0));
+    w.layers.push_back(
+        convHW("decoder.conv1", 304, 256, H / 4, W / 4, 3, 1, 1));
+    w.layers.push_back(
+        convHW("decoder.conv2", 256, 256, H / 4, W / 4, 3, 1, 1));
+    w.layers.push_back(
+        convHW("decoder.classifier", 256, 11, H / 4, W / 4, 1, 1, 0));
+    return w;
+}
+
+Workload
+mlpPaper(const std::string &name, std::vector<int64_t> dims)
+{
+    Workload w;
+    w.name = name;
+    w.dataset = "MNIST";
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        w.layers.push_back(fc("fc" + std::to_string(i + 1), dims[i],
+                              dims[i + 1]));
+    return w;
+}
+
+} // namespace
+
+Workload
+paperShapes(ModelId id)
+{
+    switch (id) {
+      case ModelId::VGG11: return vgg11Paper();
+      case ModelId::VGG19: return vgg19CifarPaper();
+      case ModelId::ResNet50: return resnet50Paper();
+      case ModelId::ResNet164: return resnet164Paper();
+      case ModelId::MobileNetV2: return mobileNetV2Paper();
+      case ModelId::EfficientNetB0: return efficientNetB0Paper();
+      case ModelId::DeepLabV3Plus: return deepLabV3PlusPaper();
+      case ModelId::MLP1:
+        // MLP-1 from [40]: 784-1024-1024-1024-10 (14.1 MB FP32).
+        return mlpPaper("MLP-1", {784, 1024, 1024, 1024, 10});
+      case ModelId::MLP2:
+        // MLP-2 from [56]: 784-300-100-10 (~1.07 MB FP32).
+        return mlpPaper("MLP-2", {784, 300, 100, 10});
+    }
+    SE_PANIC("unknown model id");
+}
+
+} // namespace models
+} // namespace se

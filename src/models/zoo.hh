@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model zoo.
+ *
+ * Two products per architecture:
+ *  - buildSim(): a live, trainable Sequential at reduced scale
+ *    (functional runs: training, SE re-training, accuracy, activation
+ *    statistics);
+ *  - paperShapes(): the exact layer geometry of the full-size model the
+ *    paper evaluates (VGG11/ResNet50/MBV2/EffB0 on ImageNet,
+ *    VGG19/ResNet164 on CIFAR-10, DeepLabV3+ on CamVid, MLP-1/2 on
+ *    MNIST), consumed by the accelerator simulators which need shapes
+ *    and sparsity, not live tensors.
+ */
+
+#ifndef SE_MODELS_ZOO_HH
+#define SE_MODELS_ZOO_HH
+
+#include <memory>
+#include <string>
+
+#include "nn/blocks.hh"
+#include "sim/layer_shape.hh"
+
+namespace se {
+namespace models {
+
+/** The nine models the paper evaluates. */
+enum class ModelId
+{
+    VGG11,          ///< ImageNet
+    VGG19,          ///< CIFAR-10
+    ResNet50,       ///< ImageNet
+    ResNet164,      ///< CIFAR-10
+    MobileNetV2,    ///< ImageNet (compact)
+    EfficientNetB0, ///< ImageNet (compact, squeeze-excite)
+    DeepLabV3Plus,  ///< CamVid (segmentation)
+    MLP1,           ///< MNIST
+    MLP2,           ///< MNIST
+};
+
+/** Display name, e.g. "ResNet50". */
+std::string modelName(ModelId id);
+
+/** Dataset the paper pairs with the model, e.g. "ImageNet". */
+std::string datasetName(ModelId id);
+
+/** Options for the reduced-scale trainable builders. */
+struct SimConfig
+{
+    int numClasses = 10;
+    int64_t inChannels = 3;
+    int64_t inHeight = 16;
+    int64_t inWidth = 16;
+    /** Base width; architectures scale their stage widths from this. */
+    int64_t baseWidth = 8;
+    uint64_t seed = 7;
+};
+
+/** Build a reduced-scale trainable instance of the architecture. */
+std::unique_ptr<nn::Sequential> buildSim(ModelId id,
+                                         const SimConfig &cfg);
+
+/** Exact full-size layer geometry for the accelerator simulators. */
+sim::Workload paperShapes(ModelId id);
+
+/** All seven accelerator-benchmark models in the paper's plot order. */
+std::vector<ModelId> acceleratorBenchmarkModels();
+
+} // namespace models
+} // namespace se
+
+#endif // SE_MODELS_ZOO_HH

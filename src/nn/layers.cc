@@ -1,0 +1,497 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/random.hh"
+
+namespace se {
+namespace nn {
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int64_t in_ch, int64_t out_ch, int64_t kernel,
+               int64_t stride, int64_t pad, int64_t groups, Rng &rng,
+               bool bias, int64_t dilation)
+    : inCh(in_ch), outCh(out_ch), kern(kernel), strd(stride), pad_(pad),
+      grps(groups), dil(dilation), hasBias(bias)
+{
+    SE_ASSERT(in_ch % groups == 0 && out_ch % groups == 0,
+              "channels not divisible by groups");
+    const int64_t cpg = in_ch / groups;
+    weight = Tensor({out_ch, cpg, kernel, kernel});
+    gradW = Tensor(weight.shape());
+    // He initialization.
+    const float std_dev =
+        std::sqrt(2.0f / (float)(cpg * kernel * kernel));
+    for (int64_t i = 0; i < weight.size(); ++i)
+        weight[i] = rng.gaussian(0.0f, std_dev);
+    if (hasBias) {
+        bias_ = Tensor({out_ch});
+        gradB = Tensor({out_ch});
+    }
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool train)
+{
+    SE_ASSERT(x.ndim() == 4 && x.dim(1) == inCh,
+              "conv input shape mismatch");
+    if (train)
+        cachedX = x;
+    const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int64_t kext = dil * (kern - 1) + 1;
+    const int64_t oh = (h + 2 * pad_ - kext) / strd + 1;
+    const int64_t ow = (w + 2 * pad_ - kext) / strd + 1;
+    const int64_t cpg = inCh / grps;
+    const int64_t mpg = outCh / grps;
+
+    Tensor y({n, outCh, oh, ow});
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < grps; ++g) {
+            for (int64_t mo = 0; mo < mpg; ++mo) {
+                const int64_t m = g * mpg + mo;
+                for (int64_t e = 0; e < oh; ++e) {
+                    for (int64_t f = 0; f < ow; ++f) {
+                        double acc = hasBias ? bias_[m] : 0.0;
+                        for (int64_t ci = 0; ci < cpg; ++ci) {
+                            const int64_t c = g * cpg + ci;
+                            for (int64_t kr = 0; kr < kern; ++kr) {
+                                const int64_t ih =
+                                    e * strd + kr * dil - pad_;
+                                if (ih < 0 || ih >= h)
+                                    continue;
+                                for (int64_t ks = 0; ks < kern; ++ks) {
+                                    const int64_t iw =
+                                        f * strd + ks * dil - pad_;
+                                    if (iw < 0 || iw >= w)
+                                        continue;
+                                    acc += (double)weight.at(m, ci, kr,
+                                                             ks) *
+                                           x.at(b, c, ih, iw);
+                                }
+                            }
+                        }
+                        y.at(b, m, e, f) = (float)acc;
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor &gy)
+{
+    const Tensor &x = cachedX;
+    SE_ASSERT(!x.empty(), "backward without cached forward");
+    const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int64_t oh = gy.dim(2), ow = gy.dim(3);
+    const int64_t cpg = inCh / grps;
+    const int64_t mpg = outCh / grps;
+
+    Tensor gx(x.shape());
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t g = 0; g < grps; ++g) {
+            for (int64_t mo = 0; mo < mpg; ++mo) {
+                const int64_t m = g * mpg + mo;
+                for (int64_t e = 0; e < oh; ++e) {
+                    for (int64_t f = 0; f < ow; ++f) {
+                        const float gv = gy.at(b, m, e, f);
+                        if (gv == 0.0f)
+                            continue;
+                        if (hasBias)
+                            gradB[m] += gv;
+                        for (int64_t ci = 0; ci < cpg; ++ci) {
+                            const int64_t c = g * cpg + ci;
+                            for (int64_t kr = 0; kr < kern; ++kr) {
+                                const int64_t ih =
+                                    e * strd + kr * dil - pad_;
+                                if (ih < 0 || ih >= h)
+                                    continue;
+                                for (int64_t ks = 0; ks < kern; ++ks) {
+                                    const int64_t iw =
+                                        f * strd + ks * dil - pad_;
+                                    if (iw < 0 || iw >= w)
+                                        continue;
+                                    gradW.at(m, ci, kr, ks) +=
+                                        gv * x.at(b, c, ih, iw);
+                                    gx.at(b, c, ih, iw) +=
+                                        gv * weight.at(m, ci, kr, ks);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return gx;
+}
+
+std::vector<Param>
+Conv2d::params()
+{
+    std::vector<Param> p{{&weight, &gradW, "conv.weight"}};
+    if (hasBias)
+        p.push_back({&bias_, &gradB, "conv.bias"});
+    return p;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng &rng,
+               bool bias)
+    : inF(in_features), outF(out_features), hasBias(bias)
+{
+    weight = Tensor({outF, inF});
+    gradW = Tensor(weight.shape());
+    const float std_dev = std::sqrt(2.0f / (float)inF);
+    for (int64_t i = 0; i < weight.size(); ++i)
+        weight[i] = rng.gaussian(0.0f, std_dev);
+    if (hasBias) {
+        bias_ = Tensor({outF});
+        gradB = Tensor({outF});
+    }
+}
+
+Tensor
+Linear::forward(const Tensor &x, bool train)
+{
+    SE_ASSERT(x.ndim() == 2 && x.dim(1) == inF,
+              "linear input shape mismatch");
+    if (train)
+        cachedX = x;
+    const int64_t n = x.dim(0);
+    Tensor y({n, outF});
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t o = 0; o < outF; ++o) {
+            double acc = hasBias ? bias_[o] : 0.0;
+            for (int64_t i = 0; i < inF; ++i)
+                acc += (double)weight.at(o, i) * x.at(b, i);
+            y.at(b, o) = (float)acc;
+        }
+    }
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &gy)
+{
+    const Tensor &x = cachedX;
+    const int64_t n = x.dim(0);
+    Tensor gx(x.shape());
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t o = 0; o < outF; ++o) {
+            const float gv = gy.at(b, o);
+            if (gv == 0.0f)
+                continue;
+            if (hasBias)
+                gradB[o] += gv;
+            for (int64_t i = 0; i < inF; ++i) {
+                gradW.at(o, i) += gv * x.at(b, i);
+                gx.at(b, i) += gv * weight.at(o, i);
+            }
+        }
+    }
+    return gx;
+}
+
+std::vector<Param>
+Linear::params()
+{
+    std::vector<Param> p{{&weight, &gradW, "linear.weight"}};
+    if (hasBias)
+        p.push_back({&bias_, &gradB, "linear.bias"});
+    return p;
+}
+
+// ----------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : ch(channels), eps(eps), momentum(momentum)
+{
+    gamma = Tensor({ch}, 1.0f);
+    beta = Tensor({ch});
+    gradGamma = Tensor({ch});
+    gradBeta = Tensor({ch});
+    runningMean = Tensor({ch});
+    runningVar = Tensor({ch}, 1.0f);
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x, bool train)
+{
+    SE_ASSERT(x.ndim() == 4 && x.dim(1) == ch, "bn input shape mismatch");
+    const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int64_t count = n * h * w;
+    Tensor y(x.shape());
+
+    if (train) {
+        cachedXhat = Tensor(x.shape());
+        cachedInvStd.assign((size_t)ch, 0.0);
+        cachedCount = count;
+    }
+
+    for (int64_t c = 0; c < ch; ++c) {
+        double mean, var;
+        if (train) {
+            double s = 0.0, s2 = 0.0;
+            for (int64_t b = 0; b < n; ++b)
+                for (int64_t i = 0; i < h; ++i)
+                    for (int64_t j = 0; j < w; ++j) {
+                        double v = x.at(b, c, i, j);
+                        s += v;
+                        s2 += v * v;
+                    }
+            mean = s / (double)count;
+            var = s2 / (double)count - mean * mean;
+            var = std::max(var, 0.0);
+            runningMean[c] = (1.0f - momentum) * runningMean[c] +
+                             momentum * (float)mean;
+            runningVar[c] = (1.0f - momentum) * runningVar[c] +
+                            momentum * (float)var;
+        } else {
+            mean = runningMean[c];
+            var = runningVar[c];
+        }
+        const double inv_std = 1.0 / std::sqrt(var + eps);
+        if (train)
+            cachedInvStd[(size_t)c] = inv_std;
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t i = 0; i < h; ++i)
+                for (int64_t j = 0; j < w; ++j) {
+                    const double xh =
+                        ((double)x.at(b, c, i, j) - mean) * inv_std;
+                    if (train)
+                        cachedXhat.at(b, c, i, j) = (float)xh;
+                    y.at(b, c, i, j) =
+                        (float)(gamma[c] * xh + beta[c]);
+                }
+    }
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &gy)
+{
+    SE_ASSERT(!cachedXhat.empty(), "bn backward without forward");
+    const int64_t n = gy.dim(0), h = gy.dim(2), w = gy.dim(3);
+    const double count = (double)cachedCount;
+    Tensor gx(gy.shape());
+
+    for (int64_t c = 0; c < ch; ++c) {
+        double sum_gy = 0.0, sum_gy_xhat = 0.0;
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t i = 0; i < h; ++i)
+                for (int64_t j = 0; j < w; ++j) {
+                    const double g = gy.at(b, c, i, j);
+                    sum_gy += g;
+                    sum_gy_xhat += g * cachedXhat.at(b, c, i, j);
+                }
+        gradGamma[c] += (float)sum_gy_xhat;
+        gradBeta[c] += (float)sum_gy;
+        const double inv_std = cachedInvStd[(size_t)c];
+        const double gmma = gamma[c];
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t i = 0; i < h; ++i)
+                for (int64_t j = 0; j < w; ++j) {
+                    const double g = gy.at(b, c, i, j);
+                    const double xh = cachedXhat.at(b, c, i, j);
+                    gx.at(b, c, i, j) = (float)(gmma * inv_std *
+                        (g - sum_gy / count - xh * sum_gy_xhat / count));
+                }
+    }
+    return gx;
+}
+
+std::vector<Param>
+BatchNorm2d::params()
+{
+    return {{&gamma, &gradGamma, "bn.gamma"},
+            {&beta, &gradBeta, "bn.beta"}};
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor
+ReLU::forward(const Tensor &x, bool train)
+{
+    Tensor y = x;
+    if (train)
+        mask = Tensor(x.shape());
+    for (int64_t i = 0; i < y.size(); ++i) {
+        float v = y[i];
+        float out = v > 0.0f ? v : 0.0f;
+        if (maxVal > 0.0f && out > maxVal)
+            out = maxVal;
+        if (train)
+            mask[i] = (v > 0.0f && (maxVal <= 0.0f || v < maxVal))
+                          ? 1.0f : 0.0f;
+        y[i] = out;
+    }
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &gy)
+{
+    Tensor gx = gy;
+    for (int64_t i = 0; i < gx.size(); ++i)
+        gx[i] *= mask[i];
+    return gx;
+}
+
+// --------------------------------------------------------------- Sigmoid
+
+Tensor
+Sigmoid::forward(const Tensor &x, bool train)
+{
+    Tensor y = x;
+    y.apply([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+    if (train)
+        cachedY = y;
+    return y;
+}
+
+Tensor
+Sigmoid::backward(const Tensor &gy)
+{
+    Tensor gx = gy;
+    for (int64_t i = 0; i < gx.size(); ++i)
+        gx[i] *= cachedY[i] * (1.0f - cachedY[i]);
+    return gx;
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+Tensor
+MaxPool2d::forward(const Tensor &x, bool train)
+{
+    const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const int64_t oh = (h - kern) / strd + 1;
+    const int64_t ow = (w - kern) / strd + 1;
+    inShape = x.shape();
+    Tensor y({n, c, oh, ow});
+    if (train)
+        argmax.assign((size_t)y.size(), 0);
+    int64_t oi = 0;
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t cc = 0; cc < c; ++cc)
+            for (int64_t e = 0; e < oh; ++e)
+                for (int64_t f = 0; f < ow; ++f, ++oi) {
+                    float best = -1e30f;
+                    int64_t best_idx = 0;
+                    for (int64_t kr = 0; kr < kern; ++kr)
+                        for (int64_t ks = 0; ks < kern; ++ks) {
+                            const int64_t ih = e * strd + kr;
+                            const int64_t iw = f * strd + ks;
+                            const float v = x.at(b, cc, ih, iw);
+                            if (v > best) {
+                                best = v;
+                                best_idx = ((b * c + cc) * h + ih) * w +
+                                           iw;
+                            }
+                        }
+                    y[oi] = best;
+                    if (train)
+                        argmax[(size_t)oi] = best_idx;
+                }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &gy)
+{
+    Tensor gx(inShape);
+    for (int64_t i = 0; i < gy.size(); ++i)
+        gx[argmax[(size_t)i]] += gy[i];
+    return gx;
+}
+
+// --------------------------------------------------------- GlobalAvgPool
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    inShape = x.shape();
+    Tensor y({n, c, 1, 1});
+    const double inv = 1.0 / (double)(h * w);
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t cc = 0; cc < c; ++cc) {
+            double s = 0.0;
+            for (int64_t i = 0; i < h; ++i)
+                for (int64_t j = 0; j < w; ++j)
+                    s += x.at(b, cc, i, j);
+            y.at(b, cc, 0, 0) = (float)(s * inv);
+        }
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &gy)
+{
+    const int64_t h = inShape[2], w = inShape[3];
+    Tensor gx(inShape);
+    const float inv = 1.0f / (float)(h * w);
+    for (int64_t b = 0; b < inShape[0]; ++b)
+        for (int64_t cc = 0; cc < inShape[1]; ++cc) {
+            const float g = gy.at(b, cc, 0, 0) * inv;
+            for (int64_t i = 0; i < h; ++i)
+                for (int64_t j = 0; j < w; ++j)
+                    gx.at(b, cc, i, j) = g;
+        }
+    return gx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor
+Flatten::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    inShape = x.shape();
+    return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor
+Flatten::backward(const Tensor &gy)
+{
+    return gy.reshaped(inShape);
+}
+
+// ------------------------------------------------------- UpsampleNearest
+
+Tensor
+UpsampleNearest::forward(const Tensor &x, bool train)
+{
+    (void)train;
+    inShape = x.shape();
+    const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    Tensor y({n, c, h * fac, w * fac});
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t cc = 0; cc < c; ++cc)
+            for (int64_t i = 0; i < h * fac; ++i)
+                for (int64_t j = 0; j < w * fac; ++j)
+                    y.at(b, cc, i, j) = x.at(b, cc, i / fac, j / fac);
+    return y;
+}
+
+Tensor
+UpsampleNearest::backward(const Tensor &gy)
+{
+    Tensor gx(inShape);
+    const int64_t h = inShape[2], w = inShape[3];
+    for (int64_t b = 0; b < inShape[0]; ++b)
+        for (int64_t cc = 0; cc < inShape[1]; ++cc)
+            for (int64_t i = 0; i < h * fac; ++i)
+                for (int64_t j = 0; j < w * fac; ++j)
+                    gx.at(b, cc, i / fac, j / fac) += gy.at(b, cc, i, j);
+    return gx;
+}
+
+} // namespace nn
+} // namespace se

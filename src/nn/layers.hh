@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Concrete layers: Conv2d (grouped => depth-wise), Linear, BatchNorm2d,
+ * ReLU (with optional clamp for ReLU6), Sigmoid, MaxPool2d,
+ * GlobalAvgPool, Flatten, UpsampleNearest.
+ */
+
+#ifndef SE_NN_LAYERS_HH
+#define SE_NN_LAYERS_HH
+
+#include "nn/layer.hh"
+
+namespace se {
+class Rng;
+namespace nn {
+
+/**
+ * 2-D convolution in NCHW with square kernels, zero padding and groups.
+ * groups == inChannels == outChannels gives a depth-wise convolution.
+ */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(int64_t in_ch, int64_t out_ch, int64_t kernel,
+           int64_t stride, int64_t pad, int64_t groups, Rng &rng,
+           bool bias = true, int64_t dilation = 1);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::vector<Param> params() override;
+    std::string name() const override { return "conv"; }
+
+    /** Weight tensor in (M, C/groups, R, S) layout. */
+    Tensor &weightTensor() { return weight; }
+    const Tensor &weightTensor() const { return weight; }
+    Tensor &biasTensor() { return bias_; }
+
+    int64_t inChannels() const { return inCh; }
+    int64_t outChannels() const { return outCh; }
+    int64_t kernelSize() const { return kern; }
+    int64_t strideLen() const { return strd; }
+    int64_t padLen() const { return pad_; }
+    int64_t groupCount() const { return grps; }
+    int64_t dilationLen() const { return dil; }
+
+  private:
+    int64_t inCh, outCh, kern, strd, pad_, grps, dil;
+    bool hasBias;
+    Tensor weight, bias_, gradW, gradB;
+    Tensor cachedX;
+};
+
+/** Fully-connected layer y = x W^T + b, x is (N, C). */
+class Linear : public Layer
+{
+  public:
+    Linear(int64_t in_features, int64_t out_features, Rng &rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::vector<Param> params() override;
+    std::string name() const override { return "linear"; }
+
+    /** Weight tensor in (out, in) layout. */
+    Tensor &weightTensor() { return weight; }
+    const Tensor &weightTensor() const { return weight; }
+
+    int64_t inFeatures() const { return inF; }
+    int64_t outFeatures() const { return outF; }
+
+  private:
+    int64_t inF, outF;
+    bool hasBias;
+    Tensor weight, bias_, gradW, gradB;
+    Tensor cachedX;
+};
+
+/**
+ * Batch normalization over NCHW channels. gamma is exposed because the
+ * SmartExchange channel pruning step thresholds BN scaling factors.
+ */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
+                         float momentum = 0.1f);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::vector<Param> params() override;
+    std::string name() const override { return "bn"; }
+
+    Tensor &gammaTensor() { return gamma; }
+    const Tensor &gammaTensor() const { return gamma; }
+    Tensor &betaTensor() { return beta; }
+
+  private:
+    int64_t ch;
+    float eps, momentum;
+    Tensor gamma, beta, gradGamma, gradBeta;
+    Tensor runningMean, runningVar;
+    // Caches for backward.
+    Tensor cachedXhat;
+    std::vector<double> cachedInvStd;
+    int64_t cachedCount = 0;
+};
+
+/** ReLU, optionally clamped at maxVal (ReLU6 for compact models). */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(float max_val = 0.0f) : maxVal(max_val) {}
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    float maxVal;  ///< 0 => unbounded.
+    Tensor mask;
+};
+
+/** Logistic sigmoid (used by squeeze-and-excite gates). */
+class Sigmoid : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "sigmoid"; }
+
+  private:
+    Tensor cachedY;
+};
+
+/** Max pooling with square window. */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(int64_t kernel, int64_t stride)
+        : kern(kernel), strd(stride)
+    {}
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "maxpool"; }
+
+    int64_t kernelSize() const { return kern; }
+    int64_t strideLen() const { return strd; }
+
+  private:
+    int64_t kern, strd;
+    Shape inShape;
+    std::vector<int64_t> argmax;
+};
+
+/** Global average pooling to (N, C, 1, 1). */
+class GlobalAvgPool : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "gap"; }
+
+  private:
+    Shape inShape;
+};
+
+/** Flatten (N, C, H, W) -> (N, C*H*W). */
+class Flatten : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "flatten"; }
+
+  private:
+    Shape inShape;
+};
+
+/** Nearest-neighbour upsampling by an integer factor (DeepLab head). */
+class UpsampleNearest : public Layer
+{
+  public:
+    explicit UpsampleNearest(int64_t factor) : fac(factor) {}
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &gy) override;
+    std::string name() const override { return "upsample"; }
+
+    int64_t factor() const { return fac; }
+
+  private:
+    int64_t fac;
+    Shape inShape;
+};
+
+} // namespace nn
+} // namespace se
+
+#endif // SE_NN_LAYERS_HH

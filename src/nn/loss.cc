@@ -1,0 +1,118 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace se {
+namespace nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    SE_ASSERT((int64_t)labels.size() == n, "label count mismatch");
+    LossResult res;
+    res.grad = Tensor(logits.shape());
+    double total = 0.0;
+    for (int64_t b = 0; b < n; ++b) {
+        float mx = -1e30f;
+        for (int64_t c = 0; c < k; ++c)
+            mx = std::max(mx, logits.at(b, c));
+        double z = 0.0;
+        for (int64_t c = 0; c < k; ++c)
+            z += std::exp((double)logits.at(b, c) - mx);
+        const int y = labels[(size_t)b];
+        total += -((double)logits.at(b, y) - mx - std::log(z));
+        for (int64_t c = 0; c < k; ++c) {
+            const double p = std::exp((double)logits.at(b, c) - mx) / z;
+            res.grad.at(b, c) =
+                (float)((p - (c == y ? 1.0 : 0.0)) / (double)n);
+        }
+    }
+    res.loss = total / (double)n;
+    return res;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    int64_t correct = 0;
+    for (int64_t b = 0; b < n; ++b) {
+        int64_t best = 0;
+        for (int64_t c = 1; c < k; ++c)
+            if (logits.at(b, c) > logits.at(b, best))
+                best = c;
+        correct += best == labels[(size_t)b];
+    }
+    return n > 0 ? (double)correct / (double)n : 0.0;
+}
+
+LossResult
+pixelCrossEntropy(const Tensor &logits, const Tensor &labels)
+{
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    const int64_t h = logits.dim(2), w = logits.dim(3);
+    LossResult res;
+    res.grad = Tensor(logits.shape());
+    double total = 0.0;
+    const double inv = 1.0 / (double)(n * h * w);
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t i = 0; i < h; ++i)
+            for (int64_t j = 0; j < w; ++j) {
+                float mx = -1e30f;
+                for (int64_t c = 0; c < k; ++c)
+                    mx = std::max(mx, logits.at(b, c, i, j));
+                double z = 0.0;
+                for (int64_t c = 0; c < k; ++c)
+                    z += std::exp((double)logits.at(b, c, i, j) - mx);
+                const int y = (int)labels.at(b, i, j);
+                total += -((double)logits.at(b, y, i, j) - mx -
+                           std::log(z));
+                for (int64_t c = 0; c < k; ++c) {
+                    const double p =
+                        std::exp((double)logits.at(b, c, i, j) - mx) / z;
+                    res.grad.at(b, c, i, j) =
+                        (float)((p - (c == y ? 1.0 : 0.0)) * inv);
+                }
+            }
+    res.loss = total * inv;
+    return res;
+}
+
+double
+meanIoU(const Tensor &logits, const Tensor &labels, int num_classes)
+{
+    const int64_t n = logits.dim(0), k = logits.dim(1);
+    const int64_t h = logits.dim(2), w = logits.dim(3);
+    std::vector<int64_t> inter((size_t)num_classes, 0),
+        uni((size_t)num_classes, 0);
+    for (int64_t b = 0; b < n; ++b)
+        for (int64_t i = 0; i < h; ++i)
+            for (int64_t j = 0; j < w; ++j) {
+                int64_t best = 0;
+                for (int64_t c = 1; c < k; ++c)
+                    if (logits.at(b, c, i, j) > logits.at(b, best, i, j))
+                        best = c;
+                const int y = (int)labels.at(b, i, j);
+                if ((int)best == y)
+                    ++inter[(size_t)y];
+                else {
+                    ++uni[(size_t)best];
+                    ++uni[(size_t)y];
+                }
+            }
+    double sum = 0.0;
+    int present = 0;
+    for (int c = 0; c < num_classes; ++c) {
+        const int64_t u = uni[(size_t)c] + inter[(size_t)c];
+        if (u == 0)
+            continue;
+        sum += (double)inter[(size_t)c] / (double)u;
+        ++present;
+    }
+    return present > 0 ? sum / present : 0.0;
+}
+
+} // namespace nn
+} // namespace se

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Losses and evaluation metrics: softmax cross-entropy for
+ * classification, pixel-wise cross-entropy and mean IoU for
+ * segmentation, top-1 accuracy.
+ */
+
+#ifndef SE_NN_LOSS_HH
+#define SE_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace nn {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss = 0.0;
+    Tensor grad;
+};
+
+/**
+ * Mean softmax cross-entropy over a batch of logits (N, K) with integer
+ * labels.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Top-1 accuracy for logits (N, K). */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+/**
+ * Pixel-wise mean cross-entropy for segmentation logits (N, K, H, W)
+ * against a label map (N, H, W) stored as a Tensor of class indices.
+ */
+LossResult pixelCrossEntropy(const Tensor &logits, const Tensor &labels);
+
+/** Mean intersection-over-union over K classes. */
+double meanIoU(const Tensor &logits, const Tensor &labels, int num_classes);
+
+} // namespace nn
+} // namespace se
+
+#endif // SE_NN_LOSS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SGD with momentum and weight decay — the optimizer the paper's
+ * re-training loop interleaves with the SmartExchange projection.
+ */
+
+#ifndef SE_NN_OPTIM_HH
+#define SE_NN_OPTIM_HH
+
+#include <unordered_map>
+
+#include "nn/layer.hh"
+
+namespace se {
+namespace nn {
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd
+{
+  public:
+    explicit Sgd(float lr, float momentum = 0.9f,
+                 float weight_decay = 0.0f)
+        : lr(lr), momentum(momentum), weightDecay(weight_decay)
+    {}
+
+    /** Apply one update to all parameters and zero their gradients. */
+    void
+    step(const std::vector<Param> &params)
+    {
+        for (const auto &p : params) {
+            Tensor &v = velocity[p.value];
+            if (v.empty())
+                v = Tensor(p.value->shape());
+            for (int64_t i = 0; i < p.value->size(); ++i) {
+                float g = (*p.grad)[i] + weightDecay * (*p.value)[i];
+                v[i] = momentum * v[i] - lr * g;
+                (*p.value)[i] += v[i];
+            }
+            p.grad->fill(0.0f);
+        }
+    }
+
+    void setLr(float new_lr) { lr = new_lr; }
+    float getLr() const { return lr; }
+
+  private:
+    float lr, momentum, weightDecay;
+    std::unordered_map<Tensor *, Tensor> velocity;
+};
+
+} // namespace nn
+} // namespace se
+
+#endif // SE_NN_OPTIM_HH

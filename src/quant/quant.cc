@@ -1,0 +1,178 @@
+#include "quant/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/bitutils.hh"
+
+namespace se {
+namespace quant {
+
+float
+Pow2Alphabet::project(float x) const
+{
+    if (x == 0.0f)
+        return 0.0f;
+    int p = nearestPow2Exp(x);
+    p = std::clamp(p, expMin(), expMax);
+    float mag = std::ldexp(1.0f, p);
+    // Values whose magnitude is closer to zero than to the smallest
+    // representable power collapse to zero.
+    float smallest = std::ldexp(1.0f, expMin());
+    if (std::abs(x) < smallest * 0.5f)
+        return 0.0f;
+    return x > 0 ? mag : -mag;
+}
+
+bool
+Pow2Alphabet::contains(float x) const
+{
+    if (x == 0.0f)
+        return true;
+    float ax = std::abs(x);
+    int p;
+    float frac = std::frexp(ax, &p);   // ax = frac * 2^p, frac in [0.5,1)
+    if (frac != 0.5f)
+        return false;
+    int exponent = p - 1;
+    return exponent >= expMin() && exponent <= expMax;
+}
+
+Pow2Alphabet
+choosePow2Alphabet(const Tensor &t, int bits)
+{
+    SE_ASSERT(bits >= 2, "need at least sign + 1 exponent bit");
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < t.size(); ++i)
+        max_abs = std::max(max_abs, std::abs(t[i]));
+
+    Pow2Alphabet a;
+    // bits-1 exponent codes, one reserved for zero.
+    a.numLevels = (1 << (bits - 1)) - 1;
+    a.expMax = max_abs > 0 ? nearestPow2Exp(max_abs) : 0;
+    return a;
+}
+
+Tensor
+projectPow2(const Tensor &t, const Pow2Alphabet &alpha)
+{
+    Tensor out = t;
+    for (int64_t i = 0; i < out.size(); ++i)
+        out[i] = alpha.project(out[i]);
+    return out;
+}
+
+double
+pow2Distance(const Tensor &t, const Pow2Alphabet &alpha)
+{
+    double d = 0.0;
+    for (int64_t i = 0; i < t.size(); ++i)
+        d += std::abs((double)t[i] - alpha.project(t[i]));
+    return d;
+}
+
+FixedPointQuantizer
+FixedPointQuantizer::calibrate(const Tensor &t, int bits)
+{
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < t.size(); ++i)
+        max_abs = std::max(max_abs, std::abs(t[i]));
+    FixedPointQuantizer q;
+    q.bits = bits;
+    const int32_t qmax = (1 << (bits - 1)) - 1;
+    q.scale = max_abs > 0 ? max_abs / (float)qmax : 1.0f;
+    return q;
+}
+
+int32_t
+FixedPointQuantizer::toInt(float x) const
+{
+    const int32_t qmax = (1 << (bits - 1)) - 1;
+    const int32_t qmin = -qmax;
+    int32_t q = (int32_t)std::lround(x / scale);
+    return std::clamp(q, qmin, qmax);
+}
+
+Tensor
+FixedPointQuantizer::fakeQuantize(const Tensor &t) const
+{
+    Tensor out = t;
+    for (int64_t i = 0; i < out.size(); ++i)
+        out[i] = toFloat(toInt(out[i]));
+    return out;
+}
+
+std::vector<int>
+boothDigits(int32_t value, int bits)
+{
+    // Radix-4 Booth: examine overlapping triplets (b_{2i+1}, b_{2i},
+    // b_{2i-1}) of the two's-complement representation with b_{-1}=0.
+    const int ndigits = (bits + 1) / 2;
+    std::vector<int> digits((size_t)ndigits, 0);
+    uint32_t u = (uint32_t)value & ((bits >= 32) ? ~0u
+                                                 : ((1u << bits) - 1));
+    auto bit = [&](int i) -> int {
+        if (i < 0)
+            return 0;
+        if (i >= bits)  // sign extension
+            return (int)((u >> (bits - 1)) & 1);
+        return (int)((u >> i) & 1);
+    };
+    static const int lut[8] = {0, 1, 1, 2, -2, -1, -1, 0};
+    for (int d = 0; d < ndigits; ++d) {
+        int code = (bit(2 * d + 1) << 2) | (bit(2 * d) << 1) |
+                   bit(2 * d - 1);
+        digits[(size_t)d] = lut[code];
+    }
+    return digits;
+}
+
+int
+boothNonzeroDigits(int32_t value, int bits)
+{
+    int n = 0;
+    for (int d : boothDigits(value, bits))
+        n += d != 0;
+    return n;
+}
+
+int
+essentialBits(int32_t value, int bits)
+{
+    uint32_t mag = (uint32_t)std::abs((int64_t)value);
+    mag &= (bits >= 32) ? ~0u : ((1u << bits) - 1);
+    return popcount(mag);
+}
+
+BitSparsityStats
+measureBitSparsity(const Tensor &t, int bits)
+{
+    auto q = FixedPointQuantizer::calibrate(t, bits);
+    const int ndigits = (bits + 1) / 2;
+    int64_t total = t.size();
+    int64_t zero_values = 0;
+    int64_t plain_nonzero_bits = 0, booth_nonzero_digits = 0;
+
+    for (int64_t i = 0; i < total; ++i) {
+        int32_t v = q.toInt(t[i]);
+        if (v == 0)
+            ++zero_values;
+        plain_nonzero_bits += essentialBits(v, bits);
+        booth_nonzero_digits += boothNonzeroDigits(v, bits);
+    }
+
+    BitSparsityStats s;
+    if (total == 0)
+        return s;
+    s.valueSparsity = (double)zero_values / (double)total;
+    s.plainBitSparsity =
+        1.0 - (double)plain_nonzero_bits / (double)(total * bits);
+    s.boothBitSparsity =
+        1.0 - (double)booth_nonzero_digits / (double)(total * ndigits);
+    s.avgEssentialBits = (double)plain_nonzero_bits / (double)total;
+    s.avgBoothDigits = (double)booth_nonzero_digits / (double)total;
+    return s;
+}
+
+} // namespace quant
+} // namespace se

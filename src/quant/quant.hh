@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quantization primitives:
+ *  - power-of-2 projection onto Omega_P = {0, +-2^p | p in P} used by the
+ *    SmartExchange coefficient matrix,
+ *  - symmetric linear fixed-point quantization used for activations
+ *    (8-bit) and basis matrices (8-bit),
+ *  - radix-4 Booth encoding and bit-level sparsity statistics used by
+ *    the bit-serial datapath models (Fig. 4, Bit-pragmatic baseline).
+ */
+
+#ifndef SE_QUANT_QUANT_HH
+#define SE_QUANT_QUANT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace quant {
+
+/**
+ * The power-of-2 alphabet Omega_P: exponents span
+ * [expMax - numLevels + 1, expMax]. With 4-bit coefficients the paper
+ * uses 1 sign bit + 3 exponent bits => numLevels = 7 plus the zero code.
+ */
+struct Pow2Alphabet
+{
+    int expMax = 0;      ///< Largest exponent p in P.
+    int numLevels = 7;   ///< |P|: number of representable exponents.
+
+    int expMin() const { return expMax - numLevels + 1; }
+
+    /** Project one value onto {0, +-2^p}: nearest in linear distance. */
+    float project(float x) const;
+
+    /** True when x is exactly representable (0 or +-2^p, p in P). */
+    bool contains(float x) const;
+};
+
+/**
+ * Choose the alphabet for a matrix: expMax from the largest magnitude,
+ * numLevels from the coefficient bit budget (bits-1 sign, rest exponent
+ * codes; one exponent code is reserved for zero).
+ */
+Pow2Alphabet choosePow2Alphabet(const Tensor &t, int bits = 4);
+
+/** Project every element of t onto the alphabet (returns a copy). */
+Tensor projectPow2(const Tensor &t, const Pow2Alphabet &alpha);
+
+/** Sum |t - projectPow2(t)| distance, the delta(Ce) of Algorithm 1. */
+double pow2Distance(const Tensor &t, const Pow2Alphabet &alpha);
+
+/**
+ * Symmetric linear quantizer mapping floats to signed integers of a
+ * given bit width with a per-tensor scale.
+ */
+struct FixedPointQuantizer
+{
+    int bits = 8;
+    float scale = 1.0f;  ///< Real value represented by one LSB.
+
+    /** Calibrate the scale from the max |x| of a tensor. */
+    static FixedPointQuantizer calibrate(const Tensor &t, int bits = 8);
+
+    int32_t toInt(float x) const;
+    float toFloat(int32_t q) const { return (float)q * scale; }
+
+    /** Quantize-dequantize a whole tensor (fake quantization). */
+    Tensor fakeQuantize(const Tensor &t) const;
+};
+
+/**
+ * Radix-4 Booth encoding of a two's-complement integer.
+ *
+ * An n-bit value yields ceil(n/2) digits, each in {-2,-1,0,+1,+2}. The
+ * number of non-zero digits is the work a Booth bit-serial multiplier
+ * performs, and zero digits are the "bit-level sparsity" the paper's
+ * Fig. 4 reports under Booth encoding.
+ */
+std::vector<int> boothDigits(int32_t value, int bits);
+
+/** Count of non-zero Booth digits (essential digits). */
+int boothNonzeroDigits(int32_t value, int bits);
+
+/** Count of set bits in the magnitude (essential bits, no Booth). */
+int essentialBits(int32_t value, int bits);
+
+/** Aggregate bit-level sparsity statistics over a tensor. */
+struct BitSparsityStats
+{
+    double plainBitSparsity = 0.0;  ///< zero bits / total bits (no Booth)
+    double boothBitSparsity = 0.0;  ///< zero digits / total digits
+    double valueSparsity = 0.0;     ///< zero values / total values
+    double avgEssentialBits = 0.0;  ///< mean nonzero bits per value
+    double avgBoothDigits = 0.0;    ///< mean nonzero Booth digits
+};
+
+/**
+ * Quantize t to `bits` and measure bit-level sparsity with and without
+ * 4-bit (radix-4) Booth encoding, reproducing the Fig. 4 metric.
+ */
+BitSparsityStats measureBitSparsity(const Tensor &t, int bits = 8);
+
+} // namespace quant
+} // namespace se
+
+#endif // SE_QUANT_QUANT_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hardware resource configurations (Table V). All accelerators are
+ * normalized to the same computation resources and on-chip SRAM:
+ * SmartExchange and Bit-pragmatic use 8K bit-serial multipliers
+ * (dimM=64 slices x dimC=16 PE lines x dimF=8 MACs); DianNao, SCNN and
+ * Cambricon-X use the equivalent 1K 8-bit parallel multipliers.
+ */
+
+#ifndef SE_SIM_CONFIG_HH
+#define SE_SIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace se {
+namespace sim {
+
+/** PE-array and buffer geometry for one accelerator instance. */
+struct ArrayConfig
+{
+    // --- compute -------------------------------------------------------
+    int64_t dimM = 64;  ///< PE slices (output channels in parallel)
+    int64_t dimC = 16;  ///< PE lines per slice (input channels)
+    int64_t dimF = 8;   ///< MACs per PE line (output pixels)
+    bool bitSerial = true;  ///< bit-serial (8K) vs parallel (1K) muls
+
+    // --- on-chip storage (Table V) --------------------------------------
+    int64_t inputGbBytes = 16 * 1024 * 32;   ///< 16KB x 32 banks
+    int64_t inputGbBankBytes = 16 * 1024;
+    int64_t outputGbBytes = 2 * 1024 * 2;    ///< 2KB x 2 banks
+    int64_t outputGbBankBytes = 2 * 1024;
+    int64_t weightBufBytesPerSlice = 2 * 1024 * 2;  ///< 2KB x 2
+    int64_t weightBufBankBytes = 2 * 1024;
+
+    // --- bandwidths ------------------------------------------------------
+    /** DRAM bytes per cycle (shared by all accelerators). The paper
+     *  assumes sufficient DRAM bandwidth for its speedup numbers. */
+    double dramBytesPerCycle = 64.0;
+
+    /**
+     * Fraction of vector-skipped work that converts into cycle
+     * savings: skipped coefficient/activation row pairs leave bubbles
+     * in lockstepped PE lines, so latency improves less than energy.
+     */
+    double vectorSkipCycleEfficiency = 0.75;
+
+    /**
+     * Fraction of vector-wise weight sparsity that aligns across the
+     * filters processed in parallel, letting the corresponding input
+     * rows skip the DRAM fetch as well (channel-pruning-adjacent rows
+     * mostly align; isolated pruned rows mostly do not).
+     */
+    double inputVectorSkipAlignment = 0.6;
+
+    /**
+     * Residual DRAM traffic fraction for activation tensors that fit
+     * in the input GB: most of such a tensor is retained on chip
+     * between layers, with the remainder covering double-buffer
+     * evictions and tiling boundaries.
+     */
+    double onChipRetentionResidual = 0.5;
+
+    /**
+     * Bit-serial digit synchronization overhead: lanes sharing a
+     * weight must wait for the slowest activation's non-zero digit
+     * count, so the effective serial digits exceed the mean.
+     */
+    double digitSyncOverhead = 1.5;
+
+    /** Parallel 8-bit multipliers this geometry is equivalent to. */
+    int64_t
+    parallelMultipliers() const
+    {
+        const int64_t lanes = dimM * dimC * dimF;
+        return bitSerial ? lanes / 8 : lanes;
+    }
+
+    /** Bit-serial lanes (valid when bitSerial). */
+    int64_t
+    bitSerialLanes() const
+    {
+        return dimM * dimC * dimF;
+    }
+
+    /** The SmartExchange / Bit-pragmatic configuration (Table V). */
+    static ArrayConfig
+    bitSerialDefault()
+    {
+        return ArrayConfig{};
+    }
+
+    /** The DianNao / SCNN / Cambricon-X configuration (Table V). */
+    static ArrayConfig
+    parallelDefault()
+    {
+        ArrayConfig c;
+        c.bitSerial = false;
+        c.dimM = 16;
+        c.dimC = 8;
+        c.dimF = 8;  // 16*8*8 = 1K 8-bit multipliers
+        return c;
+    }
+};
+
+} // namespace sim
+} // namespace se
+
+#endif // SE_SIM_CONFIG_HH

@@ -1,0 +1,21 @@
+#include "sim/energy_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace se {
+namespace sim {
+
+double
+EnergyModel::sramPj8(int64_t bytes) const
+{
+    // Log-linear interpolation between the 2 KB and 64 KB endpoints.
+    const double lo = 2.0 * 1024.0, hi = 64.0 * 1024.0;
+    const double b = std::clamp((double)bytes, lo, hi);
+    const double t = (std::log2(b) - std::log2(lo)) /
+                     (std::log2(hi) - std::log2(lo));
+    return sramMinPj8 + t * (sramMaxPj8 - sramMinPj8);
+}
+
+} // namespace sim
+} // namespace se

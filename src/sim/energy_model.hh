@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The 28 nm unit-energy model of Table I (plus the DRAM number the
+ * paper takes from [50]): all values are pJ per 8-bit access/operation.
+ *
+ *   DRAM 100  | SRAM 1.36-2.45 | MAC 0.143 | multiplier 0.124
+ *   adder 0.019
+ *
+ * SRAM energy depends on the macro capacity; the paper's data-type
+ * driven memory partition exists precisely to keep frequently-accessed
+ * data in smaller, cheaper macros, so we interpolate between the two
+ * published endpoints on a log scale.
+ */
+
+#ifndef SE_SIM_ENERGY_MODEL_HH
+#define SE_SIM_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace se {
+namespace sim {
+
+/** Unit energies in pJ per 8-bit datum (Table I). */
+struct EnergyModel
+{
+    double dramPj8 = 100.0;   ///< DRAM access per 8 bit [50]
+    double sramMinPj8 = 1.36; ///< smallest SRAM macro (2 KB)
+    double sramMaxPj8 = 2.45; ///< largest SRAM macro (64 KB+)
+    double macPj = 0.143;     ///< 8-bit multiply-accumulate
+    double multPj = 0.124;    ///< 8-bit multiply
+    double addPj = 0.019;     ///< 8-bit add
+    /** Register-file access inside a PE/RE (well below SRAM cost). */
+    double rfPj8 = 0.03;
+    /** One bit-serial Booth digit step: shift + add + control. */
+    double bitSerialDigitPj = 0.022;
+    /** One index-selector comparison (1-bit AND + queue push). */
+    double indexSelectPj = 0.004;
+    /**
+     * Array control/clock/static power per cycle for the whole PE
+     * array + buffers (~200 mW at 1 GHz). Makes poor utilization cost
+     * energy as well as time, which is what the paper's dedicated
+     * compact-model design recovers (Fig. 15).
+     */
+    double arrayControlPjPerCycle = 200.0;
+
+    /** SRAM energy per 8-bit for a macro of `bytes` capacity. */
+    double sramPj8(int64_t bytes) const;
+
+    /** Convenience: energy of moving `bits` through DRAM. */
+    double
+    dramEnergy(int64_t bits) const
+    {
+        return (double)bits / 8.0 * dramPj8;
+    }
+
+    /** Energy of moving `bits` through an SRAM of given capacity. */
+    double
+    sramEnergy(int64_t bits, int64_t macro_bytes) const
+    {
+        return (double)bits / 8.0 * sramPj8(macro_bytes);
+    }
+};
+
+} // namespace sim
+} // namespace se
+
+#endif // SE_SIM_ENERGY_MODEL_HH

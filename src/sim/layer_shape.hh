@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Workload descriptors consumed by the accelerator simulators.
+ *
+ * A LayerShape carries the exact geometry of one DNN layer (the paper's
+ * C, M, E, F, R, S, U notation from Section II-A) plus the sparsity
+ * statistics the dataflow models need: vector-wise and element-wise
+ * weight sparsity from the SmartExchange algorithm, and value/bit-level
+ * activation sparsity measured on real forward passes.
+ */
+
+#ifndef SE_SIM_LAYER_SHAPE_HH
+#define SE_SIM_LAYER_SHAPE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace se {
+namespace sim {
+
+/** Layer taxonomy relevant to the dataflow models. */
+enum class LayerKind
+{
+    Conv,           ///< standard 2-D convolution
+    DepthwiseConv,  ///< depth-wise convolution (compact models)
+    FullyConnected, ///< FC layer
+    SqueezeExcite,  ///< the two FC layers of an SE gate
+};
+
+/** Geometry and statistics of one layer. */
+struct LayerShape
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    int64_t c = 1;      ///< input channels (C)
+    int64_t m = 1;      ///< output channels / filters (M)
+    int64_t h = 1;      ///< input feature height
+    int64_t w = 1;      ///< input feature width
+    int64_t r = 1;      ///< kernel height (R)
+    int64_t s = 1;      ///< kernel width (S)
+    int64_t stride = 1; ///< stride (U)
+    int64_t pad = 0;    ///< zero padding
+
+    // --- sparsity statistics -------------------------------------------
+    /** Fraction of zero rows (S-element vectors) in the coefficient
+     *  matrix; enables vector-wise skipping (Fig. 3). */
+    double weightVectorSparsity = 0.0;
+    /** Fraction of zero elements in Ce (storage accounting). */
+    double weightElementSparsity = 0.0;
+    /** Fraction of channels pruned channel-wise. */
+    double channelSparsity = 0.0;
+    /** Fraction of zero activation values. */
+    double actValueSparsity = 0.0;
+    /** Fraction of all-zero activation rows (vector-wise). */
+    double actVectorSparsity = 0.0;
+    /** Mean non-zero Booth digits per 8-bit activation (<= 4). */
+    double actAvgBoothDigits = 4.0;
+    /** Mean non-zero plain bits per 8-bit activation (<= 8). */
+    double actAvgEssentialBits = 8.0;
+
+    // --- precision ------------------------------------------------------
+    int actBits = 8;    ///< activation precision
+    int weightBits = 8; ///< dense-weight precision (baselines)
+    int coefBits = 4;   ///< Ce precision (SmartExchange)
+    int basisBits = 8;  ///< B precision (SmartExchange)
+
+    /** Output feature height (E). */
+    int64_t
+    outH() const
+    {
+        return (h + 2 * pad - r) / stride + 1;
+    }
+    /** Output feature width (F). */
+    int64_t
+    outW() const
+    {
+        return (w + 2 * pad - s) / stride + 1;
+    }
+
+    /** Number of MAC operations for a dense layer, batch 1. */
+    int64_t
+    macs() const
+    {
+        if (kind == LayerKind::FullyConnected ||
+            kind == LayerKind::SqueezeExcite)
+            return c * m;
+        if (kind == LayerKind::DepthwiseConv)
+            return m * r * s * outH() * outW();
+        return m * c * r * s * outH() * outW();
+    }
+
+    /** Number of weight elements. */
+    int64_t
+    weightCount() const
+    {
+        if (kind == LayerKind::FullyConnected ||
+            kind == LayerKind::SqueezeExcite)
+            return c * m;
+        if (kind == LayerKind::DepthwiseConv)
+            return m * r * s;
+        return m * c * r * s;
+    }
+
+    /** Number of input activation elements (batch 1). */
+    int64_t
+    inputCount() const
+    {
+        if (kind == LayerKind::FullyConnected ||
+            kind == LayerKind::SqueezeExcite)
+            return c;
+        return c * h * w;
+    }
+
+    /** Number of output activation elements (batch 1). */
+    int64_t
+    outputCount() const
+    {
+        if (kind == LayerKind::FullyConnected ||
+            kind == LayerKind::SqueezeExcite)
+            return m;
+        return m * outH() * outW();
+    }
+};
+
+/** A full network workload: ordered layers plus a display name. */
+struct Workload
+{
+    std::string name;
+    std::string dataset;
+    std::vector<LayerShape> layers;
+
+    /** Sum of dense MACs across layers. */
+    int64_t
+    totalMacs() const
+    {
+        int64_t t = 0;
+        for (const auto &l : layers)
+            t += l.macs();
+        return t;
+    }
+
+    /** Sum of weight elements across layers. */
+    int64_t
+    totalWeights() const
+    {
+        int64_t t = 0;
+        for (const auto &l : layers)
+            t += l.weightCount();
+        return t;
+    }
+};
+
+} // namespace sim
+} // namespace se
+
+#endif // SE_SIM_LAYER_SHAPE_HH

@@ -1,0 +1,30 @@
+#include "sim/stats.hh"
+
+namespace se {
+namespace sim {
+
+std::string
+componentName(Component c)
+{
+    switch (c) {
+      case Component::DramInput: return "DRAM input";
+      case Component::DramOutput: return "DRAM output";
+      case Component::DramWeight: return "DRAM weight";
+      case Component::DramIndex: return "DRAM index";
+      case Component::InputGbRead: return "input GB (read)";
+      case Component::InputGbWrite: return "input GB (write)";
+      case Component::OutputGbRead: return "output GB (read)";
+      case Component::OutputGbWrite: return "output GB (write)";
+      case Component::WeightGbRead: return "weight GB (read)";
+      case Component::WeightGbWrite: return "weight GB (write)";
+      case Component::Pe: return "PE";
+      case Component::Accumulator: return "Accumulator";
+      case Component::Re: return "RE";
+      case Component::IndexSelector: return "Index selector";
+      case Component::NumComponents: break;
+    }
+    return "?";
+}
+
+} // namespace sim
+} // namespace se

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-run statistics: cycles plus an energy breakdown over the fourteen
+ * components the paper's Fig. 13 stacks (DRAM in/out/weight/index,
+ * input/output/weight GB reads and writes, PE, accumulator, RE, index
+ * selector).
+ */
+
+#ifndef SE_SIM_STATS_HH
+#define SE_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace se {
+namespace sim {
+
+/** Energy components (matches the Fig. 13 legend). */
+enum class Component
+{
+    DramInput,
+    DramOutput,
+    DramWeight,
+    DramIndex,
+    InputGbRead,
+    InputGbWrite,
+    OutputGbRead,
+    OutputGbWrite,
+    WeightGbRead,
+    WeightGbWrite,
+    Pe,
+    Accumulator,
+    Re,
+    IndexSelector,
+    NumComponents,
+};
+
+/** Display name of a component. */
+std::string componentName(Component c);
+
+constexpr size_t kNumComponents =
+    (size_t)Component::NumComponents;
+
+/** Cycles + energy breakdown + DRAM traffic for one run. */
+struct RunStats
+{
+    int64_t cycles = 0;
+    std::array<double, kNumComponents> energyPj{};
+    int64_t dramTrafficBits = 0;  ///< total DRAM traffic
+
+    double &
+    energy(Component c)
+    {
+        return energyPj[(size_t)c];
+    }
+    double
+    energy(Component c) const
+    {
+        return energyPj[(size_t)c];
+    }
+
+    /** Total energy over all components (pJ). */
+    double
+    totalEnergyPj() const
+    {
+        double t = 0.0;
+        for (double e : energyPj)
+            t += e;
+        return t;
+    }
+
+    /** DRAM accesses counted in bytes (Fig. 11 metric). */
+    int64_t
+    dramAccessBytes() const
+    {
+        return dramTrafficBits / 8;
+    }
+
+    /** Accumulate another run into this one. */
+    RunStats &
+    operator+=(const RunStats &o)
+    {
+        cycles += o.cycles;
+        dramTrafficBits += o.dramTrafficBits;
+        for (size_t i = 0; i < kNumComponents; ++i)
+            energyPj[i] += o.energyPj[i];
+        return *this;
+    }
+};
+
+} // namespace sim
+} // namespace se
+
+#endif // SE_SIM_STATS_HH

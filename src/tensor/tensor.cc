@@ -1,0 +1,34 @@
+#include "tensor/tensor.hh"
+
+#include "base/random.hh"
+
+namespace se {
+
+Tensor
+eye(int64_t n)
+{
+    Tensor t({n, n});
+    for (int64_t i = 0; i < n; ++i)
+        t.at(i, i) = 1.0f;
+    return t;
+}
+
+Tensor
+randn(const Shape &shape, Rng &rng, float mean, float stddev)
+{
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = rng.gaussian(mean, stddev);
+    return t;
+}
+
+Tensor
+randu(const Shape &shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.size(); ++i)
+        t[i] = rng.uniform(lo, hi);
+    return t;
+}
+
+} // namespace se

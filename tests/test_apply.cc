@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests of network-level SmartExchange application: reshaping rules for
+ * CONV/FC/1x1 layers, channel pruning via BN gamma, storage accounting,
+ * and in-place weight replacement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "core/apply.hh"
+
+namespace se {
+namespace {
+
+using core::ApplyOptions;
+using core::applySmartExchange;
+using core::decomposeConvWeight;
+using core::decomposeFcWeight;
+using core::SeOptions;
+
+TEST(ConvReshape, OnePiecePerFilterWithoutSlicing)
+{
+    Rng rng(1);
+    Tensor w = randn({4, 8, 3, 3}, rng, 0.0f, 0.1f);
+    auto pieces = decomposeConvWeight(w, SeOptions{}, ApplyOptions{});
+    EXPECT_EQ(pieces.size(), 4u);
+    for (const auto &p : pieces) {
+        EXPECT_EQ(p.ce.dim(0), 8 * 3);  // C * R rows
+        EXPECT_EQ(p.ce.dim(1), 3);      // S columns
+        EXPECT_EQ(p.basis.dim(0), 3);
+        EXPECT_EQ(p.basis.dim(1), 3);
+    }
+}
+
+TEST(ConvReshape, SlicingSplitsTallFilters)
+{
+    Rng rng(2);
+    Tensor w = randn({2, 32, 3, 3}, rng, 0.0f, 0.1f);
+    ApplyOptions ao;
+    ao.maxSliceRows = 24;  // 96 rows per filter -> 4 slices
+    auto pieces = decomposeConvWeight(w, SeOptions{}, ao);
+    EXPECT_EQ(pieces.size(), 2u * 4u);
+}
+
+TEST(FcReshape, RowsBecomeGroupedMatrices)
+{
+    Rng rng(3);
+    Tensor w = randn({5, 32}, rng, 0.0f, 0.1f);
+    ApplyOptions ao;
+    ao.fcGroupSize = 4;
+    auto pieces = decomposeFcWeight(w, SeOptions{}, ao);
+    EXPECT_EQ(pieces.size(), 5u);
+    EXPECT_EQ(pieces[0].ce.dim(0), 8);  // 32/4
+    EXPECT_EQ(pieces[0].ce.dim(1), 4);
+}
+
+TEST(FcReshape, PadsWhenNotDivisible)
+{
+    Rng rng(4);
+    Tensor w = randn({2, 30}, rng, 0.0f, 0.1f);  // 30 not /4
+    ApplyOptions ao;
+    ao.fcGroupSize = 4;
+    auto pieces = decomposeFcWeight(w, SeOptions{}, ao);
+    EXPECT_EQ(pieces[0].ce.dim(0), 8);  // ceil(30/4)
+}
+
+TEST(Apply, ReplacesWeightsWithReconstruction)
+{
+    Rng rng(5);
+    nn::Sequential net;
+    auto *conv = net.add<nn::Conv2d>(4, 6, 3, 1, 1, 1, rng, false);
+    Tensor before = conv->weightTensor();
+
+    SeOptions opts;
+    opts.vectorThreshold = 0.01;
+    auto report = applySmartExchange(net, opts, ApplyOptions{});
+
+    // Weights changed (projection happened) but stayed close.
+    const Tensor &after = conv->weightTensor();
+    double diff = 0.0, norm = 0.0;
+    for (int64_t i = 0; i < before.size(); ++i) {
+        diff += std::abs(before[i] - after[i]);
+        norm += std::abs(before[i]);
+    }
+    EXPECT_GT(diff, 0.0);
+    EXPECT_LT(diff / norm, 0.8);
+    ASSERT_EQ(report.layers.size(), 1u);
+    EXPECT_TRUE(report.layers[0].decomposed);
+    EXPECT_EQ(report.layers[0].pieces, 6);
+}
+
+TEST(Apply, CompressionRateBeatsEightToOne)
+{
+    // 4-bit coefficients + sparsity must beat FP32 by well over 8x.
+    Rng rng(6);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(8, 16, 3, 1, 1, 1, rng, false);
+    net.add<nn::Conv2d>(16, 16, 3, 1, 1, 1, rng, false);
+    SeOptions opts;
+    opts.minVectorSparsity = 0.5;
+    auto report = applySmartExchange(net, opts, ApplyOptions{});
+    EXPECT_GT(report.compressionRate(), 8.0);
+    EXPECT_GT(report.overallVectorSparsity(), 0.45);
+}
+
+TEST(Apply, ChannelPruningZerosFiltersAndGamma)
+{
+    Rng rng(7);
+    nn::Sequential net;
+    auto *conv = net.add<nn::Conv2d>(4, 8, 3, 1, 1, 1, rng, false);
+    auto *bn = net.add<nn::BatchNorm2d>(8);
+    // Three small gammas.
+    bn->gammaTensor()[1] = 0.001f;
+    bn->gammaTensor()[4] = -0.002f;
+    bn->gammaTensor()[6] = 0.0005f;
+
+    SeOptions opts;
+    ApplyOptions ao;
+    ao.channelGammaThreshold = 0.01;
+    auto report = applySmartExchange(net, opts, ao);
+
+    EXPECT_FLOAT_EQ(bn->gammaTensor()[1], 0.0f);
+    const Tensor &w = conv->weightTensor();
+    const int64_t pf = w.size() / w.dim(0);
+    for (int64_t k = 0; k < pf; ++k) {
+        EXPECT_FLOAT_EQ(w[1 * pf + k], 0.0f);
+        EXPECT_FLOAT_EQ(w[4 * pf + k], 0.0f);
+        EXPECT_FLOAT_EQ(w[6 * pf + k], 0.0f);
+    }
+    EXPECT_NEAR(report.layers[0].channelSparsity, 3.0 / 8.0, 1e-9);
+}
+
+TEST(Apply, OneByOneConvUsesFcRule)
+{
+    Rng rng(8);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(32, 4, 1, 1, 0, 1, rng, false);
+    SeOptions opts;
+    auto report = applySmartExchange(net, opts, ApplyOptions{});
+    ASSERT_EQ(report.layers.size(), 1u);
+    EXPECT_TRUE(report.layers[0].decomposed);
+    // FC rule: one piece per output channel (row).
+    EXPECT_EQ(report.layers[0].pieces, 4);
+}
+
+TEST(Apply, TinyLayersAreSkipped)
+{
+    Rng rng(9);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(1, 1, 3, 1, 1, 1, rng, false);  // 9 weights
+    auto report = applySmartExchange(net, SeOptions{}, ApplyOptions{});
+    ASSERT_EQ(report.layers.size(), 1u);
+    EXPECT_FALSE(report.layers[0].decomposed);
+}
+
+TEST(Apply, LinearLayerDecomposed)
+{
+    Rng rng(10);
+    nn::Sequential net;
+    net.add<nn::Linear>(64, 10, rng);
+    SeOptions opts;
+    auto report = applySmartExchange(net, opts, ApplyOptions{});
+    ASSERT_EQ(report.layers.size(), 1u);
+    EXPECT_TRUE(report.layers[0].decomposed);
+    EXPECT_GT(report.compressionRate(), 4.0);
+}
+
+TEST(Apply, ReportTotalsAreConsistent)
+{
+    Rng rng(11);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(4, 8, 3, 1, 1, 1, rng, false);
+    net.add<nn::Linear>(32, 10, rng);
+    auto report = applySmartExchange(net, SeOptions{}, ApplyOptions{});
+    int64_t ce = 0, basis = 0;
+    for (const auto &l : report.layers) {
+        ce += l.ceBits;
+        basis += l.basisBits;
+    }
+    EXPECT_EQ(ce, report.ceBitsTotal());
+    EXPECT_EQ(basis, report.basisBitsTotal());
+    EXPECT_EQ(report.compressedBits(), ce + basis);
+    EXPECT_GT(report.paramMB(), 0.0);
+    EXPECT_NEAR(report.paramMB(),
+                report.ceMB() + report.basisMB(), 1e-9);
+}
+
+TEST(Apply, HigherThresholdGivesSmallerModel)
+{
+    Rng rng(12);
+    nn::Sequential net1, net2;
+    net1.add<nn::Conv2d>(8, 8, 3, 1, 1, 1, rng, false);
+    Rng rng2(12);
+    net2.add<nn::Conv2d>(8, 8, 3, 1, 1, 1, rng2, false);
+
+    SeOptions loose, tight;
+    loose.vectorThreshold = 1e-4;
+    tight.vectorThreshold = 0.05;
+    auto rep1 = applySmartExchange(net1, loose, ApplyOptions{});
+    auto rep2 = applySmartExchange(net2, tight, ApplyOptions{});
+    EXPECT_GE(rep2.compressionRate(), rep1.compressionRate());
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests of the functional hardware component models: the bit-serial
+ * Booth MAC (exactness vs plain multiplication, cycle counts), the
+ * rebuild engine (exact Ce*B restoration via shift-and-add, ping-pong
+ * stall hiding), FIFOs, the streaming index selector, the PE-line 1D
+ * convolution, and the end-to-end functional engine validated against
+ * the NN framework's convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/bit_serial_mac.hh"
+#include "arch/engine.hh"
+#include "arch/fifo.hh"
+#include "arch/index_selector.hh"
+#include "arch/pe_line.hh"
+#include "arch/rebuild_engine.hh"
+#include "base/random.hh"
+#include "core/apply.hh"
+#include "linalg/linalg.hh"
+#include "nn/layers.hh"
+#include "quant/quant.hh"
+
+namespace se {
+namespace {
+
+using arch::BitSerialMac;
+using arch::DoubleBuffer;
+using arch::Fifo;
+using arch::IndexSelector;
+using arch::RebuildEngine;
+using arch::RebuildEnginePair;
+
+TEST(BitSerialMacTest, ExactForAll8BitPairs)
+{
+    for (int a = -128; a <= 127; a += 3)
+        for (int w = -128; w <= 127; w += 7) {
+            auto p = BitSerialMac::multiply(a, w, 8);
+            EXPECT_EQ(p.value, (int64_t)a * w)
+                << "a=" << a << " w=" << w;
+        }
+}
+
+TEST(BitSerialMacTest, CyclesEqualNonzeroBoothDigits)
+{
+    for (int a : {0, 1, -1, 5, 127, -128, 64, 85}) {
+        auto p = BitSerialMac::multiply(a, 3, 8);
+        const int expected =
+            std::max(1, quant::boothNonzeroDigits(a, 8));
+        EXPECT_EQ(p.cycles, expected) << "a=" << a;
+    }
+}
+
+TEST(BitSerialMacTest, SparseActivationsAreFaster)
+{
+    // A power-of-two activation needs fewer cycles than a dense one.
+    auto sparse = BitSerialMac::multiply(64, 93, 8);
+    auto dense = BitSerialMac::multiply(85, 93, 8);  // 0b01010101
+    EXPECT_LT(sparse.cycles, dense.cycles);
+}
+
+TEST(BitSerialMacTest, AccumulatorSums)
+{
+    BitSerialMac mac;
+    mac.accumulate(BitSerialMac::multiply(3, 4).value);
+    mac.accumulate(BitSerialMac::multiply(-2, 10).value);
+    EXPECT_EQ(mac.partialSum(), 12 - 20);
+    mac.reset();
+    EXPECT_EQ(mac.partialSum(), 0);
+}
+
+TEST(RebuildEngineTest, ExactRebuildFromPow2Coefficients)
+{
+    Rng rng(1);
+    Tensor basis = randn({3, 3}, rng);
+    RebuildEngine re;
+    re.loadBasis(basis);
+
+    const std::vector<float> ce_row{0.25f, 0.0f, -0.5f};
+    auto w = re.rebuildRow(ce_row);
+    for (int64_t k = 0; k < 3; ++k) {
+        const float expect =
+            0.25f * basis.at(0, k) - 0.5f * basis.at(2, k);
+        EXPECT_FLOAT_EQ(w[(size_t)k], expect);
+    }
+}
+
+TEST(RebuildEngineTest, CycleAccounting)
+{
+    Rng rng(2);
+    Tensor basis = randn({3, 3}, rng);
+    RebuildEngine re;
+    re.loadBasis(basis);
+    EXPECT_EQ(re.cyclesUsed(), 9);  // 3x3 load
+    re.rebuildRow({0.5f, -1.0f, 0.0f});
+    EXPECT_EQ(re.cyclesUsed(), 9 + 2 * 3);  // 2 nnz coeffs x 3 cols
+    re.rebuildRow({0.0f, 0.0f, 0.0f});
+    EXPECT_EQ(re.cyclesUsed(), 9 + 6 + 1);  // zero-row bypass
+}
+
+TEST(RebuildEngineTest, RejectsNonPow2Coefficient)
+{
+    Rng rng(3);
+    Tensor basis = randn({3, 3}, rng);
+    RebuildEngine re;
+    re.loadBasis(basis);
+    EXPECT_DEATH(re.rebuildRow({0.3f, 0.0f, 0.0f}), "power of two");
+}
+
+TEST(RebuildEngineTest, PingPongHidesLoadBehindCompute)
+{
+    Rng rng(4);
+    Tensor basis = randn({3, 3}, rng);
+    RebuildEnginePair pair;
+    pair.prefetchBasis(basis);
+    // Plenty of foreground compute since the prefetch: no stall.
+    EXPECT_EQ(pair.swap(100), 0);
+    pair.prefetchBasis(basis);
+    // Only 2 cycles elapsed: 9 - 2 = 7 stall cycles exposed.
+    EXPECT_EQ(pair.swap(2), 7);
+    EXPECT_EQ(pair.stalls(), 7);
+}
+
+TEST(FifoTest, FifoOrderAndCapacity)
+{
+    Fifo<int> f(3);
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.push(1));
+    EXPECT_TRUE(f.push(2));
+    EXPECT_TRUE(f.push(3));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.push(4));  // dropped
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_TRUE(f.push(4));
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_EQ(f.pop(), 4);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(FifoTest, PeekDoesNotConsume)
+{
+    Fifo<int> f(4);
+    f.push(7);
+    f.push(8);
+    EXPECT_EQ(f.peek(0), 7);
+    EXPECT_EQ(f.peek(1), 8);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FifoTest, PopEmptyDies)
+{
+    Fifo<int> f(2);
+    EXPECT_DEATH(f.pop(), "empty");
+}
+
+TEST(DoubleBufferTest, CleanSwapWhenReady)
+{
+    DoubleBuffer<int> db;
+    db.fill({1, 2, 3});
+    EXPECT_TRUE(db.ready());
+    EXPECT_TRUE(db.swap());
+    EXPECT_EQ(db.current().size(), 3u);
+    // No refill: the next swap reports a stall.
+    EXPECT_FALSE(db.swap());
+}
+
+TEST(IndexSelectorTest, SelectsIntersection)
+{
+    IndexSelector sel({1, 0, 1, 1, 0, 1}, {1, 1, 0, 1, 0, 1});
+    auto picks = sel.selectAll();
+    ASSERT_EQ(picks.size(), 3u);
+    EXPECT_EQ(picks[0], 0);
+    EXPECT_EQ(picks[1], 3);
+    EXPECT_EQ(picks[2], 5);
+    // One cycle per examined position.
+    EXPECT_EQ(sel.cyclesUsed(), 6);
+}
+
+TEST(IndexSelectorTest, StreamingNextInterface)
+{
+    IndexSelector sel({0, 1, 0}, {1, 1, 1});
+    auto p = sel.next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 1);
+    EXPECT_FALSE(sel.next().has_value());
+}
+
+TEST(PeLineTest, MatchesReference1dConv)
+{
+    // out[f] = sum_s w[s] * in[f * stride + s], exact integers.
+    const std::vector<int32_t> w{2, -1, 3};
+    const std::vector<int32_t> in{1, 4, -2, 0, 5, 7, -3};
+    arch::PeLineConfig cfg{8, 8};
+    auto res = arch::conv1d(w, in, 5, 1, cfg);
+    for (int64_t f = 0; f < 5; ++f) {
+        int64_t expect = 0;
+        for (int64_t s = 0; s < 3; ++s)
+            expect += (int64_t)w[(size_t)s] * in[(size_t)(f + s)];
+        EXPECT_EQ(res.outputs[(size_t)f], expect) << "f=" << f;
+    }
+    EXPECT_GT(res.cycles, 0);
+}
+
+TEST(PeLineTest, StridedConv)
+{
+    const std::vector<int32_t> w{1, 1, 1};
+    const std::vector<int32_t> in{1, 2, 3, 4, 5, 6, 7};
+    arch::PeLineConfig cfg{4, 8};
+    auto res = arch::conv1d(w, in, 3, 2, cfg);
+    EXPECT_EQ(res.outputs[0], 6);    // 1+2+3
+    EXPECT_EQ(res.outputs[1], 12);   // 3+4+5
+    EXPECT_EQ(res.outputs[2], 18);   // 5+6+7
+}
+
+TEST(PeLineTest, ZeroWeightSlotsCostNothing)
+{
+    const std::vector<int32_t> in{9, 9, 9, 9, 9, 9};
+    arch::PeLineConfig cfg{4, 8};
+    auto dense = arch::conv1d({1, 1, 1}, in, 4, 1, cfg);
+    auto sparse = arch::conv1d({1, 0, 0}, in, 4, 1, cfg);
+    EXPECT_LT(sparse.cycles, dense.cycles);
+}
+
+TEST(PeLineTest, LaneSynchronizationCost)
+{
+    // One dense activation in the group forces the whole group to its
+    // digit count.
+    arch::PeLineConfig cfg{4, 8};
+    const std::vector<int32_t> all_sparse{64, 64, 64, 64, 64, 64};
+    const std::vector<int32_t> one_dense{85, 64, 64, 64, 64, 64};
+    auto fast = arch::conv1d({3, 3, 3}, all_sparse, 4, 1, cfg);
+    auto slow = arch::conv1d({3, 3, 3}, one_dense, 4, 1, cfg);
+    EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+// --------------------------------------------------------------- engine
+
+/** Build SE pieces for a small conv weight, one piece per filter. */
+std::vector<core::SeMatrix>
+makePieces(const Tensor &weight, double min_sparsity = 0.0)
+{
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.0;
+    opts.minVectorSparsity = min_sparsity;
+    core::ApplyOptions ao;
+    return core::decomposeConvWeight(weight, opts, ao);
+}
+
+TEST(EngineTest, MatchesNnConvolutionWithinQuantization)
+{
+    Rng rng(10);
+    const int64_t c = 4, m = 3, k = 3, hw = 8;
+    nn::Conv2d conv(c, m, k, 1, 1, 1, rng, false);
+    Tensor x = randn({1, c, hw, hw}, rng);
+
+    auto pieces = makePieces(conv.weightTensor());
+    arch::EngineConfig cfg;
+    auto res = arch::runConvLayer(x, pieces, k, 1, 1, cfg);
+
+    // Reference: float conv with the reconstructed (SE-form) weights.
+    nn::Conv2d ref(c, m, k, 1, 1, 1, rng, false);
+    {
+        Tensor &wt = ref.weightTensor();
+        for (int64_t f = 0; f < m; ++f) {
+            Tensor rec = pieces[(size_t)f].reconstruct();
+            for (int64_t cc = 0; cc < c; ++cc)
+                for (int64_t kr = 0; kr < k; ++kr)
+                    for (int64_t ks = 0; ks < k; ++ks)
+                        wt.at(f, cc, kr, ks) =
+                            rec.at(cc * k + kr, ks);
+        }
+    }
+    Tensor y_ref = ref.forward(x, false);
+
+    ASSERT_EQ(res.output.size(), y_ref.size());
+    // 8-bit activations and weights: tolerance scales with the
+    // accumulation depth.
+    double max_abs = 0.0;
+    for (int64_t i = 0; i < y_ref.size(); ++i)
+        max_abs = std::max(max_abs, (double)std::abs(y_ref[i]));
+    const double tol = std::max(0.05 * max_abs, 0.05);
+    for (int64_t i = 0; i < y_ref.size(); ++i)
+        EXPECT_NEAR(res.output[i], y_ref[i], tol) << "i=" << i;
+}
+
+TEST(EngineTest, VectorSkippingPreservesOutputOfZeroRows)
+{
+    Rng rng(11);
+    const int64_t c = 4, m = 2, k = 3, hw = 6;
+    nn::Conv2d conv(c, m, k, 1, 1, 1, rng, false);
+    auto pieces = makePieces(conv.weightTensor(), 0.5);
+
+    arch::EngineConfig with, without;
+    without.skipZeroRows = false;
+    Tensor x = randn({1, c, hw, hw}, rng);
+    auto a = arch::runConvLayer(x, pieces, k, 1, 1, with);
+    auto b = arch::runConvLayer(x, pieces, k, 1, 1, without);
+
+    // Identical numerics: skipping only avoids provably-zero work.
+    for (int64_t i = 0; i < a.output.size(); ++i)
+        EXPECT_FLOAT_EQ(a.output[i], b.output[i]);
+    // And it saves cycles.
+    EXPECT_LT(a.macCycles, b.macCycles);
+    EXPECT_GT(a.rowsSkipped, 0);
+}
+
+TEST(EngineTest, CycleCountsScaleWithSparsity)
+{
+    Rng rng(12);
+    const int64_t c = 6, m = 4, k = 3, hw = 8;
+    nn::Conv2d conv(c, m, k, 1, 1, 1, rng, false);
+    auto dense_pieces = makePieces(conv.weightTensor(), 0.0);
+    auto sparse_pieces = makePieces(conv.weightTensor(), 0.6);
+    Tensor x = randn({1, c, hw, hw}, rng);
+    arch::EngineConfig cfg;
+    auto dense = arch::runConvLayer(x, dense_pieces, k, 1, 1, cfg);
+    auto sparse = arch::runConvLayer(x, sparse_pieces, k, 1, 1, cfg);
+    EXPECT_LT(sparse.macCycles, dense.macCycles);
+    EXPECT_LT(sparse.rowsProcessed, dense.rowsProcessed);
+}
+
+TEST(EngineTest, PingPongKeepsStallsSmall)
+{
+    Rng rng(13);
+    const int64_t c = 8, m = 6, k = 3, hw = 8;
+    nn::Conv2d conv(c, m, k, 1, 1, 1, rng, false);
+    auto pieces = makePieces(conv.weightTensor());
+    Tensor x = randn({1, c, hw, hw}, rng);
+    arch::EngineConfig cfg;
+    auto res = arch::runConvLayer(x, pieces, k, 1, 1, cfg);
+    // Only the first basis load is exposed; later loads hide behind
+    // the previous filter's compute.
+    EXPECT_LE(res.reStallCycles, k * k);
+    EXPECT_GT(res.macCycles, 0);
+}
+
+TEST(EngineTest, StridedAndPaddedGeometry)
+{
+    Rng rng(14);
+    const int64_t c = 3, m = 2, k = 3, hw = 9;
+    nn::Conv2d conv(c, m, k, 2, 1, 1, rng, false);
+    auto pieces = makePieces(conv.weightTensor());
+    Tensor x = randn({1, c, hw, hw}, rng);
+    arch::EngineConfig cfg;
+    auto res = arch::runConvLayer(x, pieces, k, 2, 1, cfg);
+    EXPECT_EQ(res.output.dim(2), (hw + 2 - k) / 2 + 1);
+    EXPECT_EQ(res.output.dim(3), (hw + 2 - k) / 2 + 1);
+}
+
+} // namespace
+} // namespace se

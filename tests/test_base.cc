@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the base utilities: bit helpers, RNG determinism,
+ * table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/bitutils.hh"
+#include "base/random.hh"
+#include "base/table.hh"
+
+namespace se {
+namespace {
+
+TEST(BitUtils, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0xFF), 8);
+    EXPECT_EQ(popcount(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+TEST(BitUtils, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(1024), 10);
+    EXPECT_EQ(ceilLog2(1025), 11);
+}
+
+TEST(BitUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 8), 1);
+}
+
+TEST(BitUtils, NearestPow2ExpExactPowers)
+{
+    EXPECT_EQ(nearestPow2Exp(1.0), 0);
+    EXPECT_EQ(nearestPow2Exp(2.0), 1);
+    EXPECT_EQ(nearestPow2Exp(0.5), -1);
+    EXPECT_EQ(nearestPow2Exp(0.25), -2);
+    EXPECT_EQ(nearestPow2Exp(-4.0), 2);
+}
+
+TEST(BitUtils, NearestPow2ExpLinearDistance)
+{
+    // 3.0 is at distance 1 from both 2 and 4; log rounding picks one,
+    // and either is a valid nearest neighbour. 2.9 is closer to 2.
+    const int e3 = nearestPow2Exp(3.0);
+    EXPECT_TRUE(e3 == 1 || e3 == 2);
+    EXPECT_EQ(nearestPow2Exp(2.9), 1);
+    EXPECT_EQ(nearestPow2Exp(3.1), 2);
+    // 1.4 closer to 1; 1.6 closer to 2.
+    EXPECT_EQ(nearestPow2Exp(1.4), 0);
+    EXPECT_EQ(nearestPow2Exp(1.6), 1);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, IntegerRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.integer(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(1.0f, 2.0f);
+        sum += v;
+        sum2 += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"model", "value"});
+    t.row().cell("VGG11").cell(1.5, 1);
+    t.row().cell("x").cell((int64_t)42);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("model"), std::string::npos);
+    EXPECT_NE(out.find("VGG11"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests of the software-hardware interface (Fig. 7): the parser's
+ * shape inference against live forward passes, and the compiler's
+ * tiling plans and instruction streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "compiler/compiler.hh"
+#include "compiler/parser.hh"
+#include "models/zoo.hh"
+
+namespace se {
+namespace {
+
+using compiler::compileNetwork;
+using compiler::Dataflow;
+using compiler::Opcode;
+using compiler::parseNetwork;
+using compiler::planLayer;
+
+TEST(Parser, SimpleConvNetShapes)
+{
+    Rng rng(1);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(3, 8, 3, 1, 1, 1, rng, false);
+    net.add<nn::BatchNorm2d>(8);
+    net.add<nn::ReLU>();
+    net.add<nn::MaxPool2d>(2, 2);
+    net.add<nn::Conv2d>(8, 16, 3, 2, 1, 1, rng, false);
+    net.add<nn::Flatten>();
+    net.add<nn::Linear>(16 * 4 * 4, 10, rng);
+
+    auto w = parseNetwork(net, 3, 16, 16);
+    ASSERT_EQ(w.layers.size(), 3u);
+    EXPECT_EQ(w.layers[0].kind, sim::LayerKind::Conv);
+    EXPECT_EQ(w.layers[0].h, 16);
+    EXPECT_EQ(w.layers[0].outH(), 16);
+    EXPECT_EQ(w.layers[1].h, 8);   // after 2x2 pool
+    EXPECT_EQ(w.layers[1].outH(), 4);  // stride 2
+    EXPECT_EQ(w.layers[2].kind, sim::LayerKind::FullyConnected);
+    EXPECT_EQ(w.layers[2].c, 16 * 4 * 4);
+    EXPECT_EQ(w.layers[2].m, 10);
+}
+
+TEST(Parser, DepthwiseDetection)
+{
+    Rng rng(2);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(8, 8, 3, 1, 1, 8, rng, false);  // depthwise
+    net.add<nn::Conv2d>(8, 16, 1, 1, 0, 1, rng, false); // pointwise
+    auto w = parseNetwork(net, 8, 10, 10);
+    ASSERT_EQ(w.layers.size(), 2u);
+    EXPECT_EQ(w.layers[0].kind, sim::LayerKind::DepthwiseConv);
+    EXPECT_EQ(w.layers[1].kind, sim::LayerKind::Conv);
+    EXPECT_EQ(w.layers[1].r, 1);
+}
+
+TEST(Parser, ParsedMacsMatchLiveForwardShapes)
+{
+    // Forward a real batch and verify the parser's output geometry
+    // against the live tensors, for every zoo model.
+    for (auto id : {models::ModelId::VGG19, models::ModelId::ResNet50,
+                    models::ModelId::MobileNetV2,
+                    models::ModelId::EfficientNetB0}) {
+        models::SimConfig cfg;
+        cfg.inHeight = cfg.inWidth = 16;
+        auto net = models::buildSim(id, cfg);
+        auto w = parseNetwork(*net, cfg.inChannels, cfg.inHeight,
+                              cfg.inWidth, models::modelName(id));
+        EXPECT_GT(w.layers.size(), 3u) << models::modelName(id);
+        EXPECT_GT(w.totalMacs(), 0) << models::modelName(id);
+        // The live model must actually run with these dims.
+        Rng rng(3);
+        Tensor x = randn({1, cfg.inChannels, cfg.inHeight,
+                          cfg.inWidth}, rng);
+        Tensor y = net->forward(x, false);
+        EXPECT_EQ(y.dim(1), cfg.numClasses) << models::modelName(id);
+    }
+}
+
+TEST(Parser, SqueezeExciteRecorded)
+{
+    models::SimConfig cfg;
+    cfg.inHeight = cfg.inWidth = 16;
+    auto net = models::buildSim(models::ModelId::EfficientNetB0, cfg);
+    auto w = parseNetwork(*net, cfg.inChannels, cfg.inHeight,
+                          cfg.inWidth);
+    int se_layers = 0;
+    for (const auto &l : w.layers)
+        se_layers += l.kind == sim::LayerKind::SqueezeExcite;
+    EXPECT_GT(se_layers, 0);
+}
+
+TEST(Parser, AnnotateFromReport)
+{
+    Rng rng(4);
+    nn::Sequential net;
+    net.add<nn::Conv2d>(3, 8, 3, 1, 1, 1, rng, false);
+    net.add<nn::Conv2d>(8, 8, 3, 1, 1, 1, rng, false);
+    auto w = parseNetwork(net, 3, 8, 8);
+    compiler::annotateFromReport(w, {0.5, 0.7}, {0.6, 0.8}, 0.4, 1.3);
+    EXPECT_DOUBLE_EQ(w.layers[0].weightVectorSparsity, 0.5);
+    EXPECT_DOUBLE_EQ(w.layers[1].weightElementSparsity, 0.8);
+    EXPECT_DOUBLE_EQ(w.layers[1].actValueSparsity, 0.4);
+}
+
+TEST(CompilerTest, ConvPlanDims)
+{
+    sim::LayerShape l;
+    l.kind = sim::LayerKind::Conv;
+    l.c = 128;
+    l.m = 256;
+    l.h = l.w = 28;
+    l.r = l.s = 3;
+    l.pad = 1;
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto plan = planLayer(l, cfg);
+    EXPECT_EQ(plan.dataflow, Dataflow::RowStationary2d);
+    EXPECT_EQ(plan.mTiles, 4);   // 256 / 64
+    EXPECT_EQ(plan.cTiles, 8);   // 128 / 16
+    EXPECT_EQ(plan.fTiles, 4);   // 28 / 8 rounded up
+    EXPECT_GT(plan.utilization, 0.9);
+}
+
+TEST(CompilerTest, DepthwiseUsesRemappedDataflow)
+{
+    sim::LayerShape l;
+    l.kind = sim::LayerKind::DepthwiseConv;
+    l.c = l.m = 192;
+    l.h = l.w = 14;
+    l.r = l.s = 3;
+    l.pad = 1;
+    auto plan = planLayer(l, sim::ArrayConfig::bitSerialDefault());
+    EXPECT_EQ(plan.dataflow, Dataflow::DepthwiseRemapped);
+    // Utilization bounded by R / dimC.
+    EXPECT_LE(plan.utilization, 3.0 / 16.0 + 1e-9);
+}
+
+TEST(CompilerTest, FcUsesClusteredDataflow)
+{
+    sim::LayerShape l;
+    l.kind = sim::LayerKind::FullyConnected;
+    l.c = 512;
+    l.m = 10;
+    auto plan = planLayer(l, sim::ArrayConfig::bitSerialDefault());
+    EXPECT_EQ(plan.dataflow, Dataflow::FcClustered);
+    EXPECT_EQ(plan.mTiles, 1);
+}
+
+TEST(CompilerTest, InputGbFitDetection)
+{
+    sim::LayerShape small, large;
+    small.kind = large.kind = sim::LayerKind::Conv;
+    small.c = 16;
+    small.h = small.w = 32;  // 16 KB
+    large.c = 64;
+    large.h = large.w = 224;  // ~3.2 MB
+    small.m = large.m = 64;
+    small.r = small.s = large.r = large.s = 3;
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    EXPECT_TRUE(planLayer(small, cfg).inputFitsGb);
+    EXPECT_FALSE(planLayer(large, cfg).inputFitsGb);
+}
+
+TEST(CompilerTest, InstructionStreamStructure)
+{
+    sim::Workload w;
+    sim::LayerShape l;
+    l.kind = sim::LayerKind::Conv;
+    l.c = 32;
+    l.m = 128;  // 2 m-tiles at dimM = 64
+    l.h = l.w = 14;
+    l.r = l.s = 3;
+    l.pad = 1;
+    w.layers.push_back(l);
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto prog = compileNetwork(w, cfg);
+
+    ASSERT_EQ(prog.plans.size(), 1u);
+    EXPECT_EQ(prog.countOps(Opcode::ConfigLayer), 1);
+    EXPECT_EQ(prog.countOps(Opcode::LoadCoeff), prog.plans[0].mTiles);
+    EXPECT_EQ(prog.countOps(Opcode::LoadBasis), prog.plans[0].mTiles);
+    EXPECT_EQ(prog.countOps(Opcode::Compute),
+              prog.plans[0].mTiles * prog.plans[0].cTiles);
+    EXPECT_EQ(prog.countOps(Opcode::StoreOutput),
+              prog.plans[0].mTiles);
+    // Instructions appear in execution order: CONFIG first.
+    EXPECT_EQ(prog.instructions.front().op, Opcode::ConfigLayer);
+}
+
+TEST(CompilerTest, WholeModelCompiles)
+{
+    auto w = models::paperShapes(models::ModelId::ResNet50);
+    auto prog =
+        compileNetwork(w, sim::ArrayConfig::bitSerialDefault());
+    EXPECT_EQ(prog.plans.size(), w.layers.size());
+    EXPECT_GT(prog.instructions.size(), w.layers.size() * 4);
+    // Disassembly renders without crashing and mentions an opcode.
+    auto text = compiler::disassemble(prog, 16);
+    EXPECT_NE(text.find("CONFIG"), std::string::npos);
+}
+
+TEST(CompilerTest, ParsedModelRoundTripsThroughCompiler)
+{
+    models::SimConfig cfg;
+    cfg.inHeight = cfg.inWidth = 16;
+    auto net = models::buildSim(models::ModelId::VGG19, cfg);
+    auto w = parseNetwork(*net, cfg.inChannels, cfg.inHeight,
+                          cfg.inWidth);
+    auto prog =
+        compileNetwork(w, sim::ArrayConfig::bitSerialDefault());
+    EXPECT_EQ(prog.plans.size(), w.layers.size());
+    for (const auto &plan : prog.plans) {
+        EXPECT_GT(plan.utilization, 0.0);
+        EXPECT_LE(plan.utilization, 1.0);
+    }
+}
+
+} // namespace
+} // namespace se

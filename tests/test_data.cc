@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hh"
+
+namespace se {
+namespace {
+
+TEST(Classification, ShapesAndLabels)
+{
+    data::ClassSetConfig cfg;
+    cfg.numClasses = 5;
+    cfg.trainBatches = 3;
+    cfg.testBatches = 2;
+    auto task = data::makeClassification(cfg);
+    EXPECT_EQ(task.train.batches.size(), 3u);
+    EXPECT_EQ(task.test.batches.size(), 2u);
+    EXPECT_EQ(task.train.numClasses, 5);
+    for (size_t b = 0; b < task.train.batches.size(); ++b) {
+        const Tensor &t = task.train.batches[b];
+        EXPECT_EQ(t.dim(0), cfg.batchSize);
+        EXPECT_EQ(t.dim(1), cfg.channels);
+        EXPECT_EQ(t.dim(2), cfg.height);
+        for (int lbl : task.train.labels[b]) {
+            EXPECT_GE(lbl, 0);
+            EXPECT_LT(lbl, 5);
+        }
+    }
+}
+
+TEST(Classification, DeterministicUnderSeed)
+{
+    data::ClassSetConfig cfg;
+    cfg.seed = 99;
+    auto a = data::makeClassification(cfg);
+    auto b = data::makeClassification(cfg);
+    EXPECT_EQ(a.train.labels[0], b.train.labels[0]);
+    for (int64_t i = 0; i < a.train.batches[0].size(); ++i)
+        EXPECT_FLOAT_EQ(a.train.batches[0][i], b.train.batches[0][i]);
+}
+
+TEST(Classification, DifferentSeedsDiffer)
+{
+    data::ClassSetConfig cfg;
+    cfg.seed = 1;
+    auto a = data::makeClassification(cfg);
+    cfg.seed = 2;
+    auto b = data::makeClassification(cfg);
+    double diff = 0.0;
+    for (int64_t i = 0; i < a.train.batches[0].size(); ++i)
+        diff += std::abs(a.train.batches[0][i] - b.train.batches[0][i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(Classification, CoversAllClasses)
+{
+    data::ClassSetConfig cfg;
+    cfg.numClasses = 4;
+    cfg.trainBatches = 8;
+    auto task = data::makeClassification(cfg);
+    std::set<int> seen;
+    for (const auto &labels : task.train.labels)
+        for (int l : labels)
+            seen.insert(l);
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Classification, PrototypesAreLearnableSignal)
+{
+    // Same-class samples must be closer together (on average) than
+    // cross-class samples; otherwise no model could learn the task.
+    data::ClassSetConfig cfg;
+    cfg.noise = 0.3f;
+    cfg.trainBatches = 6;
+    auto task = data::makeClassification(cfg);
+
+    // Collect one mean image per class.
+    std::vector<Tensor> sums(
+        (size_t)cfg.numClasses,
+        Tensor({cfg.channels, cfg.height, cfg.width}));
+    std::vector<int> counts((size_t)cfg.numClasses, 0);
+    for (size_t b = 0; b < task.train.batches.size(); ++b)
+        for (int i = 0; i < cfg.batchSize; ++i) {
+            const int cls = task.train.labels[b][(size_t)i];
+            for (int64_t k = 0; k < sums[(size_t)cls].size(); ++k)
+                sums[(size_t)cls][k] +=
+                    task.train.batches[b]
+                        [i * sums[(size_t)cls].size() + k];
+            ++counts[(size_t)cls];
+        }
+    // Mean intra-class distance to own centroid vs to other centroids.
+    double self_dist = 0.0, cross_dist = 0.0;
+    int cross_n = 0;
+    for (int a = 0; a < cfg.numClasses; ++a) {
+        for (int64_t k = 0; k < sums[(size_t)a].size(); ++k)
+            sums[(size_t)a][k] /= (float)std::max(1, counts[(size_t)a]);
+        for (int b = 0; b < cfg.numClasses; ++b) {
+            double d = 0.0;
+            for (int64_t k = 0; k < sums[(size_t)a].size(); ++k) {
+                const double diff =
+                    sums[(size_t)a][k] - sums[(size_t)b][k];
+                d += diff * diff;
+            }
+            if (a == b)
+                self_dist += d;
+            else {
+                cross_dist += d;
+                ++cross_n;
+            }
+        }
+    }
+    EXPECT_GT(cross_dist / cross_n, self_dist / cfg.numClasses);
+}
+
+TEST(Segmentation, ShapesAndLabelRange)
+{
+    data::SegSetConfig cfg;
+    cfg.numClasses = 4;
+    auto task = data::makeSegmentation(cfg);
+    EXPECT_EQ((int)task.train.images.size(), cfg.trainBatches);
+    const Tensor &img = task.train.images[0];
+    const Tensor &lbl = task.train.labels[0];
+    EXPECT_EQ(img.dim(0), cfg.batchSize);
+    EXPECT_EQ(lbl.dim(0), cfg.batchSize);
+    EXPECT_EQ(lbl.dim(1), cfg.height);
+    for (int64_t i = 0; i < lbl.size(); ++i) {
+        EXPECT_GE(lbl[i], 0.0f);
+        EXPECT_LT(lbl[i], (float)cfg.numClasses);
+    }
+}
+
+TEST(Segmentation, ContainsForegroundObjects)
+{
+    data::SegSetConfig cfg;
+    auto task = data::makeSegmentation(cfg);
+    int64_t fg = 0, total = 0;
+    for (const auto &lbl : task.train.labels)
+        for (int64_t i = 0; i < lbl.size(); ++i) {
+            fg += lbl[i] > 0.0f;
+            ++total;
+        }
+    const double ratio = (double)fg / (double)total;
+    EXPECT_GT(ratio, 0.05);
+    EXPECT_LT(ratio, 0.9);
+}
+
+} // namespace
+} // namespace se

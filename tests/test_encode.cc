@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the sparse index encodings and the index-selector logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encode/encoding.hh"
+
+namespace se {
+namespace {
+
+using encode::crsCost;
+using encode::directBitmap;
+using encode::indexOverhead;
+using encode::runLengthEncode;
+using encode::selectPairs;
+using encode::vectorBitmap;
+
+TEST(Bitmap, MarksNonZeros)
+{
+    auto b = directBitmap({0.0f, 1.0f, 0.0f, -2.0f});
+    ASSERT_EQ(b.bits.size(), 4u);
+    EXPECT_EQ(b.bits[0], 0);
+    EXPECT_EQ(b.bits[1], 1);
+    EXPECT_EQ(b.bits[3], 1);
+    EXPECT_EQ(b.storageBits(), 4);
+}
+
+TEST(VectorBitmap, OneBitPerRow)
+{
+    Tensor m({3, 3});
+    m.at(1, 2) = 5.0f;  // only row 1 non-zero
+    auto b = vectorBitmap(m);
+    ASSERT_EQ(b.bits.size(), 3u);
+    EXPECT_EQ(b.bits[0], 0);
+    EXPECT_EQ(b.bits[1], 1);
+    EXPECT_EQ(b.bits[2], 0);
+}
+
+TEST(VectorBitmap, ReducesOverheadVsElementWise)
+{
+    // The Fig. 3 (b) comparison: 18 element indices vs 6 vector
+    // indices for a 6x3 block.
+    auto o = indexOverhead(6, 3);
+    EXPECT_EQ(o.elementWiseBits, 18);
+    EXPECT_EQ(o.vectorWiseBits, 6);
+}
+
+TEST(RunLength, EncodesRuns)
+{
+    int64_t padded = 0;
+    auto rl = runLengthEncode({0, 0, 3.0f, 0, 5.0f, 7.0f}, 4, &padded);
+    // Runs before each nnz: 2, 1, 0.
+    ASSERT_EQ(rl.runs.size(), 3u);
+    EXPECT_EQ(rl.runs[0], 2u);
+    EXPECT_EQ(rl.runs[1], 1u);
+    EXPECT_EQ(rl.runs[2], 0u);
+    EXPECT_EQ(padded, 0);
+    EXPECT_EQ(rl.storageBits(), 12);
+}
+
+TEST(RunLength, LongRunsEmitPadding)
+{
+    std::vector<float> v(20, 0.0f);
+    v.push_back(1.0f);
+    int64_t padded = 0;
+    auto rl = runLengthEncode(v, 2, &padded);  // max run 3
+    EXPECT_GT(padded, 0);
+    // Total zeros represented: runs + padded entries each carry up to
+    // max_run zeros; final nnz terminates.
+    EXPECT_GE((int64_t)rl.runs.size(), padded + 1);
+}
+
+TEST(Crs, CountsMatchMatrix)
+{
+    Tensor m({4, 8});
+    m.at(0, 1) = 1.0f;
+    m.at(2, 7) = 2.0f;
+    m.at(3, 0) = 3.0f;
+    auto c = crsCost(m);
+    EXPECT_EQ(c.nnz, 3);
+    EXPECT_EQ(c.columnIndexBits, 3 * 3);  // log2(8) = 3 bits
+    EXPECT_GT(c.rowPointerBits, 0);
+    EXPECT_EQ(c.storageBits(8), 3 * 8 + 9 + c.rowPointerBits);
+}
+
+TEST(Crs, DenseMatrixCostsMoreThanBitmap)
+{
+    Tensor m({16, 16}, 1.0f);
+    auto c = crsCost(m);
+    // For dense data CRS indexing exceeds a 1-bit bitmap.
+    EXPECT_GT(c.columnIndexBits, (int64_t)(16 * 16));
+}
+
+TEST(IndexSelector, IntersectsBitmaps)
+{
+    encode::Bitmap w{{1, 0, 1, 1, 0}};
+    encode::Bitmap a{{1, 1, 0, 1, 0}};
+    auto pairs = selectPairs(w, a);
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0], 0);
+    EXPECT_EQ(pairs[1], 3);
+}
+
+TEST(IndexSelector, EmptyWhenDisjoint)
+{
+    encode::Bitmap w{{1, 0}};
+    encode::Bitmap a{{0, 1}};
+    EXPECT_TRUE(selectPairs(w, a).empty());
+}
+
+TEST(IndexSelector, LengthMismatchDies)
+{
+    encode::Bitmap w{{1, 0}};
+    encode::Bitmap a{{1}};
+    EXPECT_DEATH(selectPairs(w, a), "mismatch");
+}
+
+/** Sweep: vector-wise beats element-wise whenever cols > 1. */
+class OverheadSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(OverheadSweep, VectorWiseAlwaysCheaper)
+{
+    const int64_t cols = GetParam();
+    auto o = indexOverhead(128, cols);
+    EXPECT_EQ(o.elementWiseBits, 128 * cols);
+    EXPECT_EQ(o.vectorWiseBits, 128);
+    if (cols > 1) {
+        EXPECT_LT(o.vectorWiseBits, o.elementWiseBits);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cols, OverheadSweep,
+                         ::testing::Values<int64_t>(1, 3, 5, 7, 9));
+
+} // namespace
+} // namespace se

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit and property tests for the dense linear algebra kernels, in
+ * particular the alternating least-squares updates that drive the
+ * SmartExchange decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "linalg/linalg.hh"
+
+namespace se {
+namespace {
+
+using linalg::choleskySolve;
+using linalg::fitBasis;
+using linalg::fitCoefficients;
+using linalg::fitCoefficientsMasked;
+using linalg::frobDiff;
+using linalg::frobNorm;
+using linalg::matmul;
+using linalg::transpose;
+
+TEST(Linalg, MatmulSmall)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Linalg, MatmulIdentity)
+{
+    Rng rng(1);
+    Tensor a = randn({5, 5}, rng);
+    Tensor c = matmul(a, eye(5));
+    EXPECT_LT(frobDiff(a, c), 1e-6);
+}
+
+TEST(Linalg, MatmulDimMismatchDies)
+{
+    Tensor a({2, 3});
+    Tensor b({2, 3});
+    EXPECT_DEATH(matmul(a, b), "inner dim");
+}
+
+TEST(Linalg, TransposeRoundTrip)
+{
+    Rng rng(2);
+    Tensor a = randn({4, 7}, rng);
+    Tensor t = transpose(transpose(a));
+    EXPECT_LT(frobDiff(a, t), 1e-7);
+}
+
+TEST(Linalg, FrobNorm)
+{
+    Tensor a({2, 2}, std::vector<float>{3, 0, 0, 4});
+    EXPECT_NEAR(frobNorm(a), 5.0, 1e-6);
+}
+
+TEST(Linalg, CholeskySolvesSpdSystem)
+{
+    // A = M^T M + I is SPD.
+    Rng rng(3);
+    Tensor m = randn({6, 6}, rng);
+    Tensor a = matmul(transpose(m), m);
+    for (int64_t i = 0; i < 6; ++i)
+        a.at(i, i) += 1.0f;
+    Tensor x_true = randn({6, 2}, rng);
+    Tensor b = matmul(a, x_true);
+    Tensor x = choleskySolve(a, b);
+    EXPECT_LT(frobDiff(x, x_true), 1e-3);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite)
+{
+    Tensor a({2, 2}, std::vector<float>{1, 2, 2, 1});  // eigenvalue -1
+    Tensor b({2, 1}, std::vector<float>{1, 1});
+    EXPECT_DEATH(choleskySolve(a, b), "positive definite");
+}
+
+TEST(Linalg, FitBasisRecoversExactFactorization)
+{
+    // W = Ce * B exactly; fitBasis must recover B given Ce.
+    Rng rng(4);
+    Tensor ce = randn({40, 3}, rng);
+    Tensor b_true = randn({3, 3}, rng);
+    Tensor w = matmul(ce, b_true);
+    Tensor b = fitBasis(w, ce);
+    EXPECT_LT(frobDiff(b, b_true), 1e-3);
+}
+
+TEST(Linalg, FitCoefficientsRecoversExactFactorization)
+{
+    Rng rng(5);
+    Tensor ce_true = randn({40, 3}, rng);
+    Tensor b = randn({3, 3}, rng);
+    // Make B well-conditioned.
+    for (int64_t i = 0; i < 3; ++i)
+        b.at(i, i) += 2.0f;
+    Tensor w = matmul(ce_true, b);
+    Tensor ce = fitCoefficients(w, b);
+    EXPECT_LT(frobDiff(ce, ce_true), 1e-2);
+}
+
+TEST(Linalg, FitBasisToleratesZeroColumns)
+{
+    // A fully-pruned coefficient column must not break the solve.
+    Rng rng(6);
+    Tensor ce = randn({20, 3}, rng);
+    for (int64_t i = 0; i < 20; ++i)
+        ce.at(i, 1) = 0.0f;
+    Tensor w = randn({20, 3}, rng);
+    Tensor b = fitBasis(w, ce);
+    EXPECT_EQ(b.dim(0), 3);
+    for (int64_t i = 0; i < b.size(); ++i)
+        EXPECT_TRUE(std::isfinite(b[i]));
+}
+
+TEST(Linalg, FitReducesResidualMonotonically)
+{
+    // One ALS round from a random start must not increase the
+    // reconstruction error.
+    Rng rng(7);
+    Tensor w = randn({30, 3}, rng);
+    Tensor ce = w;
+    Tensor b = eye(3);
+    double prev = frobDiff(w, matmul(ce, b));
+    for (int it = 0; it < 5; ++it) {
+        b = fitBasis(w, ce);
+        ce = fitCoefficients(w, b);
+        const double err = frobDiff(w, matmul(ce, b));
+        // Slack covers the adaptive ridge bias (~1e-5 relative).
+        EXPECT_LE(err, prev + 5e-4);
+        prev = err;
+    }
+}
+
+TEST(Linalg, MaskedFitKeepsZerosZero)
+{
+    Rng rng(8);
+    Tensor w = randn({10, 3}, rng);
+    Tensor b = randn({3, 3}, rng);
+    for (int64_t i = 0; i < 3; ++i)
+        b.at(i, i) += 2.0f;
+    Tensor mask({10, 3}, 1.0f);
+    mask.at(0, 0) = 0.0f;
+    mask.at(4, 2) = 0.0f;
+    for (int64_t j = 0; j < 3; ++j)
+        mask.at(7, j) = 0.0f;  // fully-pruned row
+    Tensor ce = fitCoefficientsMasked(w, b, mask);
+    EXPECT_FLOAT_EQ(ce.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(ce.at(4, 2), 0.0f);
+    for (int64_t j = 0; j < 3; ++j)
+        EXPECT_FLOAT_EQ(ce.at(7, j), 0.0f);
+}
+
+TEST(Linalg, MaskedFitBeatsZeroedUnmaskedFit)
+{
+    // Refitting on the support must give at-most-equal error compared
+    // to taking the unmasked fit and zeroing entries afterwards.
+    Rng rng(9);
+    Tensor w = randn({20, 3}, rng);
+    Tensor b = randn({3, 3}, rng);
+    for (int64_t i = 0; i < 3; ++i)
+        b.at(i, i) += 2.0f;
+    Tensor free = fitCoefficients(w, b);
+    Tensor mask({20, 3}, 1.0f);
+    Rng mask_rng(10);
+    for (int64_t i = 0; i < mask.size(); ++i)
+        if (mask_rng.chance(0.3))
+            mask[i] = 0.0f;
+    Tensor zeroed = free;
+    for (int64_t i = 0; i < zeroed.size(); ++i)
+        zeroed[i] *= mask[i];
+    Tensor refit = fitCoefficientsMasked(w, b, mask);
+    const double err_zeroed = frobDiff(w, matmul(zeroed, b));
+    const double err_refit = frobDiff(w, matmul(refit, b));
+    EXPECT_LE(err_refit, err_zeroed + 1e-5);
+}
+
+/** Property sweep: ALS fixed points across sizes. */
+class AlsSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(AlsSweep, ExactFactorizationsAreFixedPoints)
+{
+    const int64_t m = GetParam();
+    Rng rng(100 + (uint64_t)m);
+    Tensor ce = randn({m, 3}, rng);
+    Tensor b = randn({3, 3}, rng);
+    for (int64_t i = 0; i < 3; ++i)
+        b.at(i, i) += 2.0f;
+    Tensor w = matmul(ce, b);
+    Tensor b2 = fitBasis(w, ce);
+    Tensor ce2 = fitCoefficients(w, b2);
+    EXPECT_LT(frobDiff(w, matmul(ce2, b2)) /
+                  std::max(1e-12, frobNorm(w)),
+              1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlsSweep,
+                         ::testing::Values<int64_t>(3, 9, 27, 64, 192));
+
+} // namespace
+} // namespace se

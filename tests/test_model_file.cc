@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the SmartExchange model-file format: exact round-trips of
+ * coefficients (via their power-of-2 codes), basis matrices and
+ * metadata; bundle save/load; and corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/random.hh"
+#include "core/apply.hh"
+#include "core/model_file.hh"
+#include "linalg/linalg.hh"
+#include "nn/layers.hh"
+
+namespace se {
+namespace {
+
+core::SeMatrix
+makeMatrix(uint64_t seed, double sparsity = 0.3)
+{
+    Rng rng(seed);
+    Tensor w = randn({48, 3}, rng, 0.0f, 0.1f);
+    core::SeOptions opts;
+    opts.minVectorSparsity = sparsity;
+    return core::decomposeMatrix(w, opts);
+}
+
+TEST(ModelFile, SeMatrixExactRoundTrip)
+{
+    auto m = makeMatrix(1);
+    std::stringstream ss;
+    core::saveSeMatrix(ss, m);
+    auto back = core::loadSeMatrix(ss);
+
+    ASSERT_EQ(back.ce.dim(0), m.ce.dim(0));
+    ASSERT_EQ(back.ce.dim(1), m.ce.dim(1));
+    for (int64_t i = 0; i < m.ce.size(); ++i)
+        EXPECT_FLOAT_EQ(back.ce[i], m.ce[i]) << "ce[" << i << "]";
+    for (int64_t i = 0; i < m.basis.size(); ++i)
+        EXPECT_FLOAT_EQ(back.basis[i], m.basis[i]);
+    EXPECT_EQ(back.alphabet.expMax, m.alphabet.expMax);
+    EXPECT_EQ(back.alphabet.numLevels, m.alphabet.numLevels);
+    EXPECT_EQ(back.iterations, m.iterations);
+    EXPECT_DOUBLE_EQ(back.reconRelError, m.reconRelError);
+}
+
+TEST(ModelFile, ReconstructionIdenticalAfterRoundTrip)
+{
+    auto m = makeMatrix(2, 0.5);
+    std::stringstream ss;
+    core::saveSeMatrix(ss, m);
+    auto back = core::loadSeMatrix(ss);
+    EXPECT_LT(linalg::frobDiff(m.reconstruct(), back.reconstruct()),
+              1e-6);
+}
+
+TEST(ModelFile, BundleRoundTrip)
+{
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"conv1", {makeMatrix(3), makeMatrix(4)}});
+    layers.push_back({"conv2", {makeMatrix(5)}});
+
+    std::stringstream ss;
+    core::saveModel(ss, layers);
+    auto back = core::loadModel(ss);
+
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "conv1");
+    EXPECT_EQ(back[0].pieces.size(), 2u);
+    EXPECT_EQ(back[1].name, "conv2");
+    for (int64_t i = 0; i < layers[0].pieces[1].ce.size(); ++i)
+        EXPECT_FLOAT_EQ(back[0].pieces[1].ce[i],
+                        layers[0].pieces[1].ce[i]);
+}
+
+TEST(ModelFile, FileRoundTripOnDisk)
+{
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"layer", {makeMatrix(6)}});
+    const std::string path = "/tmp/se_model_test.sexm";
+    core::saveModelFile(path, layers);
+    auto back = core::loadModelFile(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].name, "layer");
+}
+
+TEST(ModelFile, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "this is not a model file at all";
+    EXPECT_DEATH(core::loadModel(ss), "model file");
+}
+
+TEST(ModelFile, WholeConvLayerRoundTrip)
+{
+    // Decompose a real conv layer, ship it, rebuild the weights from
+    // the loaded form: same tensor as rebuilding from the original.
+    Rng rng(7);
+    nn::Conv2d conv(4, 6, 3, 1, 1, 1, rng, false);
+    core::SeOptions opts;
+    opts.minVectorSparsity = 0.3;
+    auto pieces = core::decomposeConvWeight(conv.weightTensor(), opts,
+                                            core::ApplyOptions{});
+    std::stringstream ss;
+    core::saveModel(ss, {{"conv", pieces}});
+    auto back = core::loadModel(ss);
+    ASSERT_EQ(back[0].pieces.size(), pieces.size());
+    for (size_t i = 0; i < pieces.size(); ++i)
+        EXPECT_LT(linalg::frobDiff(pieces[i].reconstruct(),
+                                   back[0].pieces[i].reconstruct()),
+                  1e-6);
+}
+
+TEST(ModelFile, StorageIsCompact)
+{
+    // The on-disk size must be far below FP32 for a sparse layer.
+    auto m = makeMatrix(8, 0.6);
+    std::stringstream ss;
+    core::saveSeMatrix(ss, m);
+    const int64_t file_bytes = (int64_t)ss.str().size();
+    const int64_t fp32_bytes = m.ce.dim(0) * m.basis.dim(1) * 4;
+    EXPECT_LT(file_bytes, fp32_bytes);
+}
+
+} // namespace
+} // namespace se

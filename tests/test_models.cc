@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the model zoo: live Sim-scale builders produce runnable,
+ * trainable networks; paper-scale shape generators match the published
+ * layer geometry (parameter counts, MACs, layer counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.hh"
+#include "models/zoo.hh"
+
+namespace se {
+namespace {
+
+using models::ModelId;
+
+class BuildSweep : public ::testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(BuildSweep, SimModelRunsForwardBackward)
+{
+    models::SimConfig cfg;
+    cfg.inHeight = 16;
+    cfg.inWidth = 16;
+    auto net = models::buildSim(GetParam(), cfg);
+    Rng rng(1);
+    Tensor x = randn({2, cfg.inChannels, cfg.inHeight, cfg.inWidth},
+                     rng);
+    Tensor y = net->forward(x, /*train=*/true);
+    if (GetParam() == ModelId::DeepLabV3Plus) {
+        EXPECT_EQ(y.ndim(), 4);
+        EXPECT_EQ(y.dim(1), cfg.numClasses);
+        EXPECT_EQ(y.dim(2), cfg.inHeight);
+    } else {
+        EXPECT_EQ(y.ndim(), 2);
+        EXPECT_EQ(y.dim(1), cfg.numClasses);
+    }
+    // Backward must run without shape errors.
+    Tensor gy(y.shape(), 1e-3f);
+    net->backward(gy);
+    EXPECT_FALSE(net->params().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BuildSweep,
+    ::testing::Values(ModelId::VGG11, ModelId::VGG19, ModelId::ResNet50,
+                      ModelId::ResNet164, ModelId::MobileNetV2,
+                      ModelId::EfficientNetB0, ModelId::DeepLabV3Plus,
+                      ModelId::MLP1, ModelId::MLP2));
+
+TEST(PaperShapes, Vgg11ParameterCount)
+{
+    auto w = models::paperShapes(ModelId::VGG11);
+    // VGG11: ~132.9M params total; conv part ~9.2M.
+    const double mparams = (double)w.totalWeights() / 1e6;
+    EXPECT_NEAR(mparams, 132.9, 3.0);
+    // FP32 storage ~531 MB? Paper Table II lists 845.75 MB for their
+    // VGG11 variant; our geometry is the canonical torchvision one.
+    EXPECT_EQ(w.layers.size(), 11u);
+}
+
+TEST(PaperShapes, ResNet50ParameterAndMacCount)
+{
+    auto w = models::paperShapes(ModelId::ResNet50);
+    const double mparams = (double)w.totalWeights() / 1e6;
+    const double gmacs = (double)w.totalMacs() / 1e9;
+    // Canonical ResNet50: ~25.5M params, ~4.1 GMACs.
+    EXPECT_NEAR(mparams, 25.5, 1.5);
+    EXPECT_NEAR(gmacs, 4.1, 0.5);
+}
+
+TEST(PaperShapes, MobileNetV2ParameterAndMacCount)
+{
+    auto w = models::paperShapes(ModelId::MobileNetV2);
+    const double mparams = (double)w.totalWeights() / 1e6;
+    const double gmacs = (double)w.totalMacs() / 1e9;
+    // Canonical MBV2: ~3.4M params, ~0.3 GMACs.
+    EXPECT_NEAR(mparams, 3.4, 0.4);
+    EXPECT_NEAR(gmacs, 0.31, 0.08);
+}
+
+TEST(PaperShapes, EfficientNetB0HasSqueezeExciteLayers)
+{
+    auto w = models::paperShapes(ModelId::EfficientNetB0);
+    int se_layers = 0;
+    for (const auto &l : w.layers)
+        se_layers += l.kind == sim::LayerKind::SqueezeExcite;
+    EXPECT_EQ(se_layers, 16);  // one per MBConv block
+    const double mparams = (double)w.totalWeights() / 1e6;
+    EXPECT_NEAR(mparams, 5.3, 1.5);
+}
+
+TEST(PaperShapes, Vgg19CifarLayerCount)
+{
+    auto w = models::paperShapes(ModelId::VGG19);
+    EXPECT_EQ(w.layers.size(), 17u);  // 16 convs + 1 FC
+    const double mparams = (double)w.totalWeights() / 1e6;
+    EXPECT_NEAR(mparams, 20.0, 1.0);  // VGG19 CIFAR ~20M
+}
+
+TEST(PaperShapes, ResNet164LayerStructure)
+{
+    auto w = models::paperShapes(ModelId::ResNet164);
+    // conv1 + 54 bottlenecks x 3 convs + 3 projections + fc = 165.
+    int convs = 0, fcs = 0;
+    for (const auto &l : w.layers) {
+        convs += l.kind == sim::LayerKind::Conv;
+        fcs += l.kind == sim::LayerKind::FullyConnected;
+    }
+    EXPECT_EQ(fcs, 1);
+    EXPECT_EQ(convs, 1 + 54 * 3 + 3);
+    const double mparams = (double)w.totalWeights() / 1e6;
+    EXPECT_NEAR(mparams, 1.7, 0.3);  // ResNet164 ~1.7M
+}
+
+TEST(PaperShapes, MobileNetHasDepthwiseLayers)
+{
+    auto w = models::paperShapes(ModelId::MobileNetV2);
+    int dw = 0;
+    for (const auto &l : w.layers)
+        dw += l.kind == sim::LayerKind::DepthwiseConv;
+    EXPECT_EQ(dw, 17);  // one per inverted residual block
+}
+
+TEST(PaperShapes, MlpSizes)
+{
+    auto m1 = models::paperShapes(ModelId::MLP1);
+    auto m2 = models::paperShapes(ModelId::MLP2);
+    // MLP-1: 784-1024-1024-1024-10 => ~2.9M weights (~11.6 MB FP32;
+    // the paper's [40] variant lists 14.125 MB, presumably counting
+    // extra parameters of its block-circulant formulation).
+    EXPECT_NEAR((double)m1.totalWeights() * 4 / 1e6, 11.6, 0.5);
+    // MLP-2: 784-300-100-10 => ~266K params (~1.07 MB FP32).
+    EXPECT_NEAR((double)m2.totalWeights() * 4 / 1e6, 1.07, 0.1);
+}
+
+TEST(PaperShapes, DeepLabDominatedByBackbone)
+{
+    auto w = models::paperShapes(ModelId::DeepLabV3Plus);
+    // Output-stride-16 geometry: last stage spatial size must equal
+    // the ASPP input (360/16 x 480/16 rounded by the conv chain).
+    const auto &aspp = w.layers[w.layers.size() - 10];
+    EXPECT_EQ(aspp.c, 2048);
+    EXPECT_GT(w.totalMacs(), (int64_t)40e9);  // segmentation is heavy
+}
+
+TEST(PaperShapes, OutputDimsConsistent)
+{
+    for (ModelId id : models::acceleratorBenchmarkModels()) {
+        auto w = models::paperShapes(id);
+        for (const auto &l : w.layers) {
+            EXPECT_GT(l.outH(), 0) << w.name << " " << l.name;
+            EXPECT_GT(l.outW(), 0) << w.name << " " << l.name;
+            EXPECT_GT(l.macs(), 0) << w.name << " " << l.name;
+        }
+    }
+}
+
+TEST(Names, AllDistinct)
+{
+    std::set<std::string> names;
+    for (ModelId id :
+         {ModelId::VGG11, ModelId::VGG19, ModelId::ResNet50,
+          ModelId::ResNet164, ModelId::MobileNetV2,
+          ModelId::EfficientNetB0, ModelId::DeepLabV3Plus, ModelId::MLP1,
+          ModelId::MLP2})
+        names.insert(models::modelName(id));
+    EXPECT_EQ(names.size(), 9u);
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Unit tests for the NN framework: layer forward semantics against
+ * hand-computed references and finite-difference gradient checks for
+ * every layer's backward pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "nn/blocks.hh"
+#include "nn/loss.hh"
+#include "nn/optim.hh"
+
+namespace se {
+namespace {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::InvertedResidual;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Residual;
+using nn::Sequential;
+using nn::Sigmoid;
+using nn::SqueezeExcite;
+using nn::UpsampleNearest;
+
+/**
+ * Finite-difference gradient check of d(sum(layer(x)))/dx against the
+ * layer's backward. Returns the max absolute difference.
+ */
+double
+inputGradError(nn::Layer &layer, const Tensor &x, double eps = 1e-3)
+{
+    Tensor y = layer.forward(x, /*train=*/true);
+    Tensor gy(y.shape(), 1.0f);
+    layer.zeroGrad();
+    Tensor gx = layer.backward(gy);
+
+    double max_err = 0.0;
+    // Probe a subset of positions to keep the test fast.
+    const int64_t step = std::max<int64_t>(1, x.size() / 24);
+    for (int64_t i = 0; i < x.size(); i += step) {
+        Tensor xp = x, xm = x;
+        xp[i] += (float)eps;
+        xm[i] -= (float)eps;
+        const double fp = layer.forward(xp, true).sum();
+        const double fm = layer.forward(xm, true).sum();
+        const double num = (fp - fm) / (2 * eps);
+        max_err = std::max(max_err, std::abs(num - (double)gx[i]));
+    }
+    // Restore the cache for callers that continue using the layer.
+    layer.forward(x, true);
+    return max_err;
+}
+
+/** Finite-difference check of parameter gradients. */
+double
+paramGradError(nn::Layer &layer, const Tensor &x, double eps = 1e-3)
+{
+    Tensor y = layer.forward(x, true);
+    Tensor gy(y.shape(), 1.0f);
+    layer.zeroGrad();
+    layer.backward(gy);
+
+    double max_err = 0.0;
+    for (auto &p : layer.params()) {
+        const int64_t step =
+            std::max<int64_t>(1, p.value->size() / 16);
+        for (int64_t i = 0; i < p.value->size(); i += step) {
+            const float save = (*p.value)[i];
+            (*p.value)[i] = save + (float)eps;
+            const double fp = layer.forward(x, true).sum();
+            (*p.value)[i] = save - (float)eps;
+            const double fm = layer.forward(x, true).sum();
+            (*p.value)[i] = save;
+            const double num = (fp - fm) / (2 * eps);
+            max_err = std::max(
+                max_err, std::abs(num - (double)(*p.grad)[i]));
+        }
+    }
+    layer.forward(x, true);
+    return max_err;
+}
+
+TEST(Conv2d, MatchesHandComputed1x1)
+{
+    Rng rng(1);
+    Conv2d conv(2, 1, 1, 1, 0, 1, rng, false);
+    conv.weightTensor().at(0, 0, 0, 0) = 2.0f;
+    conv.weightTensor().at(0, 1, 0, 0) = -1.0f;
+    Tensor x({1, 2, 2, 2});
+    for (int64_t i = 0; i < x.size(); ++i)
+        x[i] = (float)(i + 1);
+    Tensor y = conv.forward(x, false);
+    // y = 2*ch0 - ch1; ch0 = [1..4], ch1 = [5..8].
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2 * 1 - 5);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 2 * 4 - 8);
+}
+
+TEST(Conv2d, PaddingAndStrideShapes)
+{
+    Rng rng(2);
+    Conv2d conv(3, 8, 3, 2, 1, 1, rng);
+    Tensor x({2, 3, 9, 9});
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 8);
+    EXPECT_EQ(y.dim(2), 5);
+    EXPECT_EQ(y.dim(3), 5);
+}
+
+TEST(Conv2d, DepthwiseLeavesChannelsIndependent)
+{
+    Rng rng(3);
+    Conv2d conv(2, 2, 3, 1, 1, 2, rng, false);
+    // Zero the second filter: its output channel must be all zero,
+    // regardless of channel 0's content.
+    Tensor &w = conv.weightTensor();
+    for (int64_t k = 0; k < 9; ++k)
+        w[9 + k] = 0.0f;
+    Rng xr(4);
+    Tensor x = randn({1, 2, 5, 5}, xr);
+    Tensor y = conv.forward(x, false);
+    for (int64_t i = 0; i < 5; ++i)
+        for (int64_t j = 0; j < 5; ++j)
+            EXPECT_FLOAT_EQ(y.at(0, 1, i, j), 0.0f);
+}
+
+TEST(Conv2d, GradientCheck)
+{
+    Rng rng(5);
+    Conv2d conv(2, 3, 3, 1, 1, 1, rng);
+    Tensor x = randn({1, 2, 4, 4}, rng);
+    EXPECT_LT(inputGradError(conv, x), 1e-2);
+    EXPECT_LT(paramGradError(conv, x), 1e-2);
+}
+
+TEST(Conv2d, DepthwiseGradientCheck)
+{
+    Rng rng(6);
+    Conv2d conv(3, 3, 3, 1, 1, 3, rng, false);
+    Tensor x = randn({1, 3, 4, 4}, rng);
+    EXPECT_LT(inputGradError(conv, x), 1e-2);
+    EXPECT_LT(paramGradError(conv, x), 1e-2);
+}
+
+TEST(Conv2d, StridedGradientCheck)
+{
+    Rng rng(7);
+    Conv2d conv(2, 2, 3, 2, 1, 1, rng);
+    Tensor x = randn({1, 2, 5, 5}, rng);
+    EXPECT_LT(inputGradError(conv, x), 1e-2);
+}
+
+TEST(Conv2d, DilatedForwardShape)
+{
+    Rng rng(17);
+    Conv2d conv(2, 2, 3, 1, 2, 1, rng, false, 2);
+    Tensor x = randn({1, 2, 8, 8}, rng);
+    Tensor y = conv.forward(x, false);
+    EXPECT_EQ(y.dim(2), 8);
+    EXPECT_EQ(y.dim(3), 8);
+}
+
+TEST(Linear, MatchesHandComputed)
+{
+    Rng rng(8);
+    Linear lin(3, 2, rng);
+    Tensor &w = lin.weightTensor();
+    w.at(0, 0) = 1;  w.at(0, 1) = 2;  w.at(0, 2) = 3;
+    w.at(1, 0) = -1; w.at(1, 1) = 0;  w.at(1, 2) = 1;
+    lin.params()[1].value->fill(0.0f);
+    Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+    Tensor y = lin.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 14.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+}
+
+TEST(Linear, GradientCheck)
+{
+    Rng rng(9);
+    Linear lin(5, 4, rng);
+    Tensor x = randn({3, 5}, rng);
+    EXPECT_LT(inputGradError(lin, x), 1e-2);
+    EXPECT_LT(paramGradError(lin, x), 1e-2);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics)
+{
+    BatchNorm2d bn(2);
+    Rng rng(10);
+    Tensor x = randn({4, 2, 3, 3}, rng, 5.0f, 2.0f);
+    Tensor y = bn.forward(x, true);
+    // Per-channel mean ~0, var ~1.
+    for (int64_t c = 0; c < 2; ++c) {
+        double s = 0.0, s2 = 0.0;
+        int64_t n = 0;
+        for (int64_t b = 0; b < 4; ++b)
+            for (int64_t i = 0; i < 3; ++i)
+                for (int64_t j = 0; j < 3; ++j) {
+                    const double v = y.at(b, c, i, j);
+                    s += v;
+                    s2 += v * v;
+                    ++n;
+                }
+        EXPECT_NEAR(s / n, 0.0, 1e-4);
+        EXPECT_NEAR(s2 / n, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats)
+{
+    BatchNorm2d bn(1);
+    Rng rng(11);
+    // Train on several batches to populate running stats.
+    for (int i = 0; i < 50; ++i)
+        bn.forward(randn({8, 1, 2, 2}, rng, 3.0f, 1.0f), true);
+    Tensor x({1, 1, 2, 2}, 3.0f);
+    Tensor y = bn.forward(x, false);
+    // Input at the running mean should map near zero.
+    EXPECT_NEAR(y.at(0, 0, 0, 0), 0.0, 0.2);
+}
+
+TEST(BatchNorm, GradientCheck)
+{
+    BatchNorm2d bn(2);
+    Rng rng(12);
+    Tensor x = randn({3, 2, 3, 3}, rng);
+    EXPECT_LT(inputGradError(bn, x), 2e-2);
+    EXPECT_LT(paramGradError(bn, x), 2e-2);
+}
+
+TEST(ReLU, ForwardAndMask)
+{
+    ReLU relu;
+    Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+    Tensor y = relu.forward(x, true);
+    EXPECT_FLOAT_EQ(y[0], 0);
+    EXPECT_FLOAT_EQ(y[2], 2);
+    Tensor g = relu.backward(Tensor({4}, 1.0f));
+    EXPECT_FLOAT_EQ(g[0], 0);
+    EXPECT_FLOAT_EQ(g[2], 1);
+}
+
+TEST(ReLU, Relu6Clamps)
+{
+    ReLU relu6(6.0f);
+    Tensor x({3}, std::vector<float>{-1, 3, 10});
+    Tensor y = relu6.forward(x, true);
+    EXPECT_FLOAT_EQ(y[0], 0);
+    EXPECT_FLOAT_EQ(y[1], 3);
+    EXPECT_FLOAT_EQ(y[2], 6);
+    Tensor g = relu6.backward(Tensor({3}, 1.0f));
+    EXPECT_FLOAT_EQ(g[2], 0);  // clamped region has zero gradient
+}
+
+TEST(Sigmoid, GradientCheck)
+{
+    Sigmoid sig;
+    Rng rng(13);
+    Tensor x = randn({2, 6}, rng);
+    EXPECT_LT(inputGradError(sig, x), 1e-3);
+}
+
+TEST(MaxPool, ForwardPicksMaxAndRoutesGradient)
+{
+    MaxPool2d pool(2, 2);
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+    Tensor y = pool.forward(x, true);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+    Tensor g = pool.backward(Tensor({1, 1, 1, 1}, 1.0f));
+    EXPECT_FLOAT_EQ(g[1], 1.0f);
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(GlobalAvgPool, ForwardAndGradient)
+{
+    GlobalAvgPool gap;
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+    Tensor y = gap.forward(x, true);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.0f);
+    Tensor g = gap.backward(Tensor({1, 1, 1, 1}, 4.0f));
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(Upsample, NearestForwardBackward)
+{
+    UpsampleNearest up(2);
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor y = up.forward(x, true);
+    EXPECT_EQ(y.dim(2), 4);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 4.0f);
+    Tensor g = up.backward(Tensor(y.shape(), 1.0f));
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(g[i], 4.0f);
+}
+
+TEST(SqueezeExcite, ScalesChannels)
+{
+    Rng rng(14);
+    SqueezeExcite se(4, 2, rng);
+    Tensor x = randn({2, 4, 3, 3}, rng);
+    Tensor y = se.forward(x, false);
+    // Output must be x scaled per channel by something in (0, 1).
+    for (int64_t b = 0; b < 2; ++b)
+        for (int64_t c = 0; c < 4; ++c) {
+            // Find ratio from a non-zero element.
+            for (int64_t i = 0; i < 3; ++i)
+                for (int64_t j = 0; j < 3; ++j)
+                    if (std::abs(x.at(b, c, i, j)) > 1e-3) {
+                        const double ratio =
+                            y.at(b, c, i, j) / x.at(b, c, i, j);
+                        EXPECT_GT(ratio, 0.0);
+                        EXPECT_LT(ratio, 1.0);
+                    }
+        }
+}
+
+TEST(SqueezeExcite, GradientCheck)
+{
+    Rng rng(15);
+    SqueezeExcite se(3, 2, rng);
+    Tensor x = randn({1, 3, 3, 3}, rng);
+    EXPECT_LT(inputGradError(se, x), 2e-2);
+}
+
+TEST(Residual, IdentitySkipAddsInput)
+{
+    Rng rng(16);
+    auto main = std::make_unique<Sequential>();
+    auto *conv = main->add<Conv2d>(2, 2, 3, 1, 1, 1, rng, false);
+    conv->weightTensor().fill(0.0f);  // main path outputs zero
+    Residual res(std::move(main), nullptr);
+    Tensor x = randn({1, 2, 4, 4}, rng);
+    x.apply([](float v) { return std::abs(v); });  // positive input
+    Tensor y = res.forward(x, false);
+    for (int64_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);  // relu(0 + x) == x
+}
+
+TEST(Residual, GradientCheck)
+{
+    Rng rng(17);
+    auto main = std::make_unique<Sequential>();
+    main->add<Conv2d>(2, 2, 3, 1, 1, 1, rng, false);
+    Residual res(std::move(main), nullptr);
+    Tensor x = randn({1, 2, 3, 3}, rng);
+    EXPECT_LT(inputGradError(res, x), 1e-2);
+}
+
+TEST(InvertedResidual, SkipOnlyWhenShapesMatch)
+{
+    Rng rng(18);
+    InvertedResidual with_skip(4, 4, 1, 2, false, rng);
+    InvertedResidual no_skip(4, 8, 1, 2, false, rng);
+    EXPECT_TRUE(with_skip.hasSkip());
+    EXPECT_FALSE(no_skip.hasSkip());
+    Tensor x = randn({1, 4, 4, 4}, rng);
+    Tensor y = no_skip.forward(x, false);
+    EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(Sequential, VisitReachesAllLeaves)
+{
+    Rng rng(19);
+    Sequential net;
+    net.add<Conv2d>(2, 4, 3, 1, 1, 1, rng);
+    net.add<BatchNorm2d>(4);
+    net.add<ReLU>();
+    net.add<InvertedResidual>(4, 4, 1, 2, true, rng);
+    int leaves = 0;
+    net.visit([&](nn::Layer &) { ++leaves; });
+    // conv, bn, relu + inverted residual's leaves (expand conv/bn/relu,
+    // dw conv/bn/relu, SE's 2 FCs, project conv/bn).
+    EXPECT_EQ(leaves, 3 + 3 + 3 + 2 + 2);
+}
+
+TEST(Loss, SoftmaxCrossEntropyGradientSumsToZero)
+{
+    Rng rng(20);
+    Tensor logits = randn({4, 5}, rng);
+    auto res = nn::softmaxCrossEntropy(logits, {0, 1, 2, 3});
+    EXPECT_GT(res.loss, 0.0);
+    for (int64_t b = 0; b < 4; ++b) {
+        double s = 0.0;
+        for (int64_t c = 0; c < 5; ++c)
+            s += res.grad.at(b, c);
+        EXPECT_NEAR(s, 0.0, 1e-6);
+    }
+}
+
+TEST(Loss, PerfectPredictionLowLoss)
+{
+    Tensor logits({2, 3}, std::vector<float>{10, 0, 0, 0, 10, 0});
+    auto res = nn::softmaxCrossEntropy(logits, {0, 1});
+    EXPECT_LT(res.loss, 1e-3);
+    EXPECT_DOUBLE_EQ(nn::accuracy(logits, {0, 1}), 1.0);
+}
+
+TEST(Loss, PixelCrossEntropyShape)
+{
+    Rng rng(21);
+    Tensor logits = randn({1, 3, 4, 4}, rng);
+    Tensor labels({1, 4, 4}, 1.0f);
+    auto res = nn::pixelCrossEntropy(logits, labels);
+    EXPECT_GT(res.loss, 0.0);
+    EXPECT_EQ(res.grad.size(), logits.size());
+}
+
+TEST(Loss, MeanIoUPerfect)
+{
+    Tensor logits({1, 2, 2, 2}, 0.0f);
+    Tensor labels({1, 2, 2}, 0.0f);
+    // Predict class 0 everywhere: logits[c=0] high.
+    for (int64_t i = 0; i < 2; ++i)
+        for (int64_t j = 0; j < 2; ++j)
+            logits.at(0, 0, i, j) = 5.0f;
+    EXPECT_DOUBLE_EQ(nn::meanIoU(logits, labels, 2), 1.0);
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    // Minimize sum((w - 3)^2) through the Param interface.
+    Tensor w({4}, 0.0f), g({4});
+    nn::Sgd opt(0.1f, 0.0f);
+    for (int it = 0; it < 200; ++it) {
+        for (int64_t i = 0; i < 4; ++i)
+            g[i] = 2.0f * (w[i] - 3.0f);
+        opt.step({{&w, &g, "w"}});
+    }
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(w[i], 3.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent)
+{
+    Tensor w1({1}, 10.0f), g1({1});
+    Tensor w2({1}, 10.0f), g2({1});
+    nn::Sgd plain(0.01f, 0.0f), momentum(0.01f, 0.9f);
+    for (int it = 0; it < 50; ++it) {
+        g1[0] = 2.0f * w1[0];
+        plain.step({{&w1, &g1, "w"}});
+        g2[0] = 2.0f * w2[0];
+        momentum.step({{&w2, &g2, "w"}});
+    }
+    EXPECT_LT(std::abs(w2[0]), std::abs(w1[0]));
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the instruction-driven program simulator: timeline
+ * consistency, overlap of loads with compute (double buffering),
+ * agreement with the analytical per-layer model, and behaviour across
+ * the benchmark workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/annotate.hh"
+#include "accel/program_sim.hh"
+#include "accel/smartexchange_accel.hh"
+
+namespace se {
+namespace {
+
+using accel::ProgramStats;
+using accel::simulateProgram;
+using compiler::compileNetwork;
+using models::ModelId;
+
+ProgramStats
+runModel(ModelId id)
+{
+    auto w = accel::annotatedWorkload(id);
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto prog = compileNetwork(w, cfg);
+    return simulateProgram(prog, w, cfg);
+}
+
+TEST(ProgramSim, TimelineConsistency)
+{
+    auto st = runModel(ModelId::ResNet164);
+    EXPECT_GT(st.totalCycles, 0);
+    // Busy time on each resource cannot exceed the wall clock.
+    EXPECT_LE(st.dramBusyCycles, st.totalCycles);
+    EXPECT_LE(st.computeBusyCycles, st.totalCycles);
+    EXPECT_GT(st.computeUtilization(), 0.0);
+    EXPECT_LE(st.computeUtilization(), 1.0);
+    EXPECT_LE(st.dramUtilization(), 1.0);
+}
+
+TEST(ProgramSim, OverlapBeatsSerialExecution)
+{
+    // With two resources and double buffering the wall clock must be
+    // below the serial sum of all load + compute durations.
+    auto st = runModel(ModelId::ResNet50);
+    EXPECT_LT(st.totalCycles,
+              st.dramBusyCycles + st.computeBusyCycles);
+}
+
+TEST(ProgramSim, PerLayerCyclesCoverEveryLayer)
+{
+    auto w = accel::annotatedWorkload(ModelId::VGG19);
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto prog = compileNetwork(w, cfg);
+    auto st = simulateProgram(prog, w, cfg);
+    ASSERT_EQ(st.layerCycles.size(), w.layers.size());
+    for (size_t i = 0; i < st.layerCycles.size(); ++i)
+        EXPECT_GT(st.layerCycles[i], 0) << "layer " << i;
+}
+
+TEST(ProgramSim, AgreesWithAnalyticalModelWithinBand)
+{
+    // The program simulator and the per-layer analytical model count
+    // the same compute; their totals must agree within a small factor
+    // (the program model adds tile-boundary and dependency effects).
+    for (ModelId id : {ModelId::ResNet50, ModelId::VGG19,
+                       ModelId::MobileNetV2}) {
+        auto w = accel::annotatedWorkload(id);
+        auto cfg = sim::ArrayConfig::bitSerialDefault();
+        auto prog = compileNetwork(w, cfg);
+        auto st = simulateProgram(prog, w, cfg);
+        accel::SmartExchangeAccel acc;
+        auto ref = acc.runNetwork(w, true);
+        const double ratio =
+            (double)st.totalCycles / (double)ref.cycles;
+        EXPECT_GT(ratio, 0.3) << models::modelName(id);
+        EXPECT_LT(ratio, 3.0) << models::modelName(id);
+    }
+}
+
+TEST(ProgramSim, MismatchedWorkloadDies)
+{
+    auto w = accel::annotatedWorkload(ModelId::VGG19);
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto prog = compileNetwork(w, cfg);
+    w.layers.pop_back();
+    EXPECT_DEATH(simulateProgram(prog, w, cfg), "mismatch");
+}
+
+TEST(ProgramSim, HigherSparsityShortensExecution)
+{
+    auto w = accel::annotatedWorkload(ModelId::ResNet50);
+    auto cfg = sim::ArrayConfig::bitSerialDefault();
+    auto prog = compileNetwork(w, cfg);
+    auto base = simulateProgram(prog, w, cfg);
+    for (auto &l : w.layers)
+        l.weightVectorSparsity =
+            std::min(0.95, l.weightVectorSparsity + 0.3);
+    auto sparse = simulateProgram(prog, w, cfg);
+    EXPECT_LT(sparse.totalCycles, base.totalCycles);
+}
+
+TEST(ProgramSim, StallsAreBounded)
+{
+    auto st = runModel(ModelId::EfficientNetB0);
+    // Data-dependency stalls exist but must not dominate.
+    EXPECT_LT((double)st.stallCycles, 0.9 * (double)st.totalCycles);
+}
+
+} // namespace
+} // namespace se

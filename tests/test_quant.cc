@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit and property tests for the quantization primitives: power-of-2
+ * projection, fixed-point quantization, Booth encoding and the Fig. 4
+ * bit-level sparsity statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "quant/quant.hh"
+
+namespace se {
+namespace {
+
+using quant::boothDigits;
+using quant::boothNonzeroDigits;
+using quant::choosePow2Alphabet;
+using quant::essentialBits;
+using quant::FixedPointQuantizer;
+using quant::measureBitSparsity;
+using quant::Pow2Alphabet;
+using quant::projectPow2;
+
+TEST(Pow2Alphabet, ProjectsExactPowers)
+{
+    Pow2Alphabet a{0, 7};  // exponents -6..0
+    EXPECT_FLOAT_EQ(a.project(1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(a.project(0.5f), 0.5f);
+    EXPECT_FLOAT_EQ(a.project(-0.25f), -0.25f);
+    EXPECT_FLOAT_EQ(a.project(0.0f), 0.0f);
+}
+
+TEST(Pow2Alphabet, RoundsToNearestLinear)
+{
+    Pow2Alphabet a{2, 7};
+    EXPECT_FLOAT_EQ(a.project(2.9f), 2.0f);
+    EXPECT_FLOAT_EQ(a.project(3.1f), 4.0f);
+    EXPECT_FLOAT_EQ(a.project(-1.4f), -1.0f);
+}
+
+TEST(Pow2Alphabet, ClampsToRange)
+{
+    Pow2Alphabet a{0, 4};  // exponents -3..0
+    EXPECT_FLOAT_EQ(a.project(8.0f), 1.0f);     // clamp to 2^0
+    // Below half of the smallest power collapses to zero.
+    EXPECT_FLOAT_EQ(a.project(0.01f), 0.0f);
+    EXPECT_FLOAT_EQ(a.project(0.09f), 0.125f);  // just above half
+}
+
+TEST(Pow2Alphabet, ContainsMembershipIsExact)
+{
+    Pow2Alphabet a{0, 4};
+    EXPECT_TRUE(a.contains(0.0f));
+    EXPECT_TRUE(a.contains(1.0f));
+    EXPECT_TRUE(a.contains(-0.125f));
+    EXPECT_FALSE(a.contains(0.3f));
+    EXPECT_FALSE(a.contains(2.0f));   // exponent out of range
+    EXPECT_FALSE(a.contains(0.0625f));
+}
+
+TEST(Pow2Alphabet, ProjectionIsIdempotent)
+{
+    Rng rng(1);
+    Tensor t = randn({200}, rng);
+    auto a = choosePow2Alphabet(t, 4);
+    Tensor once = projectPow2(t, a);
+    Tensor twice = projectPow2(once, a);
+    for (int64_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(once[i], twice[i]);
+}
+
+TEST(Pow2Alphabet, AllProjectedValuesAreMembers)
+{
+    Rng rng(2);
+    Tensor t = randn({500}, rng, 0.0f, 3.0f);
+    auto a = choosePow2Alphabet(t, 4);
+    Tensor p = projectPow2(t, a);
+    for (int64_t i = 0; i < p.size(); ++i)
+        EXPECT_TRUE(a.contains(p[i])) << "value " << p[i];
+}
+
+TEST(Pow2Alphabet, FourBitBudgetGivesSevenLevels)
+{
+    Tensor t({4}, std::vector<float>{1.0f, 0.5f, -0.25f, 2.0f});
+    auto a = choosePow2Alphabet(t, 4);
+    EXPECT_EQ(a.numLevels, 7);
+    EXPECT_EQ(a.expMax, 1);
+    EXPECT_EQ(a.expMin(), -5);
+}
+
+TEST(FixedPoint, RoundTripWithinHalfLsb)
+{
+    Rng rng(3);
+    Tensor t = randn({300}, rng);
+    auto q = FixedPointQuantizer::calibrate(t, 8);
+    for (int64_t i = 0; i < t.size(); ++i) {
+        const float back = q.toFloat(q.toInt(t[i]));
+        EXPECT_NEAR(back, t[i], q.scale * 0.5f + 1e-6f);
+    }
+}
+
+TEST(FixedPoint, SaturatesAtRangeEnds)
+{
+    Tensor t({2}, std::vector<float>{1.0f, -1.0f});
+    auto q = FixedPointQuantizer::calibrate(t, 8);
+    EXPECT_EQ(q.toInt(10.0f), 127);
+    EXPECT_EQ(q.toInt(-10.0f), -127);
+}
+
+TEST(FixedPoint, ZeroTensorGetsUnitScale)
+{
+    Tensor t({4}, 0.0f);
+    auto q = FixedPointQuantizer::calibrate(t, 8);
+    EXPECT_FLOAT_EQ(q.scale, 1.0f);
+    EXPECT_EQ(q.toInt(0.0f), 0);
+}
+
+TEST(Booth, ZeroHasNoDigits)
+{
+    EXPECT_EQ(boothNonzeroDigits(0, 8), 0);
+}
+
+TEST(Booth, DigitsReconstructValue)
+{
+    // Radix-4 digits d_i reconstruct v = sum d_i * 4^i.
+    for (int v = -128; v <= 127; ++v) {
+        auto digits = boothDigits(v, 8);
+        int64_t acc = 0, base = 1;
+        for (int d : digits) {
+            acc += (int64_t)d * base;
+            base *= 4;
+        }
+        EXPECT_EQ(acc, v) << "value " << v;
+    }
+}
+
+TEST(Booth, DigitCountBounds)
+{
+    for (int v = -128; v <= 127; ++v) {
+        const int n = boothNonzeroDigits(v, 8);
+        EXPECT_GE(n, 0);
+        EXPECT_LE(n, 4);
+    }
+}
+
+TEST(Booth, PowersOfTwoNeedOneDigit)
+{
+    for (int p = 0; p <= 6; ++p)
+        EXPECT_LE(boothNonzeroDigits(1 << p, 8), 2)
+            << "2^" << p;
+    EXPECT_EQ(boothNonzeroDigits(1, 8), 1);
+    EXPECT_EQ(boothNonzeroDigits(4, 8), 1);
+    EXPECT_EQ(boothNonzeroDigits(16, 8), 1);
+}
+
+TEST(Booth, RunsOfOnesAreCheap)
+{
+    // 0b01111111 = 127 = 128 - 1: two Booth digits vs seven plain bits.
+    EXPECT_EQ(essentialBits(127, 8), 7);
+    EXPECT_LE(boothNonzeroDigits(127, 8), 2);
+}
+
+TEST(EssentialBits, MatchesPopcountOfMagnitude)
+{
+    EXPECT_EQ(essentialBits(0, 8), 0);
+    EXPECT_EQ(essentialBits(5, 8), 2);
+    EXPECT_EQ(essentialBits(-5, 8), 2);
+    EXPECT_EQ(essentialBits(127, 8), 7);
+}
+
+TEST(BitSparsity, AllZerosTensor)
+{
+    Tensor t({64}, 0.0f);
+    auto s = measureBitSparsity(t, 8);
+    EXPECT_DOUBLE_EQ(s.valueSparsity, 1.0);
+    EXPECT_DOUBLE_EQ(s.plainBitSparsity, 1.0);
+    EXPECT_DOUBLE_EQ(s.boothBitSparsity, 1.0);
+}
+
+TEST(BitSparsity, ReluLikeActivationsShowHighBitSparsity)
+{
+    // Half zeros + small positive values: bit sparsity must be high,
+    // and Booth digit sparsity lower than plain bit sparsity (fewer
+    // total digit slots), reproducing the Fig. 4 relationship.
+    Rng rng(4);
+    Tensor t({4000});
+    for (int64_t i = 0; i < t.size(); ++i) {
+        const float v = rng.gaussian(0.0f, 0.3f);
+        t[i] = v > 0 ? v : 0.0f;
+    }
+    auto s = measureBitSparsity(t, 8);
+    EXPECT_GT(s.plainBitSparsity, 0.6);
+    EXPECT_GT(s.boothBitSparsity, 0.4);
+    EXPECT_LT(s.boothBitSparsity, s.plainBitSparsity);
+    EXPECT_GT(s.valueSparsity, 0.3);
+}
+
+TEST(BitSparsity, AveragesConsistentWithSparsities)
+{
+    Rng rng(5);
+    Tensor t = randn({1000}, rng);
+    auto s = measureBitSparsity(t, 8);
+    EXPECT_NEAR(s.avgEssentialBits, (1.0 - s.plainBitSparsity) * 8.0,
+                1e-9);
+    EXPECT_NEAR(s.avgBoothDigits, (1.0 - s.boothBitSparsity) * 4.0,
+                1e-9);
+}
+
+/** Parameterized sweep over bit widths. */
+class FixedPointSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FixedPointSweep, QuantizationErrorShrinksWithBits)
+{
+    const int bits = GetParam();
+    Rng rng(6);
+    Tensor t = randn({2000}, rng);
+    auto q = FixedPointQuantizer::calibrate(t, bits);
+    auto q2 = FixedPointQuantizer::calibrate(t, bits + 2);
+    double err = 0.0, err2 = 0.0;
+    for (int64_t i = 0; i < t.size(); ++i) {
+        err += std::abs(q.toFloat(q.toInt(t[i])) - t[i]);
+        err2 += std::abs(q2.toFloat(q2.toInt(t[i])) - t[i]);
+    }
+    EXPECT_LT(err2, err);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FixedPointSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 10));
+
+} // namespace
+} // namespace se

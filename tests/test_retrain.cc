@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the re-training loop and the refineOnSupport extension:
+ * structure preservation across rounds, compression stability, and
+ * the masked-refit quality property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "core/trainer.hh"
+#include "models/zoo.hh"
+
+namespace se {
+namespace {
+
+data::ClassificationTask
+tinyTask(uint64_t seed = 5)
+{
+    data::ClassSetConfig cfg;
+    cfg.numClasses = 4;
+    cfg.height = cfg.width = 8;
+    cfg.batchSize = 8;
+    cfg.trainBatches = 8;
+    cfg.testBatches = 3;
+    cfg.noise = 0.4f;
+    cfg.seed = seed;
+    return data::makeClassification(cfg);
+}
+
+std::unique_ptr<nn::Sequential>
+tinyNet()
+{
+    models::SimConfig cfg;
+    cfg.numClasses = 4;
+    cfg.inHeight = cfg.inWidth = 8;
+    cfg.baseWidth = 6;
+    return models::buildSim(models::ModelId::VGG11, cfg);
+}
+
+TEST(Retrain, CompressionRateStableAcrossRounds)
+{
+    auto task = tinyTask();
+    auto net = tinyNet();
+    core::TrainConfig tc;
+    tc.epochs = 4;
+    core::trainClassifier(*net, task, tc);
+
+    core::SeOptions opts;
+    opts.minVectorSparsity = 0.4;
+    auto first =
+        core::applySmartExchange(*net, opts, core::ApplyOptions{});
+
+    core::SeRetrainConfig rc;
+    rc.rounds = 3;
+    auto res = core::retrainWithSmartExchange(
+        *net, task, opts, core::ApplyOptions{}, rc);
+
+    // The projection re-establishes the same structure every round,
+    // so the compression rate stays within a tight band.
+    EXPECT_NEAR(res.report.compressionRate(),
+                first.compressionRate(),
+                0.3 * first.compressionRate());
+    EXPECT_GE(res.report.overallVectorSparsity(), 0.35);
+}
+
+TEST(Retrain, ReportsAllThreeAccuracies)
+{
+    auto task = tinyTask();
+    auto net = tinyNet();
+    core::TrainConfig tc;
+    tc.epochs = 5;
+    core::trainClassifier(*net, task, tc);
+
+    core::SeOptions opts;
+    core::SeRetrainConfig rc;
+    rc.rounds = 2;
+    auto res = core::retrainWithSmartExchange(
+        *net, task, opts, core::ApplyOptions{}, rc);
+    EXPECT_GT(res.accBaseline, 0.5);
+    EXPECT_GE(res.accPostProcess, 0.0);
+    EXPECT_GE(res.accRetrained, res.accPostProcess - 0.2);
+}
+
+TEST(RefineOnSupport, NeverMuchWorseUsuallyBetter)
+{
+    // With refineOnSupport the final reconstruction error is at most
+    // marginally worse, and typically better, across random weights.
+    Rng rng(7);
+    int better = 0;
+    const int trials = 12;
+    for (int t = 0; t < trials; ++t) {
+        Tensor w = randn({60, 3}, rng, 0.0f, 0.1f);
+        core::SeOptions plain, refined;
+        plain.minVectorSparsity = refined.minVectorSparsity = 0.4;
+        refined.refineOnSupport = true;
+        auto a = core::decomposeMatrix(w, plain);
+        auto b = core::decomposeMatrix(w, refined);
+        EXPECT_LT(b.reconRelError, a.reconRelError + 0.1);
+        better += b.reconRelError <= a.reconRelError + 1e-9;
+    }
+    EXPECT_GE(better, trials / 2);
+}
+
+TEST(RefineOnSupport, PreservesSparsityStructure)
+{
+    Rng rng(8);
+    Tensor w = randn({80, 3}, rng, 0.0f, 0.1f);
+    core::SeOptions opts;
+    opts.minVectorSparsity = 0.5;
+    opts.refineOnSupport = true;
+    auto sem = core::decomposeMatrix(w, opts);
+    EXPECT_GE(sem.vectorSparsity(), 0.5 - 1e-9);
+    for (int64_t i = 0; i < sem.ce.size(); ++i)
+        EXPECT_TRUE(sem.alphabet.contains(sem.ce[i]));
+}
+
+TEST(Retrain, SegmentationLoopAlsoRecovers)
+{
+    data::SegSetConfig scfg;
+    scfg.height = scfg.width = 12;
+    scfg.batchSize = 4;
+    scfg.trainBatches = 5;
+    scfg.testBatches = 2;
+    auto task = data::makeSegmentation(scfg);
+
+    models::SimConfig mcfg;
+    mcfg.numClasses = scfg.numClasses;
+    mcfg.inHeight = mcfg.inWidth = 12;
+    mcfg.baseWidth = 6;
+    auto net = models::buildSim(models::ModelId::DeepLabV3Plus, mcfg);
+    core::TrainConfig tc;
+    tc.epochs = 4;
+    tc.lr = 0.1f;
+    const double base = core::trainSegmenter(*net, task, tc);
+
+    core::SeOptions opts;
+    opts.minVectorSparsity = 0.3;
+    core::applySmartExchange(*net, opts, core::ApplyOptions{});
+    core::TrainConfig ft;
+    ft.epochs = 2;
+    ft.lr = 0.05f;
+    core::trainSegmenter(*net, task, ft);
+    core::applySmartExchange(*net, opts, core::ApplyOptions{});
+    const double after = core::evaluateSegmenter(*net, task.test);
+    EXPECT_GT(after, base - 0.3);
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the simulation substrate: the Table I energy model, layer
+ * shape arithmetic and run statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/energy_model.hh"
+#include "sim/layer_shape.hh"
+#include "sim/stats.hh"
+
+namespace se {
+namespace {
+
+using sim::ArrayConfig;
+using sim::Component;
+using sim::EnergyModel;
+using sim::LayerKind;
+using sim::LayerShape;
+using sim::RunStats;
+
+TEST(EnergyModel, TableIValues)
+{
+    EnergyModel em;
+    EXPECT_DOUBLE_EQ(em.dramPj8, 100.0);
+    EXPECT_DOUBLE_EQ(em.macPj, 0.143);
+    EXPECT_DOUBLE_EQ(em.multPj, 0.124);
+    EXPECT_DOUBLE_EQ(em.addPj, 0.019);
+    // DRAM access costs >= 9.5x a MAC, the paper's Section II-C claim.
+    EXPECT_GE(em.dramPj8 / em.macPj, 9.5);
+    EXPECT_GE(em.sramMinPj8 / em.macPj, 9.5);
+}
+
+TEST(EnergyModel, SramInterpolationEndpoints)
+{
+    EnergyModel em;
+    EXPECT_NEAR(em.sramPj8(2 * 1024), 1.36, 1e-9);
+    EXPECT_NEAR(em.sramPj8(64 * 1024), 2.45, 1e-9);
+    const double mid = em.sramPj8(16 * 1024);
+    EXPECT_GT(mid, 1.36);
+    EXPECT_LT(mid, 2.45);
+    // Clamped outside the calibration range.
+    EXPECT_NEAR(em.sramPj8(1), 1.36, 1e-9);
+    EXPECT_NEAR(em.sramPj8(1 << 30), 2.45, 1e-9);
+}
+
+TEST(EnergyModel, SramMonotoneInCapacity)
+{
+    EnergyModel em;
+    double prev = 0.0;
+    for (int64_t kb = 2; kb <= 64; kb *= 2) {
+        const double e = em.sramPj8(kb * 1024);
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST(EnergyModel, DramEnergyScalesWithBits)
+{
+    EnergyModel em;
+    EXPECT_DOUBLE_EQ(em.dramEnergy(8), 100.0);
+    EXPECT_DOUBLE_EQ(em.dramEnergy(80), 1000.0);
+}
+
+TEST(LayerShape, ConvOutputDims)
+{
+    LayerShape l;
+    l.c = 3;
+    l.m = 64;
+    l.h = l.w = 224;
+    l.r = l.s = 7;
+    l.stride = 2;
+    l.pad = 3;
+    EXPECT_EQ(l.outH(), 112);
+    EXPECT_EQ(l.outW(), 112);
+    EXPECT_EQ(l.macs(), 64LL * 3 * 49 * 112 * 112);
+    EXPECT_EQ(l.weightCount(), 64LL * 3 * 49);
+}
+
+TEST(LayerShape, DepthwiseCounts)
+{
+    LayerShape l;
+    l.kind = LayerKind::DepthwiseConv;
+    l.c = l.m = 32;
+    l.h = l.w = 16;
+    l.r = l.s = 3;
+    l.pad = 1;
+    EXPECT_EQ(l.macs(), 32LL * 9 * 16 * 16);
+    EXPECT_EQ(l.weightCount(), 32LL * 9);
+}
+
+TEST(LayerShape, FullyConnectedCounts)
+{
+    LayerShape l;
+    l.kind = LayerKind::FullyConnected;
+    l.c = 512;
+    l.m = 10;
+    EXPECT_EQ(l.macs(), 5120);
+    EXPECT_EQ(l.weightCount(), 5120);
+    EXPECT_EQ(l.inputCount(), 512);
+    EXPECT_EQ(l.outputCount(), 10);
+}
+
+TEST(ArrayConfig, TableVResources)
+{
+    auto se_cfg = ArrayConfig::bitSerialDefault();
+    EXPECT_EQ(se_cfg.dimM, 64);
+    EXPECT_EQ(se_cfg.dimC, 16);
+    EXPECT_EQ(se_cfg.dimF, 8);
+    EXPECT_EQ(se_cfg.bitSerialLanes(), 8192);
+    EXPECT_EQ(se_cfg.parallelMultipliers(), 1024);
+
+    auto dn_cfg = ArrayConfig::parallelDefault();
+    EXPECT_EQ(dn_cfg.parallelMultipliers(), 1024);
+    // Equal compute budget across all accelerators.
+    EXPECT_EQ(se_cfg.parallelMultipliers(),
+              dn_cfg.parallelMultipliers());
+    EXPECT_EQ(se_cfg.inputGbBytes, 16 * 1024 * 32);
+    EXPECT_EQ(se_cfg.outputGbBytes, 2 * 1024 * 2);
+}
+
+TEST(RunStats, AccumulationAndTotals)
+{
+    RunStats a, b;
+    a.cycles = 10;
+    a.dramTrafficBits = 80;
+    a.energy(Component::Pe) = 5.0;
+    b.cycles = 7;
+    b.dramTrafficBits = 40;
+    b.energy(Component::DramInput) = 3.0;
+    a += b;
+    EXPECT_EQ(a.cycles, 17);
+    EXPECT_EQ(a.dramAccessBytes(), 15);
+    EXPECT_DOUBLE_EQ(a.totalEnergyPj(), 8.0);
+}
+
+TEST(RunStats, ComponentNamesUnique)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < sim::kNumComponents; ++i)
+        names.insert(sim::componentName((Component)i));
+    EXPECT_EQ(names.size(), sim::kNumComponents);
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests of the SmartExchange decomposition (Algorithm 1): structural
+ * invariants of the output (power-of-2 membership, vector sparsity),
+ * reconstruction quality, the Fig. 9 evolution trace, and property
+ * sweeps over matrix sizes and sparsity thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "core/smart_exchange.hh"
+#include "linalg/linalg.hh"
+
+namespace se {
+namespace {
+
+using core::decomposeMatrix;
+using core::SeMatrix;
+using core::SeOptions;
+using core::SeTrace;
+
+Tensor
+randomWeight(int64_t m, int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    return randn({m, n}, rng, 0.0f, 0.1f);
+}
+
+TEST(SmartExchange, CeEntriesArePowersOfTwo)
+{
+    Tensor w = randomWeight(48, 3, 1);
+    SeOptions opts;
+    SeMatrix se = decomposeMatrix(w, opts);
+    for (int64_t i = 0; i < se.ce.size(); ++i)
+        EXPECT_TRUE(se.alphabet.contains(se.ce[i]))
+            << "Ce entry " << se.ce[i] << " not in Omega_P";
+}
+
+TEST(SmartExchange, ReconstructionErrorIsModest)
+{
+    Tensor w = randomWeight(96, 3, 2);
+    SeOptions opts;
+    SeMatrix se = decomposeMatrix(w, opts);
+    // Random matrices are the worst case; structured (trained) weights
+    // do better. Even so the relative error stays bounded.
+    EXPECT_LT(se.reconRelError, 0.6);
+    EXPECT_GT(se.reconRelError, 0.0);
+}
+
+TEST(SmartExchange, ExactlyRepresentableMatrixHasTinyError)
+{
+    // W = Ce * B with power-of-2 Ce must reconstruct almost exactly.
+    Rng rng(3);
+    Tensor ce({30, 3});
+    for (int64_t i = 0; i < ce.size(); ++i) {
+        const int p = (int)rng.integer(-3, 0);
+        const float sign = rng.chance(0.5) ? 1.0f : -1.0f;
+        ce[i] = rng.chance(0.3) ? 0.0f
+                                : sign * std::ldexp(1.0f, p);
+    }
+    Tensor b = randn({3, 3}, rng, 0.0f, 0.5f);
+    for (int64_t i = 0; i < 3; ++i)
+        b.at(i, i) += 1.0f;
+    Tensor w = linalg::matmul(ce, b);
+    SeOptions opts;
+    opts.vectorThreshold = 0.0;  // don't prune anything
+    SeMatrix se = decomposeMatrix(w, opts);
+    // Column normalization perturbs the exact power-of-2 structure,
+    // so the error is not exactly zero — but it must sit far below
+    // the ~0.4-0.6 error of an unstructured random matrix.
+    EXPECT_LT(se.reconRelError, 0.25);
+}
+
+TEST(SmartExchange, VectorSparsityRespondsToThreshold)
+{
+    Tensor w = randomWeight(128, 3, 4);
+    SeOptions loose, tight;
+    loose.vectorThreshold = 1e-4;
+    tight.vectorThreshold = 0.08;
+    SeMatrix se_loose = decomposeMatrix(w, loose);
+    SeMatrix se_tight = decomposeMatrix(w, tight);
+    EXPECT_GE(se_tight.vectorSparsity(), se_loose.vectorSparsity());
+    EXPECT_GT(se_tight.vectorSparsity(), 0.0);
+}
+
+TEST(SmartExchange, MinVectorSparsityFloorIsHonoured)
+{
+    Tensor w = randomWeight(100, 3, 5);
+    SeOptions opts;
+    opts.vectorThreshold = 0.0;
+    opts.minVectorSparsity = 0.4;
+    SeMatrix se = decomposeMatrix(w, opts);
+    EXPECT_GE(se.vectorSparsity(), 0.4 - 1e-9);
+}
+
+TEST(SmartExchange, ZeroRowsStayZeroInReconstruction)
+{
+    Tensor w = randomWeight(64, 3, 6);
+    SeOptions opts;
+    opts.minVectorSparsity = 0.3;
+    SeMatrix se = decomposeMatrix(w, opts);
+    Tensor rec = se.reconstruct();
+    for (int64_t i = 0; i < se.ce.dim(0); ++i) {
+        bool zero_row = true;
+        for (int64_t j = 0; j < se.ce.dim(1); ++j)
+            zero_row &= se.ce.at(i, j) == 0.0f;
+        if (zero_row) {
+            for (int64_t j = 0; j < rec.dim(1); ++j)
+                EXPECT_FLOAT_EQ(rec.at(i, j), 0.0f);
+        }
+    }
+}
+
+TEST(SmartExchange, ElementSparsityAtLeastVectorSparsity)
+{
+    Tensor w = randomWeight(80, 3, 7);
+    SeOptions opts;
+    opts.minVectorSparsity = 0.25;
+    SeMatrix se = decomposeMatrix(w, opts);
+    EXPECT_GE(se.elementSparsity(), se.vectorSparsity() - 1e-9);
+}
+
+TEST(SmartExchange, StorageAccountingMatchesDefinition)
+{
+    Tensor w = randomWeight(50, 3, 8);
+    SeOptions opts;
+    opts.minVectorSparsity = 0.4;
+    SeMatrix se = decomposeMatrix(w, opts);
+    const int64_t m = 50, r = 3;
+    const int64_t nz_rows =
+        m - (int64_t)std::llround(se.vectorSparsity() * m);
+    EXPECT_EQ(se.ceStorageBits(4), m + nz_rows * r * 4);
+    EXPECT_EQ(se.basisStorageBits(8), r * 3 * 8);
+}
+
+TEST(SmartExchange, TraceTracksEvolution)
+{
+    // Reproduces the Fig. 9 shape: sparsity rises early (error bumps
+    // up), then fitting remedies the error while keeping sparsity;
+    // B drifts away from identity.
+    Tensor w = randomWeight(192, 3, 9);
+    SeOptions opts;
+    opts.vectorThreshold = 0.02;
+    opts.maxIterations = 20;
+    SeTrace trace;
+    decomposeMatrix(w, opts, &trace);
+    ASSERT_GE(trace.reconError.size(), 3u);
+    // B must end away from its identity initialization.
+    EXPECT_GT(trace.basisDrift.back(), 0.01);
+    // Sparsity is monotone non-decreasing (monotone pruning).
+    for (size_t i = 1; i < trace.vectorSparsity.size(); ++i)
+        EXPECT_GE(trace.vectorSparsity[i],
+                  trace.vectorSparsity[i - 1] - 1e-9);
+}
+
+TEST(SmartExchange, ConvergesWithinIterationCap)
+{
+    Tensor w = randomWeight(64, 3, 10);
+    SeOptions opts;
+    opts.maxIterations = 30;
+    SeMatrix se = decomposeMatrix(w, opts);
+    EXPECT_LE(se.iterations, 30);
+    EXPECT_GE(se.iterations, 1);
+}
+
+TEST(SmartExchange, RejectsWideMatrices)
+{
+    Tensor w({3, 10});
+    EXPECT_DEATH(decomposeMatrix(w, SeOptions{}), "tall");
+}
+
+TEST(SmartExchange, CoefBitsControlAlphabetSize)
+{
+    Tensor w = randomWeight(60, 3, 11);
+    SeOptions opts3, opts6;
+    opts3.coefBits = 3;
+    opts6.coefBits = 6;
+    SeMatrix a = decomposeMatrix(w, opts3);
+    SeMatrix b = decomposeMatrix(w, opts6);
+    EXPECT_EQ(a.alphabet.numLevels, 3);
+    EXPECT_EQ(b.alphabet.numLevels, 31);
+    // More exponent levels => at most equal reconstruction error.
+    EXPECT_LE(b.reconRelError, a.reconRelError + 0.05);
+}
+
+/** Property sweep across matrix geometries (kernel sizes 3/5/7). */
+struct GeomParam
+{
+    int64_t m, n;
+};
+
+class GeometrySweep
+    : public ::testing::TestWithParam<GeomParam>
+{
+};
+
+TEST_P(GeometrySweep, InvariantsHoldForAllGeometries)
+{
+    const auto [m, n] = GetParam();
+    Tensor w = randomWeight(m, n, (uint64_t)(m * 131 + n));
+    SeOptions opts;
+    opts.vectorThreshold = 0.01;
+    SeMatrix se = decomposeMatrix(w, opts);
+    EXPECT_EQ(se.ce.dim(0), m);
+    EXPECT_EQ(se.ce.dim(1), n);
+    EXPECT_EQ(se.basis.dim(0), n);
+    EXPECT_EQ(se.basis.dim(1), n);
+    for (int64_t i = 0; i < se.ce.size(); ++i)
+        EXPECT_TRUE(se.alphabet.contains(se.ce[i]));
+    EXPECT_LT(se.reconRelError, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeomParam{9, 3}, GeomParam{48, 3},
+                      GeomParam{192, 3}, GeomParam{25, 5},
+                      GeomParam{175, 5}, GeomParam{49, 7},
+                      GeomParam{196, 4}, GeomParam{512, 3}));
+
+} // namespace
+} // namespace se
