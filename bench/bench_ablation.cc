@@ -12,10 +12,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
+#include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 int
 main()
@@ -55,34 +56,45 @@ main()
     Table t({"configuration", "energy (mJ)", "cycles (M)",
              "energy gain (x)", "speedup (x)",
              "marginal energy saving (%)"});
-    double base_e = 0.0, base_c = 0.0, prev_e = 0.0;
-    double full_saving = 0.0;
-    // Precompute full-feature energy for contribution shares.
-    {
-        accel::SmartExchangeAccel acc(full);
-        auto st = acc.runNetwork(w, true);
-        accel::SmartExchangeAccel acc0(none);
-        auto st0 = acc0.runNetwork(w, true);
-        full_saving = st0.totalEnergyPj() - st.totalEnergyPj();
-    }
-    for (const auto &s : steps) {
-        accel::SmartExchangeAccel acc(s.opts);
-        auto st = acc.runNetwork(w, true);
+
+    // One batched sweep over every configuration (the four build-up
+    // steps plus the two design-choice variants) on the one workload.
+    accel::SeAccelOptions re_at_gb = full;
+    re_at_gb.rebuildInPeLine = false;
+    accel::SeAccelOptions single_re = full;
+    single_re.pingPongRe = false;
+
+    std::vector<accel::SmartExchangeAccel> variants;
+    variants.reserve(6);
+    for (const auto &s : steps)
+        variants.emplace_back(s.opts);
+    variants.emplace_back(re_at_gb);
+    variants.emplace_back(single_re);
+    std::vector<const accel::Accelerator *> accs;
+    for (const auto &v : variants)
+        accs.push_back(&v);
+
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    auto cells = driver.sweep(accs, {w}, /*include_fc=*/true);
+
+    // steps[3] is the full design; steps[0] the dense baseline.
+    const double full_saving =
+        std::max(cells[0][0].stats.totalEnergyPj() -
+                     cells[3][0].stats.totalEnergyPj(),
+                 1e-9);
+    const double base_e = cells[0][0].stats.totalEnergyPj();
+    const double base_c = (double)cells[0][0].stats.cycles;
+    double prev_e = base_e;
+    for (size_t i = 0; i < 4; ++i) {
+        const auto &st = cells[i][0].stats;
         const double e = st.totalEnergyPj();
-        const double c = (double)st.cycles;
-        if (base_e == 0.0) {
-            base_e = e;
-            base_c = c;
-            prev_e = e;
-        }
         t.row()
-            .cell(s.name)
+            .cell(steps[i].name)
             .cell(e / 1e9, 3)
-            .cell(c / 1e6, 3)
+            .cell((double)st.cycles / 1e6, 3)
             .cell(base_e / e, 2)
-            .cell(base_c / c, 2)
-            .cell(100.0 * (prev_e - e) / std::max(full_saving, 1e-9),
-                  1);
+            .cell(base_c / (double)st.cycles, 2)
+            .cell(100.0 * (prev_e - e) / full_saving, 1);
         prev_e = e;
     }
     t.print();
@@ -90,22 +102,17 @@ main()
     std::printf("\n--- design-choice ablations (DESIGN.md section 5) "
                 "---\n");
     Table d({"design choice", "energy (mJ)", "cycles (M)"});
-    accel::SeAccelOptions re_at_gb = full;
-    re_at_gb.rebuildInPeLine = false;
-    accel::SeAccelOptions single_re = full;
-    single_re.pingPongRe = false;
     const struct
     {
         const char *name;
-        accel::SeAccelOptions opts;
+        size_t cell;
     } designs[] = {
-        {"full design (RE in PE line, ping-pong)", full},
-        {"RE at GB instead of in PE lines", re_at_gb},
-        {"single RE (no ping-pong stall hiding)", single_re},
+        {"full design (RE in PE line, ping-pong)", 3},
+        {"RE at GB instead of in PE lines", 4},
+        {"single RE (no ping-pong stall hiding)", 5},
     };
     for (const auto &cfg : designs) {
-        accel::SmartExchangeAccel acc(cfg.opts);
-        auto st = acc.runNetwork(w, true);
+        const auto &st = cells[cfg.cell][0].stats;
         d.row()
             .cell(cfg.name)
             .cell(st.totalEnergyPj() / 1e9, 3)

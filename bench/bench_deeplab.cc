@@ -10,6 +10,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "runtime/pipeline.hh"
 
 int
 main()
@@ -39,16 +40,17 @@ main()
     opts.vectorThreshold = 0.01;
     opts.minVectorSparsity = 0.55;
     // SE with re-training, as the paper's DeepLab row uses: alternate
-    // a training epoch with the SmartExchange projection.
-    auto report =
-        core::applySmartExchange(*net, opts, core::ApplyOptions{});
+    // a training epoch with the SmartExchange projection. The runtime
+    // pipeline fans the per-layer decompositions across the cores
+    // (bit-identical to the serial path).
+    runtime::CompressionPipeline pipe(bench::envRuntimeOptions());
+    auto report = pipe.run(*net, opts, core::ApplyOptions{});
     core::TrainConfig ft;
     ft.epochs = 2;
     ft.lr = 0.05f;
     for (int round = 0; round < 4; ++round) {
         core::trainSegmenter(*net, task, ft);
-        report =
-            core::applySmartExchange(*net, opts, core::ApplyOptions{});
+        report = pipe.run(*net, opts, core::ApplyOptions{});
     }
     const double miou_se = core::evaluateSegmenter(*net, task.test);
 

@@ -7,26 +7,19 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/baselines.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 int
 main()
 {
     using namespace se;
 
-    std::vector<accel::AcceleratorPtr> accs;
-    accs.push_back(std::make_unique<accel::DianNao>());
-    accs.push_back(std::make_unique<accel::Scnn>());
-    accs.push_back(std::make_unique<accel::CambriconX>());
-    accs.push_back(std::make_unique<accel::BitPragmatic>());
-    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+    auto accs = bench::paperAccelerators();
+    auto ids = models::acceleratorBenchmarkModels();
 
     std::printf("=== Fig. 10: normalized energy efficiency over "
                 "DianNao ===\n");
@@ -34,33 +27,29 @@ main()
                 "geomean 3.7x\n\n");
 
     std::vector<std::string> header{"accelerator"};
-    auto ids = models::acceleratorBenchmarkModels();
     for (auto id : ids)
         header.push_back(models::modelName(id));
     header.push_back("geomean");
     Table t(header);
 
-    // Reference energies.
-    std::vector<double> dn_energy;
-    for (auto id : ids) {
-        auto w = accel::annotatedWorkload(id);
-        dn_energy.push_back(
-            accs[0]->runNetwork(w, false).totalEnergyPj());
-    }
+    // One batched sweep over every (accelerator, model) cell; DianNao
+    // (row 0) is the normalization reference.
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    auto cells =
+        driver.sweep(accs, bench::annotatedWorkloads(ids),
+                     /*include_fc=*/false,
+                     bench::scnnEffNetSkip(accs, ids));
 
-    for (const auto &acc : accs) {
-        t.row().cell(acc->name());
+    for (size_t ai = 0; ai < accs.size(); ++ai) {
+        t.row().cell(accs[ai]->name());
         std::vector<double> ratios;
-        for (size_t i = 0; i < ids.size(); ++i) {
-            if (acc->name() == "SCNN" &&
-                ids[i] == models::ModelId::EfficientNetB0) {
+        for (size_t wi = 0; wi < ids.size(); ++wi) {
+            if (!cells[ai][wi].run) {
                 t.cell("-");
                 continue;
             }
-            auto w = accel::annotatedWorkload(ids[i]);
-            const double e =
-                acc->runNetwork(w, false).totalEnergyPj();
-            const double ratio = dn_energy[i] / e;
+            const double ratio = cells[0][wi].stats.totalEnergyPj() /
+                                 cells[ai][wi].stats.totalEnergyPj();
             ratios.push_back(ratio);
             t.cell(ratio, 2);
         }

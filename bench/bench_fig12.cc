@@ -6,26 +6,19 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/baselines.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 int
 main()
 {
     using namespace se;
 
-    std::vector<accel::AcceleratorPtr> accs;
-    accs.push_back(std::make_unique<accel::DianNao>());
-    accs.push_back(std::make_unique<accel::Scnn>());
-    accs.push_back(std::make_unique<accel::CambriconX>());
-    accs.push_back(std::make_unique<accel::BitPragmatic>());
-    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+    auto accs = bench::paperAccelerators();
+    auto ids = models::acceleratorBenchmarkModels();
 
     std::printf("=== Fig. 12: normalized speedup over DianNao "
                 "(batch 1) ===\n");
@@ -33,38 +26,33 @@ main()
                 "2.5x over Cambricon-X, 2.0x over Bit-pragmatic\n\n");
 
     std::vector<std::string> header{"accelerator"};
-    auto ids = models::acceleratorBenchmarkModels();
     for (auto id : ids)
         header.push_back(models::modelName(id));
     header.push_back("geomean");
     Table t(header);
 
-    std::vector<int64_t> dn_cycles;
-    for (auto id : ids) {
-        auto w = accel::annotatedWorkload(id);
-        dn_cycles.push_back(accs[0]->runNetwork(w, false).cycles);
-    }
+    // One batched sweep; DianNao (row 0) sets the cycle reference.
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    auto cells =
+        driver.sweep(accs, bench::annotatedWorkloads(ids),
+                     /*include_fc=*/false,
+                     bench::scnnEffNetSkip(accs, ids));
 
-    std::vector<double> se_speedups;
-    for (const auto &acc : accs) {
-        t.row().cell(acc->name());
+    for (size_t ai = 0; ai < accs.size(); ++ai) {
+        t.row().cell(accs[ai]->name());
         std::vector<double> ratios;
-        for (size_t i = 0; i < ids.size(); ++i) {
-            if (acc->name() == "SCNN" &&
-                ids[i] == models::ModelId::EfficientNetB0) {
+        for (size_t wi = 0; wi < ids.size(); ++wi) {
+            if (!cells[ai][wi].run) {
                 t.cell("-");
                 continue;
             }
-            auto w = accel::annotatedWorkload(ids[i]);
             const double ratio =
-                (double)dn_cycles[i] /
-                (double)acc->runNetwork(w, false).cycles;
+                (double)cells[0][wi].stats.cycles /
+                (double)cells[ai][wi].stats.cycles;
             ratios.push_back(ratio);
             t.cell(ratio, 2);
         }
         t.cell(bench::geomean(ratios), 2);
-        if (acc->name() == "SmartExchange")
-            se_speedups = ratios;
     }
     t.print();
     return 0;

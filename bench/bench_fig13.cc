@@ -11,9 +11,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
+#include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 namespace {
 
@@ -30,15 +30,18 @@ breakdown(bool include_fc, const char *title)
         header.push_back(models::modelName(id));
     Table t(header);
 
-    std::vector<sim::RunStats> stats;
-    for (auto id : ids)
-        stats.push_back(
-            acc.runNetwork(accel::annotatedWorkload(id), include_fc));
+    // Batched one-accelerator sweep across the seven models.
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    const std::vector<const accel::Accelerator *> accs{&acc};
+    auto cells =
+        driver.sweep(accs, bench::annotatedWorkloads(ids), include_fc);
 
     for (size_t c = 0; c < sim::kNumComponents; ++c) {
         t.row().cell(sim::componentName((sim::Component)c));
-        for (const auto &st : stats)
-            t.cell(100.0 * st.energyPj[c] / st.totalEnergyPj(), 2);
+        for (const auto &cell : cells[0])
+            t.cell(100.0 * cell.stats.energyPj[c] /
+                       cell.stats.totalEnergyPj(),
+                   2);
     }
     t.print();
 }

@@ -8,10 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
+#include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 int
 main()
@@ -27,24 +28,29 @@ main()
     Table t({"sparsity (%)", "energy (mJ)", "latency (ms)",
              "input DRAM+GB (mJ)", "norm. energy eff", "norm. speedup"});
 
-    double base_energy = 0.0, base_cycles = 0.0;
+    // One workload per sparsity point, swept in a single batch.
+    std::vector<sim::Workload> sweeps;
     for (double r : ratios) {
         auto w = accel::annotatedWorkload(models::ModelId::ResNet50);
         for (auto &l : w.layers) {
             l.weightVectorSparsity = r;
             l.weightElementSparsity = std::min(0.95, r + 0.1);
         }
-        auto st = acc.runNetwork(w, /*include_fc=*/true);
+        sweeps.push_back(std::move(w));
+    }
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    auto cells = driver.sweep({&acc}, sweeps, /*include_fc=*/true);
+
+    const double base_energy = cells[0][0].stats.totalEnergyPj();
+    const double base_cycles = (double)cells[0][0].stats.cycles;
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+        const auto &st = cells[0][i].stats;
         const double input_mem =
             st.energy(Component::DramInput) +
             st.energy(Component::InputGbRead) +
             st.energy(Component::InputGbWrite);
-        if (base_energy == 0.0) {
-            base_energy = st.totalEnergyPj();
-            base_cycles = (double)st.cycles;
-        }
         t.row()
-            .cell(100.0 * r, 1)
+            .cell(100.0 * ratios[i], 1)
             .cell(st.totalEnergyPj() / 1e9, 3)
             .cell((double)st.cycles / 1e6, 3)
             .cell(input_mem / 1e9, 3)

@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/smartexchange_accel.hh"
 #include "base/table.hh"
+#include "bench_util.hh"
+#include "runtime/sim_driver.hh"
 
 int
 main()
@@ -40,12 +40,29 @@ main()
     // The paper indexes layers 5, 20, 23, 38 in its (57-layer)
     // numbering; we pick the corresponding early/mid/late dw layers.
     const size_t picks[] = {1, 7, 9, 14};
+
+    // Batch both accelerator variants over the picked layers (one
+    // single-layer workload per pick).
+    std::vector<sim::Workload> singles;
+    std::vector<size_t> kept;
     for (size_t p : picks) {
         if (p >= dw.size())
             continue;
-        const auto &l = *dw[p];
-        auto a = acc_without.runLayer(l);
-        auto b = acc_with.runLayer(l);
+        sim::Workload one;
+        one.layers.push_back(*dw[p]);
+        singles.push_back(std::move(one));
+        kept.push_back(p);
+    }
+    runtime::SimDriver driver(bench::envRuntimeOptions());
+    const std::vector<const accel::Accelerator *> accs{&acc_without,
+                                                       &acc_with};
+    auto cells = driver.sweep(accs, singles);
+
+    for (size_t i = 0; i < kept.size(); ++i) {
+        const size_t p = kept[i];
+        const auto &l = singles[i].layers[0];
+        const auto &a = cells[0][i].stats;
+        const auto &b = cells[1][i].stats;
         char shape[48];
         std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld",
                       (long long)l.c, (long long)l.h, (long long)l.w);

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Runtime-layer wall-clock benchmark. Emits JSON (one object to
+ * stdout) timing the same multi-layer SmartExchange decomposition
+ * sweep three ways — legacy serial path, N-thread CompressionPipeline,
+ * and a cache-warm re-run — plus a batched accelerator sweep through
+ * SimDriver. Future PRs diff these numbers to track the perf
+ * trajectory.
+ *
+ * Usage: ./bench_runtime [max_threads]   (default: hardware cores)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "base/hash.hh"
+#include "bench_util.hh"
+#include "runtime/pipeline.hh"
+#include "runtime/sim_driver.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** The sweep subject: a reduced-scale VGG19 (16 conv + 1 fc layers). */
+std::unique_ptr<se::nn::Sequential>
+makeSubject()
+{
+    se::models::SimConfig mcfg;
+    mcfg.baseWidth = 12;
+    mcfg.inHeight = mcfg.inWidth = 12;
+    mcfg.seed = 99;
+    return se::models::buildSim(se::models::ModelId::VGG19, mcfg);
+}
+
+/** FNV digest over every conv/fc weight, to prove runs agree. */
+uint64_t
+weightDigest(se::nn::Sequential &net)
+{
+    uint64_t h = se::kFnvOffsetBasis;
+    net.visit([&](se::nn::Layer &l) {
+        if (auto *c = dynamic_cast<se::nn::Conv2d *>(&l))
+            h = se::hashTensor(c->weightTensor(), h);
+        else if (auto *f = dynamic_cast<se::nn::Linear *>(&l))
+            h = se::hashTensor(f->weightTensor(), h);
+    });
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace se;
+
+    int max_threads = (int)std::thread::hardware_concurrency();
+    if (argc > 1)
+        max_threads = std::atoi(argv[1]);
+    if (max_threads < 1)
+        max_threads = 1;
+
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+
+    // --- serial reference (the legacy path, no runtime layer) -------
+    auto serial_net = makeSubject();
+    auto t0 = Clock::now();
+    auto serial_report =
+        core::applySmartExchange(*serial_net, se_opts, apply_opts);
+    const double serial_ms = msSince(t0);
+    const uint64_t serial_digest = weightDigest(*serial_net);
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"runtime_pipeline\",\n");
+    std::printf("  \"decomposed_layers\": %zu,\n",
+                serial_report.layers.size());
+    std::printf("  \"serial_ms\": %.2f,\n", serial_ms);
+
+    // --- pipeline at 1..max_threads ---------------------------------
+    std::printf("  \"pipeline\": [\n");
+    std::vector<int> thread_counts;
+    for (int t = 1; t <= max_threads; t *= 2)
+        thread_counts.push_back(t);
+    if (thread_counts.back() != max_threads)
+        thread_counts.push_back(max_threads);
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+        const int threads = thread_counts[i];
+        runtime::RuntimeOptions ro;
+        ro.threads = threads;
+        runtime::CompressionPipeline pipe(ro);
+        auto net = makeSubject();
+        t0 = Clock::now();
+        pipe.run(*net, se_opts, apply_opts);
+        const double ms = msSince(t0);
+        const bool identical = weightDigest(*net) == serial_digest;
+        std::printf("    {\"threads\": %d, \"units\": %zu, "
+                    "\"ms\": %.2f, \"speedup\": %.2f, "
+                    "\"bit_identical\": %s}%s\n",
+                    threads, pipe.stats().units, ms, serial_ms / ms,
+                    identical ? "true" : "false",
+                    i + 1 < thread_counts.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+
+    // --- cache-warm re-run (the ablation / design-scan pattern) -----
+    {
+        runtime::RuntimeOptions ro;
+        ro.threads = max_threads;
+        ro.cacheCapacity = 65536;
+        runtime::CompressionPipeline pipe(ro);
+        auto warm_net = makeSubject();
+        pipe.run(*warm_net, se_opts, apply_opts);  // populate
+
+        auto net = makeSubject();
+        t0 = Clock::now();
+        pipe.run(*net, se_opts, apply_opts);
+        const double ms = msSince(t0);
+        std::printf("  \"cache_warm\": {\"ms\": %.2f, "
+                    "\"speedup\": %.2f, \"hits\": %zu, "
+                    "\"units\": %zu, \"bit_identical\": %s},\n",
+                    ms, serial_ms / ms, pipe.stats().cacheHits,
+                    pipe.stats().units,
+                    weightDigest(*net) == serial_digest ? "true"
+                                                        : "false");
+    }
+
+    // --- batched accelerator sweep through SimDriver ----------------
+    {
+        auto accs = bench::paperAccelerators();
+        auto ids = models::acceleratorBenchmarkModels();
+        auto workloads = bench::annotatedWorkloads(ids);
+        auto skip = bench::scnnEffNetSkip(accs, ids);
+        const int reps = 40;
+
+        runtime::RuntimeOptions serial_ro;
+        serial_ro.threads = 0;
+        runtime::SimDriver serial_driver(serial_ro);
+        t0 = Clock::now();
+        for (int r = 0; r < reps; ++r)
+            serial_driver.sweep(accs, workloads, false, skip);
+        const double sweep_serial_ms = msSince(t0);
+
+        runtime::RuntimeOptions par_ro;
+        par_ro.threads = max_threads;
+        runtime::SimDriver par_driver(par_ro);
+        t0 = Clock::now();
+        for (int r = 0; r < reps; ++r)
+            par_driver.sweep(accs, workloads, false, skip);
+        const double sweep_par_ms = msSince(t0);
+
+        std::printf("  \"sim_sweep\": {\"cells\": %zu, \"reps\": %d, "
+                    "\"serial_ms\": %.2f, \"threads\": %d, "
+                    "\"parallel_ms\": %.2f, \"speedup\": %.2f}\n",
+                    accs.size() * workloads.size(), reps,
+                    sweep_serial_ms, max_threads, sweep_par_ms,
+                    sweep_serial_ms / sweep_par_ms);
+    }
+    std::printf("}\n");
+    return 0;
+}

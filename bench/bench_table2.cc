@@ -12,6 +12,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "runtime/pipeline.hh"
 
 namespace {
 
@@ -65,6 +66,14 @@ main()
             rc.perRound.epochs = 2;
             rc.perRound.lr = 0.05f;
         }
+        // Decompose through the thread-pooled runtime pipeline
+        // (bit-identical to the serial path).
+        runtime::CompressionPipeline pipe(bench::envRuntimeOptions());
+        rc.applyFn = [&pipe](nn::Sequential &n,
+                             const core::SeOptions &o,
+                             const core::ApplyOptions &a) {
+            return pipe.run(n, o, a);
+        };
         auto res = core::retrainWithSmartExchange(*tm.net, tm.task,
                                                   opts, ao, rc);
 

@@ -10,6 +10,7 @@
 
 #include "base/table.hh"
 #include "bench_util.hh"
+#include "runtime/pipeline.hh"
 
 int
 main()
@@ -32,6 +33,14 @@ main()
         opts.vectorThreshold = 0.0;
         core::SeRetrainConfig rc;
         rc.rounds = 3;
+        // Decompose through the thread-pooled runtime pipeline
+        // (bit-identical to the serial path).
+        runtime::CompressionPipeline pipe(bench::envRuntimeOptions());
+        rc.applyFn = [&pipe](nn::Sequential &n,
+                             const core::SeOptions &o,
+                             const core::ApplyOptions &a) {
+            return pipe.run(n, o, a);
+        };
         auto res = core::retrainWithSmartExchange(
             *tm.net, tm.task, opts, core::ApplyOptions{}, rc);
 

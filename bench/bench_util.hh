@@ -9,14 +9,79 @@
 #define SE_BENCH_BENCH_UTIL_HH
 
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "accel/annotate.hh"
+#include "accel/baselines.hh"
+#include "accel/smartexchange_accel.hh"
 #include "core/trainer.hh"
 #include "models/zoo.hh"
+#include "runtime/options.hh"
 
 namespace se {
 namespace bench {
+
+/**
+ * Runtime options for the bench drivers: SE_THREADS in the environment
+ * overrides (0 = legacy serial path); the default is one worker per
+ * core. Sweep results are bit-identical either way — the knob only
+ * moves wall-clock.
+ */
+inline runtime::RuntimeOptions
+envRuntimeOptions()
+{
+    runtime::RuntimeOptions ro;
+    ro.threads = -1;
+    if (const char *t = std::getenv("SE_THREADS"))
+        ro.threads = std::atoi(t);
+    ro.cacheCapacity = 4096;
+    return ro;
+}
+
+/** The five accelerators of the paper's comparison, in figure order. */
+inline std::vector<accel::AcceleratorPtr>
+paperAccelerators()
+{
+    std::vector<accel::AcceleratorPtr> accs;
+    accs.push_back(std::make_unique<accel::DianNao>());
+    accs.push_back(std::make_unique<accel::Scnn>());
+    accs.push_back(std::make_unique<accel::CambriconX>());
+    accs.push_back(std::make_unique<accel::BitPragmatic>());
+    accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+    return accs;
+}
+
+/** Annotated paper-scale workloads for a list of model ids. */
+inline std::vector<sim::Workload>
+annotatedWorkloads(const std::vector<models::ModelId> &ids)
+{
+    std::vector<sim::Workload> ws;
+    ws.reserve(ids.size());
+    for (auto id : ids)
+        ws.push_back(accel::annotatedWorkload(id));
+    return ws;
+}
+
+/**
+ * The Fig. 10-12 protocol hole: SCNN cannot run the squeeze-excite
+ * EfficientNet-B0, so that cell is excluded.
+ */
+inline std::function<bool(size_t, size_t)>
+scnnEffNetSkip(const std::vector<accel::AcceleratorPtr> &accs,
+               const std::vector<models::ModelId> &ids)
+{
+    std::vector<bool> is_scnn, is_effnet;
+    for (const auto &a : accs)
+        is_scnn.push_back(a->name() == "SCNN");
+    for (auto id : ids)
+        is_effnet.push_back(id == models::ModelId::EfficientNetB0);
+    return [is_scnn, is_effnet](size_t ai, size_t wi) {
+        return is_scnn[ai] && is_effnet[wi];
+    };
+}
 
 /** A trained reduced-scale model plus its task. */
 struct TrainedModel

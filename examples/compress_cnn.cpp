@@ -13,6 +13,7 @@
 #include "base/table.hh"
 #include "core/trainer.hh"
 #include "models/zoo.hh"
+#include "runtime/pipeline.hh"
 
 int
 main()
@@ -47,6 +48,15 @@ main()
     apply_opts.channelGammaThreshold = 0.05;
     core::SeRetrainConfig rc;
     rc.rounds = 4;
+    // Run every SE projection through the thread-pooled runtime
+    // pipeline; the output is bit-identical to the serial path.
+    runtime::RuntimeOptions ro;
+    ro.threads = -1;  // one worker per core
+    runtime::CompressionPipeline pipe(ro);
+    rc.applyFn = [&pipe](nn::Sequential &n, const core::SeOptions &o,
+                         const core::ApplyOptions &a) {
+        return pipe.run(n, o, a);
+    };
     auto res = core::retrainWithSmartExchange(*net, task, se_opts,
                                               apply_opts, rc);
 

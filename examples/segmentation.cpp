@@ -12,6 +12,7 @@
 
 #include "core/trainer.hh"
 #include "models/zoo.hh"
+#include "runtime/pipeline.hh"
 
 int
 main()
@@ -41,8 +42,11 @@ main()
 
     core::SeOptions se_opts;
     se_opts.vectorThreshold = 0.015;
-    auto report = core::applySmartExchange(*net, se_opts,
-                                           core::ApplyOptions{});
+    // Thread-pooled decomposition; bit-identical to the serial path.
+    runtime::RuntimeOptions ro;
+    ro.threads = -1;  // one worker per core
+    runtime::CompressionPipeline pipe(ro);
+    auto report = pipe.run(*net, se_opts, core::ApplyOptions{});
     const double miou_se = core::evaluateSegmenter(*net, task.test);
 
     std::printf("after SmartExchange: mIoU %.1f%% (drop %.1f pts), "

@@ -7,7 +7,6 @@
 #ifndef SE_BASE_BITUTILS_HH
 #define SE_BASE_BITUTILS_HH
 
-#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -17,7 +16,16 @@ namespace se {
 inline int
 popcount(uint64_t v)
 {
-    return std::popcount(v);
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(v);
+#else
+    int n = 0;
+    while (v) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+#endif
 }
 
 /** True when v is an exact power of two (v > 0). */

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FNV-1a content hashing for cache keys.
+ *
+ * The runtime's decomposition cache keys results by the exact bytes of
+ * the input weight matrix plus the algorithm options; FNV-1a is fast,
+ * dependency-free, and a 64-bit digest makes accidental collisions
+ * negligible at the cache sizes this library uses (thousands of
+ * entries, not billions).
+ */
+
+#ifndef SE_BASE_HASH_HH
+#define SE_BASE_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "tensor/tensor.hh"
+
+namespace se {
+
+constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/** FNV-1a over a byte range, chainable via the seed. */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t seed = kFnvOffsetBasis)
+{
+    const unsigned char *p = (const unsigned char *)data;
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= (uint64_t)p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Hash one trivially-copyable value into a running digest. */
+template <typename T>
+inline uint64_t
+hashValue(const T &v, uint64_t seed = kFnvOffsetBasis)
+{
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "hashValue needs a trivially copyable type");
+    return fnv1a(&v, sizeof(T), seed);
+}
+
+/**
+ * Content hash of a tensor: shape then raw float bytes, so tensors
+ * with equal data but different shapes (e.g. (6,2) vs (4,3)) hash
+ * differently. Float bit patterns are hashed as-is; -0.0f and 0.0f
+ * therefore differ, which is correct for a cache that must reproduce
+ * bit-identical results.
+ */
+inline uint64_t
+hashTensor(const Tensor &t, uint64_t seed = kFnvOffsetBasis)
+{
+    uint64_t h = seed;
+    const int64_t nd = t.ndim();
+    h = hashValue(nd, h);
+    for (int i = 0; i < t.ndim(); ++i)
+        h = hashValue(t.dim(i), h);
+    if (!t.empty())
+        h = fnv1a(t.data(), (size_t)t.size() * sizeof(float), h);
+    return h;
+}
+
+} // namespace se
+
+#endif // SE_BASE_HASH_HH

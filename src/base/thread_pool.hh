@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A fixed-size thread pool for the runtime layer.
+ *
+ * Deliberately simple: one shared FIFO queue, no work stealing. The
+ * workloads this library fans out (per-matrix ALS decompositions,
+ * per-layer accelerator runs) are coarse enough that queue contention
+ * is irrelevant, and a FIFO keeps completion order close to submission
+ * order, which keeps wall-clock profiles easy to reason about.
+ *
+ * Construction with `threads <= 1` still works: submit() runs fine on
+ * a single worker, and parallelFor() degrades to an inline loop so
+ * callers never need a special serial branch.
+ */
+
+#ifndef SE_BASE_THREAD_POOL_HH
+#define SE_BASE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace se {
+
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers; 0 or negative means "one per core". */
+    explicit ThreadPool(int threads)
+    {
+        if (threads <= 0)
+            threads = (int)std::thread::hardware_concurrency();
+        if (threads < 1)
+            threads = 1;
+        workers_.reserve((size_t)threads);
+        for (int i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return (int)workers_.size(); }
+
+    /** Queue a task; the future carries its result (or exception). */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<decltype(f())>
+    {
+        using R = decltype(f());
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            queue_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /**
+     * Run fn(i) for i in [0, n), spread over the pool; blocks until
+     * every index has completed. Indices are handed out dynamically
+     * (atomic counter), so uneven task costs balance themselves. With
+     * a single worker the loop runs inline on the caller's thread.
+     * The first exception thrown by any fn(i) is rethrown here.
+     */
+    void
+    parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
+    {
+        if (n <= 0)
+            return;
+        if (threadCount() <= 1 || n == 1) {
+            for (int64_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+
+        auto next = std::make_shared<std::atomic<int64_t>>(0);
+        auto failed = std::make_shared<std::atomic<bool>>(false);
+        auto first_error = std::make_shared<std::exception_ptr>();
+        auto error_mu = std::make_shared<std::mutex>();
+        auto body = [next, failed, first_error, error_mu, n, &fn] {
+            // Stop claiming new indices once any index has thrown,
+            // mirroring the serial loop's early exit.
+            for (int64_t i = next->fetch_add(1);
+                 i < n && !failed->load(std::memory_order_relaxed);
+                 i = next->fetch_add(1)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    failed->store(true, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lk(*error_mu);
+                    if (!*first_error)
+                        *first_error = std::current_exception();
+                }
+            }
+        };
+
+        const int64_t chunks =
+            std::min<int64_t>(n, (int64_t)threadCount());
+        std::vector<std::future<void>> done;
+        done.reserve((size_t)chunks);
+        for (int64_t c = 0; c < chunks; ++c)
+            done.push_back(submit(body));
+        for (auto &d : done)
+            d.wait();
+        if (*first_error)
+            std::rethrow_exception(*first_error);
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk,
+                         [this] { return stopping_ || !queue_.empty(); });
+                if (stopping_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace se
+
+#endif // SE_BASE_THREAD_POOL_HH

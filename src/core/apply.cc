@@ -51,24 +51,6 @@ decomposeTall(const Tensor &mat, const SeOptions &se_opts,
     return pieces;
 }
 
-/** Rebuild the tall matrix from its slices. */
-Tensor
-reconstructTall(const std::vector<SeMatrix> &pieces, int64_t rows,
-                int64_t cols)
-{
-    Tensor out({rows, cols});
-    int64_t at = 0;
-    for (const auto &p : pieces) {
-        Tensor r = p.reconstruct();
-        for (int64_t i = 0; i < r.dim(0); ++i)
-            for (int64_t j = 0; j < cols; ++j)
-                out.at(at + i, j) = r.at(i, j);
-        at += r.dim(0);
-    }
-    SE_ASSERT(at == rows, "slice reconstruction row mismatch");
-    return out;
-}
-
 /** Accumulate piece statistics into a layer report. */
 void
 accumulate(LayerReport &rep, const std::vector<SeMatrix> &pieces,
@@ -215,10 +197,67 @@ decomposeFcWeight(const Tensor &weight, const SeOptions &se_opts,
     return pieces;
 }
 
-CompressionReport
-applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
-                   const ApplyOptions &apply_opts)
+namespace {
+
+/**
+ * Append one unit per slice of the reshaped matrix `mat` (the per-
+ * filter conv view or per-row FC view of `owner`).
+ */
+void
+planUnits(CompressionPlan &plan, Tensor mat, size_t layer_index,
+          int64_t owner, int64_t max_slice_rows)
 {
+    const int64_t rows = mat.dim(0), cols = mat.dim(1);
+    for (auto [at, len] : sliceRows(rows, max_slice_rows, cols)) {
+        DecompUnit u;
+        u.layerIndex = layer_index;
+        u.filter = owner;
+        u.rowOffset = at;
+        if (at == 0 && len == rows) {
+            u.matrix = std::move(mat);
+            plan.units.push_back(std::move(u));
+            return;  // single-slice fast path
+        }
+        Tensor slice({len, cols});
+        for (int64_t i = 0; i < len; ++i)
+            for (int64_t j = 0; j < cols; ++j)
+                slice.at(i, j) = mat.at(at + i, j);
+        u.matrix = std::move(slice);
+        plan.units.push_back(std::move(u));
+    }
+}
+
+/** The per-filter conv reshape: (Cg*R, S) from filter f of (M,Cg,R,S). */
+Tensor
+convFilterMatrix(const Tensor &w, int64_t f)
+{
+    const int64_t cg = w.dim(1), r = w.dim(2), s = w.dim(3);
+    Tensor mat({cg * r, s});
+    for (int64_t c = 0; c < cg; ++c)
+        for (int64_t kr = 0; kr < r; ++kr)
+            for (int64_t ks = 0; ks < s; ++ks)
+                mat.at(c * r + kr, ks) = w.at(f, c, kr, ks);
+    return mat;
+}
+
+/** The per-row FC reshape: (ceil(C/S), S) from row f, zero padded. */
+Tensor
+fcRowMatrix(const Tensor &w, int64_t f, int64_t row_length, int64_t s)
+{
+    const int64_t rows = (row_length + s - 1) / s;
+    Tensor mat({rows, s});
+    for (int64_t j = 0; j < row_length; ++j)
+        mat.at(j / s, j % s) = w[f * row_length + j];
+    return mat;
+}
+
+} // namespace
+
+CompressionPlan
+planCompression(nn::Sequential &net, const SeOptions &se_opts,
+                const ApplyOptions &apply_opts)
+{
+    (void)se_opts;  // eligibility depends only on the apply options
     // Flatten the leaf layers in execution order so conv->BN pairs can
     // be detected for channel pruning.
     std::vector<nn::Layer *> leaves;
@@ -246,11 +285,11 @@ applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
         }
     }
 
-    CompressionReport report;
+    CompressionPlan plan;
     int layer_idx = 0;
-    for (size_t i = 0; i < leaves.size(); ++i) {
-        nn::Layer *l = leaves[i];
-        LayerReport rep;
+    for (nn::Layer *l : leaves) {
+        PlannedLayer pl;
+        LayerReport &rep = pl.report;
         if (auto *conv = dynamic_cast<nn::Conv2d *>(l)) {
             Tensor &w = conv->weightTensor();
             rep.name = "conv" + std::to_string(layer_idx++) + "_" +
@@ -271,68 +310,38 @@ applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
             rep.channelSparsity = (double)dead / (double)w.dim(0);
 
             if (w.size() < apply_opts.minWeightsToDecompose) {
-                report.layers.push_back(rep);
+                plan.layers.push_back(std::move(pl));
                 continue;
             }
             if (conv->kernelSize() > 1) {
-                auto pieces =
-                    decomposeConvWeight(w, se_opts, apply_opts);
-                accumulate(rep, pieces, se_opts);
-                // Write back: rebuild each filter.
-                const int64_t cg = w.dim(1), r = w.dim(2),
-                              s = w.dim(3);
-                // Pieces are grouped per filter; each filter may have
-                // several slices. Reassemble sequentially.
-                size_t pi = 0;
-                for (int64_t f = 0; f < w.dim(0); ++f) {
-                    int64_t rows_needed = cg * r;
-                    std::vector<SeMatrix> filter_pieces;
-                    int64_t got = 0;
-                    while (got < rows_needed) {
-                        SE_ASSERT(pi < pieces.size(),
-                                  "piece bookkeeping error");
-                        got += pieces[pi].ce.dim(0);
-                        filter_pieces.push_back(std::move(pieces[pi]));
-                        ++pi;
-                    }
-                    Tensor mat = reconstructTall(filter_pieces,
-                                                 rows_needed, s);
-                    for (int64_t c = 0; c < cg; ++c)
-                        for (int64_t kr = 0; kr < r; ++kr)
-                            for (int64_t ks = 0; ks < s; ++ks)
-                                w.at(f, c, kr, ks) =
-                                    mat.at(c * r + kr, ks);
-                }
+                pl.weight = &w;
+                pl.convKxK = true;
+                pl.kernelR = w.dim(2);
+                pl.kernelS = w.dim(3);
+                const size_t li = plan.layers.size();
+                for (int64_t f = 0; f < w.dim(0); ++f)
+                    planUnits(plan, convFilterMatrix(w, f), li, f,
+                              apply_opts.maxSliceRows);
             } else if ((w.dim(1) + apply_opts.fcGroupSize - 1) /
                            apply_opts.fcGroupSize <
                        apply_opts.fcGroupSize) {
                 // 1x1 conv too narrow for the FC reshape rule (would
                 // produce a wide matrix): leave it dense.
-                report.layers.push_back(rep);
+                plan.layers.push_back(std::move(pl));
                 continue;
             } else {
                 // 1x1 conv: FC rule on the (M, C) view.
-                Tensor flat = w.reshaped({w.dim(0), w.dim(1)});
-                auto pieces =
-                    decomposeFcWeight(flat, se_opts, apply_opts);
-                accumulate(rep, pieces, se_opts);
-                const int64_t s = apply_opts.fcGroupSize;
-                const int64_t rows = (flat.dim(1) + s - 1) / s;
-                size_t pi = 0;
-                for (int64_t f = 0; f < flat.dim(0); ++f) {
-                    std::vector<SeMatrix> row_pieces;
-                    int64_t got = 0;
-                    while (got < rows) {
-                        got += pieces[pi].ce.dim(0);
-                        row_pieces.push_back(std::move(pieces[pi]));
-                        ++pi;
-                    }
-                    Tensor mat = reconstructTall(row_pieces, rows, s);
-                    for (int64_t j = 0; j < flat.dim(1); ++j)
-                        w.at(f, j, 0, 0) = mat.at(j / s, j % s);
-                }
+                pl.weight = &w;
+                pl.kernelS = apply_opts.fcGroupSize;
+                pl.rowLength = w.dim(1);
+                const size_t li = plan.layers.size();
+                for (int64_t f = 0; f < w.dim(0); ++f)
+                    planUnits(plan,
+                              fcRowMatrix(w, f, pl.rowLength,
+                                          pl.kernelS),
+                              li, f, apply_opts.maxSliceRows);
             }
-            report.layers.push_back(rep);
+            plan.layers.push_back(std::move(pl));
         } else if (auto *lin = dynamic_cast<nn::Linear *>(l)) {
             Tensor &w = lin->weightTensor();
             rep.name = "fc" + std::to_string(layer_idx++);
@@ -342,28 +351,88 @@ applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
             const int64_t rows = (w.dim(1) + s - 1) / s;
             if (w.size() < apply_opts.minWeightsToDecompose ||
                 rows < s) {
-                report.layers.push_back(rep);
+                plan.layers.push_back(std::move(pl));
                 continue;
             }
-            auto pieces = decomposeFcWeight(w, se_opts, apply_opts);
-            accumulate(rep, pieces, se_opts);
-            size_t pi = 0;
-            for (int64_t f = 0; f < w.dim(0); ++f) {
-                std::vector<SeMatrix> row_pieces;
-                int64_t got = 0;
-                while (got < rows) {
-                    got += pieces[pi].ce.dim(0);
-                    row_pieces.push_back(std::move(pieces[pi]));
-                    ++pi;
-                }
-                Tensor mat = reconstructTall(row_pieces, rows, s);
-                for (int64_t j = 0; j < w.dim(1); ++j)
-                    w.at(f, j) = mat.at(j / s, j % s);
-            }
-            report.layers.push_back(rep);
+            pl.weight = &w;
+            pl.kernelS = s;
+            pl.rowLength = w.dim(1);
+            const size_t li = plan.layers.size();
+            for (int64_t f = 0; f < w.dim(0); ++f)
+                planUnits(plan, fcRowMatrix(w, f, pl.rowLength, s), li,
+                          f, apply_opts.maxSliceRows);
+            plan.layers.push_back(std::move(pl));
         }
     }
+    return plan;
+}
+
+CompressionReport
+finishCompression(const CompressionPlan &plan,
+                  std::vector<SeMatrix> results, const SeOptions &se_opts)
+{
+    SE_ASSERT(results.size() == plan.units.size(),
+              "decomposition result count mismatch: ", results.size(),
+              " vs ", plan.units.size());
+
+    // Write every piece back into its slice of the owning weight.
+    // Slices are disjoint, so order does not matter.
+    for (size_t ui = 0; ui < plan.units.size(); ++ui) {
+        const DecompUnit &u = plan.units[ui];
+        const PlannedLayer &pl = plan.layers[u.layerIndex];
+        SE_ASSERT(pl.weight, "unit for an undecomposed layer");
+        Tensor &w = *pl.weight;
+        Tensor recon = results[ui].reconstruct();
+        if (pl.convKxK) {
+            const int64_t r = pl.kernelR, s = pl.kernelS;
+            for (int64_t i = 0; i < recon.dim(0); ++i) {
+                const int64_t g = u.rowOffset + i;
+                for (int64_t ks = 0; ks < s; ++ks)
+                    w.at(u.filter, g / r, g % r, ks) = recon.at(i, ks);
+            }
+        } else {
+            // FC rule (Linear or 1x1 conv): both store row f
+            // contiguously at flat offset f * rowLength.
+            const int64_t s = pl.kernelS, c = pl.rowLength;
+            for (int64_t i = 0; i < recon.dim(0); ++i) {
+                const int64_t g = u.rowOffset + i;
+                for (int64_t k = 0; k < s; ++k) {
+                    const int64_t j = g * s + k;
+                    if (j < c)
+                        w[u.filter * c + j] = recon.at(i, k);
+                }
+            }
+        }
+    }
+
+    // Assemble the report: units are grouped by layer in plan order.
+    CompressionReport report;
+    report.layers.reserve(plan.layers.size());
+    size_t ui = 0;
+    for (size_t li = 0; li < plan.layers.size(); ++li) {
+        LayerReport rep = plan.layers[li].report;
+        std::vector<SeMatrix> pieces;
+        while (ui < plan.units.size() &&
+               plan.units[ui].layerIndex == li)
+            pieces.push_back(std::move(results[ui++]));
+        if (!pieces.empty())
+            accumulate(rep, pieces, se_opts);
+        report.layers.push_back(std::move(rep));
+    }
+    SE_ASSERT(ui == plan.units.size(), "unit bookkeeping error");
     return report;
+}
+
+CompressionReport
+applySmartExchange(nn::Sequential &net, const SeOptions &se_opts,
+                   const ApplyOptions &apply_opts)
+{
+    CompressionPlan plan = planCompression(net, se_opts, apply_opts);
+    std::vector<SeMatrix> results;
+    results.reserve(plan.units.size());
+    for (const DecompUnit &u : plan.units)
+        results.push_back(decomposeMatrix(u.matrix, se_opts));
+    return finishCompression(plan, std::move(results), se_opts);
 }
 
 } // namespace core

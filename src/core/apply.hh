@@ -90,6 +90,63 @@ CompressionReport applySmartExchange(nn::Sequential &net,
                                      const SeOptions &se_opts,
                                      const ApplyOptions &apply_opts);
 
+// --- plan / decompose / finish decomposition of applySmartExchange ----
+//
+// applySmartExchange() is equivalent to:
+//   1. planCompression()  — reshape every eligible layer into
+//      independent 2-D slices (one DecompUnit each),
+//   2. decomposeMatrix()  — on each unit's matrix, in any order
+//      (units are mutually independent and decomposeMatrix is
+//      deterministic),
+//   3. finishCompression() — write the Ce*B reconstructions back into
+//      the network and assemble the CompressionReport.
+// The split exists so se::runtime can run step 2 across a thread pool
+// (and through a result cache) while producing bit-identical output.
+
+/** One independent decomposition task: a reshaped 2-D slice. */
+struct DecompUnit
+{
+    Tensor matrix;         ///< slice to decompose (rows x cols)
+    size_t layerIndex = 0; ///< into CompressionPlan::layers
+    int64_t filter = 0;    ///< owning conv filter / FC row
+    int64_t rowOffset = 0; ///< first row within the reshaped matrix
+};
+
+/** A reported layer plus the geometry needed to write results back. */
+struct PlannedLayer
+{
+    LayerReport report;        ///< pre-filled name / counts / chan-spar
+    Tensor *weight = nullptr;  ///< write-back target (the live tensor)
+    bool convKxK = false;      ///< conv reshape rule vs. FC group rule
+    int64_t kernelR = 1;       ///< conv kernel height (write-back)
+    int64_t kernelS = 1;       ///< conv kernel width / FC group size
+    int64_t rowLength = 0;     ///< FC / 1x1 conv: flattened row length
+};
+
+/** Everything needed to run and then finish a compression pass. */
+struct CompressionPlan
+{
+    std::vector<PlannedLayer> layers;
+    std::vector<DecompUnit> units;  ///< grouped by layer, in order
+};
+
+/**
+ * Build the slice plan for a network. Performs the one-time channel
+ * gamma pruning (mutating the network), so call it exactly once per
+ * application.
+ */
+CompressionPlan planCompression(nn::Sequential &net,
+                                const SeOptions &se_opts,
+                                const ApplyOptions &apply_opts);
+
+/**
+ * Write decomposed pieces back into the network and assemble the
+ * report. `results[i]` must be decomposeMatrix(plan.units[i].matrix).
+ */
+CompressionReport finishCompression(const CompressionPlan &plan,
+                                    std::vector<SeMatrix> results,
+                                    const SeOptions &se_opts);
+
 /**
  * Decompose one conv layer's weights (per-filter reshape, CONV rules
  * from Section III-C) without touching the network. Used by unit tests

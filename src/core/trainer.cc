@@ -78,14 +78,19 @@ retrainWithSmartExchange(nn::Sequential &net,
     SeRetrainResult out;
     out.accBaseline = evaluate(net, task.test);
 
-    out.report = applySmartExchange(net, se_opts, apply_opts);
+    auto apply = [&](nn::Sequential &n) {
+        return cfg.applyFn ? cfg.applyFn(n, se_opts, apply_opts)
+                           : applySmartExchange(n, se_opts, apply_opts);
+    };
+
+    out.report = apply(net);
     out.accPostProcess = evaluate(net, task.test);
 
     // Alternate: one epoch of SGD (which breaks the Ce structure),
     // then re-apply SmartExchange (which restores it).
     for (int r = 0; r < cfg.rounds; ++r) {
         trainClassifier(net, task, cfg.perRound);
-        out.report = applySmartExchange(net, se_opts, apply_opts);
+        out.report = apply(net);
     }
     out.accRetrained = evaluate(net, task.test);
     return out;

@@ -8,6 +8,8 @@
 #ifndef SE_CORE_TRAINER_HH
 #define SE_CORE_TRAINER_HH
 
+#include <functional>
+
 #include "core/apply.hh"
 #include "data/synthetic.hh"
 #include "nn/blocks.hh"
@@ -58,6 +60,15 @@ struct SeRetrainConfig
 {
     int rounds = 6;          ///< alternations (paper: 50/25 epochs)
     TrainConfig perRound{1, 0.02f, 0.9f, 0.0f, false};
+    /**
+     * Pluggable SE application step. Null means the serial
+     * core::applySmartExchange; the runtime layer injects its
+     * thread-pooled, cached CompressionPipeline here (bit-identical
+     * output, so the training trajectory is unchanged).
+     */
+    std::function<CompressionReport(
+        nn::Sequential &, const SeOptions &, const ApplyOptions &)>
+        applyFn;
 };
 
 /**

@@ -1,0 +1,110 @@
+#include "runtime/decomp_cache.hh"
+
+#include "base/hash.hh"
+
+namespace se {
+namespace runtime {
+
+uint64_t
+decompKey(const Tensor &w, const core::SeOptions &opts)
+{
+    // Every SeOptions field must be hashed below; if this assert
+    // fires, a field was added or resized — extend the field list and
+    // update the expected size, or cached results will silently stop
+    // distinguishing the new knob.
+    static_assert(sizeof(core::SeOptions) == 56,
+                  "SeOptions changed: update decompKey's field list");
+    uint64_t h = hashTensor(w);
+    h = hashValue(opts.coefBits, h);
+    h = hashValue(opts.basisBits, h);
+    h = hashValue(opts.vectorThreshold, h);
+    h = hashValue(opts.minVectorSparsity, h);
+    h = hashValue(opts.maxIterations, h);
+    h = hashValue(opts.tol, h);
+    h = hashValue(opts.ridge, h);
+    h = hashValue(opts.refineOnSupport, h);
+    return h;
+}
+
+bool
+DecompCache::lookup(uint64_t key, core::SeMatrix &out)
+{
+    if (capacity_ == 0)
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out = it->second->value;
+    ++hits_;
+    return true;
+}
+
+void
+DecompCache::insert(uint64_t key, const core::SeMatrix &m)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->value = m;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, m});
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+}
+
+core::SeMatrix
+DecompCache::getOrCompute(const Tensor &w, const core::SeOptions &opts)
+{
+    const uint64_t key = decompKey(w, opts);
+    core::SeMatrix m;
+    if (lookup(key, m))
+        return m;
+    m = core::decomposeMatrix(w, opts);
+    insert(key, m);
+    return m;
+}
+
+size_t
+DecompCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+}
+
+uint64_t
+DecompCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+uint64_t
+DecompCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+}
+
+void
+DecompCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    index_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace runtime
+} // namespace se

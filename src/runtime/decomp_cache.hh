@@ -1,0 +1,76 @@
+/**
+ * @file
+ * An LRU cache of SmartExchange decomposition results.
+ *
+ * Keyed by the FNV-1a content hash of (weight matrix bytes + shape +
+ * SeOptions), so any sweep that re-decomposes the same matrix with the
+ * same options — ablations over accelerator knobs, design-space scans,
+ * repeated benchmark protocols — gets the cached {Ce, B} back instead
+ * of re-running the ALS loop. decomposeMatrix is deterministic, so a
+ * cache hit is bit-identical to a recompute.
+ *
+ * Thread-safe: one mutex around the map + LRU list. The guarded work
+ * is pointer shuffling and an SeMatrix copy, orders of magnitude
+ * cheaper than the ALS solve it replaces, so contention is immaterial.
+ */
+
+#ifndef SE_RUNTIME_DECOMP_CACHE_HH
+#define SE_RUNTIME_DECOMP_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/smart_exchange.hh"
+
+namespace se {
+namespace runtime {
+
+/** Cache key for one (weight matrix, SeOptions) decomposition. */
+uint64_t decompKey(const Tensor &w, const core::SeOptions &opts);
+
+class DecompCache
+{
+  public:
+    /** capacity == 0 disables the cache (every lookup misses). */
+    explicit DecompCache(size_t capacity) : capacity_(capacity) {}
+
+    /** Copy the cached result into `out`; true on hit. */
+    bool lookup(uint64_t key, core::SeMatrix &out);
+
+    /** Insert (or refresh) a result; evicts the LRU entry when full. */
+    void insert(uint64_t key, const core::SeMatrix &m);
+
+    /**
+     * The main entry point: return the cached decomposition of `w`
+     * under `opts`, computing and caching it on a miss.
+     */
+    core::SeMatrix getOrCompute(const Tensor &w,
+                                const core::SeOptions &opts);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    uint64_t hits() const;
+    uint64_t misses() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        core::SeMatrix value;
+    };
+
+    size_t capacity_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace runtime
+} // namespace se
+
+#endif // SE_RUNTIME_DECOMP_CACHE_HH

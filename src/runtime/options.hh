@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared knobs of the se::runtime layer.
+ */
+
+#ifndef SE_RUNTIME_OPTIONS_HH
+#define SE_RUNTIME_OPTIONS_HH
+
+#include <cstddef>
+#include <thread>
+
+namespace se {
+namespace runtime {
+
+/** Execution policy for the runtime drivers. */
+struct RuntimeOptions
+{
+    /**
+     * Worker threads. 0 selects the legacy serial path (no pool, no
+     * task plumbing, cache bypassed — byte-for-byte the pre-runtime
+     * behaviour); negative means "one per hardware core".
+     */
+    int threads = 0;
+    /**
+     * Decomposition-cache capacity in entries; 0 disables caching.
+     * Repeated sweeps (ablations, design-space scans) with identical
+     * (weights, options) inputs then skip the ALS loop entirely.
+     * Ignored on the legacy path (threads = 0).
+     */
+    size_t cacheCapacity = 0;
+
+    /** The thread count after resolving the "per core" sentinel. */
+    int
+    resolvedThreads() const
+    {
+        if (threads >= 0)
+            return threads;
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc > 0 ? (int)hc : 1;
+    }
+};
+
+} // namespace runtime
+} // namespace se
+
+#endif // SE_RUNTIME_OPTIONS_HH

@@ -1,0 +1,49 @@
+#include "runtime/pipeline.hh"
+
+namespace se {
+namespace runtime {
+
+core::CompressionReport
+CompressionPipeline::run(nn::Sequential &net,
+                         const core::SeOptions &se_opts,
+                         const core::ApplyOptions &apply_opts)
+{
+    stats_ = PipelineStats{};
+
+    const int threads = opts_.resolvedThreads();
+    if (threads == 0) {
+        // Legacy serial path, untouched (the cache is bypassed too:
+        // threads = 0 means "exactly the pre-runtime code").
+        return core::applySmartExchange(net, se_opts, apply_opts);
+    }
+
+    core::CompressionPlan plan =
+        core::planCompression(net, se_opts, apply_opts);
+    std::vector<core::SeMatrix> results(plan.units.size());
+    stats_.units = plan.units.size();
+
+    const uint64_t hits_before = cache_.hits();
+    auto decompose = [&](int64_t i) {
+        const core::DecompUnit &u = plan.units[(size_t)i];
+        if (opts_.cacheCapacity > 0)
+            results[(size_t)i] = cache_.getOrCompute(u.matrix, se_opts);
+        else
+            results[(size_t)i] =
+                core::decomposeMatrix(u.matrix, se_opts);
+    };
+
+    if (!pool_) {
+        for (int64_t i = 0; i < (int64_t)plan.units.size(); ++i)
+            decompose(i);
+        stats_.threadsUsed = threads;
+    } else {
+        pool_->parallelFor((int64_t)plan.units.size(), decompose);
+        stats_.threadsUsed = pool_->threadCount();
+    }
+    stats_.cacheHits = (size_t)(cache_.hits() - hits_before);
+
+    return core::finishCompression(plan, std::move(results), se_opts);
+}
+
+} // namespace runtime
+} // namespace se

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The parallel compression pipeline.
+ *
+ * CompressionPipeline runs core::applySmartExchange's work — one
+ * independent ALS decomposition per reshaped weight slice — across a
+ * fixed-size thread pool, optionally through the decomposition cache,
+ * and reassembles the CompressionReport deterministically. Because
+ * decomposeMatrix is deterministic and every slice is independent, the
+ * parallel result is bit-identical to the serial one; with
+ * RuntimeOptions{threads = 0} the pipeline literally calls the legacy
+ * serial path.
+ */
+
+#ifndef SE_RUNTIME_PIPELINE_HH
+#define SE_RUNTIME_PIPELINE_HH
+
+#include <memory>
+
+#include "base/thread_pool.hh"
+#include "core/apply.hh"
+#include "runtime/decomp_cache.hh"
+#include "runtime/options.hh"
+
+namespace se {
+namespace runtime {
+
+/** Counters from the last CompressionPipeline::run(). */
+struct PipelineStats
+{
+    size_t units = 0;       ///< decomposition tasks executed
+    size_t cacheHits = 0;   ///< tasks answered from the cache
+    int threadsUsed = 0;    ///< pool width (0 = legacy serial path)
+};
+
+class CompressionPipeline
+{
+  public:
+    explicit CompressionPipeline(RuntimeOptions opts = {})
+        : opts_(opts), cache_(opts.cacheCapacity)
+    {
+        // The pool lives as long as the pipeline so repeated runs
+        // (re-training rounds, sweeps) don't re-spawn workers.
+        const int threads = opts_.resolvedThreads();
+        if (threads > 1)
+            pool_ = std::make_unique<ThreadPool>(threads);
+    }
+
+    /**
+     * Drop-in parallel equivalent of core::applySmartExchange: same
+     * inputs, same in-place weight replacement, bit-identical report.
+     */
+    core::CompressionReport run(nn::Sequential &net,
+                                const core::SeOptions &se_opts,
+                                const core::ApplyOptions &apply_opts);
+
+    const PipelineStats &stats() const { return stats_; }
+    DecompCache &cache() { return cache_; }
+    const RuntimeOptions &options() const { return opts_; }
+
+  private:
+    RuntimeOptions opts_;
+    DecompCache cache_;
+    PipelineStats stats_;
+    std::unique_ptr<ThreadPool> pool_;  ///< null when <= 1 thread
+};
+
+} // namespace runtime
+} // namespace se
+
+#endif // SE_RUNTIME_PIPELINE_HH
