@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/clock.hh"
 #include "base/hash.hh"
 #include "bench_util.hh"
 #include "runtime/pipeline.hh"
@@ -23,14 +24,8 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double
-msSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-        .count();
-}
+using Clock = se::SteadyClock;
+using se::msSince;
 
 /** The sweep subject: a reduced-scale VGG19 (16 conv + 1 fc layers). */
 std::unique_ptr<se::nn::Sequential>

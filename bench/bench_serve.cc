@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Serving-layer wall-clock benchmark. Emits one JSON object timing
+ * the zoo CNN (reduced-scale VGG19) served from its SmartExchange
+ * form:
+ *
+ *  - rebuild engine: cold (per-slice Ce*B reconstruction) vs warm
+ *    (per-layer rebuilt-weight cache) latency per rebuild-all;
+ *  - per-call serving (dense weights are transient, rebuilt per
+ *    forward — the paper's storage/compute trade-off): serial
+ *    one-request-at-a-time vs the micro-batching ServeEngine, where
+ *    batching amortizes the rebuild across the batch;
+ *  - cached-weight serving: the same comparison when weights persist
+ *    after the first rebuild (wins come from batching + threads);
+ *  - engine latency percentiles.
+ *
+ * Usage: ./bench_serve [threads] [requests]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/clock.hh"
+#include "base/hash.hh"
+#include "bench_util.hh"
+#include "runtime/pipeline.hh"
+#include "serve/engine.hh"
+
+namespace {
+
+using Clock = se::SteadyClock;
+using se::msSince;
+
+se::models::SimConfig
+subjectConfig()
+{
+    // Wider channels on a small spatial grid: the serving-relevant
+    // regime where weight-rebuild cost is a visible share of a
+    // single-request forward (late VGG stages are exactly that).
+    se::models::SimConfig cfg;
+    cfg.baseWidth = 12;
+    cfg.inHeight = cfg.inWidth = 8;
+    cfg.seed = 77;
+    return cfg;
+}
+
+std::unique_ptr<se::nn::Sequential>
+makeSubject()
+{
+    return se::models::buildSim(se::models::ModelId::VGG19,
+                                subjectConfig());
+}
+
+/** Fixed synthetic request stream. */
+std::vector<se::Tensor>
+makeTraffic(int n)
+{
+    se::Rng rng(123);
+    std::vector<se::Tensor> xs;
+    xs.reserve((size_t)n);
+    const auto cfg = subjectConfig();
+    for (int i = 0; i < n; ++i)
+        xs.push_back(se::randn(
+            {cfg.inChannels, cfg.inHeight, cfg.inWidth}, rng, 0.0f,
+            1.0f));
+    return xs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace se;
+
+    int max_threads = (int)std::thread::hardware_concurrency();
+    if (argc > 1)
+        max_threads = std::atoi(argv[1]);
+    if (max_threads < 1)
+        max_threads = 1;
+    int requests = 128;
+    if (argc > 2)
+        requests = std::atoi(argv[2]);
+    if (requests < 8)
+        requests = 8;
+
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+
+    // Compress the subject (per-matrix work through the pipeline's
+    // decomposition cache) and keep the shippable records — the
+    // serving-side storage of record.
+    auto subject = makeSubject();
+    runtime::CompressionPipeline pipe(
+        runtime::RuntimeOptions::fromEnv());
+    auto compressed = core::compressToRecords(
+        *subject, se_opts, apply_opts,
+        [&pipe](const Tensor &w, const core::SeOptions &o) {
+            return pipe.cache().getOrCompute(w, o);
+        });
+    auto records =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            std::move(compressed.records));
+    auto traffic = makeTraffic(requests);
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"serve\",\n");
+    std::printf("  \"model\": \"VGG19-sim\",\n");
+    std::printf("  \"requests\": %d,\n", requests);
+    std::printf("  \"decomposed_layers\": %zu,\n", records->size());
+    std::printf("  \"compression_rate\": %.2f,\n",
+                compressed.report.compressionRate());
+
+    // --- rebuild engine: cold vs warm ------------------------------
+    double cold_ms, warm_ms;
+    {
+        const int reps = 20;
+        serve::SessionOptions cold_opts;
+        cold_opts.rebuildPerCall = true;
+        cold_opts.cacheRebuiltWeights = false;
+        serve::InferenceSession cold(makeSubject(), records, se_opts,
+                                     apply_opts, cold_opts);
+        Tensor probe = traffic[0].reshaped(
+            {1, traffic[0].dim(0), traffic[0].dim(1),
+             traffic[0].dim(2)});
+        for (int r = 0; r < reps; ++r)
+            cold.forward(probe);
+        cold_ms = cold.stats().rebuildMs / reps;
+
+        serve::SessionOptions warm_opts;
+        warm_opts.rebuildPerCall = true;
+        warm_opts.cacheRebuiltWeights = true;
+        serve::InferenceSession warm(makeSubject(), records, se_opts,
+                                     apply_opts, warm_opts);
+        warm.forward(probe);  // populate the rebuilt-weight cache
+        const double after_warmup = warm.stats().rebuildMs;
+        for (int r = 0; r < reps; ++r)
+            warm.forward(probe);
+        warm_ms = (warm.stats().rebuildMs - after_warmup) / reps;
+
+        std::printf("  \"rebuild\": {\"layers\": %zu, "
+                    "\"cold_ms\": %.3f, \"warm_ms\": %.3f, "
+                    "\"warm_speedup\": %.2f},\n",
+                    cold.rebuildableLayers(), cold_ms, warm_ms,
+                    cold_ms / warm_ms);
+    }
+
+    const auto factory = [] { return makeSubject(); };
+
+    // --- per-call mode: serial one-at-a-time reference -------------
+    // Dense weights are transient (the accelerator operating point):
+    // every request pays a full Ce*B rebuild before its forward.
+    double serial_percall_rps;
+    uint64_t serial_digest = kFnvOffsetBasis;
+    {
+        serve::SessionOptions so;
+        so.rebuildPerCall = true;
+        so.cacheRebuiltWeights = false;
+        serve::InferenceSession session(makeSubject(), records,
+                                        se_opts, apply_opts, so);
+        session.forward(traffic[0].reshaped(
+            {1, traffic[0].dim(0), traffic[0].dim(1),
+             traffic[0].dim(2)}));  // warmup allocation paths
+        auto t0 = Clock::now();
+        for (const Tensor &x : traffic) {
+            Tensor y = session.forward(x.reshaped(
+                {1, x.dim(0), x.dim(1), x.dim(2)}));
+            // Engine responses come batch-dim-stripped; hash the
+            // same 1-D view so the digests are comparable.
+            serial_digest =
+                hashTensor(y.reshaped({y.size()}), serial_digest);
+        }
+        const double ms = msSince(t0);
+        serial_percall_rps = 1000.0 * requests / ms;
+        std::printf("  \"serial_per_call\": {\"ms\": %.2f, "
+                    "\"rps\": %.1f},\n",
+                    ms, serial_percall_rps);
+    }
+
+    // --- per-call mode: micro-batching engine ----------------------
+    // One rebuild per batch instead of one per request; with threads,
+    // batches also run concurrently.
+    std::printf("  \"engine_per_call\": [\n");
+    double best_percall_rps = 0.0;
+    bool digests_match = true;
+    {
+        std::vector<int> thread_counts{1};
+        if (max_threads > 1)
+            thread_counts.push_back(max_threads);
+        for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+            serve::ServeOptions opts;
+            opts.threads = thread_counts[ti];
+            opts.maxBatch = 16;
+            opts.session.rebuildPerCall = true;
+            opts.session.cacheRebuiltWeights = false;
+            serve::ServeEngine engine(records, factory, se_opts,
+                                      apply_opts, opts);
+            auto t0 = Clock::now();
+            std::vector<std::future<Tensor>> futs;
+            futs.reserve(traffic.size());
+            for (const Tensor &x : traffic)
+                futs.push_back(engine.submit(x));
+            engine.drain();
+            uint64_t digest = kFnvOffsetBasis;
+            for (auto &f : futs)
+                digest = hashTensor(f.get(), digest);
+            const double ms = msSince(t0);
+            const double rps = 1000.0 * requests / ms;
+            if (rps > best_percall_rps)
+                best_percall_rps = rps;
+            digests_match =
+                digests_match && digest == serial_digest;
+            auto st = engine.stats();
+            std::printf(
+                "    {\"threads\": %d, \"max_batch\": 16, "
+                "\"ms\": %.2f, \"rps\": %.1f, "
+                "\"mean_batch\": %.1f, \"p50_ms\": %.2f, "
+                "\"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+                "\"bit_identical\": %s}%s\n",
+                thread_counts[ti], ms, rps, st.meanBatchSize,
+                st.p50Ms, st.p95Ms, st.p99Ms,
+                digest == serial_digest ? "true" : "false",
+                ti + 1 < thread_counts.size() ? "," : "");
+        }
+    }
+    std::printf("  ],\n");
+    std::printf("  \"batched_speedup_vs_serial\": %.2f,\n",
+                best_percall_rps / serial_percall_rps);
+
+    // --- cached-weight mode ----------------------------------------
+    // Weights persist after the first rebuild; gains now come from
+    // batching overheads and (on multi-core hosts) replica fan-out.
+    {
+        serve::InferenceSession session(makeSubject(), records,
+                                        se_opts, apply_opts);
+        Tensor warm0 = traffic[0].reshaped(
+            {1, traffic[0].dim(0), traffic[0].dim(1),
+             traffic[0].dim(2)});
+        session.forward(warm0);
+        auto t0 = Clock::now();
+        for (const Tensor &x : traffic)
+            session.forward(x.reshaped(
+                {1, x.dim(0), x.dim(1), x.dim(2)}));
+        const double serial_ms = msSince(t0);
+
+        serve::ServeOptions opts;
+        opts.threads = max_threads;
+        opts.maxBatch = 16;
+        serve::ServeEngine engine(records, factory, se_opts,
+                                  apply_opts, opts);
+        // Warm the replicas' weight rebuilds out of the timed region.
+        for (int i = 0; i < max_threads * 2; ++i)
+            engine.submit(traffic[(size_t)i % traffic.size()]);
+        engine.drain();
+        t0 = Clock::now();
+        std::vector<std::future<Tensor>> futs;
+        for (const Tensor &x : traffic)
+            futs.push_back(engine.submit(x));
+        engine.drain();
+        for (auto &f : futs)
+            f.get();
+        const double batched_ms = msSince(t0);
+        std::printf(
+            "  \"cached_mode\": {\"serial_ms\": %.2f, "
+            "\"serial_rps\": %.1f, \"batched_ms\": %.2f, "
+            "\"batched_rps\": %.1f},\n",
+            serial_ms, 1000.0 * requests / serial_ms, batched_ms,
+            1000.0 * requests / batched_ms);
+    }
+
+    std::printf("  \"responses_bit_identical\": %s\n",
+                digests_match ? "true" : "false");
+    std::printf("}\n");
+    // Exit status gates only the noise-immune invariants (response
+    // fidelity; warm rebuild beating cold, a ~50x margin). The
+    // batched-vs-serial throughput ratio is reported in the JSON but
+    // not gated: on a loaded 1-2 core CI runner its ~1.3x margin
+    // could flake an unrelated PR.
+    return digests_match && warm_ms < cold_ms ? 0 : 1;
+}

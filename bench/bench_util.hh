@@ -33,12 +33,7 @@ namespace bench {
 inline runtime::RuntimeOptions
 envRuntimeOptions()
 {
-    runtime::RuntimeOptions ro;
-    ro.threads = -1;
-    if (const char *t = std::getenv("SE_THREADS"))
-        ro.threads = std::atoi(t);
-    ro.cacheCapacity = 4096;
-    return ro;
+    return runtime::RuntimeOptions::fromEnv();
 }
 
 /** The five accelerators of the paper's comparison, in figure order. */

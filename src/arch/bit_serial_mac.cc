@@ -13,8 +13,11 @@ BitSerialMac::multiply(int32_t activation, int32_t weight, int act_bits)
     for (size_t d = 0; d < digits.size(); ++d) {
         if (digits[d] == 0)
             continue;
-        // digit in {-2,-1,+1,+2}: one shift-and-add step.
-        p.value += (int64_t)digits[d] * weight << (2 * d);
+        // digit in {-2,-1,+1,+2}: one shift-and-add step. The shift
+        // is written as a multiply because the product may be
+        // negative, and shifting negatives left is UB before C++20.
+        p.value +=
+            (int64_t)digits[d] * weight * ((int64_t)1 << (2 * d));
         ++p.cycles;
     }
     // Even an all-zero activation occupies the issue slot one cycle.

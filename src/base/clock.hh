@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Tiny wall-clock helpers shared by the runtime/serve layers and the
+ * benches, so every timing site uses the same clock and unit.
+ */
+
+#ifndef SE_BASE_CLOCK_HH
+#define SE_BASE_CLOCK_HH
+
+#include <chrono>
+
+namespace se {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Milliseconds elapsed since t0 (fractional). */
+inline double
+msSince(SteadyClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               SteadyClock::now() - t0)
+        .count();
+}
+
+} // namespace se
+
+#endif // SE_BASE_CLOCK_HH

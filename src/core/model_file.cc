@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 
 namespace se {
@@ -12,7 +14,11 @@ namespace core {
 namespace {
 
 constexpr uint32_t kMagic = 0x5345584Du;  // "SEXM"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+/** Hard ceiling on any stored dimension / count (anti-corruption). */
+constexpr int64_t kMaxDim = 1 << 24;
+constexpr int64_t kMaxElems = 1 << 26;
+constexpr uint64_t kMaxBodyBytes = 1ull << 31;
 
 template <typename T>
 void
@@ -27,7 +33,9 @@ readPod(std::istream &is)
 {
     T v{};
     is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    SE_ASSERT(is.good(), "unexpected end of SmartExchange model file");
+    if (!is.good())
+        throw ModelFileError(
+            "unexpected end of SmartExchange model stream");
     return v;
 }
 
@@ -42,9 +50,12 @@ std::string
 readString(std::istream &is)
 {
     const uint32_t len = readPod<uint32_t>(is);
-    SE_ASSERT(len < (1u << 20), "implausible string length in file");
+    if (len >= (1u << 20))
+        throw ModelFileError("implausible string length in model file");
     std::string s((size_t)len, '\0');
     is.read(s.data(), len);
+    if ((uint32_t)is.gcount() != len)
+        throw ModelFileError("truncated string in model file");
     return s;
 }
 
@@ -70,9 +81,22 @@ decodeCoef(uint8_t byte, const quant::Pow2Alphabet &a)
         return 0.0f;
     const bool neg = (byte & 0x80) != 0;
     const int code = byte & 0x7F;
+    // code 0 with the sign bit set (byte 0x80) is not a legal
+    // encoding either — it would decode below the alphabet.
+    if (code < 1 || code > a.numLevels)
+        throw ModelFileError(
+            "coefficient code outside the stored alphabet");
     const int exp = a.expMin() + code - 1;
     const float mag = std::ldexp(1.0f, exp);
     return neg ? -mag : mag;
+}
+
+void
+checkDim(int64_t d, const char *what)
+{
+    if (d < 0 || d > kMaxDim)
+        throw ModelFileError(std::string("implausible ") + what +
+                             " in model file");
 }
 
 } // namespace
@@ -100,10 +124,22 @@ loadSeMatrix(std::istream &is)
     const int64_t rows = readPod<int64_t>(is);
     const int64_t rank = readPod<int64_t>(is);
     const int64_t cols = readPod<int64_t>(is);
+    checkDim(rows, "row count");
+    checkDim(rank, "rank");
+    checkDim(cols, "column count");
+    if (rows * rank > kMaxElems || rank * cols > kMaxElems)
+        throw ModelFileError("implausible matrix size in model file");
     m.alphabet.expMax = readPod<int32_t>(is);
     m.alphabet.numLevels = readPod<int32_t>(is);
+    if (m.alphabet.numLevels < 1 || m.alphabet.numLevels > 126 ||
+        m.alphabet.expMax < -1000 || m.alphabet.expMax > 1000)
+        throw ModelFileError("implausible alphabet in model file");
     m.iterations = readPod<int32_t>(is);
+    if (m.iterations < 0 || m.iterations > (1 << 20))
+        throw ModelFileError("implausible iteration count");
     m.reconRelError = readPod<double>(is);
+    if (!std::isfinite(m.reconRelError))
+        throw ModelFileError("non-finite metadata in model file");
     m.ce = Tensor({rows, rank});
     for (int64_t i = 0; i < m.ce.size(); ++i)
         m.ce[i] = decodeCoef(readPod<uint8_t>(is), m.alphabet);
@@ -116,32 +152,68 @@ loadSeMatrix(std::istream &is)
 void
 saveModel(std::ostream &os, const std::vector<SeLayerRecord> &layers)
 {
+    // Serialize the body first so the header can carry its size and
+    // FNV-1a checksum; load verifies both before parsing a byte.
+    std::ostringstream body_os(std::ios::binary);
+    writePod<uint32_t>(body_os, (uint32_t)layers.size());
+    for (const auto &l : layers) {
+        writeString(body_os, l.name);
+        writePod<uint32_t>(body_os, (uint32_t)l.pieces.size());
+        for (const auto &p : l.pieces)
+            saveSeMatrix(body_os, p);
+    }
+    const std::string body = body_os.str();
+
     writePod<uint32_t>(os, kMagic);
     writePod<uint32_t>(os, kVersion);
-    writePod<uint32_t>(os, (uint32_t)layers.size());
-    for (const auto &l : layers) {
-        writeString(os, l.name);
-        writePod<uint32_t>(os, (uint32_t)l.pieces.size());
-        for (const auto &p : l.pieces)
-            saveSeMatrix(os, p);
-    }
+    writePod<uint64_t>(os, (uint64_t)body.size());
+    writePod<uint64_t>(os, fnv1a(body.data(), body.size()));
+    os.write(body.data(), (std::streamsize)body.size());
 }
 
 std::vector<SeLayerRecord>
 loadModel(std::istream &is)
 {
-    SE_ASSERT(readPod<uint32_t>(is) == kMagic,
-              "not a SmartExchange model file");
-    SE_ASSERT(readPod<uint32_t>(is) == kVersion,
-              "unsupported model file version");
-    const uint32_t n = readPod<uint32_t>(is);
+    if (readPod<uint32_t>(is) != kMagic)
+        throw ModelFileError("not a SmartExchange model file");
+    if (readPod<uint32_t>(is) != kVersion)
+        throw ModelFileError("unsupported model file version");
+    const uint64_t body_size = readPod<uint64_t>(is);
+    const uint64_t checksum = readPod<uint64_t>(is);
+    if (body_size > kMaxBodyBytes)
+        throw ModelFileError("implausible model file size");
+    // On seekable streams, reject a corrupted size field before
+    // allocating body_size bytes for it.
+    const std::streampos at = is.tellg();
+    if (at != std::streampos(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::streampos end = is.tellg();
+        is.seekg(at);
+        if (end != std::streampos(-1) &&
+            (uint64_t)(end - at) < body_size)
+            throw ModelFileError("truncated model file");
+    }
+    std::string body((size_t)body_size, '\0');
+    is.read(body.data(), (std::streamsize)body_size);
+    if ((uint64_t)is.gcount() != body_size)
+        throw ModelFileError("truncated model file");
+    if (fnv1a(body.data(), body.size()) != checksum)
+        throw ModelFileError("model file checksum mismatch "
+                             "(corrupted stream)");
+
+    std::istringstream body_is(body, std::ios::binary);
+    const uint32_t n = readPod<uint32_t>(body_is);
+    if (n > (1u << 20))
+        throw ModelFileError("implausible layer count in model file");
     std::vector<SeLayerRecord> layers((size_t)n);
     for (auto &l : layers) {
-        l.name = readString(is);
-        const uint32_t pieces = readPod<uint32_t>(is);
+        l.name = readString(body_is);
+        const uint32_t pieces = readPod<uint32_t>(body_is);
+        if (pieces > (1u << 24))
+            throw ModelFileError("implausible piece count");
         l.pieces.reserve(pieces);
         for (uint32_t i = 0; i < pieces; ++i)
-            l.pieces.push_back(loadSeMatrix(is));
+            l.pieces.push_back(loadSeMatrix(body_is));
     }
     return layers;
 }
@@ -151,7 +223,8 @@ saveModelFile(const std::string &path,
               const std::vector<SeLayerRecord> &layers)
 {
     std::ofstream os(path, std::ios::binary);
-    SE_ASSERT(os.good(), "cannot open ", path, " for writing");
+    if (!os.good())
+        throw ModelFileError("cannot open " + path + " for writing");
     saveModel(os, layers);
 }
 
@@ -159,8 +232,125 @@ std::vector<SeLayerRecord>
 loadModelFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
-    SE_ASSERT(is.good(), "cannot open ", path, " for reading");
+    if (!is.good())
+        throw ModelFileError("cannot open " + path + " for reading");
     return loadModel(is);
+}
+
+// ------------------------------------------------- nn <-> record glue
+
+CompressedModel
+compressToRecords(nn::Sequential &net, const SeOptions &se_opts,
+                  const ApplyOptions &apply_opts,
+                  const DecomposeFn &decomp)
+{
+    if (apply_opts.channelGammaThreshold > 0.0)
+        SE_WARN("compressToRecords: channel pruning zeroes BN "
+                "gamma/beta in THIS net, but records ship only the "
+                "decomposed weights — a serving-side install into a "
+                "fresh net keeps its unpruned BN tensors and will "
+                "diverge. Ship dense BN state separately (record "
+                "format v3, see ROADMAP) or serve unpruned models.");
+    CompressionPlan plan = planCompression(net, se_opts, apply_opts);
+
+    std::vector<SeMatrix> results;
+    results.reserve(plan.units.size());
+    for (const DecompUnit &u : plan.units)
+        results.push_back(decomp ? decomp(u.matrix, se_opts)
+                                 : decomposeMatrix(u.matrix, se_opts));
+
+    // Group the pieces per decomposed layer before finishCompression
+    // consumes the originals. The copy is deliberate: records and the
+    // finish pass both need the pieces, and a compressed bundle is
+    // small (Ce codes + tiny bases), so transiently holding two
+    // copies is cheaper than contorting finishCompression's
+    // ownership for every caller.
+    CompressedModel out;
+    size_t ui = 0;
+    for (size_t li = 0; li < plan.layers.size(); ++li) {
+        SeLayerRecord rec;
+        rec.name = plan.layers[li].report.name;
+        while (ui < plan.units.size() &&
+               plan.units[ui].layerIndex == li)
+            rec.pieces.push_back(results[ui++]);
+        if (!rec.pieces.empty())
+            out.records.push_back(std::move(rec));
+    }
+
+    out.report = finishCompression(plan, std::move(results), se_opts);
+    return out;
+}
+
+std::vector<RecordBinding>
+matchRecordsToPlan(const CompressionPlan &plan,
+                   const std::vector<SeLayerRecord> &records)
+{
+    std::vector<RecordBinding> bindings;
+    size_t ri = 0, ui = 0;
+    for (size_t li = 0; li < plan.layers.size(); ++li) {
+        size_t unit_count = 0;
+        while (ui + unit_count < plan.units.size() &&
+               plan.units[ui + unit_count].layerIndex == li)
+            ++unit_count;
+        if (unit_count == 0)
+            continue;
+        const std::string &name = plan.layers[li].report.name;
+        if (ri >= records.size())
+            throw ModelFileError("model records end before layer " +
+                                 name);
+        const SeLayerRecord &rec = records[ri++];
+        if (rec.name != name)
+            throw ModelFileError("record '" + rec.name +
+                                 "' does not match planned layer '" +
+                                 name + "'");
+        if (rec.pieces.size() != unit_count)
+            throw ModelFileError("record '" + rec.name + "' has " +
+                                 std::to_string(rec.pieces.size()) +
+                                 " pieces, expected " +
+                                 std::to_string(unit_count));
+        for (size_t k = 0; k < unit_count; ++k) {
+            const SeMatrix &p = rec.pieces[k];
+            const Tensor &m = plan.units[ui + k].matrix;
+            if (p.ce.dim(0) != m.dim(0) || p.basis.dim(1) != m.dim(1))
+                throw ModelFileError(
+                    "piece shape mismatch in record '" + rec.name +
+                    "'");
+        }
+        bindings.push_back({li, ui, unit_count, &rec});
+        ui += unit_count;
+    }
+    if (ri != records.size())
+        throw ModelFileError("model bundle has " +
+                             std::to_string(records.size() - ri) +
+                             " extra record(s)");
+    return bindings;
+}
+
+CompressionReport
+installLayerRecords(nn::Sequential &net,
+                    const std::vector<SeLayerRecord> &records,
+                    const SeOptions &se_opts,
+                    const ApplyOptions &apply_opts)
+{
+    // Never re-prune: the threshold rule must not fire on the
+    // factory net's unrelated gamma values. Pruned CONV channels
+    // arrive zeroed through the records themselves; pruned BN
+    // gamma/beta state is NOT shipped (see the compressToRecords
+    // warning), so pruned models need their BN tensors restored by
+    // the caller.
+    ApplyOptions install_opts = apply_opts;
+    install_opts.channelGammaThreshold = 0.0;
+    CompressionPlan plan = planCompression(net, se_opts, install_opts);
+
+    // Bindings are in unit order and cover every planned unit, so
+    // flattening their pieces reassembles finishCompression's input.
+    std::vector<SeMatrix> results;
+    results.reserve(plan.units.size());
+    for (const RecordBinding &b : matchRecordsToPlan(plan, records))
+        for (size_t k = 0; k < b.unitCount; ++k)
+            results.push_back(b.record->pieces[k]);
+
+    return finishCompression(plan, std::move(results), se_opts);
 }
 
 } // namespace core

@@ -1,31 +1,53 @@
 /**
  * @file
  * On-disk format for SmartExchange-form weights — what a deployment
- * pipeline would ship to the accelerator.
+ * pipeline would ship to the accelerator (or to se::serve).
  *
  * Each SeMatrix is stored compactly: coefficients as one byte per
  * entry holding {zero | sign, exponent-code} (the hardware packs two
  * such codes per byte at 4-bit precision; the file trades that last
  * 2x for simplicity and self-description), the basis as float32, plus
  * the alphabet so the power-of-2 codes decode exactly.
+ *
+ * Bundles (saveModel / loadModel) carry a header with the body size
+ * and an FNV-1a checksum of the body, so truncated or bit-corrupted
+ * streams are always rejected with a ModelFileError instead of
+ * crashing or silently mis-loading.
  */
 
 #ifndef SE_CORE_MODEL_FILE_HH
 #define SE_CORE_MODEL_FILE_HH
 
+#include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/apply.hh"
 #include "core/smart_exchange.hh"
 
 namespace se {
 namespace core {
 
+/**
+ * Thrown on any malformed, truncated or corrupted model stream. Load
+ * never aborts on bad input: it either returns a fully-validated
+ * bundle or throws this.
+ */
+class ModelFileError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Serialize one SmartExchange matrix. */
 void saveSeMatrix(std::ostream &os, const SeMatrix &m);
 
-/** Deserialize one SmartExchange matrix (exact round trip). */
+/**
+ * Deserialize one SmartExchange matrix (exact round trip). Throws
+ * ModelFileError on truncation or implausible metadata.
+ */
 SeMatrix loadSeMatrix(std::istream &is);
 
 /** A named bundle of SeMatrix pieces (e.g. one conv layer). */
@@ -39,13 +61,82 @@ struct SeLayerRecord
 void saveModel(std::ostream &os,
                const std::vector<SeLayerRecord> &layers);
 
-/** Load a model bundle back. */
+/** Load a model bundle back. Throws ModelFileError on any damage. */
 std::vector<SeLayerRecord> loadModel(std::istream &is);
 
 /** Save to / load from a file path. */
 void saveModelFile(const std::string &path,
                    const std::vector<SeLayerRecord> &layers);
 std::vector<SeLayerRecord> loadModelFile(const std::string &path);
+
+// ------------------------------------------------- nn <-> record glue
+
+/**
+ * Pluggable single-matrix decomposition, so callers can route the ALS
+ * work through runtime::CompressionPipeline's cache/pool. Defaults to
+ * the serial core::decomposeMatrix.
+ */
+using DecomposeFn =
+    std::function<SeMatrix(const Tensor &, const SeOptions &)>;
+
+/** A shippable compressed model plus its compression report. */
+struct CompressedModel
+{
+    /**
+     * One record per decomposed layer, pieces in plan/unit order — the
+     * exact shape installLayerRecords() and serve::InferenceSession
+     * expect back.
+     */
+    std::vector<SeLayerRecord> records;
+    CompressionReport report;
+};
+
+/**
+ * Compress a network into shippable records: plan, decompose every
+ * unit, install the Ce*B reconstructions in place (exactly like
+ * applySmartExchange) and keep the decomposed pieces grouped per
+ * layer. Undecomposed layers produce no record.
+ */
+CompressedModel compressToRecords(nn::Sequential &net,
+                                  const SeOptions &se_opts,
+                                  const ApplyOptions &apply_opts,
+                                  const DecomposeFn &decomp = nullptr);
+
+/**
+ * One decomposed planned layer matched to its shipped record: plan
+ * units [unitBegin, unitBegin + unitCount) belong to layer
+ * plan.layers[layerIndex], and record->pieces[k] corresponds to unit
+ * unitBegin + k.
+ */
+struct RecordBinding
+{
+    size_t layerIndex = 0;
+    size_t unitBegin = 0;
+    size_t unitCount = 0;
+    const SeLayerRecord *record = nullptr;
+};
+
+/**
+ * Match shipped records against a re-derived compression plan,
+ * validating full congruence (layer names, piece counts, slice
+ * shapes). Throws ModelFileError on any mismatch. Shared by
+ * installLayerRecords and serve::InferenceSession.
+ */
+std::vector<RecordBinding> matchRecordsToPlan(
+    const CompressionPlan &plan,
+    const std::vector<SeLayerRecord> &records);
+
+/**
+ * Install previously-shipped records into a freshly built instance of
+ * the same architecture: re-plan the layer geometry, check that the
+ * records are congruent (via matchRecordsToPlan), and write every
+ * Ce*B reconstruction into the live weights. Channel pruning is never
+ * re-applied: its effect is already baked into the shipped
+ * coefficients.
+ */
+CompressionReport installLayerRecords(
+    nn::Sequential &net, const std::vector<SeLayerRecord> &records,
+    const SeOptions &se_opts, const ApplyOptions &apply_opts);
 
 } // namespace core
 } // namespace se

@@ -7,6 +7,7 @@
 #define SE_RUNTIME_OPTIONS_HH
 
 #include <cstddef>
+#include <cstdlib>
 #include <thread>
 
 namespace se {
@@ -37,6 +38,23 @@ struct RuntimeOptions
             return threads;
         const unsigned hc = std::thread::hardware_concurrency();
         return hc > 0 ? (int)hc : 1;
+    }
+
+    /**
+     * The convention every driver binary shares: one worker per core
+     * and a warm cache, with SE_THREADS in the environment overriding
+     * the thread count (0 = legacy serial path). Results never depend
+     * on the value — it only moves wall-clock.
+     */
+    static RuntimeOptions
+    fromEnv(size_t cache_capacity = 4096)
+    {
+        RuntimeOptions ro;
+        ro.threads = -1;
+        if (const char *t = std::getenv("SE_THREADS"))
+            ro.threads = std::atoi(t);
+        ro.cacheCapacity = cache_capacity;
+        return ro;
     }
 };
 

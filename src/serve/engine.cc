@@ -1,0 +1,257 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "base/clock.hh"
+#include "base/logging.hh"
+
+namespace se {
+namespace serve {
+
+namespace {
+using Clock = SteadyClock;
+
+/** Per-sample shape of a request input (leading batch-1 stripped). */
+Shape
+sampleShape(const Tensor &t)
+{
+    if (t.ndim() == 4) {
+        if (t.dim(0) != 1)
+            throw std::invalid_argument(
+                "serve request batch dim must be 1");
+        return {t.dim(1), t.dim(2), t.dim(3)};
+    }
+    return t.shape();
+}
+
+/** Nearest-rank percentile of a sorted series. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t n = sorted.size();
+    size_t idx = (size_t)std::ceil(q * (double)n);
+    idx = idx > 0 ? idx - 1 : 0;
+    return sorted[std::min(idx, n - 1)];
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> model,
+    const NetFactory &factory, const core::SeOptions &se_opts,
+    const core::ApplyOptions &apply_opts, ServeOptions opts)
+    : opts_(opts)
+{
+    if (opts_.maxBatch < 1)
+        opts_.maxBatch = 1;
+    const int threads = opts_.resolvedThreads();
+    const int nrep = threads > 0 ? threads : 1;
+    replicas_.reserve((size_t)nrep);
+    for (int i = 0; i < nrep; ++i)
+        replicas_.push_back(std::make_unique<InferenceSession>(
+            factory(), model, se_opts, apply_opts, opts_.session));
+    for (size_t i = 0; i < replicas_.size(); ++i)
+        freeReplicas_.push_back(i);
+    if (threads > 0)
+        pool_ = std::make_unique<ThreadPool>(threads);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+ServeEngine::~ServeEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    // The pool destructor runs every already-submitted batch; it must
+    // happen here, while the queue/stats members the batches touch
+    // are still alive.
+    pool_.reset();
+}
+
+std::future<Tensor>
+ServeEngine::submit(Tensor sample)
+{
+    Request r;
+    r.input = std::move(sample);
+    r.enqueued = Clock::now();
+    std::future<Tensor> fut = r.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        SE_ASSERT(!stopping_, "submit() on a stopped ServeEngine");
+        queue_.push_back(std::move(r));
+        ++pending_;
+    }
+    cv_.notify_all();
+    return fut;
+}
+
+void
+ServeEngine::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Request> batch;
+        size_t replica;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            // Wait for work AND a free replica before forming the
+            // batch: while every replica is busy the queue keeps
+            // growing, so the batch popped at dispatch time is as
+            // large as the backlog allows (adaptive batching).
+            cv_.wait(lk, [this] {
+                if (queue_.empty())
+                    return stopping_;
+                if (freeReplicas_.empty())
+                    return false;
+                return stopping_ || draining_ ||
+                       opts_.flush == FlushPolicy::Greedy ||
+                       queue_.size() >= opts_.maxBatch;
+            });
+            if (queue_.empty())
+                return;  // stopping with nothing left to serve
+            replica = freeReplicas_.back();
+            freeReplicas_.pop_back();
+            const size_t k =
+                std::min(queue_.size(), opts_.maxBatch);
+            batch.reserve(k);
+            for (size_t i = 0; i < k; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+        if (pool_) {
+            pool_->submit([this, replica,
+                           b = std::move(batch)]() mutable {
+                runBatch(replica, b);
+                releaseReplica(replica);
+            });
+        } else {
+            runBatch(replica, batch);
+            releaseReplica(replica);
+        }
+    }
+}
+
+void
+ServeEngine::releaseReplica(size_t idx)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        freeReplicas_.push_back(idx);
+    }
+    cv_.notify_all();
+}
+
+void
+ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
+{
+    const size_t n = batch.size();
+    size_t fulfilled = 0;  // promises already satisfied
+    try {
+        const Shape sample = sampleShape(batch[0].input);
+        const int64_t sample_elems = numel(sample);
+        for (const Request &r : batch)
+            if (sampleShape(r.input) != sample)
+                throw std::invalid_argument(
+                    "mixed sample shapes in one serve batch");
+
+        Shape in_shape;
+        in_shape.push_back((int64_t)n);
+        in_shape.insert(in_shape.end(), sample.begin(), sample.end());
+        Tensor in(in_shape);
+        for (size_t i = 0; i < n; ++i)
+            std::memcpy(in.data() + (int64_t)i * sample_elems,
+                        batch[i].input.data(),
+                        (size_t)sample_elems * sizeof(float));
+
+        Tensor out = replicas_[replica]->forward(in);
+        if (out.ndim() < 1 || out.dim(0) != (int64_t)n)
+            throw std::runtime_error(
+                "model output lost the batch dimension");
+        Shape out_sample(out.shape().begin() + 1, out.shape().end());
+        if (out_sample.empty())
+            out_sample.push_back(1);
+        const int64_t out_elems = numel(out_sample);
+
+        std::vector<double> lat(n);
+        for (size_t i = 0; i < n; ++i) {
+            Tensor resp(out_sample);
+            std::memcpy(resp.data(),
+                        out.data() + (int64_t)i * out_elems,
+                        (size_t)out_elems * sizeof(float));
+            batch[i].promise.set_value(std::move(resp));
+            lat[i] = msSince(batch[i].enqueued);
+            ++fulfilled;
+        }
+        {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            latenciesMs_.insert(latenciesMs_.end(), lat.begin(),
+                                lat.end());
+            ++batches_;
+            batchedRequests_ += n;
+        }
+    } catch (...) {
+        // Fail only the requests whose promise is still pending —
+        // set_exception on a satisfied promise would itself throw,
+        // escape this handler and leak the replica.
+        for (size_t i = fulfilled; i < n; ++i)
+            batch[i].promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        failed_ += n - fulfilled;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        pending_ -= n;
+    }
+    cv_.notify_all();
+}
+
+void
+ServeEngine::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return pending_ == 0; });
+    draining_ = false;
+}
+
+ServeStats
+ServeEngine::stats() const
+{
+    std::vector<double> lat;
+    ServeStats s;
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        lat = latenciesMs_;
+        s.batches = batches_;
+        s.failed = failed_;
+        s.meanBatchSize =
+            batches_ > 0 ? (double)batchedRequests_ / (double)batches_
+                         : 0.0;
+    }
+    s.requests = (uint64_t)lat.size();
+    if (lat.empty())
+        return s;
+    std::sort(lat.begin(), lat.end());
+    double sum = 0.0;
+    for (double v : lat)
+        sum += v;
+    s.meanLatencyMs = sum / (double)lat.size();
+    s.p50Ms = percentile(lat, 0.50);
+    s.p95Ms = percentile(lat, 0.95);
+    s.p99Ms = percentile(lat, 0.99);
+    s.maxMs = lat.back();
+    return s;
+}
+
+} // namespace serve
+} // namespace se

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ServeEngine — an async micro-batching front end over
+ * InferenceSession replicas.
+ *
+ * submit() enqueues one sample and returns a future. A dispatcher
+ * thread groups queued requests into batches (up to maxBatch, per the
+ * flush policy) and hands each batch to a free session replica; with
+ * threads > 0 batches run concurrently on a ThreadPool (one replica
+ * per worker, so sessions are never shared across threads), with
+ * threads == 0 they run inline on the dispatcher.
+ *
+ * Responses are bit-identical regardless of thread count, batch size
+ * or flush policy: every replica rebuilds the same dense weights from
+ * the same shared records, and each sample's arithmetic inside a
+ * batched forward is independent of its batch-mates.
+ *
+ * Batching is also where the paper's storage/compute trade-off pays
+ * off at serving time: in rebuild-per-call sessions the Ce*B rebuild
+ * cost is paid once per batch, not once per request.
+ */
+
+#ifndef SE_SERVE_ENGINE_HH
+#define SE_SERVE_ENGINE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "serve/session.hh"
+
+namespace se {
+namespace serve {
+
+/** When the dispatcher closes a batch. */
+enum class FlushPolicy
+{
+    /** Dispatch whatever is queued as soon as a replica frees up. */
+    Greedy,
+    /** Hold until maxBatch requests queue up (drain() flushes). */
+    Full,
+};
+
+/** Engine configuration. */
+struct ServeOptions
+{
+    /**
+     * Worker threads == session replicas; 0 runs batches inline on
+     * the dispatcher (single replica), negative means one per core.
+     */
+    int threads = -1;
+    /** Micro-batch size cap. */
+    size_t maxBatch = 8;
+    FlushPolicy flush = FlushPolicy::Greedy;
+    /** Rebuild policy handed to every replica. */
+    SessionOptions session;
+
+    int
+    resolvedThreads() const
+    {
+        if (threads >= 0)
+            return threads;
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc > 0 ? (int)hc : 1;
+    }
+};
+
+/** Aggregate serving statistics (latency is enqueue -> response). */
+struct ServeStats
+{
+    uint64_t requests = 0;  ///< successfully answered
+    uint64_t failed = 0;    ///< answered with an exception
+    uint64_t batches = 0;   ///< successful batches
+    double meanBatchSize = 0.0;
+    double meanLatencyMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+};
+
+/** Builds one architecture instance per replica (deterministic). */
+using NetFactory = std::function<std::unique_ptr<nn::Sequential>()>;
+
+class ServeEngine
+{
+  public:
+    ServeEngine(
+        std::shared_ptr<const std::vector<core::SeLayerRecord>> model,
+        const NetFactory &factory, const core::SeOptions &se_opts,
+        const core::ApplyOptions &apply_opts, ServeOptions opts = {});
+
+    /** Drains the queue, answers every accepted request, stops. */
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /**
+     * Enqueue one sample — (C, H, W), (1, C, H, W) or any shape the
+     * model accepts with a leading batch dim of 1. The future carries
+     * the per-sample output (batch dim stripped) or the error that
+     * occurred while serving it.
+     */
+    std::future<Tensor> submit(Tensor sample);
+
+    /** Block until every accepted request has been answered (flushes
+     *  partial batches under FlushPolicy::Full). */
+    void drain();
+
+    ServeStats stats() const;
+    int replicaCount() const { return (int)replicas_.size(); }
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<Tensor> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatchLoop();
+    void runBatch(size_t replica, std::vector<Request> &batch);
+    void releaseReplica(size_t idx);
+
+    ServeOptions opts_;
+    std::vector<std::unique_ptr<InferenceSession>> replicas_;
+    std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 0
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    uint64_t pending_ = 0;  ///< accepted but not yet answered
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    std::vector<size_t> freeReplicas_;  ///< guarded by mu_
+
+    mutable std::mutex stats_mu_;
+    std::vector<double> latenciesMs_;
+    uint64_t batches_ = 0;
+    uint64_t batchedRequests_ = 0;
+    uint64_t failed_ = 0;
+
+    std::thread dispatcher_;
+};
+
+} // namespace serve
+} // namespace se
+
+#endif // SE_SERVE_ENGINE_HH

@@ -1,0 +1,151 @@
+#include "serve/session.hh"
+
+#include "base/clock.hh"
+
+namespace se {
+namespace serve {
+
+/** One decomposed layer bound to its shipped pieces. */
+struct InferenceSession::BoundLayer
+{
+    Tensor *weight = nullptr;  ///< live tensor inside net_
+    bool convKxK = false;
+    int64_t kernelR = 1;
+    int64_t kernelS = 1;
+    int64_t rowLength = 0;
+
+    struct BoundUnit
+    {
+        const core::SeMatrix *piece = nullptr;  ///< into *model_
+        int64_t filter = 0;
+        int64_t rowOffset = 0;
+    };
+    std::vector<BoundUnit> units;
+
+    bool stale = true;
+    bool cacheValid = false;
+    Tensor cache;  ///< assembled dense weight (warm-rebuild source)
+};
+
+InferenceSession::InferenceSession(
+    std::unique_ptr<nn::Sequential> net,
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> model,
+    const core::SeOptions &se_opts,
+    const core::ApplyOptions &apply_opts, SessionOptions opts)
+    : net_(std::move(net)), model_(std::move(model)), opts_(opts)
+{
+    // Re-derive the slice geometry from the live architecture, with
+    // pruning disabled (its effect is baked into the coefficients).
+    core::ApplyOptions plan_opts = apply_opts;
+    plan_opts.channelGammaThreshold = 0.0;
+    core::CompressionPlan plan =
+        core::planCompression(*net_, se_opts, plan_opts);
+
+    // The bound pieces point into *model_, which the session's
+    // shared_ptr keeps alive.
+    for (const core::RecordBinding &b :
+         core::matchRecordsToPlan(plan, *model_)) {
+        const core::PlannedLayer &pl = plan.layers[b.layerIndex];
+        BoundLayer bl;
+        bl.weight = pl.weight;
+        bl.convKxK = pl.convKxK;
+        bl.kernelR = pl.kernelR;
+        bl.kernelS = pl.kernelS;
+        bl.rowLength = pl.rowLength;
+        for (size_t k = 0; k < b.unitCount; ++k) {
+            const core::DecompUnit &u = plan.units[b.unitBegin + k];
+            bl.units.push_back(
+                {&b.record->pieces[k], u.filter, u.rowOffset});
+        }
+        layers_.push_back(std::move(bl));
+    }
+}
+
+InferenceSession::~InferenceSession() = default;
+
+size_t
+InferenceSession::rebuildableLayers() const
+{
+    return layers_.size();
+}
+
+void
+InferenceSession::rebuildLayer(BoundLayer &bl)
+{
+    const auto t0 = SteadyClock::now();
+    if (bl.cacheValid && opts_.cacheRebuiltWeights) {
+        *bl.weight = bl.cache;  // warm: one dense copy
+        ++stats_.warmRebuilds;
+    } else {
+        // Cold: reconstruct every Ce*B slice and write it back, the
+        // same geometry as core::finishCompression.
+        Tensor &w = *bl.weight;
+        for (const auto &bu : bl.units) {
+            Tensor recon = bu.piece->reconstruct();
+            if (bl.convKxK) {
+                const int64_t r = bl.kernelR, s = bl.kernelS;
+                for (int64_t i = 0; i < recon.dim(0); ++i) {
+                    const int64_t g = bu.rowOffset + i;
+                    for (int64_t ks = 0; ks < s; ++ks)
+                        w.at(bu.filter, g / r, g % r, ks) =
+                            recon.at(i, ks);
+                }
+            } else {
+                const int64_t s = bl.kernelS, c = bl.rowLength;
+                for (int64_t i = 0; i < recon.dim(0); ++i) {
+                    const int64_t g = bu.rowOffset + i;
+                    for (int64_t k = 0; k < s; ++k) {
+                        const int64_t j = g * s + k;
+                        if (j < c)
+                            w[bu.filter * c + j] = recon.at(i, k);
+                    }
+                }
+            }
+        }
+        if (opts_.cacheRebuiltWeights) {
+            bl.cache = w;
+            bl.cacheValid = true;
+        }
+        ++stats_.coldRebuilds;
+    }
+    bl.stale = false;
+    stats_.rebuildMs += msSince(t0);
+}
+
+void
+InferenceSession::ensureRebuilt()
+{
+    for (auto &bl : layers_)
+        if (bl.stale)
+            rebuildLayer(bl);
+}
+
+Tensor
+InferenceSession::forward(const Tensor &batch)
+{
+    if (opts_.rebuildPerCall)
+        invalidateWeights();
+    ensureRebuilt();
+    ++stats_.forwardCalls;
+    return net_->forward(batch, /*train=*/false);
+}
+
+void
+InferenceSession::invalidateWeights()
+{
+    for (auto &bl : layers_)
+        bl.stale = true;
+}
+
+void
+InferenceSession::clearRebuildCache()
+{
+    for (auto &bl : layers_) {
+        bl.cacheValid = false;
+        bl.cache = Tensor();
+        bl.stale = true;
+    }
+}
+
+} // namespace serve
+} // namespace se

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * InferenceSession — run inference directly from the shipped
+ * SmartExchange form.
+ *
+ * The paper's deployment story is that the Ce*B form is what lives in
+ * storage; dense weights exist only transiently, rebuilt by the
+ * accelerator's rebuild engine as tiles stream in. This class is the
+ * software mirror: it holds a (shared, immutable) bundle of
+ * SeLayerRecord pieces plus a live architecture instance, and
+ * materializes W = Ce*B into the live weight tensors on demand.
+ *
+ * Two policies bracket the paper's storage/compute trade-off:
+ *  - cached (default): each layer is rebuilt once, lazily, and a
+ *    per-layer copy of the assembled weight is kept so later rebuilds
+ *    are a tensor copy instead of per-slice matmuls;
+ *  - rebuild-per-call: every forward() re-materializes all weights,
+ *    emulating an accelerator that never persists the dense form
+ *    (optionally still through the per-layer cache, modelling a warm
+ *    on-chip rebuild buffer).
+ *
+ * A session is single-threaded by design — forward() mutates layer
+ * caches. ServeEngine owns one replica per worker.
+ */
+
+#ifndef SE_SERVE_SESSION_HH
+#define SE_SERVE_SESSION_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/model_file.hh"
+#include "nn/blocks.hh"
+
+namespace se {
+namespace serve {
+
+/** Weight rebuild policy of a session. */
+struct SessionOptions
+{
+    /**
+     * Re-materialize W = Ce*B on every forward() instead of once,
+     * emulating the accelerator's no-dense-storage operating point.
+     */
+    bool rebuildPerCall = false;
+    /**
+     * Keep a per-layer copy of each assembled weight tensor so repeat
+     * rebuilds are a copy (warm) instead of per-slice reconstructions
+     * (cold). Disable to force every rebuild cold.
+     */
+    bool cacheRebuiltWeights = true;
+};
+
+/** Rebuild-engine counters of one session. */
+struct SessionStats
+{
+    uint64_t forwardCalls = 0;
+    uint64_t coldRebuilds = 0;  ///< layers assembled from Ce*B pieces
+    uint64_t warmRebuilds = 0;  ///< layers restored from the cache
+    double rebuildMs = 0.0;     ///< total wall-clock spent rebuilding
+};
+
+class InferenceSession
+{
+  public:
+    /**
+     * Bind a shipped model to a freshly built architecture instance.
+     * The net's decomposed-layer geometry must match the records
+     * (same architecture and ApplyOptions as at compression time);
+     * throws core::ModelFileError otherwise. The records stay shared
+     * and immutable — the compressed form is the storage of record.
+     *
+     * CONTRACT: records carry only the decomposed weights. Every
+     * other tensor — BN gamma/beta/running stats, biases, layers too
+     * small to decompose — is served exactly as the factory built it,
+     * and no congruence check can catch a drift there. The factory
+     * must bit-reproduce the compression-time net's non-decomposed
+     * state (e.g. the same seeded builder, or a builder that reloads
+     * dense checkpoints for those tensors). In particular, channel
+     * pruning (ApplyOptions::channelGammaThreshold) mutates BN
+     * tensors at compression time, which no seeded builder can
+     * reproduce — models compressed with pruning enabled are not
+     * servable from records alone (compressToRecords warns).
+     */
+    InferenceSession(
+        std::unique_ptr<nn::Sequential> net,
+        std::shared_ptr<const std::vector<core::SeLayerRecord>> model,
+        const core::SeOptions &se_opts,
+        const core::ApplyOptions &apply_opts,
+        SessionOptions opts = {});
+
+    ~InferenceSession();
+    InferenceSession(const InferenceSession &) = delete;
+    InferenceSession &operator=(const InferenceSession &) = delete;
+
+    /**
+     * Eval-mode forward of a (N, ...) batch, rebuilding weights first
+     * per the session policy.
+     */
+    Tensor forward(const Tensor &batch);
+
+    /** Mark every decomposed layer stale (next forward rebuilds). */
+    void invalidateWeights();
+
+    /** Drop the per-layer rebuilt-weight cache (next rebuild is cold). */
+    void clearRebuildCache();
+
+    /** Number of decomposed (rebuildable) layers. */
+    size_t rebuildableLayers() const;
+
+    const SessionStats &stats() const { return stats_; }
+    nn::Sequential &net() { return *net_; }
+
+  private:
+    struct BoundLayer;
+
+    void rebuildLayer(BoundLayer &bl);
+    void ensureRebuilt();
+
+    std::unique_ptr<nn::Sequential> net_;
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> model_;
+    SessionOptions opts_;
+    std::vector<BoundLayer> layers_;
+    SessionStats stats_;
+};
+
+} // namespace serve
+} // namespace se
+
+#endif // SE_SERVE_SESSION_HH

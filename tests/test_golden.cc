@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Golden-file regression tests: the paper-reproduction benches must
+ * stay byte-identical to the pinned outputs in tests/golden/ for a
+ * fixed seed. Refactors of core/runtime/accel that change a single
+ * digit of Fig. 10 or Table II show up here immediately.
+ *
+ * SE_BENCH_DIR (the build tree) and SE_GOLDEN_DIR are injected by
+ * CMake. The benches are thread-count invariant, but SE_THREADS is
+ * pinned anyway so the pinned bytes never depend on the host.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string
+runBench(const std::string &name)
+{
+    const std::string cmd =
+        "SE_THREADS=2 " SE_BENCH_DIR "/" + name + " 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "cannot launch " << cmd;
+        return {};
+    }
+    std::string out;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, got);
+    const int status = pclose(pipe);
+    EXPECT_EQ(status, 0) << name << " exited with status " << status;
+    return out;
+}
+
+std::string
+readGolden(const std::string &name)
+{
+    const std::string path = std::string(SE_GOLDEN_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+        ADD_FAILURE() << "missing golden file " << path;
+        return {};
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Byte-exact comparison with a line-level report on mismatch. */
+void
+expectGolden(const std::string &bench, const std::string &golden_file)
+{
+    const std::string got = runBench(bench);
+    const std::string want = readGolden(golden_file);
+    if (got == want)
+        return;
+
+    std::istringstream gs(got), ws(want);
+    std::string gline, wline;
+    size_t line = 0;
+    while (true) {
+        const bool g_ok = (bool)std::getline(gs, gline);
+        const bool w_ok = (bool)std::getline(ws, wline);
+        ++line;
+        if (!g_ok && !w_ok)
+            break;
+        if (gline != wline || g_ok != w_ok) {
+            ADD_FAILURE()
+                << bench << " diverged from " << golden_file
+                << " at line " << line << "\n  golden: "
+                << (w_ok ? wline : "<eof>")
+                << "\n  actual: " << (g_ok ? gline : "<eof>");
+            return;
+        }
+    }
+    ADD_FAILURE() << bench << " differs from " << golden_file
+                  << " only in trailing bytes";
+}
+
+TEST(Golden, Fig10EnergyEfficiency)
+{
+    expectGolden("bench_fig10", "bench_fig10.txt");
+}
+
+TEST(Golden, Table2RetrainedCompression)
+{
+    expectGolden("bench_table2", "bench_table2.txt");
+}
+
+} // namespace

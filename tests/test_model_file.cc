@@ -2,11 +2,16 @@
  * @file
  * Tests of the SmartExchange model-file format: exact round-trips of
  * coefficients (via their power-of-2 codes), basis matrices and
- * metadata; bundle save/load; and corruption detection.
+ * metadata; bundle save/load; property/fuzz coverage (random
+ * matrices, truncated prefixes, single-bit corruption — every damaged
+ * stream must raise ModelFileError, never crash or silently
+ * mis-load); and the nn <-> record glue (compressToRecords /
+ * installLayerRecords).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "base/random.hh"
@@ -28,23 +33,60 @@ makeMatrix(uint64_t seed, double sparsity = 0.3)
     return core::decomposeMatrix(w, opts);
 }
 
+/**
+ * A random SmartExchange-form matrix built directly (no ALS), so the
+ * property tests can sweep many shapes/alphabets cheaply. Every
+ * coefficient is 0 or +-2^p with p in the alphabet — exactly what a
+ * legal file can carry.
+ */
+core::SeMatrix
+randomSeMatrix(Rng &rng)
+{
+    core::SeMatrix m;
+    const int64_t rows = rng.integer(1, 40);
+    const int64_t rank = rng.integer(1, 6);
+    const int64_t cols = rng.integer(1, 6);
+    m.alphabet.expMax = (int)rng.integer(-8, 8);
+    m.alphabet.numLevels = (int)rng.integer(1, 7);
+    m.iterations = (int)rng.integer(0, 30);
+    m.reconRelError = rng.uniform(0.0f, 0.5f);
+    m.ce = Tensor({rows, rank});
+    for (int64_t i = 0; i < m.ce.size(); ++i) {
+        if (rng.chance(0.4))
+            continue;  // zero coefficient
+        const int exp = (int)rng.integer(m.alphabet.expMin(),
+                                         m.alphabet.expMax);
+        const float mag = std::ldexp(1.0f, exp);
+        m.ce[i] = rng.chance(0.5) ? mag : -mag;
+    }
+    m.basis = randn({rank, cols}, rng, 0.0f, 1.0f);
+    return m;
+}
+
+void
+expectBitIdentical(const core::SeMatrix &a, const core::SeMatrix &b)
+{
+    ASSERT_EQ(a.ce.shape(), b.ce.shape());
+    ASSERT_EQ(a.basis.shape(), b.basis.shape());
+    EXPECT_EQ(std::memcmp(a.ce.data(), b.ce.data(),
+                          (size_t)a.ce.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(a.basis.data(), b.basis.data(),
+                          (size_t)a.basis.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(a.alphabet.expMax, b.alphabet.expMax);
+    EXPECT_EQ(a.alphabet.numLevels, b.alphabet.numLevels);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_DOUBLE_EQ(a.reconRelError, b.reconRelError);
+}
+
 TEST(ModelFile, SeMatrixExactRoundTrip)
 {
     auto m = makeMatrix(1);
     std::stringstream ss;
     core::saveSeMatrix(ss, m);
     auto back = core::loadSeMatrix(ss);
-
-    ASSERT_EQ(back.ce.dim(0), m.ce.dim(0));
-    ASSERT_EQ(back.ce.dim(1), m.ce.dim(1));
-    for (int64_t i = 0; i < m.ce.size(); ++i)
-        EXPECT_FLOAT_EQ(back.ce[i], m.ce[i]) << "ce[" << i << "]";
-    for (int64_t i = 0; i < m.basis.size(); ++i)
-        EXPECT_FLOAT_EQ(back.basis[i], m.basis[i]);
-    EXPECT_EQ(back.alphabet.expMax, m.alphabet.expMax);
-    EXPECT_EQ(back.alphabet.numLevels, m.alphabet.numLevels);
-    EXPECT_EQ(back.iterations, m.iterations);
-    EXPECT_DOUBLE_EQ(back.reconRelError, m.reconRelError);
+    expectBitIdentical(m, back);
 }
 
 TEST(ModelFile, ReconstructionIdenticalAfterRoundTrip)
@@ -91,7 +133,7 @@ TEST(ModelFile, RejectsBadMagic)
 {
     std::stringstream ss;
     ss << "this is not a model file at all";
-    EXPECT_DEATH(core::loadModel(ss), "model file");
+    EXPECT_THROW(core::loadModel(ss), core::ModelFileError);
 }
 
 TEST(ModelFile, WholeConvLayerRoundTrip)
@@ -123,6 +165,218 @@ TEST(ModelFile, StorageIsCompact)
     const int64_t file_bytes = (int64_t)ss.str().size();
     const int64_t fp32_bytes = m.ce.dim(0) * m.basis.dim(1) * 4;
     EXPECT_LT(file_bytes, fp32_bytes);
+}
+
+// ------------------------------------------------ property/fuzz wall
+
+TEST(ModelFileProperty, RandomMatricesRoundTripExactly)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 60; ++trial) {
+        auto m = randomSeMatrix(rng);
+        std::stringstream ss;
+        core::saveSeMatrix(ss, m);
+        auto back = core::loadSeMatrix(ss);
+        expectBitIdentical(m, back);
+    }
+}
+
+TEST(ModelFileProperty, RandomBundlesRoundTripExactly)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<core::SeLayerRecord> layers;
+        const int64_t n = rng.integer(0, 5);
+        for (int64_t l = 0; l < n; ++l) {
+            core::SeLayerRecord rec;
+            rec.name = "layer_" + std::to_string(trial) + "_" +
+                       std::to_string(l);
+            const int64_t pieces = rng.integer(1, 4);
+            for (int64_t p = 0; p < pieces; ++p)
+                rec.pieces.push_back(randomSeMatrix(rng));
+            layers.push_back(std::move(rec));
+        }
+        std::stringstream ss;
+        core::saveModel(ss, layers);
+        auto back = core::loadModel(ss);
+        ASSERT_EQ(back.size(), layers.size());
+        for (size_t l = 0; l < layers.size(); ++l) {
+            EXPECT_EQ(back[l].name, layers[l].name);
+            ASSERT_EQ(back[l].pieces.size(), layers[l].pieces.size());
+            for (size_t p = 0; p < layers[l].pieces.size(); ++p)
+                expectBitIdentical(layers[l].pieces[p],
+                                   back[l].pieces[p]);
+        }
+    }
+}
+
+TEST(ModelFileProperty, EveryTruncatedPrefixFailsCleanly)
+{
+    Rng rng(7);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back({"b", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    std::stringstream ss;
+    core::saveModel(ss, layers);
+    const std::string full = ss.str();
+
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        std::istringstream damaged(full.substr(0, cut),
+                                   std::ios::binary);
+        EXPECT_THROW(core::loadModel(damaged), core::ModelFileError)
+            << "prefix of " << cut << "/" << full.size()
+            << " bytes was accepted";
+    }
+}
+
+TEST(ModelFileProperty, EverySingleBitFlipFailsCleanly)
+{
+    // The header carries the body size and an FNV-1a checksum, so NO
+    // single-bit corruption anywhere in the stream may load — not as
+    // the original bundle, not as a different one.
+    Rng rng(8);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"layer", {randomSeMatrix(rng)}});
+    std::stringstream ss;
+    core::saveModel(ss, layers);
+    const std::string full = ss.str();
+
+    for (size_t byte = 0; byte < full.size(); ++byte) {
+        const int bit = (int)rng.integer(0, 7);
+        std::string damaged = full;
+        damaged[byte] = (char)(damaged[byte] ^ (1 << bit));
+        std::istringstream is(damaged, std::ios::binary);
+        EXPECT_THROW(core::loadModel(is), core::ModelFileError)
+            << "bit " << bit << " of byte " << byte
+            << " flipped and the bundle still loaded";
+    }
+}
+
+TEST(ModelFileProperty, SignBitOnZeroCoefCodeRejected)
+{
+    // Byte 0x80 (sign bit set, exponent code 0) is not a legal
+    // coefficient encoding — it must throw, not decode to a value
+    // below the alphabet. The first coefficient byte sits right
+    // after the fixed header: 3x int64 dims + 3x int32 + 1 double.
+    auto m = makeMatrix(10);
+    std::stringstream ss;
+    core::saveSeMatrix(ss, m);
+    std::string bytes = ss.str();
+    const size_t first_coef = 3 * 8 + 3 * 4 + 8;
+    ASSERT_GT(bytes.size(), first_coef);
+    bytes[first_coef] = (char)0x80;
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(core::loadSeMatrix(is), core::ModelFileError);
+}
+
+TEST(ModelFileProperty, GarbageStreamsNeverCrash)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int64_t len = rng.integer(0, 512);
+        std::string junk((size_t)len, '\0');
+        for (auto &c : junk)
+            c = (char)rng.integer(0, 255);
+        std::istringstream is(junk, std::ios::binary);
+        EXPECT_THROW(core::loadModel(is), core::ModelFileError);
+    }
+}
+
+// ------------------------------------------------ nn <-> record glue
+
+/** A small CNN exercising conv KxK, 1x1 and FC reshape rules. */
+std::unique_ptr<nn::Sequential>
+makeCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add<nn::Conv2d>(3, 8, 3, 1, 1, 1, rng, false);
+    net->add<nn::BatchNorm2d>(8);
+    net->add<nn::Conv2d>(8, 16, 1, 1, 0, 1, rng, false);
+    net->add<nn::Linear>(64, 10, rng, false);
+    return net;
+}
+
+std::vector<const Tensor *>
+collectWeights(nn::Sequential &net)
+{
+    std::vector<const Tensor *> ws;
+    net.visit([&](nn::Layer &l) {
+        if (auto *c = dynamic_cast<nn::Conv2d *>(&l))
+            ws.push_back(&c->weightTensor());
+        else if (auto *f = dynamic_cast<nn::Linear *>(&l))
+            ws.push_back(&f->weightTensor());
+    });
+    return ws;
+}
+
+TEST(ModelRecords, CompressSaveLoadInstallRoundTrip)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+
+    // Compress net A in place, keeping the shippable records.
+    auto a = makeCnn(21);
+    auto compressed = core::compressToRecords(*a, se_opts, apply_opts);
+    EXPECT_FALSE(compressed.records.empty());
+    EXPECT_GT(compressed.report.compressionRate(), 1.0);
+
+    // Ship through the binary format.
+    std::stringstream ss;
+    core::saveModel(ss, compressed.records);
+    auto shipped = core::loadModel(ss);
+
+    // Install into a fresh instance of the same architecture: the
+    // dense weights must equal net A's bit for bit.
+    auto b = makeCnn(21);
+    auto report =
+        core::installLayerRecords(*b, shipped, se_opts, apply_opts);
+
+    auto wa = collectWeights(*a), wb = collectWeights(*b);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(std::memcmp(wa[i]->data(), wb[i]->data(),
+                              (size_t)wa[i]->size() * sizeof(float)),
+                  0)
+            << "weight " << i;
+    EXPECT_EQ(report.compressedBits(),
+              compressed.report.compressedBits());
+}
+
+TEST(ModelRecords, InstallRejectsWrongArchitecture)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    auto a = makeCnn(22);
+    auto compressed =
+        core::compressToRecords(*a, se_opts, core::ApplyOptions{});
+
+    // Different conv widths -> different slice geometry.
+    Rng rng(23);
+    auto wrong = std::make_unique<nn::Sequential>();
+    wrong->add<nn::Conv2d>(3, 4, 3, 1, 1, 1, rng, false);
+    wrong->add<nn::Linear>(64, 10, rng, false);
+    EXPECT_THROW(core::installLayerRecords(*wrong, compressed.records,
+                                           se_opts,
+                                           core::ApplyOptions{}),
+                 core::ModelFileError);
+}
+
+TEST(ModelRecords, InstallRejectsExtraRecords)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    auto a = makeCnn(24);
+    auto compressed =
+        core::compressToRecords(*a, se_opts, core::ApplyOptions{});
+    compressed.records.push_back({"ghost", {makeMatrix(25)}});
+
+    auto b = makeCnn(24);
+    EXPECT_THROW(core::installLayerRecords(*b, compressed.records,
+                                           se_opts,
+                                           core::ApplyOptions{}),
+                 core::ModelFileError);
 }
 
 } // namespace

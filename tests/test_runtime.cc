@@ -309,6 +309,51 @@ TEST(SimDriver, LayerBatchEqualsSerialAccumulation)
             << sim::componentName((sim::Component)c);
 }
 
+TEST(SimDriver, SweepIsBitIdenticalAcrossThreadCounts)
+{
+    auto make_accs = [] {
+        std::vector<accel::AcceleratorPtr> accs;
+        accs.push_back(std::make_unique<accel::DianNao>());
+        accs.push_back(std::make_unique<accel::Scnn>());
+        accs.push_back(std::make_unique<accel::SmartExchangeAccel>());
+        return accs;
+    };
+    auto accs = make_accs();
+    std::vector<sim::Workload> workloads;
+    workloads.push_back(
+        accel::annotatedWorkload(models::ModelId::VGG19));
+    workloads.push_back(
+        accel::annotatedWorkload(models::ModelId::ResNet164));
+    workloads.push_back(
+        accel::annotatedWorkload(models::ModelId::MobileNetV2));
+
+    std::vector<runtime::SimResults> all;
+    for (int threads : {0, 1, 8}) {
+        runtime::RuntimeOptions ro;
+        ro.threads = threads;
+        runtime::SimDriver driver(ro);
+        all.push_back(driver.sweep(accs, workloads, true));
+    }
+    for (size_t v = 1; v < all.size(); ++v) {
+        ASSERT_EQ(all[v].size(), all[0].size());
+        for (size_t ai = 0; ai < all[0].size(); ++ai)
+            for (size_t wi = 0; wi < all[0][ai].size(); ++wi) {
+                const auto &a = all[0][ai][wi];
+                const auto &b = all[v][ai][wi];
+                ASSERT_EQ(a.run, b.run);
+                EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+                EXPECT_EQ(a.stats.dramTrafficBits,
+                          b.stats.dramTrafficBits);
+                for (size_t c = 0; c < sim::kNumComponents; ++c)
+                    EXPECT_EQ(a.stats.energyPj[c],
+                              b.stats.energyPj[c])
+                        << "variant " << v << " cell (" << ai << ","
+                        << wi << ") component "
+                        << sim::componentName((sim::Component)c);
+            }
+    }
+}
+
 TEST(SimDriver, SweepMatchesRunNetworkAndHonorsSkips)
 {
     std::vector<accel::AcceleratorPtr> accs;

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests of the se::serve layer: InferenceSession weight rebuild
+ * policies and fidelity against the eager install path, ServeEngine
+ * batching/fan-out correctness, and the determinism wall — responses
+ * must be bit-identical across thread counts, batch sizes and flush
+ * policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+
+#include "base/hash.hh"
+#include "base/random.hh"
+#include "nn/blocks.hh"
+#include "serve/engine.hh"
+#include "serve/session.hh"
+
+namespace se {
+namespace {
+
+constexpr int64_t kInC = 3, kInH = 6, kInW = 6, kClasses = 10;
+
+/** A compact CNN with all three reshape rules and a real forward. */
+std::unique_ptr<nn::Sequential>
+makeServeCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add<nn::Conv2d>(kInC, 8, 3, 1, 1, 1, rng, false);
+    net->add<nn::BatchNorm2d>(8);
+    net->add<nn::ReLU>();
+    net->add<nn::Conv2d>(8, 16, 1, 1, 0, 1, rng, false);
+    net->add<nn::ReLU>();
+    net->add<nn::GlobalAvgPool>();
+    net->add<nn::Flatten>();
+    net->add<nn::Linear>(16, kClasses, rng, false);
+    return net;
+}
+
+struct ShippedModel
+{
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> records;
+    std::unique_ptr<nn::Sequential> reference;  ///< eager-installed
+    core::SeOptions seOpts;
+    core::ApplyOptions applyOpts;
+};
+
+ShippedModel
+shipModel(uint64_t seed = 51)
+{
+    ShippedModel s;
+    s.seOpts.vectorThreshold = 0.01;
+    s.reference = makeServeCnn(seed);
+    auto compressed =
+        core::compressToRecords(*s.reference, s.seOpts, s.applyOpts);
+    s.records = std::make_shared<std::vector<core::SeLayerRecord>>(
+        std::move(compressed.records));
+    return s;
+}
+
+Tensor
+makeInput(uint64_t seed, int64_t n = 1)
+{
+    Rng rng(seed);
+    return randn({n, kInC, kInH, kInW}, rng, 0.0f, 1.0f);
+}
+
+// ------------------------------------------------- InferenceSession
+
+TEST(InferenceSession, MatchesEagerInstallBitForBit)
+{
+    auto shipped = shipModel(51);
+    serve::InferenceSession session(makeServeCnn(51), shipped.records,
+                                    shipped.seOpts,
+                                    shipped.applyOpts);
+    EXPECT_EQ(session.rebuildableLayers(), shipped.records->size());
+
+    Tensor x = makeInput(1, 4);
+    Tensor ref = shipped.reference->forward(x, false);
+    Tensor got = session.forward(x);
+    ASSERT_EQ(got.shape(), ref.shape());
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                          (size_t)got.size() * sizeof(float)),
+              0);
+}
+
+TEST(InferenceSession, CachedModeRebuildsEachLayerOnce)
+{
+    auto shipped = shipModel(52);
+    serve::InferenceSession session(makeServeCnn(52), shipped.records,
+                                    shipped.seOpts,
+                                    shipped.applyOpts);
+    const auto layers = (uint64_t)session.rebuildableLayers();
+    Tensor x = makeInput(2);
+    session.forward(x);
+    session.forward(x);
+    session.forward(x);
+    EXPECT_EQ(session.stats().coldRebuilds, layers);
+    EXPECT_EQ(session.stats().warmRebuilds, 0u);
+    EXPECT_EQ(session.stats().forwardCalls, 3u);
+}
+
+TEST(InferenceSession, PerCallModeRebuildsEveryForward)
+{
+    auto shipped = shipModel(53);
+    serve::SessionOptions warm_opts;
+    warm_opts.rebuildPerCall = true;
+    warm_opts.cacheRebuiltWeights = true;
+    serve::InferenceSession warm(makeServeCnn(53), shipped.records,
+                                 shipped.seOpts, shipped.applyOpts,
+                                 warm_opts);
+    const auto layers = (uint64_t)warm.rebuildableLayers();
+    Tensor x = makeInput(3);
+    Tensor y1 = warm.forward(x);
+    Tensor y2 = warm.forward(x);
+    // First call cold, second restored from the per-layer cache.
+    EXPECT_EQ(warm.stats().coldRebuilds, layers);
+    EXPECT_EQ(warm.stats().warmRebuilds, layers);
+    EXPECT_EQ(std::memcmp(y1.data(), y2.data(),
+                          (size_t)y1.size() * sizeof(float)),
+              0);
+
+    serve::SessionOptions cold_opts;
+    cold_opts.rebuildPerCall = true;
+    cold_opts.cacheRebuiltWeights = false;
+    serve::InferenceSession cold(makeServeCnn(53), shipped.records,
+                                 shipped.seOpts, shipped.applyOpts,
+                                 cold_opts);
+    cold.forward(x);
+    cold.forward(x);
+    EXPECT_EQ(cold.stats().coldRebuilds, 2 * layers);
+    EXPECT_EQ(cold.stats().warmRebuilds, 0u);
+}
+
+TEST(InferenceSession, InvalidateThenWarmRebuild)
+{
+    auto shipped = shipModel(54);
+    serve::InferenceSession session(makeServeCnn(54), shipped.records,
+                                    shipped.seOpts,
+                                    shipped.applyOpts);
+    const auto layers = (uint64_t)session.rebuildableLayers();
+    Tensor x = makeInput(4);
+    Tensor y1 = session.forward(x);
+    session.invalidateWeights();
+    Tensor y2 = session.forward(x);
+    EXPECT_EQ(session.stats().coldRebuilds, layers);
+    EXPECT_EQ(session.stats().warmRebuilds, layers);
+    EXPECT_EQ(std::memcmp(y1.data(), y2.data(),
+                          (size_t)y1.size() * sizeof(float)),
+              0);
+
+    session.clearRebuildCache();
+    Tensor y3 = session.forward(x);
+    EXPECT_EQ(session.stats().coldRebuilds, 2 * layers);
+    EXPECT_EQ(std::memcmp(y1.data(), y3.data(),
+                          (size_t)y1.size() * sizeof(float)),
+              0);
+}
+
+TEST(InferenceSession, RejectsMismatchedArchitecture)
+{
+    auto shipped = shipModel(55);
+    Rng rng(56);
+    auto wrong = std::make_unique<nn::Sequential>();
+    wrong->add<nn::Conv2d>(kInC, 4, 3, 1, 1, 1, rng, false);
+    wrong->add<nn::Linear>(16, kClasses, rng, false);
+    EXPECT_THROW(serve::InferenceSession(std::move(wrong),
+                                         shipped.records,
+                                         shipped.seOpts,
+                                         shipped.applyOpts),
+                 core::ModelFileError);
+}
+
+// ------------------------------------------------------ ServeEngine
+
+TEST(ServeEngine, AnswersMatchDirectSessionForward)
+{
+    auto shipped = shipModel(61);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(61); },
+        shipped.seOpts, shipped.applyOpts, opts);
+    EXPECT_EQ(engine.replicaCount(), 2);
+
+    const int n = 17;
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < n; ++i)
+        futs.push_back(engine.submit(
+            makeInput(100 + (uint64_t)i).reshaped(
+                {kInC, kInH, kInW})));
+    engine.drain();
+
+    for (int i = 0; i < n; ++i) {
+        Tensor got = futs[(size_t)i].get();
+        Tensor ref = shipped.reference->forward(
+            makeInput(100 + (uint64_t)i), false);
+        ASSERT_EQ(got.size(), ref.size());
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              (size_t)got.size() * sizeof(float)),
+                  0)
+            << "request " << i;
+    }
+
+    auto st = engine.stats();
+    EXPECT_EQ(st.requests, (uint64_t)n);
+    EXPECT_GE(st.batches, 1u);
+    EXPECT_LE(st.p50Ms, st.p95Ms);
+    EXPECT_LE(st.p95Ms, st.p99Ms);
+    EXPECT_LE(st.p99Ms, st.maxMs);
+}
+
+TEST(ServeEngine, DeterministicAcrossThreadsBatchingAndPolicies)
+{
+    auto shipped = shipModel(62);
+    const int n = 23;
+
+    struct Config
+    {
+        int threads;
+        size_t maxBatch;
+        serve::FlushPolicy flush;
+        bool rebuildPerCall;
+    };
+    const Config configs[] = {
+        {0, 1, serve::FlushPolicy::Greedy, false},
+        {1, 4, serve::FlushPolicy::Greedy, false},
+        {8, 3, serve::FlushPolicy::Greedy, false},
+        {8, 8, serve::FlushPolicy::Full, false},
+        {2, 5, serve::FlushPolicy::Greedy, true},
+    };
+
+    std::vector<uint64_t> digests;
+    for (const Config &cfg : configs) {
+        serve::ServeOptions opts;
+        opts.threads = cfg.threads;
+        opts.maxBatch = cfg.maxBatch;
+        opts.flush = cfg.flush;
+        opts.session.rebuildPerCall = cfg.rebuildPerCall;
+        serve::ServeEngine engine(
+            shipped.records, [] { return makeServeCnn(62); },
+            shipped.seOpts, shipped.applyOpts, opts);
+
+        std::vector<std::future<Tensor>> futs;
+        for (int i = 0; i < n; ++i)
+            futs.push_back(
+                engine.submit(makeInput(200 + (uint64_t)i)));
+        engine.drain();
+
+        uint64_t digest = kFnvOffsetBasis;
+        for (auto &f : futs)
+            digest = hashTensor(f.get(), digest);
+        digests.push_back(digest);
+    }
+    for (size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], digests[0])
+            << "config " << i << " produced different responses";
+}
+
+TEST(ServeEngine, FullFlushPolicyWaitsForFullBatches)
+{
+    auto shipped = shipModel(63);
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    opts.maxBatch = 4;
+    opts.flush = serve::FlushPolicy::Full;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(63); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    // 4 requests = exactly one full batch; drain flushes nothing.
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 4; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)i)));
+    engine.drain();
+    EXPECT_EQ(engine.stats().batches, 1u);
+    EXPECT_DOUBLE_EQ(engine.stats().meanBatchSize, 4.0);
+
+    // 3 more sit below the threshold until drain flushes them.
+    for (int i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)i)));
+    engine.drain();
+    EXPECT_EQ(engine.stats().requests, 7u);
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ServeEngine, MixedShapesInOneBatchFailTheBatch)
+{
+    auto shipped = shipModel(64);
+    serve::ServeOptions opts;
+    opts.threads = 0;  // inline: both requests land in one batch
+    opts.maxBatch = 8;
+    opts.flush = serve::FlushPolicy::Full;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(64); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    auto good = engine.submit(makeInput(1));
+    Rng rng(2);
+    auto bad = engine.submit(randn({kInC, kInH + 1, kInW}, rng));
+    engine.drain();
+    EXPECT_THROW(bad.get(), std::invalid_argument);
+    EXPECT_THROW(good.get(), std::invalid_argument);
+    EXPECT_EQ(engine.stats().failed, 2u);
+    EXPECT_EQ(engine.stats().requests, 0u);
+}
+
+TEST(ServeEngine, HeavyTrafficManyWaiters)
+{
+    auto shipped = shipModel(65);
+    serve::ServeOptions opts;
+    opts.threads = 4;
+    opts.maxBatch = 6;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(65); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    const int n = 200;
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve((size_t)n);
+    for (int i = 0; i < n; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)(i % 5))));
+    engine.drain();
+    for (int i = 0; i < n; ++i) {
+        Tensor r = futs[(size_t)i].get();
+        EXPECT_EQ(r.size(), kClasses);
+    }
+    auto st = engine.stats();
+    EXPECT_EQ(st.requests, (uint64_t)n);
+    EXPECT_GE(st.meanBatchSize, 1.0);
+}
+
+} // namespace
+} // namespace se

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Stress tests of the concurrency substrate: ThreadPool exception
+ * propagation and many-waiter contention, destruction with a full
+ * queue, and DecompCache behaviour under concurrent identical keys
+ * and concurrent eviction pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/thread_pool.hh"
+#include "runtime/decomp_cache.hh"
+
+namespace se {
+namespace {
+
+// ------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolStress, EverySubmittedFutureCarriesItsException)
+{
+    ThreadPool pool(4);
+    const int n = 64;
+    std::vector<std::future<int>> futs;
+    futs.reserve((size_t)n);
+    for (int i = 0; i < n; ++i)
+        futs.push_back(pool.submit([i]() -> int {
+            if (i % 3 == 0)
+                throw std::runtime_error("task " + std::to_string(i));
+            return i;
+        }));
+    for (int i = 0; i < n; ++i) {
+        if (i % 3 == 0) {
+            try {
+                futs[(size_t)i].get();
+                FAIL() << "task " << i << " should have thrown";
+            } catch (const std::runtime_error &e) {
+                EXPECT_EQ(std::string(e.what()),
+                          "task " + std::to_string(i));
+            }
+        } else {
+            EXPECT_EQ(futs[(size_t)i].get(), i);
+        }
+    }
+}
+
+TEST(ThreadPoolStress, ParallelForRethrowsUnderContention)
+{
+    ThreadPool pool(8);
+    std::atomic<int> executed{0};
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_THROW(pool.parallelFor(500,
+                                      [&](int64_t i) {
+                                          executed++;
+                                          if (i == 250)
+                                              throw std::logic_error(
+                                                  "boom");
+                                      }),
+                     std::logic_error);
+    }
+    EXPECT_GT(executed.load(), 0);
+}
+
+TEST(ThreadPoolStress, ParallelForSurvivesAfterAnException)
+{
+    // The pool must stay fully usable after a failed run.
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(
+            64, [](int64_t) { throw std::runtime_error("first"); }),
+        std::runtime_error);
+
+    std::vector<std::atomic<int>> hits(512);
+    pool.parallelFor(512, [&](int64_t i) { hits[(size_t)i]++; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolStress, ManyWaitersManySubmitters)
+{
+    // 8 external threads hammer one pool with small tasks and wait on
+    // every future; totals must come out exact.
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    constexpr int submitters = 8, per_thread = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (int t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<std::future<int>> futs;
+            futs.reserve(per_thread);
+            for (int i = 0; i < per_thread; ++i) {
+                const int value = t * per_thread + i;
+                futs.push_back(
+                    pool.submit([value] { return value; }));
+            }
+            int64_t local = 0;
+            for (auto &f : futs)
+                local += f.get();
+            total += local;
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const int64_t n = (int64_t)submitters * per_thread;
+    EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolStress, DestructionDrainsTheQueue)
+{
+    // Queued-but-not-started tasks still run before the pool dies.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 300; ++i)
+            pool.submit([&ran] { ran++; });
+    }
+    EXPECT_EQ(ran.load(), 300);
+}
+
+// ------------------------------------------------------ DecompCache
+
+Tensor
+smallMatrix(uint64_t seed)
+{
+    Rng rng(seed);
+    return randn({12, 4}, rng, 0.0f, 0.1f);
+}
+
+TEST(DecompCacheStress, ConcurrentIdenticalKeysStayConsistent)
+{
+    // Many threads ask for the same decomposition at once: every
+    // answer must be bit-identical, the cache must hold exactly one
+    // entry, and hits + misses must equal the number of calls.
+    Tensor w = smallMatrix(31);
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.01;
+    const core::SeMatrix ref = core::decomposeMatrix(w, opts);
+
+    runtime::DecompCache cache(16);
+    const int threads = 8, per_thread = 25;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < per_thread; ++i) {
+                core::SeMatrix got = cache.getOrCompute(w, opts);
+                if (got.ce.size() != ref.ce.size() ||
+                    std::memcmp(got.ce.data(), ref.ce.data(),
+                                (size_t)ref.ce.size() *
+                                    sizeof(float)) != 0 ||
+                    std::memcmp(got.basis.data(), ref.basis.data(),
+                                (size_t)ref.basis.size() *
+                                    sizeof(float)) != 0)
+                    mismatches++;
+            }
+        });
+    }
+    for (auto &th : workers)
+        th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              (uint64_t)(threads * per_thread));
+    EXPECT_GE(cache.hits(), (uint64_t)(threads * per_thread - threads));
+}
+
+TEST(DecompCacheStress, ConcurrentEvictionPressureStaysBounded)
+{
+    // More live keys than capacity, hammered from several threads:
+    // the cache must stay within capacity, never mis-answer, and keep
+    // coherent counters.
+    const size_t capacity = 3;
+    runtime::DecompCache cache(capacity);
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.01;
+
+    const int distinct = 8;
+    std::vector<Tensor> keys;
+    std::vector<core::SeMatrix> refs;
+    for (int k = 0; k < distinct; ++k) {
+        keys.push_back(smallMatrix(100 + (uint64_t)k));
+        refs.push_back(core::decomposeMatrix(keys.back(), opts));
+    }
+
+    const int threads = 6, per_thread = 30;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Rng rng((uint64_t)t);
+            for (int i = 0; i < per_thread; ++i) {
+                const int k = (int)rng.integer(0, distinct - 1);
+                core::SeMatrix got =
+                    cache.getOrCompute(keys[(size_t)k], opts);
+                if (std::memcmp(got.ce.data(),
+                                refs[(size_t)k].ce.data(),
+                                (size_t)got.ce.size() *
+                                    sizeof(float)) != 0)
+                    mismatches++;
+            }
+        });
+    }
+    for (auto &th : workers)
+        th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_LE(cache.size(), capacity);
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              (uint64_t)(threads * per_thread));
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+} // namespace
+} // namespace se
