@@ -1,104 +1,290 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the core kernels: the
- * SmartExchange decomposition itself, the ALS solvers, convolution
- * forward, Booth encoding and the accelerator layer models. These are
- * engineering benchmarks (throughput of this library), not paper
- * figures.
+ * Kernel-layer GFLOP/s tracker. Emits one JSON object timing the hot
+ * compute paths three ways — legacy naive loops, im2col+GEMM on one
+ * thread, and im2col+GEMM over the kernel pool — across
+ * ResNet/DeepLab-representative conv shapes (reduced spatial scale,
+ * paper kernel geometry), a depth-wise shape, a classifier-head
+ * Linear and raw square/skinny GEMMs. Every fast result is also
+ * checked bit-identical to the naive path (the golden-stability
+ * invariant).
+ *
+ * Usage: ./bench_kernels [--smoke] [threads]
+ *
+ * --smoke runs only the ResNet 3x3/stride-1 shape with small repeat
+ * counts and exits non-zero unless the single-threaded im2col+GEMM
+ * path beats naive and matches it bit-exactly — the CI regression
+ * gate for this subsystem.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "accel/annotate.hh"
-#include "accel/smartexchange_accel.hh"
+#include "base/clock.hh"
+#include "base/hash.hh"
 #include "base/random.hh"
-#include "core/smart_exchange.hh"
+#include "kernels/gemm.hh"
+#include "kernels/kernels.hh"
 #include "linalg/linalg.hh"
 #include "nn/layers.hh"
-#include "quant/quant.hh"
 
 namespace {
 
 using namespace se;
 
-void
-BM_DecomposeMatrix(benchmark::State &state)
+struct ConvCase
 {
-    Rng rng(1);
-    Tensor w = randn({state.range(0), 3}, rng, 0.0f, 0.1f);
-    core::SeOptions opts;
-    for (auto _ : state) {
-        auto se_mat = core::decomposeMatrix(w, opts);
-        benchmark::DoNotOptimize(se_mat.reconRelError);
-    }
-}
-BENCHMARK(BM_DecomposeMatrix)->Arg(48)->Arg(192)->Arg(768);
+    const char *name;
+    int64_t c, m, k, stride, pad, dil, groups, h, w;
+};
 
-void
-BM_Matmul(benchmark::State &state)
+/**
+ * Reduced-spatial-scale stand-ins for the layer geometries the paper
+ * workloads spend their time in. Kernel/stride/pad/dilation/groups
+ * match the real layers; channel and spatial sizes are scaled so the
+ * naive reference stays affordable in CI.
+ */
+const std::vector<ConvCase> &
+convCases()
 {
-    Rng rng(2);
-    const int64_t n = state.range(0);
-    Tensor a = randn({n, n}, rng);
-    Tensor b = randn({n, n}, rng);
-    for (auto _ : state) {
-        Tensor c = linalg::matmul(a, b);
-        benchmark::DoNotOptimize(c.data());
-    }
+    static const std::vector<ConvCase> cases{
+        {"resnet_3x3_s1", 64, 64, 3, 1, 1, 1, 1, 28, 28},
+        {"resnet_1x1_s1", 64, 256, 1, 1, 0, 1, 1, 28, 28},
+        {"resnet_3x3_s2", 96, 96, 3, 2, 1, 1, 1, 28, 28},
+        {"resnet_7x7_s2", 3, 64, 7, 2, 3, 1, 1, 64, 64},
+        {"deeplab_3x3_d2", 64, 64, 3, 1, 2, 2, 1, 24, 22},
+        {"mobilenet_dw_3x3", 96, 96, 3, 1, 1, 1, 96, 28, 28},
+    };
+    return cases;
 }
-BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
 
-void
-BM_FitBasis(benchmark::State &state)
+double
+convFlops(const ConvCase &cc)
 {
-    Rng rng(3);
-    Tensor w = randn({state.range(0), 3}, rng);
-    Tensor ce = randn({state.range(0), 3}, rng);
-    for (auto _ : state) {
-        Tensor b = linalg::fitBasis(w, ce);
-        benchmark::DoNotOptimize(b.data());
-    }
+    const int64_t kext = cc.dil * (cc.k - 1) + 1;
+    const int64_t oh = (cc.h + 2 * cc.pad - kext) / cc.stride + 1;
+    const int64_t ow = (cc.w + 2 * cc.pad - kext) / cc.stride + 1;
+    return 2.0 * (double)cc.m * oh * ow * (cc.c / cc.groups) * cc.k *
+           cc.k;
 }
-BENCHMARK(BM_FitBasis)->Arg(192)->Arg(1536);
 
-void
-BM_Conv2dForward(benchmark::State &state)
+/** Wall-clock one conv forward configuration; returns ms/call. */
+double
+timeConv(nn::Conv2d &conv, const Tensor &x, int reps)
 {
-    Rng rng(4);
-    nn::Conv2d conv(16, 16, 3, 1, 1, 1, rng);
-    Tensor x = randn({1, 16, (int64_t)state.range(0),
-                      (int64_t)state.range(0)}, rng);
-    for (auto _ : state) {
+    conv.forward(x, false);  // warm caches and scratch
+    const auto t0 = SteadyClock::now();
+    for (int r = 0; r < reps; ++r) {
         Tensor y = conv.forward(x, false);
-        benchmark::DoNotOptimize(y.data());
+        (void)y;
     }
+    return msSince(t0) / reps;
 }
-BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16);
 
-void
-BM_BoothEncoding(benchmark::State &state)
+struct ConvResult
 {
-    Rng rng(5);
-    Tensor t = randn({4096}, rng);
-    for (auto _ : state) {
-        auto s = quant::measureBitSparsity(t, 8);
-        benchmark::DoNotOptimize(s.boothBitSparsity);
-    }
-}
-BENCHMARK(BM_BoothEncoding);
+    double naive_ms, gemm1_ms, gemmN_ms;
+    bool identical;
+};
 
-void
-BM_AcceleratorNetworkRun(benchmark::State &state)
+ConvResult
+runConvCase(const ConvCase &cc, int reps, int pool_threads)
 {
-    auto w = accel::annotatedWorkload(models::ModelId::ResNet50);
-    accel::SmartExchangeAccel acc;
-    for (auto _ : state) {
-        auto st = acc.runNetwork(w, false);
-        benchmark::DoNotOptimize(st.cycles);
-    }
+    Rng rng(7);
+    nn::Conv2d conv(cc.c, cc.m, cc.k, cc.stride, cc.pad, cc.groups,
+                    rng, /*bias=*/true, cc.dil);
+    Tensor x = randn({2, cc.c, cc.h, cc.w}, rng);
+
+    ConvResult res;
+    kernels::setDefaultConvImpl(kernels::ConvImpl::Naive);
+    Tensor y_naive = conv.forward(x, false);
+    res.naive_ms = timeConv(conv, x, reps);
+
+    kernels::setDefaultConvImpl(kernels::ConvImpl::Im2colGemm);
+    Tensor y_gemm = conv.forward(x, false);
+    res.identical = hashTensor(y_naive) == hashTensor(y_gemm);
+
+    kernels::configureThreads(1);
+    res.gemm1_ms = timeConv(conv, x, reps * 4) ;
+    kernels::configureThreads(pool_threads);
+    res.gemmN_ms = timeConv(conv, x, reps * 4);
+    kernels::setDefaultConvImpl(kernels::ConvImpl::Auto);
+    return res;
 }
-BENCHMARK(BM_AcceleratorNetworkRun);
+
+/** linalg::matmul forced onto the legacy loop (the GEMM reference). */
+Tensor
+naiveMatmul(const Tensor &a, const Tensor &b)
+{
+    const kernels::ConvImpl prev = kernels::defaultConvImpl();
+    kernels::setDefaultConvImpl(kernels::ConvImpl::Naive);
+    Tensor c = linalg::matmul(a, b);
+    kernels::setDefaultConvImpl(prev);
+    return c;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace se;
+
+    bool smoke = false;
+    int pool_threads = (int)std::thread::hardware_concurrency();
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else
+            pool_threads = std::atoi(argv[i]);
+    }
+    if (pool_threads < 1)
+        pool_threads = 1;
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"kernels\",\n");
+    std::printf("  \"threads\": %d,\n", pool_threads);
+    std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+
+    bool ok = true;
+    double smoke_speedup = 0.0;
+
+    std::printf("  \"conv\": [\n");
+    {
+        std::vector<ConvCase> cases;
+        if (smoke)
+            cases.push_back(convCases()[0]);
+        else
+            cases = convCases();
+        for (size_t i = 0; i < cases.size(); ++i) {
+            const ConvCase &cc = cases[i];
+            const int reps = smoke ? 2 : 3;
+            const ConvResult r = runConvCase(cc, reps, pool_threads);
+            // The bench batches 2 images per call.
+            const double flops = 2.0 * convFlops(cc);
+            const double s1 = r.naive_ms / r.gemm1_ms;
+            const double sn = r.naive_ms / r.gemmN_ms;
+            if (cc.name == std::string("resnet_3x3_s1"))
+                smoke_speedup = s1;
+            ok = ok && r.identical;
+            std::printf(
+                "    {\"shape\": \"%s\", \"mflop\": %.1f, "
+                "\"naive_ms\": %.3f, \"naive_gflops\": %.2f, "
+                "\"gemm1_ms\": %.3f, \"gemm1_gflops\": %.2f, "
+                "\"gemmN_ms\": %.3f, \"gemmN_gflops\": %.2f, "
+                "\"speedup_1t\": %.2f, \"speedup_nt\": %.2f, "
+                "\"bit_identical\": %s}%s\n",
+                cc.name, flops / 1e6, r.naive_ms,
+                flops / r.naive_ms / 1e6, r.gemm1_ms,
+                flops / r.gemm1_ms / 1e6, r.gemmN_ms,
+                flops / r.gemmN_ms / 1e6, s1, sn,
+                r.identical ? "true" : "false",
+                i + 1 < cases.size() ? "," : "");
+        }
+    }
+    std::printf("  ],\n");
+
+    if (!smoke) {
+        // --- raw GEMM: legacy loop vs blocked vs threaded ----------
+        struct GemmCase
+        {
+            const char *name;
+            int64_t m, k, n;
+        };
+        const std::vector<GemmCase> gcases{
+            {"gemm_256", 256, 256, 256},
+            {"gemm_tall_512x64x384", 512, 64, 384},
+            {"gemm_ce_basis_2048x9x9", 2048, 9, 9},
+        };
+        std::printf("  \"gemm\": [\n");
+        for (size_t i = 0; i < gcases.size(); ++i) {
+            const GemmCase &gc = gcases[i];
+            Rng rng(11);
+            Tensor a = randn({gc.m, gc.k}, rng);
+            Tensor b = randn({gc.k, gc.n}, rng);
+            const int reps = 5;
+
+            Tensor c_ref = naiveMatmul(a, b);
+            auto t0 = SteadyClock::now();
+            for (int r = 0; r < reps; ++r)
+                naiveMatmul(a, b);
+            const double naive_ms = msSince(t0) / reps;
+
+            kernels::configureThreads(1);
+            Tensor c_fast = kernels::gemm(a, b);
+            const bool identical =
+                hashTensor(c_ref) == hashTensor(c_fast);
+            ok = ok && identical;
+            t0 = SteadyClock::now();
+            for (int r = 0; r < reps * 4; ++r)
+                kernels::gemm(a, b);
+            const double gemm1_ms = msSince(t0) / (reps * 4);
+
+            kernels::configureThreads(pool_threads);
+            t0 = SteadyClock::now();
+            for (int r = 0; r < reps * 4; ++r)
+                kernels::gemm(a, b);
+            const double gemmN_ms = msSince(t0) / (reps * 4);
+
+            const double flops = 2.0 * gc.m * gc.k * gc.n;
+            std::printf(
+                "    {\"shape\": \"%s\", \"mflop\": %.1f, "
+                "\"naive_ms\": %.3f, \"gemm1_ms\": %.3f, "
+                "\"gemmN_ms\": %.3f, \"gemm1_gflops\": %.2f, "
+                "\"speedup_1t\": %.2f, \"speedup_nt\": %.2f, "
+                "\"bit_identical\": %s}%s\n",
+                gc.name, flops / 1e6, naive_ms, gemm1_ms, gemmN_ms,
+                flops / gemm1_ms / 1e6, naive_ms / gemm1_ms,
+                naive_ms / gemmN_ms, identical ? "true" : "false",
+                i + 1 < gcases.size() ? "," : "");
+        }
+        std::printf("  ],\n");
+
+        // --- classifier-head Linear -------------------------------
+        {
+            Rng rng(13);
+            nn::Linear fc(512, 128, rng);
+            Tensor x = randn({16, 512}, rng);
+            const int reps = 20;
+
+            kernels::setDefaultConvImpl(kernels::ConvImpl::Naive);
+            Tensor y_ref = fc.forward(x, false);
+            auto t0 = SteadyClock::now();
+            for (int r = 0; r < reps; ++r)
+                fc.forward(x, false);
+            const double naive_ms = msSince(t0) / reps;
+
+            kernels::setDefaultConvImpl(kernels::ConvImpl::Auto);
+            Tensor y_fast = fc.forward(x, false);
+            const bool identical =
+                hashTensor(y_ref) == hashTensor(y_fast);
+            ok = ok && identical;
+            t0 = SteadyClock::now();
+            for (int r = 0; r < reps * 4; ++r)
+                fc.forward(x, false);
+            const double gemm_ms = msSince(t0) / (reps * 4);
+            std::printf(
+                "  \"linear_512x128_b16\": {\"naive_ms\": %.3f, "
+                "\"gemm_ms\": %.3f, \"speedup\": %.2f, "
+                "\"bit_identical\": %s},\n",
+                naive_ms, gemm_ms, naive_ms / gemm_ms,
+                identical ? "true" : "false");
+        }
+    }
+
+    std::printf("  \"all_bit_identical\": %s", ok ? "true" : "false");
+    if (smoke) {
+        std::printf(",\n  \"smoke_speedup_1t\": %.2f,\n",
+                    smoke_speedup);
+        const bool pass = ok && smoke_speedup > 1.0;
+        std::printf("  \"smoke_pass\": %s\n}\n",
+                    pass ? "true" : "false");
+        return pass ? 0 : 1;
+    }
+    std::printf("\n}\n");
+    return ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "base/clock.hh"
 #include "base/hash.hh"
 #include "bench_util.hh"
+#include "kernels/kernels.hh"
 #include "runtime/pipeline.hh"
 #include "runtime/sim_driver.hh"
 
@@ -82,6 +83,41 @@ main(int argc, char **argv)
     std::printf("  \"decomposed_layers\": %zu,\n",
                 serial_report.layers.size());
     std::printf("  \"serial_ms\": %.2f,\n", serial_ms);
+
+    // --- kernel layer: the same serial sweep, legacy vs blocked ----
+    // The ALS loops inside decomposeMatrix funnel through
+    // linalg::matmul; this column pins both lowerings explicitly
+    // (independent of SE_CONV_IMPL in the environment) and tracks
+    // what the blocked GEMM buys them end-to-end, bit-identical by
+    // construction. RuntimeOptions carries the programmatic override.
+    {
+        const kernels::ConvImpl prev = kernels::defaultConvImpl();
+        runtime::RuntimeOptions impl_ro;
+
+        impl_ro.convImpl = kernels::ConvImpl::Naive;
+        impl_ro.applyKernelConfig();
+        auto legacy_net = makeSubject();
+        t0 = Clock::now();
+        core::applySmartExchange(*legacy_net, se_opts, apply_opts);
+        const double legacy_ms = msSince(t0);
+
+        impl_ro.convImpl = kernels::ConvImpl::Auto;
+        impl_ro.applyKernelConfig();
+        auto fast_net = makeSubject();
+        t0 = Clock::now();
+        core::applySmartExchange(*fast_net, se_opts, apply_opts);
+        const double fast_ms = msSince(t0);
+
+        kernels::setDefaultConvImpl(prev);
+        std::printf("  \"legacy_matmul_ms\": %.2f,\n", legacy_ms);
+        std::printf("  \"kernel_matmul\": {\"ms\": %.2f, "
+                    "\"speedup\": %.2f, \"bit_identical\": %s},\n",
+                    fast_ms, legacy_ms / fast_ms,
+                    weightDigest(*fast_net) ==
+                            weightDigest(*legacy_net)
+                        ? "true"
+                        : "false");
+    }
 
     // --- pipeline at 1..max_threads ---------------------------------
     std::printf("  \"pipeline\": [\n");

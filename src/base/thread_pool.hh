@@ -76,11 +76,21 @@ class ThreadPool
         return fut;
     }
 
+    /** True when the calling thread is one of this pool's workers. */
+    bool
+    onWorkerThread() const
+    {
+        return currentPool() == this;
+    }
+
     /**
      * Run fn(i) for i in [0, n), spread over the pool; blocks until
      * every index has completed. Indices are handed out dynamically
      * (atomic counter), so uneven task costs balance themselves. With
      * a single worker the loop runs inline on the caller's thread.
+     * Calling parallelFor from one of this pool's own workers (nested
+     * parallelism) also runs inline — blocking a worker on tasks only
+     * that same worker could drain would deadlock the pool.
      * The first exception thrown by any fn(i) is rethrown here.
      */
     void
@@ -88,7 +98,7 @@ class ThreadPool
     {
         if (n <= 0)
             return;
-        if (threadCount() <= 1 || n == 1) {
+        if (threadCount() <= 1 || n == 1 || onWorkerThread()) {
             for (int64_t i = 0; i < n; ++i)
                 fn(i);
             return;
@@ -128,9 +138,18 @@ class ThreadPool
     }
 
   private:
+    /** The pool the calling thread serves as a worker, if any. */
+    static const ThreadPool *&
+    currentPool()
+    {
+        static thread_local const ThreadPool *current = nullptr;
+        return current;
+    }
+
     void
     workerLoop()
     {
+        currentPool() = this;
         for (;;) {
             std::function<void()> task;
             {

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Convolution lowering: conv2d forward/backward as im2col + blocked
+ * GEMM, supporting stride, zero padding, dilation and groups (so
+ * depth-wise convolutions too).
+ *
+ * Numerics:
+ *  - forward is bit-identical to the legacy 7-deep NCHW loop: the
+ *    column matrix enumerates the patch in the loop's (channel, kr,
+ *    ks) order, padding taps contribute exact zeros, and the GEMM
+ *    carries the same per-output double accumulator (bias first,
+ *    round once on store);
+ *  - backward reproduces gradW/gradB bit-identically (same ascending
+ *    (batch, e, f) float chains), while gx goes through col2im, whose
+ *    scatter-add re-associates the naive loop's interleaved float
+ *    sums — gx agrees to ~1e-4 relative, which is why ConvImpl::Auto
+ *    keeps the legacy backward for the golden-pinned retrain benches.
+ */
+
+#ifndef SE_KERNELS_CONV_HH
+#define SE_KERNELS_CONV_HH
+
+#include "kernels/scratch.hh"
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace kernels {
+
+/** Static geometry of a conv layer (square kernels, NCHW). */
+struct ConvSpec
+{
+    int64_t inCh = 0;
+    int64_t outCh = 0;
+    int64_t kern = 1;
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t groups = 1;
+    int64_t dil = 1;
+};
+
+/**
+ * y = conv(x, w) + bias for x (N, C, H, W) and w (M, C/g, R, S);
+ * bias (M) may be null. Scratch holds the reused column buffer.
+ */
+Tensor conv2dForwardGemm(const Tensor &x, const Tensor &w,
+                         const Tensor *bias, const ConvSpec &spec,
+                         ScratchArena &scratch);
+
+/**
+ * Backward pass against the cached input: accumulates into gradW
+ * (and gradB when non-null) exactly like the legacy loop, and writes
+ * the input gradient into gx (which must come in zero-filled, shaped
+ * like x).
+ */
+void conv2dBackwardGemm(const Tensor &x, const Tensor &w,
+                        const Tensor &gy, const ConvSpec &spec,
+                        ScratchArena &scratch, Tensor &gradW,
+                        Tensor *gradB, Tensor &gx);
+
+} // namespace kernels
+} // namespace se
+
+#endif // SE_KERNELS_CONV_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cache-blocked, register-tiled, ThreadPool-parallel GEMM kernels.
+ *
+ * Every kernel preserves the legacy loops' per-element rounding
+ * sequence exactly: each output element is accumulated over the inner
+ * dimension in ascending order by exactly one worker, float-chain
+ * kernels round after every add just like the scalar loops they
+ * replace, and double-chain kernels round once on store just like the
+ * forward passes' double accumulators. Blocking therefore changes
+ * which elements are computed when — never what any element's value
+ * is — so the fast paths are bit-identical to the naive ones and
+ * thread-count invariant (goldens do not move).
+ *
+ * Parallelism: the output columns are split into register-tile-aligned
+ * panels fanned over kernels::pool() once a matrix is big enough to
+ * amortize the task plumbing. Small systems (the ALS solves, Ce*B
+ * slices) stay inline.
+ */
+
+#ifndef SE_KERNELS_GEMM_HH
+#define SE_KERNELS_GEMM_HH
+
+#include "tensor/tensor.hh"
+
+namespace se {
+namespace kernels {
+
+/**
+ * C (m x n) = [C +] A (m x k) * B (k x n), float accumulator chain in
+ * ascending-k order with zero entries of A skipped — the legacy
+ * linalg::matmul rounding sequence. accumulate=false overwrites C.
+ */
+void sgemm(const float *a, const float *b, float *c, int64_t m,
+           int64_t k, int64_t n, bool accumulate);
+
+/**
+ * C (m x n) = [C +] A (m x l) * B^T with B given (n x l) row-major —
+ * the dot-product form used when both operands share their inner
+ * dimension layout (gradW = gy * col^T). Float chain, ascending-l,
+ * zero entries of A skipped.
+ */
+void sgemmABt(const float *a, const float *b, float *c, int64_t m,
+              int64_t l, int64_t n, bool accumulate);
+
+/**
+ * C (m x n) = (float)(rowBias[i] + sum_p A[i][p] * B[p][j]) with a
+ * double accumulator per element in ascending-p order — the conv
+ * forward rounding sequence (bias first, round once on store).
+ * row_bias may be null for a zero start.
+ */
+void gemmRowBiasD(const float *a, const float *b, const float *row_bias,
+                  float *c, int64_t m, int64_t k, int64_t n);
+
+/**
+ * C (m x n) = (float)(colBias[j] + sum_p A[i][p] * B[j][p]) with B
+ * given (n x k) row-major and a double accumulator per element — the
+ * Linear forward y = x W^T + b rounding sequence. col_bias may be
+ * null. Dot-product form: no transpose, but the per-p loads scatter
+ * across B rows, so prefer gemmColBiasD on batched inputs.
+ */
+void gemmABtColBiasD(const float *a, const float *b,
+                     const float *col_bias, float *c, int64_t m,
+                     int64_t k, int64_t n);
+
+/**
+ * C (m x n) = (float)(colBias[j] + sum_p A[i][p] * B[p][j]) with B
+ * (k x n) row-major — the same rounding sequence as gemmABtColBiasD
+ * (ascending-p double chain per element), taken when the caller has
+ * materialized B^T so the inner loop streams contiguously.
+ */
+void gemmColBiasD(const float *a, const float *b, const float *col_bias,
+                  float *c, int64_t m, int64_t k, int64_t n);
+
+/** dst (cols x rows) = src^T for a row-major (rows x cols) block. */
+void transposeF(const float *src, int64_t rows, int64_t cols,
+                float *dst);
+
+/**
+ * Tensor wrapper with linalg::matmul semantics (2-D inputs, inner
+ * dims must agree) on the blocked kernel; bit-identical to the legacy
+ * triple loop.
+ */
+Tensor gemm(const Tensor &a, const Tensor &b);
+
+} // namespace kernels
+} // namespace se
+
+#endif // SE_KERNELS_GEMM_HH

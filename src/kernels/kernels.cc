@@ -1,0 +1,130 @@
+#include "kernels/kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.hh"
+
+namespace se {
+namespace kernels {
+
+namespace {
+
+std::atomic<ConvImpl> g_impl{convImplFromEnv()};
+
+int
+threadsFromEnv()
+{
+    // The RuntimeOptions convention: 0 = serial, negative/unset = one
+    // worker per core.
+    int threads = -1;
+    if (const char *t = std::getenv("SE_THREADS"))
+        threads = std::atoi(t);
+    if (threads < 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        threads = hc > 0 ? (int)hc : 1;
+    }
+    return threads < 1 ? 1 : threads;
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+bool &
+serialFlag()
+{
+    static thread_local bool flag = false;
+    return flag;
+}
+
+} // namespace
+
+ConvImpl
+convImplFromEnv()
+{
+    const char *s = std::getenv("SE_CONV_IMPL");
+    if (!s || !*s)
+        return ConvImpl::Auto;
+    if (!std::strcmp(s, "auto"))
+        return ConvImpl::Auto;
+    if (!std::strcmp(s, "naive"))
+        return ConvImpl::Naive;
+    if (!std::strcmp(s, "gemm"))
+        return ConvImpl::Im2colGemm;
+    SE_FATAL("SE_CONV_IMPL must be auto|naive|gemm, got '", s, "'");
+}
+
+ConvImpl
+defaultConvImpl()
+{
+    return g_impl.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultConvImpl(ConvImpl impl)
+{
+    g_impl.store(impl, std::memory_order_relaxed);
+}
+
+bool
+useBitIdenticalFastPath(ConvImpl impl)
+{
+    return impl != ConvImpl::Naive;
+}
+
+bool
+useReassociatingFastPath(ConvImpl impl)
+{
+    return impl == ConvImpl::Im2colGemm;
+}
+
+ThreadPool &
+pool()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(threadsFromEnv());
+    return *g_pool;
+}
+
+void
+configureThreads(int threads)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    g_pool = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
+}
+
+SerialScope::SerialScope() : prev_(serialFlag())
+{
+    serialFlag() = true;
+}
+
+SerialScope::~SerialScope()
+{
+    serialFlag() = prev_;
+}
+
+bool
+serialScopeActive()
+{
+    return serialFlag();
+}
+
+void
+parallelFor(int64_t n, const std::function<void(int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (serialScopeActive()) {
+        for (int64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    pool().parallelFor(n, fn);
+}
+
+} // namespace kernels
+} // namespace se

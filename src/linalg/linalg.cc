@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "kernels/gemm.hh"
+#include "kernels/kernels.hh"
+
 namespace se {
 namespace linalg {
 
@@ -12,6 +15,12 @@ matmul(const Tensor &a, const Tensor &b)
     const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
     SE_ASSERT(b.dim(0) == k, "matmul inner dim mismatch: ", k, " vs ",
               b.dim(0));
+    // The blocked kernel reproduces this loop's rounding sequence
+    // (ascending-k float chain per element, zero rows of A skipped)
+    // exactly; SE_CONV_IMPL=naive keeps the legacy loop selectable
+    // for differential tests.
+    if (kernels::useBitIdenticalFastPath(kernels::defaultConvImpl()))
+        return kernels::gemm(a, b);
     Tensor c({m, n});
     for (int64_t i = 0; i < m; ++i) {
         for (int64_t p = 0; p < k; ++p) {

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "base/random.hh"
+#include "kernels/conv.hh"
+#include "kernels/kernels.hh"
+#include "kernels/linear.hh"
 
 namespace se {
 namespace nn {
@@ -39,6 +42,18 @@ Conv2d::forward(const Tensor &x, bool train)
               "conv input shape mismatch");
     if (train)
         cachedX = x;
+    if (kernels::useBitIdenticalFastPath(kernels::defaultConvImpl())) {
+        const kernels::ConvSpec spec{inCh, outCh, kern, strd,
+                                     pad_,  grps,  dil};
+        return kernels::conv2dForwardGemm(
+            x, weight, hasBias ? &bias_ : nullptr, spec, scratch_);
+    }
+    return forwardNaive(x);
+}
+
+Tensor
+Conv2d::forwardNaive(const Tensor &x) const
+{
     const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     const int64_t kext = dil * (kern - 1) + 1;
     const int64_t oh = (h + 2 * pad_ - kext) / strd + 1;
@@ -84,8 +99,23 @@ Conv2d::forward(const Tensor &x, bool train)
 Tensor
 Conv2d::backward(const Tensor &gy)
 {
+    SE_ASSERT(!cachedX.empty(), "backward without cached forward");
+    if (kernels::useReassociatingFastPath(kernels::defaultConvImpl())) {
+        const kernels::ConvSpec spec{inCh, outCh, kern, strd,
+                                     pad_,  grps,  dil};
+        Tensor gx(cachedX.shape());
+        kernels::conv2dBackwardGemm(cachedX, weight, gy, spec,
+                                    scratch_, gradW,
+                                    hasBias ? &gradB : nullptr, gx);
+        return gx;
+    }
+    return backwardNaive(gy);
+}
+
+Tensor
+Conv2d::backwardNaive(const Tensor &gy)
+{
     const Tensor &x = cachedX;
-    SE_ASSERT(!x.empty(), "backward without cached forward");
     const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     const int64_t oh = gy.dim(2), ow = gy.dim(3);
     const int64_t cpg = inCh / grps;
@@ -163,6 +193,15 @@ Linear::forward(const Tensor &x, bool train)
               "linear input shape mismatch");
     if (train)
         cachedX = x;
+    if (kernels::useBitIdenticalFastPath(kernels::defaultConvImpl()))
+        return kernels::linearForwardGemm(
+            x, weight, hasBias ? &bias_ : nullptr, scratch_);
+    return forwardNaive(x);
+}
+
+Tensor
+Linear::forwardNaive(const Tensor &x) const
+{
     const int64_t n = x.dim(0);
     Tensor y({n, outF});
     for (int64_t b = 0; b < n; ++b) {
@@ -178,6 +217,22 @@ Linear::forward(const Tensor &x, bool train)
 
 Tensor
 Linear::backward(const Tensor &gy)
+{
+    SE_ASSERT(!cachedX.empty(), "backward without cached forward");
+    // Both gradient GEMMs continue the legacy float chains exactly,
+    // so (unlike Conv2d) Auto lowers the backward pass too.
+    if (kernels::useBitIdenticalFastPath(kernels::defaultConvImpl())) {
+        Tensor gx(cachedX.shape());
+        kernels::linearBackwardGemm(cachedX, weight, gy, scratch_,
+                                    gradW, hasBias ? &gradB : nullptr,
+                                    gx);
+        return gx;
+    }
+    return backwardNaive(gy);
+}
+
+Tensor
+Linear::backwardNaive(const Tensor &gy)
 {
     const Tensor &x = cachedX;
     const int64_t n = x.dim(0);

@@ -8,6 +8,7 @@
 #ifndef SE_NN_LAYERS_HH
 #define SE_NN_LAYERS_HH
 
+#include "kernels/scratch.hh"
 #include "nn/layer.hh"
 
 namespace se {
@@ -17,6 +18,12 @@ namespace nn {
 /**
  * 2-D convolution in NCHW with square kernels, zero padding and groups.
  * groups == inChannels == outChannels gives a depth-wise convolution.
+ *
+ * Execution is dispatched through kernels::defaultConvImpl(): the
+ * default lowers forward onto im2col + blocked GEMM (bit-identical to
+ * the legacy loop, with a per-layer scratch arena instead of per-call
+ * buffers) and keeps the legacy backward; SE_CONV_IMPL selects naive
+ * or full-GEMM execution (see kernels/kernels.hh).
  */
 class Conv2d : public Layer
 {
@@ -44,13 +51,21 @@ class Conv2d : public Layer
     int64_t dilationLen() const { return dil; }
 
   private:
+    Tensor forwardNaive(const Tensor &x) const;
+    Tensor backwardNaive(const Tensor &gy);
+
     int64_t inCh, outCh, kern, strd, pad_, grps, dil;
     bool hasBias;
     Tensor weight, bias_, gradW, gradB;
     Tensor cachedX;
+    kernels::ScratchArena scratch_;
 };
 
-/** Fully-connected layer y = x W^T + b, x is (N, C). */
+/**
+ * Fully-connected layer y = x W^T + b, x is (N, C). Dispatched like
+ * Conv2d; both directions of the GEMM lowering are bit-identical to
+ * the legacy loops, so Auto takes the fast path everywhere.
+ */
 class Linear : public Layer
 {
   public:
@@ -70,10 +85,14 @@ class Linear : public Layer
     int64_t outFeatures() const { return outF; }
 
   private:
+    Tensor forwardNaive(const Tensor &x) const;
+    Tensor backwardNaive(const Tensor &gy);
+
     int64_t inF, outF;
     bool hasBias;
     Tensor weight, bias_, gradW, gradB;
     Tensor cachedX;
+    kernels::ScratchArena scratch_;
 };
 
 /**

@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "kernels/kernels.hh"
+
 namespace se {
 namespace runtime {
 
@@ -29,6 +31,24 @@ struct RuntimeOptions
      * Ignored on the legacy path (threads = 0).
      */
     size_t cacheCapacity = 0;
+    /**
+     * Which conv/GEMM lowering the nn layers use (SE_CONV_IMPL in the
+     * environment: auto | naive | gemm). Results never depend on Auto
+     * vs Naive — the fast forward paths are bit-identical — so like
+     * `threads` this knob only moves wall-clock. Unlike `threads`,
+     * this field is NOT consumed by the pipeline/serve constructors:
+     * kernel dispatch is process-wide, already initialized from
+     * SE_CONV_IMPL, and a *programmatic* override takes effect only
+     * through applyKernelConfig() (see bench_runtime's impl column).
+     */
+    kernels::ConvImpl convImpl = kernels::ConvImpl::Auto;
+
+    /** Install convImpl as the process-wide kernel default. */
+    void
+    applyKernelConfig() const
+    {
+        kernels::setDefaultConvImpl(convImpl);
+    }
 
     /** The thread count after resolving the "per core" sentinel. */
     int
@@ -43,8 +63,9 @@ struct RuntimeOptions
     /**
      * The convention every driver binary shares: one worker per core
      * and a warm cache, with SE_THREADS in the environment overriding
-     * the thread count (0 = legacy serial path). Results never depend
-     * on the value — it only moves wall-clock.
+     * the thread count (0 = legacy serial path) and SE_CONV_IMPL the
+     * kernel lowering. Results never depend on either value — they
+     * only move wall-clock.
      */
     static RuntimeOptions
     fromEnv(size_t cache_capacity = 4096)
@@ -54,6 +75,7 @@ struct RuntimeOptions
         if (const char *t = std::getenv("SE_THREADS"))
             ro.threads = std::atoi(t);
         ro.cacheCapacity = cache_capacity;
+        ro.convImpl = kernels::convImplFromEnv();
         return ro;
     }
 };

@@ -1,5 +1,7 @@
 #include "runtime/pipeline.hh"
 
+#include "kernels/kernels.hh"
+
 namespace se {
 namespace runtime {
 
@@ -24,6 +26,9 @@ CompressionPipeline::run(nn::Sequential &net,
 
     const uint64_t hits_before = cache_.hits();
     auto decompose = [&](int64_t i) {
+        // One unit per worker already saturates the pool; the ALS
+        // matmuls inside stay inline.
+        kernels::SerialScope serial;
         const core::DecompUnit &u = plan.units[(size_t)i];
         if (opts_.cacheCapacity > 0)
             results[(size_t)i] = cache_.getOrCompute(u.matrix, se_opts);

@@ -7,6 +7,7 @@
 
 #include "base/clock.hh"
 #include "base/logging.hh"
+#include "kernels/kernels.hh"
 
 namespace se {
 namespace serve {
@@ -153,6 +154,9 @@ ServeEngine::releaseReplica(size_t idx)
 void
 ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
 {
+    // Replicas already occupy one core each; keep the kernel layer
+    // from fanning GEMM panels out under them and doubling up.
+    kernels::SerialScope serial;
     const size_t n = batch.size();
     size_t fulfilled = 0;  // promises already satisfied
     try {

@@ -1,6 +1,7 @@
 #include "serve/session.hh"
 
 #include "base/clock.hh"
+#include "kernels/kernels.hh"
 
 namespace se {
 namespace serve {
@@ -69,13 +70,13 @@ InferenceSession::rebuildableLayers() const
     return layers_.size();
 }
 
-void
+bool
 InferenceSession::rebuildLayer(BoundLayer &bl)
 {
-    const auto t0 = SteadyClock::now();
+    bool cold;
     if (bl.cacheValid && opts_.cacheRebuiltWeights) {
         *bl.weight = bl.cache;  // warm: one dense copy
-        ++stats_.warmRebuilds;
+        cold = false;
     } else {
         // Cold: reconstruct every Ce*B slice and write it back, the
         // same geometry as core::finishCompression.
@@ -106,18 +107,49 @@ InferenceSession::rebuildLayer(BoundLayer &bl)
             bl.cache = w;
             bl.cacheValid = true;
         }
-        ++stats_.coldRebuilds;
+        cold = true;
     }
     bl.stale = false;
-    stats_.rebuildMs += msSince(t0);
+    return cold;
 }
 
 void
 InferenceSession::ensureRebuilt()
 {
-    for (auto &bl : layers_)
-        if (bl.stale)
-            rebuildLayer(bl);
+    std::vector<size_t> stale;
+    for (size_t i = 0; i < layers_.size(); ++i)
+        if (layers_[i].stale)
+            stale.push_back(i);
+    if (stale.empty())
+        return;
+
+    // Layers are disjoint (each owns its weight tensor and cache), so
+    // cold rebuild-all fans out over the kernel pool. The per-slice
+    // Ce*B GEMMs are tiny, so each worker runs its layer serially;
+    // stats are folded in index order afterwards, keeping counters
+    // and outputs identical for any worker count.
+    std::vector<char> cold(stale.size(), 0);
+    const auto t0 = SteadyClock::now();
+    if (stale.size() > 1 && !kernels::serialScopeActive()) {
+        kernels::parallelFor(
+            (int64_t)stale.size(), [&](int64_t i) {
+                kernels::SerialScope serial;
+                cold[(size_t)i] =
+                    rebuildLayer(layers_[stale[(size_t)i]]);
+            });
+    } else {
+        for (size_t i = 0; i < stale.size(); ++i)
+            cold[i] = rebuildLayer(layers_[stale[i]]);
+    }
+    for (char c : cold) {
+        if (c)
+            ++stats_.coldRebuilds;
+        else
+            ++stats_.warmRebuilds;
+    }
+    // Wall-clock, not a sum of per-layer times: with a parallel
+    // rebuild the layers overlap.
+    stats_.rebuildMs += msSince(t0);
 }
 
 Tensor

@@ -20,7 +20,9 @@
  *    on-chip rebuild buffer).
  *
  * A session is single-threaded by design — forward() mutates layer
- * caches. ServeEngine owns one replica per worker.
+ * caches. ServeEngine owns one replica per worker. (Internally a
+ * cold rebuild-all fans the disjoint layers over the kernel pool;
+ * results and counters stay identical for any worker count.)
  */
 
 #ifndef SE_SERVE_SESSION_HH
@@ -114,7 +116,13 @@ class InferenceSession
   private:
     struct BoundLayer;
 
-    void rebuildLayer(BoundLayer &bl);
+    /**
+     * Whether one layer rebuild was cold (folded into stats_ by
+     * ensureRebuilt, which also owns the wall-clock timing — layers
+     * overlap under the parallel rebuild, so per-layer times would
+     * not sum to anything meaningful).
+     */
+    bool rebuildLayer(BoundLayer &bl);
     void ensureRebuilt();
 
     std::unique_ptr<nn::Sequential> net_;

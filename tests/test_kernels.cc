@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Differential tests of the se::kernels layer against the legacy
+ * loops.
+ *
+ * The load-bearing invariant is bit-exactness of the default-on fast
+ * paths (conv/linear forward, linear backward, matmul): the golden
+ * benches run with these lowerings enabled, so "agrees with naive to
+ * the last bit" is exactly "goldens cannot move". The conv backward
+ * GEMM path re-associates only the gx scatter-add, so the sweep holds
+ * it to 1e-4 relative while gradW/gradB stay exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "base/random.hh"
+#include "kernels/gemm.hh"
+#include "kernels/kernels.hh"
+#include "kernels/scratch.hh"
+#include "linalg/linalg.hh"
+#include "models/zoo.hh"
+#include "nn/layers.hh"
+
+namespace {
+
+using namespace se;
+
+/** Flip the process default for one scope. */
+class ScopedImpl
+{
+  public:
+    explicit ScopedImpl(kernels::ConvImpl impl)
+        : prev_(kernels::defaultConvImpl())
+    {
+        kernels::setDefaultConvImpl(impl);
+    }
+    ~ScopedImpl() { kernels::setDefaultConvImpl(prev_); }
+
+  private:
+    kernels::ConvImpl prev_;
+};
+
+bool
+bitEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       (size_t)a.size() * sizeof(float)) == 0;
+}
+
+/**
+ * Largest absolute divergence relative to the reference tensor's
+ * magnitude (norm-relative: per-element relative error is meaningless
+ * where float cancellation leaves near-zero entries).
+ */
+double
+maxRelDiff(const Tensor &a, const Tensor &b)
+{
+    EXPECT_EQ(a.shape(), b.shape());
+    double worst = 0.0, scale = 0.0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+        worst = std::max(worst, std::fabs((double)a[i] - b[i]));
+        scale = std::max(scale, std::fabs((double)a[i]));
+    }
+    return worst / std::max(scale, 1e-30);
+}
+
+/** The legacy matmul loop, kept verbatim as the reference. */
+Tensor
+referenceMatmul(const Tensor &a, const Tensor &b)
+{
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f)
+                continue;
+            for (int64_t j = 0; j < n; ++j)
+                c.at(i, j) += av * b.at(p, j);
+        }
+    return c;
+}
+
+// ------------------------------------------------------------- GEMM
+
+TEST(Kernels, GemmMatchesReferenceBitExact)
+{
+    Rng rng(101);
+    // Shapes straddle the register tile (8), the remainder paths and
+    // the parallel-dispatch threshold.
+    const std::vector<std::vector<int64_t>> shapes{
+        {1, 1, 1},  {1, 7, 1},   {5, 1, 9},   {17, 23, 9},
+        {8, 8, 8},  {33, 15, 1}, {64, 64, 64}, {96, 96, 96},
+    };
+    for (const auto &s : shapes) {
+        Tensor a = randn({s[0], s[1]}, rng);
+        Tensor b = randn({s[1], s[2]}, rng);
+        EXPECT_TRUE(bitEqual(referenceMatmul(a, b),
+                             kernels::gemm(a, b)))
+            << s[0] << "x" << s[1] << "x" << s[2];
+    }
+}
+
+TEST(Kernels, GemmAdversarialShapes)
+{
+    Rng rng(102);
+    // k = 0: no accumulation at all, output must be exactly zero.
+    Tensor a0({3, 0});
+    Tensor b0({0, 4});
+    Tensor c0 = kernels::gemm(a0, b0);
+    ASSERT_EQ(c0.dim(0), 3);
+    ASSERT_EQ(c0.dim(1), 4);
+    for (int64_t i = 0; i < c0.size(); ++i)
+        EXPECT_EQ(c0[i], 0.0f);
+
+    // 1xN and Nx1 degenerate panels.
+    Tensor row = randn({1, 129}, rng);
+    Tensor colv = randn({129, 1}, rng);
+    EXPECT_TRUE(bitEqual(referenceMatmul(row, colv),
+                         kernels::gemm(row, colv)));
+    EXPECT_TRUE(bitEqual(referenceMatmul(colv, row),
+                         kernels::gemm(colv, row)));
+}
+
+TEST(Kernels, GemmSparseInputsKeepZeroSkipSemantics)
+{
+    Rng rng(103);
+    Tensor a = randn({31, 45}, rng);
+    Tensor b = randn({45, 27}, rng);
+    // SmartExchange Ce matrices are row-sparse; the blocked kernel
+    // must keep the legacy zero-skip byte-compatible.
+    for (int64_t i = 0; i < a.size(); i += 3)
+        a[i] = 0.0f;
+    EXPECT_TRUE(bitEqual(referenceMatmul(a, b), kernels::gemm(a, b)));
+}
+
+TEST(Kernels, MatmulRoutesThroughBlockedKernel)
+{
+    Rng rng(104);
+    Tensor a = randn({19, 33}, rng);
+    Tensor b = randn({33, 21}, rng);
+    Tensor fast = linalg::matmul(a, b);
+    ScopedImpl naive(kernels::ConvImpl::Naive);
+    EXPECT_TRUE(bitEqual(linalg::matmul(a, b), fast));
+}
+
+TEST(Kernels, GemmThreadCountInvariant)
+{
+    Rng rng(105);
+    // Big enough to clear the parallel threshold.
+    Tensor a = randn({96, 96}, rng);
+    Tensor b = randn({96, 96}, rng);
+    kernels::configureThreads(1);
+    Tensor serial = kernels::gemm(a, b);
+    kernels::configureThreads(4);
+    Tensor threaded = kernels::gemm(a, b);
+    kernels::configureThreads(1);
+    EXPECT_TRUE(bitEqual(serial, threaded));
+}
+
+// ------------------------------------------------------------- Conv2d
+
+struct ConvCfg
+{
+    int64_t c, m, k, stride, pad, dil, groups, h, w;
+};
+
+std::vector<ConvCfg>
+convSweep()
+{
+    // stride x pad x dil x groups x kernel over non-square inputs,
+    // skipping geometrically invalid combinations.
+    std::vector<ConvCfg> out;
+    const int64_t c = 6, m = 12;
+    for (int64_t k : {1, 3, 7})
+        for (int64_t stride : {1, 2})
+            for (int64_t pad : {0, 1, 3})
+                for (int64_t dil : {1, 2})
+                    for (int64_t groups : {(int64_t)1, c}) {
+                        const int64_t h = 11, w = 9;
+                        const int64_t kext = dil * (k - 1) + 1;
+                        if (h + 2 * pad < kext || w + 2 * pad < kext)
+                            continue;
+                        out.push_back(
+                            {c, m, k, stride, pad, dil, groups, h, w});
+                    }
+    return out;
+}
+
+TEST(Kernels, ConvForwardSweepFastVsNaive)
+{
+    int checked = 0;
+    for (const ConvCfg &cfg : convSweep()) {
+        Rng rng(200 + checked);
+        nn::Conv2d conv(cfg.c, cfg.m, cfg.k, cfg.stride, cfg.pad,
+                        cfg.groups, rng, /*bias=*/true, cfg.dil);
+        Tensor x = randn({2, cfg.c, cfg.h, cfg.w}, rng);
+
+        Tensor y_naive, y_fast;
+        {
+            ScopedImpl impl(kernels::ConvImpl::Naive);
+            y_naive = conv.forward(x, false);
+        }
+        {
+            ScopedImpl impl(kernels::ConvImpl::Im2colGemm);
+            y_fast = conv.forward(x, false);
+        }
+        // The issue's acceptance bound is 1e-4 relative; the lowering
+        // actually achieves exactness, which is what keeps the golden
+        // benches byte-stable, so assert the stronger property.
+        EXPECT_LE(maxRelDiff(y_naive, y_fast), 1e-4);
+        EXPECT_TRUE(bitEqual(y_naive, y_fast))
+            << "k=" << cfg.k << " stride=" << cfg.stride
+            << " pad=" << cfg.pad << " dil=" << cfg.dil
+            << " groups=" << cfg.groups;
+        ++checked;
+    }
+    EXPECT_GT(checked, 30);  // the sweep really swept
+}
+
+TEST(Kernels, ConvBackwardSweepFastVsNaive)
+{
+    int checked = 0;
+    for (const ConvCfg &cfg : convSweep()) {
+        Rng rng_a(300 + checked), rng_b(300 + checked), rng_x(900);
+        nn::Conv2d naive(cfg.c, cfg.m, cfg.k, cfg.stride, cfg.pad,
+                         cfg.groups, rng_a, true, cfg.dil);
+        nn::Conv2d fast(cfg.c, cfg.m, cfg.k, cfg.stride, cfg.pad,
+                        cfg.groups, rng_b, true, cfg.dil);
+        Tensor x = randn({2, cfg.c, cfg.h, cfg.w}, rng_x);
+
+        Tensor gx_naive, gx_fast, gy;
+        {
+            ScopedImpl impl(kernels::ConvImpl::Naive);
+            Tensor y = naive.forward(x, true);
+            gy = randn(y.shape(), rng_x);
+            gx_naive = naive.backward(gy);
+        }
+        {
+            ScopedImpl impl(kernels::ConvImpl::Im2colGemm);
+            fast.forward(x, true);
+            gx_fast = fast.backward(gy);
+        }
+
+        // gx goes through the re-associating col2im fold: 1e-4.
+        EXPECT_LE(maxRelDiff(gx_naive, gx_fast), 1e-4)
+            << "k=" << cfg.k << " stride=" << cfg.stride
+            << " pad=" << cfg.pad << " dil=" << cfg.dil
+            << " groups=" << cfg.groups;
+        // gradW / gradB keep the exact legacy chains.
+        auto pn = naive.params();
+        auto pf = fast.params();
+        ASSERT_EQ(pn.size(), pf.size());
+        for (size_t i = 0; i < pn.size(); ++i)
+            EXPECT_TRUE(bitEqual(*pn[i].grad, *pf[i].grad))
+                << pn[i].name << " k=" << cfg.k
+                << " stride=" << cfg.stride << " pad=" << cfg.pad
+                << " dil=" << cfg.dil << " groups=" << cfg.groups;
+        ++checked;
+    }
+}
+
+TEST(Kernels, ConvForwardThreadCountInvariant)
+{
+    Rng rng(42);
+    nn::Conv2d conv(16, 32, 3, 1, 1, 1, rng);
+    Tensor x = randn({2, 16, 24, 24}, rng);
+    ScopedImpl impl(kernels::ConvImpl::Im2colGemm);
+    kernels::configureThreads(1);
+    Tensor serial = conv.forward(x, false);
+    kernels::configureThreads(4);
+    Tensor threaded = conv.forward(x, false);
+    kernels::configureThreads(1);
+    EXPECT_TRUE(bitEqual(serial, threaded));
+}
+
+TEST(Kernels, ScratchArenaGrowOnlyAndRelease)
+{
+    kernels::ScratchArena arena;
+    EXPECT_EQ(arena.floatsReserved(), 0u);
+    float *p = arena.colBuffer(100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(arena.floatsReserved(), 100u);
+    // Smaller requests reuse the existing block.
+    EXPECT_EQ(arena.colBuffer(10), p);
+    const size_t high_water = arena.floatsReserved();
+    arena.transposeBuffer(50);
+    arena.gradBuffer(25);
+    EXPECT_GE(arena.floatsReserved(), high_water + 75);
+    arena.release();
+    EXPECT_EQ(arena.floatsReserved(), 0u);
+}
+
+TEST(Kernels, ConvScratchArenaReuseIsStateless)
+{
+    // Repeated calls reuse the arena; a smaller input after a larger
+    // one must not read stale bytes beyond its extent.
+    Rng rng(43);
+    nn::Conv2d conv(4, 8, 3, 1, 1, 1, rng);
+    Tensor big = randn({1, 4, 20, 20}, rng);
+    Tensor small = randn({1, 4, 7, 5}, rng);
+
+    ScopedImpl impl(kernels::ConvImpl::Im2colGemm);
+    Tensor first_small = conv.forward(small, false);
+    conv.forward(big, false);
+    Tensor again_small = conv.forward(small, false);
+    EXPECT_TRUE(bitEqual(first_small, again_small));
+}
+
+// ------------------------------------------------------------- Linear
+
+TEST(Kernels, LinearForwardBackwardBitExact)
+{
+    // Batch sizes on both sides of the transpose heuristic.
+    for (int64_t batch : {(int64_t)1, (int64_t)2, (int64_t)16}) {
+        Rng rng_a(500 + (int)batch), rng_b(500 + (int)batch),
+            rng_x(77);
+        nn::Linear naive(37, 19, rng_a);
+        nn::Linear fast(37, 19, rng_b);
+        Tensor x = randn({batch, 37}, rng_x);
+
+        Tensor y_naive, gx_naive, y_fast, gx_fast, gy;
+        {
+            ScopedImpl impl(kernels::ConvImpl::Naive);
+            y_naive = naive.forward(x, true);
+            gy = randn(y_naive.shape(), rng_x);
+            gx_naive = naive.backward(gy);
+        }
+        {
+            ScopedImpl impl(kernels::ConvImpl::Im2colGemm);
+            y_fast = fast.forward(x, true);
+            gx_fast = fast.backward(gy);
+        }
+        EXPECT_TRUE(bitEqual(y_naive, y_fast)) << "batch " << batch;
+        EXPECT_TRUE(bitEqual(gx_naive, gx_fast)) << "batch " << batch;
+        auto pn = naive.params();
+        auto pf = fast.params();
+        for (size_t i = 0; i < pn.size(); ++i)
+            EXPECT_TRUE(bitEqual(*pn[i].grad, *pf[i].grad))
+                << pn[i].name << " batch " << batch;
+    }
+}
+
+// ------------------------------------------- whole-model congruence
+
+TEST(Kernels, SimModelForwardIdenticalAcrossImpls)
+{
+    // End-to-end canary: a full reduced-scale CNN (conv + bn + pool +
+    // fc) must produce byte-identical logits under every lowering.
+    models::SimConfig cfg;
+    cfg.baseWidth = 8;
+    cfg.inHeight = cfg.inWidth = 10;
+    cfg.seed = 5;
+
+    Rng rng(55);
+    Tensor x =
+        randn({2, cfg.inChannels, cfg.inHeight, cfg.inWidth}, rng);
+
+    Tensor ref;
+    {
+        ScopedImpl impl(kernels::ConvImpl::Naive);
+        auto net = models::buildSim(models::ModelId::VGG19, cfg);
+        ref = net->forward(x, false);
+    }
+    for (auto impl_kind :
+         {kernels::ConvImpl::Auto, kernels::ConvImpl::Im2colGemm}) {
+        ScopedImpl impl(impl_kind);
+        auto net = models::buildSim(models::ModelId::VGG19, cfg);
+        EXPECT_TRUE(bitEqual(ref, net->forward(x, false)));
+    }
+}
+
+} // namespace
