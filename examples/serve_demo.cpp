@@ -1,18 +1,29 @@
 /**
  * @file
- * End-to-end serving demo: train-free compression of a zoo model into
- * SmartExchange form, ship it through the binary model file, then
- * stand up a ServeEngine and push synthetic traffic through it —
- * the software mirror of deploying Ce*B weights to the accelerator.
+ * End-to-end serving demo: train-free compression of zoo models into
+ * SmartExchange form, ship them through the binary model file, then
+ * stand up a multi-model ServeFront and push synthetic traffic
+ * through it — the software mirror of deploying Ce*B weights to a
+ * fleet of accelerators.
  *
- * Usage: ./serve_demo [model] [requests] [threads] [max_batch]
- *   model ∈ {vgg11, vgg19, resnet50, resnet164, mobilenetv2}
+ * Also tours the failure semantics: a malformed request fails only
+ * itself, a full queue sheds with AdmissionError, and a stopped
+ * engine refuses with EngineStoppedError — nothing panics.
+ *
+ * Usage: ./serve_demo [models] [requests] [threads] [max_batch]
+ *   models: comma-separated from {vgg11, vgg19, resnet50,
+ *           resnet164, mobilenetv2}, e.g. "vgg19,mobilenetv2"
+ *
+ * Environment: SE_SERVE_QUEUE_CAP bounds admission (0 = unbounded),
+ * SE_SERVE_DEADLINE_MS > 0 selects the Deadline flush policy.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,14 +31,14 @@
 #include "base/random.hh"
 #include "models/zoo.hh"
 #include "runtime/pipeline.hh"
-#include "serve/engine.hh"
+#include "serve/front.hh"
 
 using namespace se;
 
 namespace {
 
 models::ModelId
-parseModel(const char *name)
+parseModel(const std::string &name)
 {
     const struct
     {
@@ -41,10 +52,34 @@ parseModel(const char *name)
         {"mobilenetv2", models::ModelId::MobileNetV2},
     };
     for (const auto &e : table)
-        if (std::strcmp(name, e.key) == 0)
+        if (name == e.key)
             return e.id;
-    std::fprintf(stderr, "unknown model '%s', using vgg19\n", name);
+    std::fprintf(stderr, "unknown model '%s', using vgg19\n",
+                 name.c_str());
     return models::ModelId::VGG19;
+}
+
+std::vector<std::string>
+splitModels(const char *arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const size_t b = item.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        item = item.substr(b, item.find_last_not_of(" \t") - b + 1);
+        // Model ids must be unique in the registry; keep the first.
+        if (std::find(out.begin(), out.end(), item) == out.end())
+            out.push_back(item);
+        else
+            std::fprintf(stderr, "duplicate model '%s' ignored\n",
+                         item.c_str());
+    }
+    if (out.empty())
+        out.push_back("vgg19");
+    return out;
 }
 
 } // namespace
@@ -52,8 +87,8 @@ parseModel(const char *name)
 int
 main(int argc, char **argv)
 {
-    const models::ModelId id =
-        parseModel(argc > 1 ? argv[1] : "vgg19");
+    const std::vector<std::string> names =
+        splitModels(argc > 1 ? argv[1] : "vgg19,mobilenetv2");
     const int requests = argc > 2 ? std::atoi(argv[2]) : 48;
     serve::ServeOptions serve_opts;
     serve_opts.threads = argc > 3 ? std::atoi(argv[3]) : -1;
@@ -64,76 +99,140 @@ main(int argc, char **argv)
     cfg.baseWidth = 8;
     cfg.seed = 7;
 
-    // 1. Compress a fresh zoo model into shippable records (the
-    //    per-matrix decompositions go through the pipeline's
-    //    decomposition cache; compressToRecords itself is serial).
-    std::printf("=== se::serve demo: %s ===\n",
-                models::modelName(id).c_str());
-    auto net = models::buildSim(id, cfg);
+    // The serving knobs from the environment.
+    const runtime::RuntimeOptions run_opts =
+        runtime::RuntimeOptions::fromEnv();
+    serve_opts.queueCap = run_opts.serveQueueCap;
+    if (run_opts.serveDeadlineMs > 0.0) {
+        serve_opts.flush = serve::FlushPolicy::Deadline;
+        serve_opts.flushDeadlineMs = run_opts.serveDeadlineMs;
+    }
+    serve_opts.expectedSample = {cfg.inChannels, cfg.inHeight,
+                                 cfg.inWidth};
+
+    std::printf("=== se::serve demo: %zu model(s) ===\n",
+                names.size());
+
+    // 1. Compress each zoo model into shippable records, ship it
+    //    (save + reload the checksummed binary bundle), and register
+    //    it under its name.
     core::SeOptions se_opts;
     se_opts.vectorThreshold = 0.01;
     core::ApplyOptions apply_opts;
-    runtime::CompressionPipeline pipe(
-        runtime::RuntimeOptions::fromEnv());
-    auto compressed = core::compressToRecords(
-        *net, se_opts, apply_opts,
-        [&pipe](const Tensor &w, const core::SeOptions &o) {
-            return pipe.cache().getOrCompute(w, o);
-        });
-    std::printf("compressed %zu layers, CR %.2fx, recon rel-err "
-                "%.4f (worst layer)\n",
-                compressed.records.size(),
-                compressed.report.compressionRate(),
-                [&] {
-                    double worst = 0.0;
-                    for (const auto &l : compressed.report.layers)
-                        if (l.decomposed &&
-                            l.reconRelError > worst)
-                            worst = l.reconRelError;
-                    return worst;
-                }());
+    runtime::CompressionPipeline pipe(run_opts);
+    serve::ModelRegistry registry;
+    for (const std::string &name : names) {
+        const models::ModelId id = parseModel(name);
+        auto net = models::buildSim(id, cfg);
+        auto compressed = core::compressToRecords(
+            *net, se_opts, apply_opts,
+            [&pipe](const Tensor &w, const core::SeOptions &o) {
+                return pipe.cache().getOrCompute(w, o);
+            });
+        const std::string path = "/tmp/serve_demo_" + name + ".sexm";
+        core::saveModelFile(path, compressed.records);
+        std::ifstream probe(path, std::ios::binary | std::ios::ate);
+        std::printf(
+            "[%s] compressed %zu layers, CR %.2fx -> %s (%lld "
+            "bytes)\n",
+            name.c_str(), compressed.records.size(),
+            compressed.report.compressionRate(), path.c_str(),
+            (long long)probe.tellg());
+        auto records =
+            std::make_shared<std::vector<core::SeLayerRecord>>(
+                core::loadModelFile(path));
+        registry.add(name,
+                     {records,
+                      [id, cfg] { return models::buildSim(id, cfg); },
+                      se_opts, apply_opts});
+    }
 
-    // 2. Ship: save + reload the binary bundle (checksummed).
-    const std::string path = "/tmp/serve_demo.sexm";
-    core::saveModelFile(path, compressed.records);
-    std::ifstream probe(path,
-                        std::ios::binary | std::ios::ate);
-    std::printf("model file: %s (%lld bytes)\n", path.c_str(),
-                (long long)probe.tellg());
-    auto records =
-        std::make_shared<std::vector<core::SeLayerRecord>>(
-            core::loadModelFile(path));
+    // 2. One front, one engine per model, the thread budget split.
+    serve::ServeFront front(registry, serve_opts);
+    std::printf("front: %zu engine(s), %d replica(s) total, max "
+                "batch %zu, queue cap %zu, flush %s\n",
+                front.modelCount(), front.replicaCount(),
+                serve_opts.maxBatch, serve_opts.queueCap,
+                serve_opts.flush == serve::FlushPolicy::Deadline
+                    ? "deadline"
+                    : "greedy");
 
-    // 3. Serve synthetic traffic.
-    serve::ServeEngine engine(
-        records, [&] { return models::buildSim(id, cfg); }, se_opts,
-        apply_opts, serve_opts);
-    std::printf("engine: %d replica(s), max batch %zu\n",
-                engine.replicaCount(), serve_opts.maxBatch);
-
+    // 3. Serve synthetic traffic round-robin across the tenants.
     Rng rng(99);
-    std::vector<std::future<Tensor>> futs;
-    futs.reserve((size_t)requests);
-    for (int i = 0; i < requests; ++i)
-        futs.push_back(engine.submit(randn(
-            {cfg.inChannels, cfg.inHeight, cfg.inWidth}, rng, 0.0f,
-            1.0f)));
-    engine.drain();
+    std::vector<std::vector<std::future<Tensor>>> futs(names.size());
+    int shed = 0;
+    for (int i = 0; i < requests; ++i) {
+        for (size_t m = 0; m < names.size(); ++m) {
+            try {
+                futs[m].push_back(front.submit(
+                    names[m],
+                    randn({cfg.inChannels, cfg.inHeight,
+                           cfg.inWidth},
+                          rng, 0.0f, 1.0f)));
+            } catch (const serve::AdmissionError &) {
+                ++shed;  // queueCap at work: fail fast, no hang
+            }
+        }
+    }
+    front.drain();
 
-    uint64_t digest = kFnvOffsetBasis;
-    for (auto &f : futs)
-        digest = hashTensor(f.get(), digest);
+    for (size_t m = 0; m < names.size(); ++m) {
+        uint64_t digest = kFnvOffsetBasis;
+        for (auto &f : futs[m])
+            digest = hashTensor(f.get(), digest);
+        const auto st = front.stats(names[m]);
+        std::printf("[%s] served %llu in %llu batches (mean %.1f)  "
+                    "latency ms: mean %.2f p50 %.2f p95 %.2f p99 "
+                    "%.2f max %.2f  digest %016llx\n",
+                    names[m].c_str(),
+                    (unsigned long long)st.requests,
+                    (unsigned long long)st.batches, st.meanBatchSize,
+                    st.meanLatencyMs, st.p50Ms, st.p95Ms, st.p99Ms,
+                    st.maxMs, (unsigned long long)digest);
+    }
+    if (shed > 0)
+        std::printf("admission: %d request(s) shed at queue cap "
+                    "%zu\n",
+                    shed, serve_opts.queueCap);
 
-    const auto st = engine.stats();
-    std::printf("served %llu requests in %llu batches "
-                "(mean batch %.1f)\n",
-                (unsigned long long)st.requests,
-                (unsigned long long)st.batches, st.meanBatchSize);
-    std::printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  "
-                "p99 %.2f  max %.2f\n",
-                st.meanLatencyMs, st.p50Ms, st.p95Ms, st.p99Ms,
-                st.maxMs);
-    std::printf("response digest: %016llx (thread/batch invariant)\n",
-                (unsigned long long)digest);
+    // 4. Failure-semantics tour: every failure is catchable.
+    {
+        auto bad = front.submit(
+            names[0], randn({cfg.inChannels, cfg.inHeight + 3,
+                             cfg.inWidth},
+                            rng));
+        front.drain();
+        try {
+            bad.get();
+        } catch (const std::invalid_argument &e) {
+            std::printf("malformed request failed only itself: %s\n",
+                        e.what());
+        }
+        try {
+            front.submit("no-such-model",
+                         randn({cfg.inChannels, cfg.inHeight,
+                                cfg.inWidth},
+                               rng));
+        } catch (const serve::UnknownModelError &e) {
+            std::printf("unknown model refused: %s\n", e.what());
+        }
+        front.stop();
+        try {
+            front.submit(names[0],
+                         randn({cfg.inChannels, cfg.inHeight,
+                                cfg.inWidth},
+                               rng));
+        } catch (const serve::EngineStoppedError &e) {
+            std::printf("stopped front refused (no panic): %s\n",
+                        e.what());
+        }
+    }
+    const auto agg = front.aggregateStats();
+    std::printf("aggregate: %llu served, %llu rejected, %llu shed, "
+                "%llu failed\n",
+                (unsigned long long)agg.requests,
+                (unsigned long long)agg.rejected,
+                (unsigned long long)agg.shed,
+                (unsigned long long)agg.failed);
     return 0;
 }

@@ -42,6 +42,21 @@ struct RuntimeOptions
      * through applyKernelConfig() (see bench_runtime's impl column).
      */
     kernels::ConvImpl convImpl = kernels::ConvImpl::Auto;
+    /**
+     * Serving admission cap (SE_SERVE_QUEUE_CAP in the environment):
+     * requests beyond this many queued-but-undispatched ones are shed
+     * with serve::AdmissionError. 0 = unbounded. Consumed by the
+     * serve-layer drivers (bench_serve, serve_demo), which copy it
+     * into serve::ServeOptions::queueCap.
+     */
+    size_t serveQueueCap = 0;
+    /**
+     * Serving flush deadline in ms (SE_SERVE_DEADLINE_MS): > 0 makes
+     * the serve drivers select FlushPolicy::Deadline with this bound
+     * on the oldest queued request's age. <= 0 leaves the driver's
+     * default policy in place.
+     */
+    double serveDeadlineMs = 0.0;
 
     /** Install convImpl as the process-wide kernel default. */
     void
@@ -76,6 +91,10 @@ struct RuntimeOptions
             ro.threads = std::atoi(t);
         ro.cacheCapacity = cache_capacity;
         ro.convImpl = kernels::convImplFromEnv();
+        if (const char *c = std::getenv("SE_SERVE_QUEUE_CAP"))
+            ro.serveQueueCap = (size_t)std::strtoull(c, nullptr, 10);
+        if (const char *d = std::getenv("SE_SERVE_DEADLINE_MS"))
+            ro.serveDeadlineMs = std::atof(d);
         return ro;
     }
 };

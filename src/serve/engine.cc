@@ -6,7 +6,6 @@
 #include <stdexcept>
 
 #include "base/clock.hh"
-#include "base/logging.hh"
 #include "kernels/kernels.hh"
 
 namespace se {
@@ -14,19 +13,6 @@ namespace serve {
 
 namespace {
 using Clock = SteadyClock;
-
-/** Per-sample shape of a request input (leading batch-1 stripped). */
-Shape
-sampleShape(const Tensor &t)
-{
-    if (t.ndim() == 4) {
-        if (t.dim(0) != 1)
-            throw std::invalid_argument(
-                "serve request batch dim must be 1");
-        return {t.dim(1), t.dim(2), t.dim(3)};
-    }
-    return t.shape();
-}
 
 /** Nearest-rank percentile of a sorted series. */
 double
@@ -46,10 +32,13 @@ ServeEngine::ServeEngine(
     std::shared_ptr<const std::vector<core::SeLayerRecord>> model,
     const NetFactory &factory, const core::SeOptions &se_opts,
     const core::ApplyOptions &apply_opts, ServeOptions opts)
-    : opts_(opts)
+    : opts_(opts), expected_(opts.expectedSample),
+      latency_(opts.latencyReservoirCap)
 {
     if (opts_.maxBatch < 1)
         opts_.maxBatch = 1;
+    if (opts_.flushDeadlineMs < 0.0)
+        opts_.flushDeadlineMs = 0.0;
     const int threads = opts_.resolvedThreads();
     const int nrep = threads > 0 ? threads : 1;
     replicas_.reserve((size_t)nrep);
@@ -65,6 +54,13 @@ ServeEngine::ServeEngine(
 
 ServeEngine::~ServeEngine()
 {
+    stop();
+}
+
+void
+ServeEngine::stop()
+{
+    std::lock_guard<std::mutex> sl(stop_mu_);
     {
         std::lock_guard<std::mutex> lk(mu_);
         stopping_ = true;
@@ -85,11 +81,57 @@ ServeEngine::submit(Tensor sample)
     r.input = std::move(sample);
     r.enqueued = Clock::now();
     std::future<Tensor> fut = r.promise.get_future();
+
+    // Validate the shape before admission so one malformed request
+    // can only ever fail itself, never the batch it would have
+    // joined.
+    Shape shape;
+    std::exception_ptr malformed;
+    try {
+        shape = sampleShape(r.input);
+    } catch (...) {
+        malformed = std::current_exception();
+    }
+
     {
         std::lock_guard<std::mutex> lk(mu_);
-        SE_ASSERT(!stopping_, "submit() on a stopped ServeEngine");
-        queue_.push_back(std::move(r));
-        ++pending_;
+        if (stopping_)
+            throw EngineStoppedError(
+                "submit() on a stopped ServeEngine");
+        if (!malformed) {
+            if (expected_.empty()) {
+                expected_ = shape;  // first well-formed request locks
+            } else if (shape != expected_) {
+                try {
+                    throw std::invalid_argument(
+                        "sample shape does not match the shape this "
+                        "engine serves");
+                } catch (...) {
+                    malformed = std::current_exception();
+                }
+            }
+        }
+        if (!malformed) {
+            if (opts_.queueCap > 0 &&
+                queue_.size() >= opts_.queueCap) {
+                {
+                    std::lock_guard<std::mutex> sk(stats_mu_);
+                    ++shed_;
+                }
+                throw AdmissionError(
+                    "serve queue at capacity (" +
+                    std::to_string(opts_.queueCap) +
+                    "), request shed");
+            }
+            queue_.push_back(std::move(r));
+            ++pending_;
+        }
+    }
+    if (malformed) {
+        r.promise.set_exception(malformed);
+        std::lock_guard<std::mutex> sk(stats_mu_);
+        ++rejected_;
+        return fut;
     }
     cv_.notify_all();
     return fut;
@@ -107,17 +149,39 @@ ServeEngine::dispatchLoop()
             // batch: while every replica is busy the queue keeps
             // growing, so the batch popped at dispatch time is as
             // large as the backlog allows (adaptive batching).
-            cv_.wait(lk, [this] {
-                if (queue_.empty())
-                    return stopping_;
-                if (freeReplicas_.empty())
-                    return false;
-                return stopping_ || draining_ ||
-                       opts_.flush == FlushPolicy::Greedy ||
-                       queue_.size() >= opts_.maxBatch;
-            });
-            if (queue_.empty())
-                return;  // stopping with nothing left to serve
+            for (;;) {
+                if (queue_.empty()) {
+                    if (stopping_)
+                        return;  // nothing left to serve
+                    cv_.wait(lk);
+                    continue;
+                }
+                if (freeReplicas_.empty()) {
+                    cv_.wait(lk);
+                    continue;
+                }
+                if (stopping_ || drainers_ > 0 ||
+                    opts_.flush == FlushPolicy::Greedy ||
+                    queue_.size() >= opts_.maxBatch)
+                    break;
+                if (opts_.flush == FlushPolicy::Deadline) {
+                    // Close the batch when the oldest queued request
+                    // has aged past the deadline; otherwise sleep at
+                    // most until that moment (a notify on new work or
+                    // a freed replica re-evaluates sooner).
+                    const auto flushAt =
+                        queue_.front().enqueued +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                opts_.flushDeadlineMs));
+                    if (Clock::now() >= flushAt)
+                        break;
+                    cv_.wait_until(lk, flushAt);
+                    continue;
+                }
+                cv_.wait(lk);  // Full: hold for a complete batch
+            }
             replica = freeReplicas_.back();
             freeReplicas_.pop_back();
             const size_t k =
@@ -160,12 +224,15 @@ ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
     const size_t n = batch.size();
     size_t fulfilled = 0;  // promises already satisfied
     try {
+        // Admission already rejected mismatched shapes; this is an
+        // internal invariant, not a reachable request-error path.
         const Shape sample = sampleShape(batch[0].input);
         const int64_t sample_elems = numel(sample);
         for (const Request &r : batch)
             if (sampleShape(r.input) != sample)
-                throw std::invalid_argument(
-                    "mixed sample shapes in one serve batch");
+                throw std::logic_error(
+                    "mixed sample shapes leaked into one serve "
+                    "batch");
 
         Shape in_shape;
         in_shape.push_back((int64_t)n);
@@ -197,8 +264,8 @@ ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
         }
         {
             std::lock_guard<std::mutex> lk(stats_mu_);
-            latenciesMs_.insert(latenciesMs_.end(), lat.begin(),
-                                lat.end());
+            for (double v : lat)
+                latency_.add(v);
             ++batches_;
             batchedRequests_ += n;
         }
@@ -222,10 +289,13 @@ void
 ServeEngine::drain()
 {
     std::unique_lock<std::mutex> lk(mu_);
-    draining_ = true;
+    // A counter, not a flag: with two concurrent drainers a flag
+    // would be reset by whichever caller wakes first, leaving the
+    // other stuck behind a Full/Deadline hold.
+    ++drainers_;
     cv_.notify_all();
     cv_.wait(lk, [this] { return pending_ == 0; });
-    draining_ = false;
+    --drainers_;
 }
 
 ServeStats
@@ -235,25 +305,21 @@ ServeEngine::stats() const
     ServeStats s;
     {
         std::lock_guard<std::mutex> lk(stats_mu_);
-        lat = latenciesMs_;
+        lat = latency_.sortedSample();  // bounded by the reservoir cap
+        s.requests = latency_.count();
+        s.meanLatencyMs = latency_.mean();
+        s.maxMs = latency_.max();
         s.batches = batches_;
         s.failed = failed_;
+        s.rejected = rejected_;
+        s.shed = shed_;
         s.meanBatchSize =
             batches_ > 0 ? (double)batchedRequests_ / (double)batches_
                          : 0.0;
     }
-    s.requests = (uint64_t)lat.size();
-    if (lat.empty())
-        return s;
-    std::sort(lat.begin(), lat.end());
-    double sum = 0.0;
-    for (double v : lat)
-        sum += v;
-    s.meanLatencyMs = sum / (double)lat.size();
     s.p50Ms = percentile(lat, 0.50);
     s.p95Ms = percentile(lat, 0.95);
     s.p99Ms = percentile(lat, 0.99);
-    s.maxMs = lat.back();
     return s;
 }
 

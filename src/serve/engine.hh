@@ -3,12 +3,13 @@
  * ServeEngine — an async micro-batching front end over
  * InferenceSession replicas.
  *
- * submit() enqueues one sample and returns a future. A dispatcher
- * thread groups queued requests into batches (up to maxBatch, per the
- * flush policy) and hands each batch to a free session replica; with
- * threads > 0 batches run concurrently on a ThreadPool (one replica
- * per worker, so sessions are never shared across threads), with
- * threads == 0 they run inline on the dispatcher.
+ * submit() validates and admits one sample and returns a future. A
+ * dispatcher thread groups queued requests into batches (up to
+ * maxBatch, per the flush policy) and hands each batch to a free
+ * session replica; with threads > 0 batches run concurrently on a
+ * ThreadPool (one replica per worker, so sessions are never shared
+ * across threads), with threads == 0 they run inline on the
+ * dispatcher.
  *
  * Responses are bit-identical regardless of thread count, batch size
  * or flush policy: every replica rebuilds the same dense weights from
@@ -18,6 +19,19 @@
  * Batching is also where the paper's storage/compute trade-off pays
  * off at serving time: in rebuild-per-call sessions the Ce*B rebuild
  * cost is paid once per batch, not once per request.
+ *
+ * Failure semantics (nothing in here panics the process):
+ *  - malformed request (bad batch dim, or a per-sample shape that
+ *    differs from the engine's locked shape): the returned future
+ *    carries std::invalid_argument; batch-mates are unaffected and
+ *    the request is counted in ServeStats::rejected;
+ *  - queue at queueCap: submit() throws AdmissionError (fail fast,
+ *    nothing is enqueued); counted in ServeStats::shed;
+ *  - submit() after stop() (or mid-destruction): submit() throws
+ *    EngineStoppedError;
+ *  - model forward throws: every still-unanswered request of that
+ *    batch fails with the model's exception; counted in
+ *    ServeStats::failed.
  */
 
 #ifndef SE_SERVE_ENGINE_HH
@@ -29,14 +43,30 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "base/thread_pool.hh"
+#include "serve/latency.hh"
 #include "serve/session.hh"
 
 namespace se {
 namespace serve {
+
+/** submit() rejected a request because the queue is at queueCap. */
+class AdmissionError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** submit() was called on a stopped (or stopping) engine. */
+class EngineStoppedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** When the dispatcher closes a batch. */
 enum class FlushPolicy
@@ -45,6 +75,13 @@ enum class FlushPolicy
     Greedy,
     /** Hold until maxBatch requests queue up (drain() flushes). */
     Full,
+    /**
+     * Hold like Full, but close the batch once the oldest queued
+     * request has waited flushDeadlineMs — the latency/throughput
+     * knob: large deadlines approach Full's batch sizes, deadline 0
+     * degenerates to Greedy.
+     */
+    Deadline,
 };
 
 /** Engine configuration. */
@@ -58,6 +95,24 @@ struct ServeOptions
     /** Micro-batch size cap. */
     size_t maxBatch = 8;
     FlushPolicy flush = FlushPolicy::Greedy;
+    /** Oldest-request age that closes a batch under Deadline. */
+    double flushDeadlineMs = 5.0;
+    /**
+     * Admission cap on queued-but-undispatched requests; submit()
+     * beyond it throws AdmissionError. 0 = unbounded (accept all).
+     */
+    size_t queueCap = 0;
+    /**
+     * Latency-reservoir capacity: stats() percentiles are estimated
+     * from a uniform sample of at most this many requests, so a
+     * million-request soak holds constant memory.
+     */
+    size_t latencyReservoirCap = 4096;
+    /**
+     * Per-sample input shape every request must match. Empty (the
+     * default) locks to the first well-formed submitted sample.
+     */
+    Shape expectedSample;
     /** Rebuild policy handed to every replica. */
     SessionOptions session;
 
@@ -75,14 +130,16 @@ struct ServeOptions
 struct ServeStats
 {
     uint64_t requests = 0;  ///< successfully answered
-    uint64_t failed = 0;    ///< answered with an exception
+    uint64_t failed = 0;    ///< answered with an exception mid-serve
+    uint64_t rejected = 0;  ///< malformed, refused at admission
+    uint64_t shed = 0;      ///< refused at admission (queue full)
     uint64_t batches = 0;   ///< successful batches
     double meanBatchSize = 0.0;
-    double meanLatencyMs = 0.0;
-    double p50Ms = 0.0;
+    double meanLatencyMs = 0.0;  ///< exact running mean
+    double p50Ms = 0.0;          ///< reservoir-estimated
     double p95Ms = 0.0;
     double p99Ms = 0.0;
-    double maxMs = 0.0;
+    double maxMs = 0.0;  ///< exact running max
 };
 
 /** Builds one architecture instance per replica (deterministic). */
@@ -96,7 +153,7 @@ class ServeEngine
         const NetFactory &factory, const core::SeOptions &se_opts,
         const core::ApplyOptions &apply_opts, ServeOptions opts = {});
 
-    /** Drains the queue, answers every accepted request, stops. */
+    /** Equivalent to stop(). */
     ~ServeEngine();
 
     ServeEngine(const ServeEngine &) = delete;
@@ -106,13 +163,23 @@ class ServeEngine
      * Enqueue one sample — (C, H, W), (1, C, H, W) or any shape the
      * model accepts with a leading batch dim of 1. The future carries
      * the per-sample output (batch dim stripped) or the error that
-     * occurred while serving it.
+     * occurred while serving it. See the class comment for the
+     * admission-failure semantics (AdmissionError /
+     * EngineStoppedError throw; malformed shapes fail the future).
      */
     std::future<Tensor> submit(Tensor sample);
 
     /** Block until every accepted request has been answered (flushes
-     *  partial batches under FlushPolicy::Full). */
+     *  partial batches under Full/Deadline). Concurrent drainers each
+     *  observe an empty engine before returning. */
     void drain();
+
+    /**
+     * Answer every accepted request, then stop accepting: subsequent
+     * submit() calls throw EngineStoppedError instead of killing the
+     * process. Idempotent and safe to race with submit().
+     */
+    void stop();
 
     ServeStats stats() const;
     int replicaCount() const { return (int)replicas_.size(); }
@@ -136,17 +203,22 @@ class ServeEngine
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Request> queue_;
+    Shape expected_;        ///< locked per-sample shape (guarded by mu_)
     uint64_t pending_ = 0;  ///< accepted but not yet answered
-    bool draining_ = false;
+    int drainers_ = 0;      ///< concurrent drain() callers
     bool stopping_ = false;
 
     std::vector<size_t> freeReplicas_;  ///< guarded by mu_
 
+    std::mutex stop_mu_;  ///< serializes stop() callers
+
     mutable std::mutex stats_mu_;
-    std::vector<double> latenciesMs_;
+    LatencyReservoir latency_;
     uint64_t batches_ = 0;
     uint64_t batchedRequests_ = 0;
     uint64_t failed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t shed_ = 0;
 
     std::thread dispatcher_;
 };

@@ -1,0 +1,156 @@
+#include "serve/front.hh"
+
+#include <algorithm>
+
+namespace se {
+namespace serve {
+
+void
+ModelRegistry::add(std::string id, ModelEntry entry)
+{
+    if (id.empty())
+        throw std::invalid_argument("model id must be non-empty");
+    for (const auto &e : entries_)
+        if (e.first == id)
+            throw std::invalid_argument("model id '" + id +
+                                        "' already registered");
+    if (!entry.records)
+        throw std::invalid_argument("model '" + id +
+                                    "' has no records bundle");
+    if (!entry.factory)
+        throw std::invalid_argument("model '" + id +
+                                    "' has no net factory");
+    entries_.emplace_back(std::move(id), std::move(entry));
+}
+
+bool
+ModelRegistry::contains(const std::string &id) const
+{
+    for (const auto &e : entries_)
+        if (e.first == id)
+            return true;
+    return false;
+}
+
+const ModelEntry &
+ModelRegistry::at(const std::string &id) const
+{
+    for (const auto &e : entries_)
+        if (e.first == id)
+            return e.second;
+    throw UnknownModelError("model '" + id + "' is not registered");
+}
+
+std::vector<std::string>
+ModelRegistry::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.first);
+    return out;
+}
+
+ServeFront::ServeFront(const ModelRegistry &registry,
+                       ServeOptions opts)
+{
+    if (registry.size() == 0)
+        throw std::invalid_argument(
+            "ServeFront needs at least one registered model");
+    // Split the worker budget across models instead of multiplying
+    // it: N models on a T-thread budget get max(1, T/N) replicas
+    // each (threads == 0 keeps every engine inline).
+    const int total = opts.resolvedThreads();
+    ServeOptions per = opts;
+    if (total > 0)
+        per.threads =
+            std::max(1, total / (int)registry.size());
+    ids_ = registry.ids();
+    engines_.reserve(ids_.size());
+    for (const std::string &id : ids_) {
+        const ModelEntry &e = registry.at(id);
+        engines_.push_back(std::make_unique<ServeEngine>(
+            e.records, e.factory, e.seOpts, e.applyOpts, per));
+    }
+}
+
+ServeFront::~ServeFront() = default;
+
+size_t
+ServeFront::indexOf(const std::string &modelId) const
+{
+    for (size_t i = 0; i < ids_.size(); ++i)
+        if (ids_[i] == modelId)
+            return i;
+    throw UnknownModelError("model '" + modelId +
+                            "' is not registered");
+}
+
+std::future<Tensor>
+ServeFront::submit(const std::string &modelId, Tensor sample)
+{
+    return engines_[indexOf(modelId)]->submit(std::move(sample));
+}
+
+void
+ServeFront::drain()
+{
+    for (auto &e : engines_)
+        e->drain();
+}
+
+void
+ServeFront::stop()
+{
+    for (auto &e : engines_)
+        e->stop();
+}
+
+ServeStats
+ServeFront::stats(const std::string &modelId) const
+{
+    return engines_[indexOf(modelId)]->stats();
+}
+
+ServeStats
+ServeFront::aggregateStats() const
+{
+    ServeStats agg;
+    double latWeighted = 0.0;
+    double batchWeighted = 0.0;
+    for (const auto &e : engines_) {
+        const ServeStats s = e->stats();
+        agg.requests += s.requests;
+        agg.failed += s.failed;
+        agg.rejected += s.rejected;
+        agg.shed += s.shed;
+        agg.batches += s.batches;
+        latWeighted += s.meanLatencyMs * (double)s.requests;
+        batchWeighted += s.meanBatchSize * (double)s.batches;
+        if (s.maxMs > agg.maxMs)
+            agg.maxMs = s.maxMs;
+    }
+    if (agg.requests > 0)
+        agg.meanLatencyMs = latWeighted / (double)agg.requests;
+    if (agg.batches > 0)
+        agg.meanBatchSize = batchWeighted / (double)agg.batches;
+    return agg;
+}
+
+ServeEngine &
+ServeFront::engine(const std::string &modelId)
+{
+    return *engines_[indexOf(modelId)];
+}
+
+int
+ServeFront::replicaCount() const
+{
+    int n = 0;
+    for (const auto &e : engines_)
+        n += e->replicaCount();
+    return n;
+}
+
+} // namespace serve
+} // namespace se

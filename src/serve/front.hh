@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-model serving: ModelRegistry + ServeFront.
+ *
+ * The paper ships one compressed Ce*B bundle per model; a deployment
+ * serves many models at once. ModelRegistry maps a model id to
+ * everything needed to stand a model up (records bundle, net factory,
+ * compression/apply options). ServeFront instantiates one ServeEngine
+ * per registered model and routes submit(modelId, sample) to it, so
+ * several compressed models serve concurrently behind one facade —
+ * each with its own replicas, queue, admission cap and flush policy,
+ * and with responses bit-identical to a single-model session of the
+ * same bundle.
+ *
+ * Thread budget: a front splits ServeOptions::threads evenly across
+ * its engines (at least one replica each) so registering more models
+ * doesn't multiply the worker count; pass threads == 0 for inline
+ * engines.
+ *
+ * Failure semantics are ServeEngine's, plus: submit() with an
+ * unregistered model id throws UnknownModelError.
+ */
+
+#ifndef SE_SERVE_FRONT_HH
+#define SE_SERVE_FRONT_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.hh"
+
+namespace se {
+namespace serve {
+
+/** submit()/stats() named a model id the registry does not hold. */
+class UnknownModelError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Everything needed to stand up one servable model. */
+struct ModelEntry
+{
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> records;
+    NetFactory factory;
+    core::SeOptions seOpts;
+    core::ApplyOptions applyOpts;
+};
+
+/**
+ * An ordered id -> ModelEntry map (registration order is the serving
+ * order everywhere: ids(), per-engine thread split, stats).
+ */
+class ModelRegistry
+{
+  public:
+    /** Throws std::invalid_argument on an empty or duplicate id. */
+    void add(std::string id, ModelEntry entry);
+
+    bool contains(const std::string &id) const;
+    /** Throws UnknownModelError when absent. */
+    const ModelEntry &at(const std::string &id) const;
+    std::vector<std::string> ids() const;
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<std::pair<std::string, ModelEntry>> entries_;
+};
+
+class ServeFront
+{
+  public:
+    /**
+     * Builds one engine per registered model (the registry is only
+     * read during construction — entries are copied in). `opts` is
+     * applied to every engine, except that a positive/per-core
+     * thread budget is split evenly across models.
+     */
+    explicit ServeFront(const ModelRegistry &registry,
+                        ServeOptions opts = {});
+
+    ~ServeFront();
+    ServeFront(const ServeFront &) = delete;
+    ServeFront &operator=(const ServeFront &) = delete;
+
+    /** Route one sample to the named model's engine. */
+    std::future<Tensor> submit(const std::string &modelId,
+                               Tensor sample);
+
+    /** Drain every engine (all accepted requests answered). */
+    void drain();
+
+    /** Stop every engine; later submits throw EngineStoppedError. */
+    void stop();
+
+    /** Per-model statistics (latency percentiles included). */
+    ServeStats stats(const std::string &modelId) const;
+
+    /**
+     * Counters summed across models, mean latency weighted by
+     * request count, max latency the overall max. Percentiles are a
+     * per-model quantity (per-engine reservoirs can't be merged
+     * exactly) and stay 0 here — read stats(modelId) for them.
+     */
+    ServeStats aggregateStats() const;
+
+    /** Direct engine access (e.g. per-model drain or replica count). */
+    ServeEngine &engine(const std::string &modelId);
+
+    std::vector<std::string> modelIds() const { return ids_; }
+    size_t modelCount() const { return ids_.size(); }
+    int replicaCount() const;  ///< summed across engines
+
+  private:
+    size_t indexOf(const std::string &modelId) const;
+
+    std::vector<std::string> ids_;
+    std::vector<std::unique_ptr<ServeEngine>> engines_;
+};
+
+} // namespace serve
+} // namespace se
+
+#endif // SE_SERVE_FRONT_HH

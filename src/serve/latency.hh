@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LatencyReservoir — constant-memory latency statistics.
+ *
+ * ServeEngine used to append every request latency to a vector, which
+ * grows without bound under sustained traffic (and stats() copied the
+ * whole history per call). This class keeps exact running aggregates
+ * (count, mean via a running sum, max) plus a fixed-capacity uniform
+ * sample of the stream (Vitter's Algorithm R) from which percentiles
+ * are estimated: after n adds, each of the n values has been retained
+ * with probability capacity/n, so sample quantiles converge on stream
+ * quantiles with the usual sqrt(capacity) sampling error regardless
+ * of how long the engine has been up.
+ *
+ * Not thread-safe — the owner serializes access (ServeEngine guards
+ * its reservoir with the stats mutex).
+ */
+
+#ifndef SE_SERVE_LATENCY_HH
+#define SE_SERVE_LATENCY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace se {
+namespace serve {
+
+class LatencyReservoir
+{
+  public:
+    explicit LatencyReservoir(size_t capacity = 4096,
+                              uint64_t seed = 0x5eedULL)
+        : cap_(capacity > 0 ? capacity : 1), rng_(seed)
+    {
+    }
+
+    void
+    add(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+        if (sample_.size() < cap_) {
+            sample_.push_back(v);
+            return;
+        }
+        // Algorithm R: the i-th value replaces a random slot with
+        // probability cap/i, keeping the sample uniform over the
+        // whole stream.
+        const uint64_t j =
+            (uint64_t)rng_.integer(0, (int64_t)count_ - 1);
+        if (j < (uint64_t)cap_)
+            sample_[(size_t)j] = v;
+    }
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? sum_ / (double)count_ : 0.0; }
+    double max() const { return max_; }
+    size_t capacity() const { return cap_; }
+    size_t sampleSize() const { return sample_.size(); }
+
+    /** The current sample, sorted ascending (percentile source). */
+    std::vector<double>
+    sortedSample() const
+    {
+        std::vector<double> s = sample_;
+        std::sort(s.begin(), s.end());
+        return s;
+    }
+
+  private:
+    size_t cap_;
+    std::vector<double> sample_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    Rng rng_;
+};
+
+} // namespace serve
+} // namespace se
+
+#endif // SE_SERVE_LATENCY_HH

@@ -1,10 +1,24 @@
 #include "serve/session.hh"
 
+#include <stdexcept>
+
 #include "base/clock.hh"
 #include "kernels/kernels.hh"
 
 namespace se {
 namespace serve {
+
+Shape
+sampleShape(const Tensor &t)
+{
+    if (t.ndim() == 4) {
+        if (t.dim(0) != 1)
+            throw std::invalid_argument(
+                "serve request batch dim must be 1");
+        return {t.dim(1), t.dim(2), t.dim(3)};
+    }
+    return t.shape();
+}
 
 /** One decomposed layer bound to its shipped pieces. */
 struct InferenceSession::BoundLayer

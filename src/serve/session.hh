@@ -37,6 +37,15 @@
 namespace se {
 namespace serve {
 
+/**
+ * Per-sample shape of one serve-request input: a (C, H, W)-style
+ * tensor is returned as-is, a 4-D tensor must carry a leading batch
+ * dim of 1 (stripped) — anything else throws std::invalid_argument.
+ * Shared by ServeEngine's admission check and by callers that want to
+ * pre-validate traffic.
+ */
+Shape sampleShape(const Tensor &t);
+
 /** Weight rebuild policy of a session. */
 struct SessionOptions
 {

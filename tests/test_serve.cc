@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <future>
+#include <thread>
 
 #include "base/hash.hh"
 #include "base/random.hh"
 #include "nn/blocks.hh"
 #include "serve/engine.hh"
+#include "serve/front.hh"
+#include "serve/latency.hh"
 #include "serve/session.hh"
 
 namespace se {
@@ -232,6 +237,8 @@ TEST(ServeEngine, DeterministicAcrossThreadsBatchingAndPolicies)
         {8, 3, serve::FlushPolicy::Greedy, false},
         {8, 8, serve::FlushPolicy::Full, false},
         {2, 5, serve::FlushPolicy::Greedy, true},
+        {2, 6, serve::FlushPolicy::Deadline, false},
+        {0, 4, serve::FlushPolicy::Deadline, true},
     };
 
     std::vector<uint64_t> digests;
@@ -289,25 +296,385 @@ TEST(ServeEngine, FullFlushPolicyWaitsForFullBatches)
         EXPECT_NO_THROW(f.get());
 }
 
-TEST(ServeEngine, MixedShapesInOneBatchFailTheBatch)
+TEST(ServeEngine, MalformedShapeFailsOnlyItselfNotItsNeighbors)
 {
+    // Regression: a malformed request used to poison its whole
+    // micro-batch (runBatch threw "mixed sample shapes" and failed
+    // every neighbor). Admission-time validation must reject only
+    // the malformed request.
     auto shipped = shipModel(64);
     serve::ServeOptions opts;
-    opts.threads = 0;  // inline: both requests land in one batch
-    opts.maxBatch = 8;
+    opts.threads = 0;  // inline: everything lands in one batch
+    opts.maxBatch = 64;
     opts.flush = serve::FlushPolicy::Full;
     serve::ServeEngine engine(
         shipped.records, [] { return makeServeCnn(64); },
         shipped.seOpts, shipped.applyOpts, opts);
 
-    auto good = engine.submit(makeInput(1));
+    // Mixed-shape flood: good and bad interleaved.
+    const int rounds = 10;
+    std::vector<std::future<Tensor>> good, bad;
     Rng rng(2);
-    auto bad = engine.submit(randn({kInC, kInH + 1, kInW}, rng));
+    for (int i = 0; i < rounds; ++i) {
+        good.push_back(engine.submit(makeInput((uint64_t)i)));
+        bad.push_back(
+            engine.submit(randn({kInC, kInH + 1, kInW}, rng)));
+        // A 4-D input with batch dim != 1 is malformed too.
+        bad.push_back(
+            engine.submit(randn({2, kInC, kInH, kInW}, rng)));
+    }
+    engine.drain();
+    for (auto &f : bad)
+        EXPECT_THROW(f.get(), std::invalid_argument);
+    for (auto &f : good)
+        EXPECT_NO_THROW(f.get());  // every well-formed neighbor answers
+    const auto st = engine.stats();
+    EXPECT_EQ(st.requests, (uint64_t)rounds);
+    EXPECT_EQ(st.rejected, (uint64_t)(2 * rounds));
+    EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(ServeEngine, ExpectedSampleOptionPinsTheShapeUpFront)
+{
+    auto shipped = shipModel(66);
+    serve::ServeOptions opts;
+    opts.threads = 0;
+    opts.expectedSample = {kInC, kInH, kInW};
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(66); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    // With the shape pinned, even the FIRST request can be rejected
+    // (no first-request lock-in ambiguity).
+    Rng rng(3);
+    auto bad = engine.submit(randn({kInC, kInH, kInW + 2}, rng));
+    auto good = engine.submit(makeInput(1));
     engine.drain();
     EXPECT_THROW(bad.get(), std::invalid_argument);
-    EXPECT_THROW(good.get(), std::invalid_argument);
-    EXPECT_EQ(engine.stats().failed, 2u);
-    EXPECT_EQ(engine.stats().requests, 0u);
+    EXPECT_NO_THROW(good.get());
+    EXPECT_EQ(engine.stats().rejected, 1u);
+    EXPECT_EQ(engine.stats().requests, 1u);
+}
+
+TEST(ServeEngine, QueueCapShedsWithAdmissionError)
+{
+    auto shipped = shipModel(67);
+    serve::ServeOptions opts;
+    opts.threads = 0;
+    opts.maxBatch = 64;
+    opts.flush = serve::FlushPolicy::Full;  // hold the queue: builds
+                                            // a backlog deterministically
+    opts.queueCap = 4;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(67); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 4; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)i)));
+    // Queue is at capacity and nothing dispatches under Full: the
+    // next submits must shed, fail-fast and typed.
+    EXPECT_THROW(engine.submit(makeInput(9)), serve::AdmissionError);
+    EXPECT_THROW(engine.submit(makeInput(10)), serve::AdmissionError);
+    engine.drain();
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+    const auto st = engine.stats();
+    EXPECT_EQ(st.shed, 2u);
+    EXPECT_EQ(st.requests, 4u);
+    // After the drain the queue has room again.
+    auto late = engine.submit(makeInput(11));
+    engine.drain();
+    EXPECT_NO_THROW(late.get());
+}
+
+TEST(ServeEngine, SubmitOnStoppedEngineThrowsInsteadOfPanicking)
+{
+    // Regression: submit() after stop used to SE_ASSERT -> SE_PANIC
+    // and kill the process.
+    auto shipped = shipModel(68);
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(68); },
+        shipped.seOpts, shipped.applyOpts, opts);
+    auto before = engine.submit(makeInput(1));
+    engine.stop();
+    // stop() answers everything already accepted...
+    EXPECT_NO_THROW(before.get());
+    // ...and later submits throw a catchable typed error.
+    EXPECT_THROW(engine.submit(makeInput(2)),
+                 serve::EngineStoppedError);
+    EXPECT_THROW(engine.submit(makeInput(3)), std::runtime_error);
+    engine.stop();  // idempotent
+}
+
+TEST(ServeEngine, DeadlinePolicyFlushesPartialBatchWithoutDrain)
+{
+    auto shipped = shipModel(69);
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    opts.maxBatch = 32;
+    opts.flush = serve::FlushPolicy::Deadline;
+    opts.flushDeadlineMs = 5.0;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(69); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    // 3 requests < maxBatch: Full would hold them until drain(); the
+    // deadline must close the batch by itself.
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)i)));
+    for (auto &f : futs)
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "deadline flush never fired";
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(engine.stats().requests, 3u);
+}
+
+TEST(ServeEngine, ConcurrentDrainersAllObserveTheFlush)
+{
+    // Regression: `draining_` was a bool reset by whichever drainer
+    // woke first; the loser could wait forever behind a Full hold.
+    auto shipped = shipModel(70);
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    opts.maxBatch = 16;
+    opts.flush = serve::FlushPolicy::Full;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(70); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::future<Tensor>> futs;
+        for (int i = 0; i < 5; ++i)  // below maxBatch: needs a flush
+            futs.push_back(engine.submit(makeInput((uint64_t)i)));
+        std::thread d1([&] { engine.drain(); });
+        std::thread d2([&] { engine.drain(); });
+        d1.join();
+        d2.join();
+        for (auto &f : futs)
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+    }
+    EXPECT_EQ(engine.stats().requests, 15u);
+}
+
+// ------------------------------------------------ LatencyReservoir
+
+TEST(LatencyReservoir, HoldsConstantMemoryUnderAMillionAdds)
+{
+    // Regression: engine latency history used to grow without bound.
+    serve::LatencyReservoir res(512);
+    Rng rng(7);
+    for (int i = 0; i < 1000000; ++i)
+        res.add(rng.uniform(0.0f, 10.0f));
+    EXPECT_EQ(res.count(), 1000000u);
+    EXPECT_LE(res.sampleSize(), 512u);  // constant, not 1e6
+    EXPECT_LE(res.sortedSample().size(), 512u);
+}
+
+TEST(LatencyReservoir, KnownDistributionStatsWithinSamplingError)
+{
+    // Uniform 0..9999 presented in shuffled order: exact running
+    // aggregates, percentiles within reservoir sampling error.
+    const int n = 10000;
+    std::vector<double> values;
+    values.reserve((size_t)n);
+    for (int i = 0; i < n; ++i)
+        values.push_back((double)i);
+    Rng rng(11);
+    std::shuffle(values.begin(), values.end(), rng.raw());
+
+    serve::LatencyReservoir res(1024);
+    for (double v : values)
+        res.add(v);
+
+    EXPECT_EQ(res.count(), (uint64_t)n);
+    EXPECT_DOUBLE_EQ(res.max(), 9999.0);        // exact
+    EXPECT_NEAR(res.mean(), 4999.5, 1e-9);      // exact running sum
+    const auto sorted = res.sortedSample();
+    ASSERT_EQ(sorted.size(), 1024u);
+    // 1024 uniform samples: the qth sample quantile has stddev
+    // ~ n*sqrt(q(1-q)/1024) ≈ 156 at q=0.5; 5 sigma bounds.
+    const auto pct = [&](double q) {
+        return sorted[std::min(
+            sorted.size() - 1,
+            (size_t)(q * (double)sorted.size()))];
+    };
+    EXPECT_NEAR(pct(0.50), 0.50 * n, 800.0);
+    EXPECT_NEAR(pct(0.95), 0.95 * n, 500.0);
+    EXPECT_NEAR(pct(0.99), 0.99 * n, 300.0);
+}
+
+TEST(LatencyReservoir, SmallStreamsAreExact)
+{
+    serve::LatencyReservoir res(100);
+    for (int i = 1; i <= 10; ++i)
+        res.add((double)i);
+    EXPECT_EQ(res.count(), 10u);
+    EXPECT_EQ(res.sampleSize(), 10u);  // below cap: the full stream
+    EXPECT_DOUBLE_EQ(res.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(res.max(), 10.0);
+    EXPECT_DOUBLE_EQ(res.sortedSample().front(), 1.0);
+}
+
+TEST(ServeEngine, StatsStayBoundedAndCorrectUnderSustainedTraffic)
+{
+    // Engine-level soak at a tiny reservoir cap: counters stay exact
+    // while the percentile source stays bounded.
+    auto shipped = shipModel(71);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 8;
+    opts.latencyReservoirCap = 32;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(71); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    const int n = 300;
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve((size_t)n);
+    for (int i = 0; i < n; ++i)
+        futs.push_back(engine.submit(makeInput((uint64_t)(i % 7))));
+    engine.drain();
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+    const auto st = engine.stats();
+    EXPECT_EQ(st.requests, (uint64_t)n);  // exact despite sampling
+    EXPECT_GT(st.meanLatencyMs, 0.0);
+    EXPECT_LE(st.p50Ms, st.p95Ms);
+    EXPECT_LE(st.p95Ms, st.p99Ms);
+    EXPECT_LE(st.p99Ms, st.maxMs);
+}
+
+// ------------------------------------------------------- ServeFront
+
+/** A second, structurally different architecture for multi-model. */
+std::unique_ptr<nn::Sequential>
+makeServeMlpCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add<nn::Conv2d>(kInC, 6, 3, 1, 1, 1, rng, false);
+    net->add<nn::ReLU>();
+    net->add<nn::GlobalAvgPool>();
+    net->add<nn::Flatten>();
+    net->add<nn::Linear>(6, 12, rng, false);
+    net->add<nn::ReLU>();
+    net->add<nn::Linear>(12, kClasses, rng, false);
+    return net;
+}
+
+TEST(ServeFront, TwoModelsServeConcurrentlyBitIdentical)
+{
+    auto shippedA = shipModel(81);
+
+    ShippedModel shippedB;
+    shippedB.seOpts.vectorThreshold = 0.01;
+    shippedB.reference = makeServeMlpCnn(82);
+    auto compressedB = core::compressToRecords(
+        *shippedB.reference, shippedB.seOpts, shippedB.applyOpts);
+    shippedB.records =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            std::move(compressedB.records));
+
+    serve::ModelRegistry reg;
+    reg.add("cnn-a", {shippedA.records,
+                      [] { return makeServeCnn(81); },
+                      shippedA.seOpts, shippedA.applyOpts});
+    reg.add("mlp-b", {shippedB.records,
+                      [] { return makeServeMlpCnn(82); },
+                      shippedB.seOpts, shippedB.applyOpts});
+    EXPECT_TRUE(reg.contains("cnn-a"));
+    EXPECT_FALSE(reg.contains("cnn-c"));
+    EXPECT_THROW(reg.at("cnn-c"), serve::UnknownModelError);
+    EXPECT_THROW(
+        reg.add("cnn-a", {shippedA.records,
+                          [] { return makeServeCnn(81); },
+                          shippedA.seOpts, shippedA.applyOpts}),
+        std::invalid_argument);
+
+    serve::ServeOptions opts;
+    opts.threads = 4;  // split 2+2 across the models
+    opts.maxBatch = 4;
+    serve::ServeFront front(reg, opts);
+    EXPECT_EQ(front.modelCount(), 2u);
+    EXPECT_EQ(front.replicaCount(), 4);
+
+    const int n = 12;
+    std::vector<std::future<Tensor>> futA, futB;
+    for (int i = 0; i < n; ++i) {  // interleaved two-tenant traffic
+        futA.push_back(
+            front.submit("cnn-a", makeInput(300 + (uint64_t)i)));
+        futB.push_back(
+            front.submit("mlp-b", makeInput(400 + (uint64_t)i)));
+    }
+    EXPECT_THROW(front.submit("nope", makeInput(1)),
+                 serve::UnknownModelError);
+    front.drain();
+
+    // Responses must be bit-identical to each model's single-model
+    // reference forward.
+    for (int i = 0; i < n; ++i) {
+        Tensor gotA = futA[(size_t)i].get();
+        Tensor refA = shippedA.reference->forward(
+            makeInput(300 + (uint64_t)i), false);
+        ASSERT_EQ(gotA.size(), refA.size());
+        EXPECT_EQ(std::memcmp(gotA.data(), refA.data(),
+                              (size_t)gotA.size() * sizeof(float)),
+                  0)
+            << "cnn-a request " << i;
+        Tensor gotB = futB[(size_t)i].get();
+        Tensor refB = shippedB.reference->forward(
+            makeInput(400 + (uint64_t)i), false);
+        ASSERT_EQ(gotB.size(), refB.size());
+        EXPECT_EQ(std::memcmp(gotB.data(), refB.data(),
+                              (size_t)gotB.size() * sizeof(float)),
+                  0)
+            << "mlp-b request " << i;
+    }
+
+    EXPECT_EQ(front.stats("cnn-a").requests, (uint64_t)n);
+    EXPECT_EQ(front.stats("mlp-b").requests, (uint64_t)n);
+    const auto agg = front.aggregateStats();
+    EXPECT_EQ(agg.requests, (uint64_t)(2 * n));
+    EXPECT_EQ(agg.failed + agg.rejected + agg.shed, 0u);
+
+    front.stop();
+    EXPECT_THROW(front.submit("cnn-a", makeInput(1)),
+                 serve::EngineStoppedError);
+}
+
+TEST(ServeFront, PerModelShapeIsolation)
+{
+    // Each engine locks its own shape; one tenant's malformed
+    // traffic never disturbs the other tenant.
+    auto shipped = shipModel(83);
+    serve::ModelRegistry reg;
+    reg.add("m1", {shipped.records, [] { return makeServeCnn(83); },
+                   shipped.seOpts, shipped.applyOpts});
+    reg.add("m2", {shipped.records, [] { return makeServeCnn(83); },
+                   shipped.seOpts, shipped.applyOpts});
+    serve::ServeOptions opts;
+    opts.threads = 0;
+    opts.expectedSample = {kInC, kInH, kInW};
+    serve::ServeFront front(reg, opts);
+
+    auto ok1 = front.submit("m1", makeInput(1));
+    Rng rng(4);
+    auto bad2 =
+        front.submit("m2", randn({kInC, kInH + 2, kInW}, rng));
+    auto ok2 = front.submit("m2", makeInput(2));
+    front.drain();
+    EXPECT_NO_THROW(ok1.get());
+    EXPECT_NO_THROW(ok2.get());
+    EXPECT_THROW(bad2.get(), std::invalid_argument);
+    EXPECT_EQ(front.stats("m1").rejected, 0u);
+    EXPECT_EQ(front.stats("m2").rejected, 1u);
 }
 
 TEST(ServeEngine, HeavyTrafficManyWaiters)

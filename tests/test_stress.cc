@@ -2,20 +2,27 @@
  * @file
  * Stress tests of the concurrency substrate: ThreadPool exception
  * propagation and many-waiter contention, destruction with a full
- * queue, and DecompCache behaviour under concurrent identical keys
- * and concurrent eviction pressure.
+ * queue, DecompCache behaviour under concurrent identical keys and
+ * concurrent eviction pressure, and ServeEngine under hostile
+ * concurrency (stop-vs-submit races, queueCap saturation,
+ * drain-vs-submit interleaving) — every request must complete or be
+ * shed, never hang, never kill the process.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "base/random.hh"
 #include "base/thread_pool.hh"
+#include "nn/blocks.hh"
 #include "runtime/decomp_cache.hh"
+#include "serve/engine.hh"
 
 namespace se {
 namespace {
@@ -219,6 +226,202 @@ TEST(DecompCacheStress, ConcurrentEvictionPressureStaysBounded)
 
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------ ServeEngine races
+
+constexpr int64_t kSrvC = 2, kSrvH = 4, kSrvW = 4;
+
+/** The smallest servable CNN (stress tests care about plumbing). */
+std::unique_ptr<nn::Sequential>
+makeTinyCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add<nn::Conv2d>(kSrvC, 4, 3, 1, 1, 1, rng, false);
+    net->add<nn::ReLU>();
+    net->add<nn::GlobalAvgPool>();
+    net->add<nn::Flatten>();
+    net->add<nn::Linear>(4, 4, rng, false);
+    return net;
+}
+
+struct TinyShipped
+{
+    std::shared_ptr<const std::vector<core::SeLayerRecord>> records;
+    core::SeOptions seOpts;
+    core::ApplyOptions applyOpts;
+};
+
+TinyShipped
+shipTiny(uint64_t seed)
+{
+    TinyShipped s;
+    s.seOpts.vectorThreshold = 0.01;
+    auto net = makeTinyCnn(seed);
+    auto compressed =
+        core::compressToRecords(*net, s.seOpts, s.applyOpts);
+    s.records = std::make_shared<std::vector<core::SeLayerRecord>>(
+        std::move(compressed.records));
+    return s;
+}
+
+Tensor
+tinyInput(uint64_t seed)
+{
+    Rng rng(seed);
+    return randn({kSrvC, kSrvH, kSrvW}, rng, 0.0f, 1.0f);
+}
+
+TEST(ServeEngineStress, StopSubmitRaceIsCatchableNotFatal)
+{
+    // Regression: submit() racing stop()/destruction used to
+    // SE_PANIC the whole process. Now every accepted request is
+    // answered and every refused one throws EngineStoppedError.
+    auto shipped = shipTiny(41);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeTinyCnn(41); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    constexpr int submitters = 4, per_thread = 100;
+    std::atomic<int> accepted{0}, refused{0};
+    std::vector<std::vector<std::future<Tensor>>> futs(
+        (size_t)submitters);
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (int t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                try {
+                    futs[(size_t)t].push_back(
+                        engine.submit(tinyInput((uint64_t)i)));
+                    accepted++;
+                } catch (const serve::EngineStoppedError &) {
+                    refused++;
+                }
+            }
+        });
+    }
+    // Stop mid-flood: some submits land before, some after.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    engine.stop();
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(accepted.load() + refused.load(),
+              submitters * per_thread);
+    // Every accepted request was answered before stop() returned.
+    for (auto &vec : futs)
+        for (auto &f : vec) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+            EXPECT_NO_THROW(f.get());
+        }
+    EXPECT_EQ(engine.stats().requests, (uint64_t)accepted.load());
+}
+
+TEST(ServeEngineStress, QueueCapSaturationShedsOrCompletesNeverHangs)
+{
+    auto shipped = shipTiny(42);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    opts.queueCap = 8;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeTinyCnn(42); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    constexpr int submitters = 6, per_thread = 100;
+    std::atomic<int> accepted{0}, shed{0};
+    std::vector<std::vector<std::future<Tensor>>> futs(
+        (size_t)submitters);
+    std::vector<std::thread> threads;
+    threads.reserve(submitters);
+    for (int t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                try {
+                    futs[(size_t)t].push_back(
+                        engine.submit(tinyInput((uint64_t)i)));
+                    accepted++;
+                } catch (const serve::AdmissionError &) {
+                    shed++;
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    engine.drain();
+
+    // Conservation law: every offered request either completed or
+    // was shed — nothing lost, nothing hung.
+    EXPECT_EQ(accepted.load() + shed.load(),
+              submitters * per_thread);
+    for (auto &vec : futs)
+        for (auto &f : vec) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+            EXPECT_NO_THROW(f.get());
+        }
+    const auto st = engine.stats();
+    EXPECT_EQ(st.requests, (uint64_t)accepted.load());
+    EXPECT_EQ(st.shed, (uint64_t)shed.load());
+    EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(ServeEngineStress, DrainVsSubmitInterleavingNeverLosesRequests)
+{
+    // Drainers and submitters interleave freely (Full policy, so an
+    // un-flushed hold would deadlock a lost drainer).
+    auto shipped = shipTiny(43);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 8;
+    opts.flush = serve::FlushPolicy::Full;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeTinyCnn(43); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    constexpr int submitters = 3, per_thread = 60, drainers = 3;
+    std::atomic<bool> done{false};
+    std::vector<std::vector<std::future<Tensor>>> futs(
+        (size_t)submitters);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                futs[(size_t)t].push_back(
+                    engine.submit(tinyInput((uint64_t)i)));
+                if (i % 16 == 0)
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (int d = 0; d < drainers; ++d) {
+        threads.emplace_back([&] {
+            while (!done.load())
+                engine.drain();
+        });
+    }
+    for (int t = 0; t < submitters; ++t)
+        threads[(size_t)t].join();
+    done.store(true);
+    for (size_t t = (size_t)submitters; t < threads.size(); ++t)
+        threads[t].join();
+    engine.drain();
+
+    for (auto &vec : futs)
+        for (auto &f : vec) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+            EXPECT_NO_THROW(f.get());
+        }
+    EXPECT_EQ(engine.stats().requests,
+              (uint64_t)(submitters * per_thread));
 }
 
 } // namespace
