@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/clock.hh"
+#include "bench_util.hh"
 #include "base/hash.hh"
 #include "base/random.hh"
 #include "kernels/gemm.hh"
@@ -148,7 +149,7 @@ main(int argc, char **argv)
     std::printf("{\n");
     std::printf("  \"bench\": \"kernels\",\n");
     std::printf("  \"threads\": %d,\n", pool_threads);
-    std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::printf("  \"smoke\": %s,\n", bench::jsonBool(smoke));
 
     bool ok = true;
     double smoke_speedup = 0.0;
@@ -182,8 +183,8 @@ main(int argc, char **argv)
                 flops / r.naive_ms / 1e6, r.gemm1_ms,
                 flops / r.gemm1_ms / 1e6, r.gemmN_ms,
                 flops / r.gemmN_ms / 1e6, s1, sn,
-                r.identical ? "true" : "false",
-                i + 1 < cases.size() ? "," : "");
+                bench::jsonBool(r.identical),
+                bench::jsonSep(i, cases.size()));
         }
     }
     std::printf("  ],\n");
@@ -239,8 +240,8 @@ main(int argc, char **argv)
                 "\"bit_identical\": %s}%s\n",
                 gc.name, flops / 1e6, naive_ms, gemm1_ms, gemmN_ms,
                 flops / gemm1_ms / 1e6, naive_ms / gemm1_ms,
-                naive_ms / gemmN_ms, identical ? "true" : "false",
-                i + 1 < gcases.size() ? "," : "");
+                naive_ms / gemmN_ms, bench::jsonBool(identical),
+                bench::jsonSep(i, gcases.size()));
         }
         std::printf("  ],\n");
 
@@ -272,17 +273,17 @@ main(int argc, char **argv)
                 "\"gemm_ms\": %.3f, \"speedup\": %.2f, "
                 "\"bit_identical\": %s},\n",
                 naive_ms, gemm_ms, naive_ms / gemm_ms,
-                identical ? "true" : "false");
+                bench::jsonBool(identical));
         }
     }
 
-    std::printf("  \"all_bit_identical\": %s", ok ? "true" : "false");
+    std::printf("  \"all_bit_identical\": %s", bench::jsonBool(ok));
     if (smoke) {
         std::printf(",\n  \"smoke_speedup_1t\": %.2f,\n",
                     smoke_speedup);
         const bool pass = ok && smoke_speedup > 1.0;
         std::printf("  \"smoke_pass\": %s\n}\n",
-                    pass ? "true" : "false");
+                    bench::jsonBool(pass));
         return pass ? 0 : 1;
     }
     std::printf("\n}\n");

@@ -113,10 +113,8 @@ main(int argc, char **argv)
         std::printf("  \"kernel_matmul\": {\"ms\": %.2f, "
                     "\"speedup\": %.2f, \"bit_identical\": %s},\n",
                     fast_ms, legacy_ms / fast_ms,
-                    weightDigest(*fast_net) ==
-                            weightDigest(*legacy_net)
-                        ? "true"
-                        : "false");
+                    bench::jsonBool(weightDigest(*fast_net) ==
+                                    weightDigest(*legacy_net)));
     }
 
     // --- pipeline at 1..max_threads ---------------------------------
@@ -140,8 +138,8 @@ main(int argc, char **argv)
                     "\"ms\": %.2f, \"speedup\": %.2f, "
                     "\"bit_identical\": %s}%s\n",
                     threads, pipe.stats().units, ms, serial_ms / ms,
-                    identical ? "true" : "false",
-                    i + 1 < thread_counts.size() ? "," : "");
+                    bench::jsonBool(identical),
+                    bench::jsonSep(i, thread_counts.size()));
     }
     std::printf("  ],\n");
 
@@ -163,8 +161,8 @@ main(int argc, char **argv)
                     "\"units\": %zu, \"bit_identical\": %s},\n",
                     ms, serial_ms / ms, pipe.stats().cacheHits,
                     pipe.stats().units,
-                    weightDigest(*net) == serial_digest ? "true"
-                                                        : "false");
+                    bench::jsonBool(weightDigest(*net) ==
+                                    serial_digest));
     }
 
     // --- batched accelerator sweep through SimDriver ----------------

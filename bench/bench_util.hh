@@ -2,7 +2,8 @@
  * @file
  * Shared helpers for the benchmark binaries: deterministic training of
  * reduced-scale models, paper-scale storage projection from measured
- * sparsity, and geometric means.
+ * sparsity, geometric means, and the JSON-emission idioms every
+ * bench_* main used to hand-roll.
  */
 
 #ifndef SE_BENCH_BENCH_UTIL_HH
@@ -23,6 +24,26 @@
 
 namespace se {
 namespace bench {
+
+// ------------------------------------------------- JSON emission glue
+//
+// The bench binaries print JSON through std::printf; these are the
+// two idioms (bool literals and array separators) that
+// bench_kernels/bench_serve/bench_runtime each re-implemented.
+
+/** JSON boolean literal. */
+inline const char *
+jsonBool(bool b)
+{
+    return b ? "true" : "false";
+}
+
+/** Array-element separator: "," while more items follow. */
+inline const char *
+jsonSep(size_t index, size_t count)
+{
+    return index + 1 < count ? "," : "";
+}
 
 /**
  * Runtime options for the bench drivers: SE_THREADS in the environment

@@ -15,7 +15,10 @@
  *           resnet164, mobilenetv2}, e.g. "vgg19,mobilenetv2"
  *
  * Environment: SE_SERVE_QUEUE_CAP bounds admission (0 = unbounded),
- * SE_SERVE_DEADLINE_MS > 0 selects the Deadline flush policy.
+ * SE_SERVE_DEADLINE_MS > 0 selects the Deadline flush policy,
+ * SE_MODEL_FORMAT picks the bundle format shipped through /tmp
+ * (3 = packed 4-bit + dense residual, 2 = legacy records-only), and
+ * SE_SERVE_WEIGHT_SOURCE=ce serves from the packed codes directly.
  */
 
 #include <algorithm>
@@ -120,6 +123,11 @@ main(int argc, char **argv)
     se_opts.vectorThreshold = 0.01;
     core::ApplyOptions apply_opts;
     runtime::CompressionPipeline pipe(run_opts);
+    const serve::WeightSource source =
+        run_opts.serveWeightSource ==
+                runtime::ServeWeightSource::CeDirect
+            ? serve::WeightSource::CeDirect
+            : serve::WeightSource::Dense;
     serve::ModelRegistry registry;
     for (const std::string &name : names) {
         const models::ModelId id = parseModel(name);
@@ -130,21 +138,23 @@ main(int argc, char **argv)
                 return pipe.cache().getOrCompute(w, o);
             });
         const std::string path = "/tmp/serve_demo_" + name + ".sexm";
-        core::saveModelFile(path, compressed.records);
+        if (run_opts.modelFormat >= 3)
+            core::saveModelV3File(path, compressed.bundle());
+        else
+            core::saveModelFile(path, compressed.records);
         std::ifstream probe(path, std::ios::binary | std::ios::ate);
         std::printf(
-            "[%s] compressed %zu layers, CR %.2fx -> %s (%lld "
+            "[%s] compressed %zu layers, CR %.2fx -> %s (v%d, %lld "
             "bytes)\n",
             name.c_str(), compressed.records.size(),
             compressed.report.compressionRate(), path.c_str(),
-            (long long)probe.tellg());
-        auto records =
-            std::make_shared<std::vector<core::SeLayerRecord>>(
-                core::loadModelFile(path));
-        registry.add(name,
-                     {records,
-                      [id, cfg] { return models::buildSim(id, cfg); },
-                      se_opts, apply_opts});
+            run_opts.modelFormat, (long long)probe.tellg());
+        registry.add(
+            name,
+            serve::makeModelEntry(
+                core::loadModelBundleFile(path),
+                [id, cfg] { return models::buildSim(id, cfg); },
+                se_opts, apply_opts, source));
     }
 
     // 2. One front, one engine per model, the thread budget split.

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "nn/layers.hh"
 
 namespace se {
 namespace core {
@@ -15,6 +17,9 @@ namespace {
 
 constexpr uint32_t kMagic = 0x5345584Du;  // "SEXM"
 constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersionV3 = 3;
+/** Widest alphabet a 4-bit nibble (1 sign + 3 code bits) can carry. */
+constexpr int kMaxPackedLevels = 7;
 /** Hard ceiling on any stored dimension / count (anti-corruption). */
 constexpr int64_t kMaxDim = 1 << 24;
 constexpr int64_t kMaxElems = 1 << 26;
@@ -86,9 +91,7 @@ decodeCoef(uint8_t byte, const quant::Pow2Alphabet &a)
     if (code < 1 || code > a.numLevels)
         throw ModelFileError(
             "coefficient code outside the stored alphabet");
-    const int exp = a.expMin() + code - 1;
-    const float mag = std::ldexp(1.0f, exp);
-    return neg ? -mag : mag;
+    return quant::pow2CodeValue(a.expMin(), code, neg);
 }
 
 void
@@ -97,6 +100,245 @@ checkDim(int64_t d, const char *what)
     if (d < 0 || d > kMaxDim)
         throw ModelFileError(std::string("implausible ") + what +
                              " in model file");
+}
+
+/** Convert a v2 coefficient byte to a v3 nibble (codes are codes). */
+uint8_t
+byteToNibble(uint8_t byte)
+{
+    if (byte == 0)
+        return 0;
+    const uint8_t code = byte & 0x7F;
+    SE_ASSERT(code >= 1 && code <= kMaxPackedLevels,
+              "coefficient code too wide for 4-bit packing");
+    return (uint8_t)(((byte & 0x80) ? 0x8 : 0x0) | code);
+}
+
+float
+decodeNibble(uint8_t nib, const quant::Pow2Alphabet &a)
+{
+    if (nib == 0)
+        return 0.0f;
+    const int code = nib & 0x7;
+    // Nibble 0x8 (sign bit with exponent code 0) is the packed
+    // sibling of the v2 byte 0x80 — not a legal encoding.
+    if (code < 1 || code > a.numLevels)
+        throw ModelFileError(
+            "packed coefficient nibble outside the stored alphabet");
+    return quant::pow2CodeValue(a.expMin(), code, (nib & 0x8) != 0);
+}
+
+} // namespace
+
+PackedCe
+packCe(const Tensor &ce, const quant::Pow2Alphabet &alphabet)
+{
+    SE_ASSERT(ce.ndim() == 2, "packCe expects a 2-D Ce matrix");
+    if (alphabet.numLevels < 1 ||
+        alphabet.numLevels > kMaxPackedLevels)
+        throw ModelFileError(
+            "alphabet has " + std::to_string(alphabet.numLevels) +
+            " levels; 4-bit packing carries at most " +
+            std::to_string(kMaxPackedLevels) +
+            " (save this model as v2)");
+    PackedCe p;
+    p.rows = ce.dim(0);
+    p.cols = ce.dim(1);
+    p.alphabet = alphabet;
+    p.rowMask.assign((size_t)((p.rows + 7) / 8), 0);
+
+    std::vector<uint8_t> codes;  // nibbles of non-zero rows, in order
+    codes.reserve((size_t)ce.size());
+    for (int64_t i = 0; i < p.rows; ++i) {
+        bool nz = false;
+        for (int64_t j = 0; j < p.cols && !nz; ++j)
+            nz = ce.at(i, j) != 0.0f;
+        if (!nz)
+            continue;
+        p.rowMask[(size_t)(i >> 3)] |= (uint8_t)(1u << (i & 7));
+        ++p.nonZeroRows;
+        for (int64_t j = 0; j < p.cols; ++j)
+            codes.push_back(
+                byteToNibble(encodeCoef(ce.at(i, j), alphabet)));
+    }
+    p.nibbles.assign((codes.size() + 1) / 2, 0);
+    for (size_t k = 0; k < codes.size(); ++k)
+        p.nibbles[k / 2] |=
+            (uint8_t)(codes[k] << ((k & 1) ? 4 : 0));
+    return p;
+}
+
+Tensor
+unpackCe(const PackedCe &p)
+{
+    Tensor ce({p.rows, p.cols});
+    int64_t nz_seen = 0;
+    for (int64_t i = 0; i < p.rows; ++i) {
+        if (!(p.rowMask[(size_t)(i >> 3)] & (1u << (i & 7))))
+            continue;
+        for (int64_t j = 0; j < p.cols; ++j) {
+            const int64_t k = nz_seen * p.cols + j;
+            uint8_t nib = p.nibbles[(size_t)(k >> 1)];
+            nib = (k & 1) ? (uint8_t)(nib >> 4) : (uint8_t)(nib & 0xF);
+            ce.at(i, j) = decodeNibble(nib, p.alphabet);
+        }
+        ++nz_seen;
+    }
+    return ce;
+}
+
+namespace {
+
+/**
+ * v3 piece: a 27-byte metadata header (a third of the v2-style one —
+ * with a piece per conv filter, header bytes are a visible share of
+ * the bundle), then row mask + packed nibbles + float basis. Rank
+ * and basis width are u16: the reshape rules only ever produce
+ * kernel- or group-sized widths, and a wider matrix belongs in v2.
+ */
+void
+saveSeMatrixV3(std::ostream &os, const SeMatrix &m)
+{
+    const PackedCe p = packCe(m.ce, m.alphabet);
+    if (m.ce.dim(1) > 0xFFFF || m.basis.dim(1) > 0xFFFF ||
+        m.alphabet.expMax < -32768 || m.alphabet.expMax > 32767)
+        throw ModelFileError(
+            "matrix too wide for the v3 piece header (save as v2)");
+    writePod<uint32_t>(os, (uint32_t)m.ce.dim(0));
+    writePod<uint16_t>(os, (uint16_t)m.ce.dim(1));
+    writePod<uint16_t>(os, (uint16_t)m.basis.dim(1));
+    writePod<int16_t>(os, (int16_t)m.alphabet.expMax);
+    writePod<uint8_t>(os, (uint8_t)m.alphabet.numLevels);
+    writePod<int32_t>(os, m.iterations);
+    writePod<double>(os, m.reconRelError);
+    writePod<uint32_t>(os, (uint32_t)p.nonZeroRows);
+    os.write(reinterpret_cast<const char *>(p.rowMask.data()),
+             (std::streamsize)p.rowMask.size());
+    os.write(reinterpret_cast<const char *>(p.nibbles.data()),
+             (std::streamsize)p.nibbles.size());
+    for (int64_t i = 0; i < m.basis.size(); ++i)
+        writePod<float>(os, m.basis[i]);
+}
+
+SeMatrix
+loadSeMatrixV3(std::istream &is)
+{
+    SeMatrix m;
+    const int64_t rows = (int64_t)readPod<uint32_t>(is);
+    const int64_t rank = (int64_t)readPod<uint16_t>(is);
+    const int64_t cols = (int64_t)readPod<uint16_t>(is);
+    checkDim(rows, "row count");
+    checkDim(rank, "rank");
+    checkDim(cols, "column count");
+    if (rows * rank > kMaxElems || rank * cols > kMaxElems)
+        throw ModelFileError("implausible matrix size in model file");
+    m.alphabet.expMax = readPod<int16_t>(is);
+    m.alphabet.numLevels = readPod<uint8_t>(is);
+    if (m.alphabet.numLevels < 1 ||
+        m.alphabet.numLevels > kMaxPackedLevels ||
+        m.alphabet.expMax < -1000 || m.alphabet.expMax > 1000)
+        throw ModelFileError("implausible alphabet in model file");
+    m.iterations = readPod<int32_t>(is);
+    if (m.iterations < 0 || m.iterations > (1 << 20))
+        throw ModelFileError("implausible iteration count");
+    m.reconRelError = readPod<double>(is);
+    if (!std::isfinite(m.reconRelError))
+        throw ModelFileError("non-finite metadata in model file");
+
+    PackedCe p;
+    p.rows = rows;
+    p.cols = rank;
+    p.alphabet = m.alphabet;
+    p.nonZeroRows = (int64_t)readPod<uint32_t>(is);
+    if (p.nonZeroRows < 0 || p.nonZeroRows > rows)
+        throw ModelFileError(
+            "implausible non-zero row count in model file");
+    p.rowMask.resize((size_t)((rows + 7) / 8));
+    is.read(reinterpret_cast<char *>(p.rowMask.data()),
+            (std::streamsize)p.rowMask.size());
+    if ((size_t)is.gcount() != p.rowMask.size())
+        throw ModelFileError("truncated row mask in model file");
+    p.nibbles.resize((size_t)((p.nonZeroRows * rank + 1) / 2));
+    is.read(reinterpret_cast<char *>(p.nibbles.data()),
+            (std::streamsize)p.nibbles.size());
+    if ((size_t)is.gcount() != p.nibbles.size())
+        throw ModelFileError("truncated coefficients in model file");
+
+    // Structural validation: the mask must agree with the stored
+    // non-zero count (tail bits clear), and a padded odd code count
+    // must end in a zero nibble — otherwise two different byte
+    // streams could decode to the same matrix.
+    int64_t mask_bits = 0;
+    for (int64_t i = 0; i < rows; ++i)
+        mask_bits +=
+            (p.rowMask[(size_t)(i >> 3)] >> (i & 7)) & 1;
+    if (mask_bits != p.nonZeroRows)
+        throw ModelFileError(
+            "row mask does not match non-zero row count");
+    if (rows & 7) {
+        const uint8_t tail = p.rowMask.empty() ? 0 : p.rowMask.back();
+        if (tail >> (rows & 7))
+            throw ModelFileError("row mask has bits past the last row");
+    }
+    if ((p.nonZeroRows * rank) & 1) {
+        if (!p.nibbles.empty() && (p.nibbles.back() >> 4))
+            throw ModelFileError(
+                "non-zero padding nibble in model file");
+    }
+
+    m.ce = unpackCe(p);  // throws on 0x8-style invalid nibbles
+    // A row the mask flags non-zero must actually carry a non-zero
+    // code, or save/load would not round-trip.
+    for (int64_t i = 0; i < rows; ++i) {
+        if (!(p.rowMask[(size_t)(i >> 3)] & (1u << (i & 7))))
+            continue;
+        bool nz = false;
+        for (int64_t j = 0; j < rank && !nz; ++j)
+            nz = m.ce.at(i, j) != 0.0f;
+        if (!nz)
+            throw ModelFileError(
+                "all-zero row flagged non-zero in model file");
+    }
+    m.basis = Tensor({rank, cols});
+    for (int64_t i = 0; i < m.basis.size(); ++i)
+        m.basis[i] = readPod<float>(is);
+    return m;
+}
+
+void
+saveDenseTensor(std::ostream &os, const DenseTensor &d)
+{
+    writeString(os, d.name);
+    writePod<uint32_t>(os, (uint32_t)d.value.ndim());
+    for (int i = 0; i < d.value.ndim(); ++i)
+        writePod<int64_t>(os, d.value.dim(i));
+    for (int64_t i = 0; i < d.value.size(); ++i)
+        writePod<float>(os, d.value[i]);
+}
+
+DenseTensor
+loadDenseTensor(std::istream &is)
+{
+    DenseTensor d;
+    d.name = readString(is);
+    const uint32_t ndim = readPod<uint32_t>(is);
+    if (ndim > 8)
+        throw ModelFileError("implausible dense tensor rank");
+    Shape shape;
+    int64_t elems = 1;
+    for (uint32_t i = 0; i < ndim; ++i) {
+        const int64_t dim = readPod<int64_t>(is);
+        checkDim(dim, "dense tensor dimension");
+        shape.push_back(dim);
+        elems *= dim;
+        if (elems > kMaxElems)
+            throw ModelFileError(
+                "implausible dense tensor size in model file");
+    }
+    d.value = Tensor(shape);
+    for (int64_t i = 0; i < d.value.size(); ++i)
+        d.value[i] = readPod<float>(is);
+    return d;
 }
 
 } // namespace
@@ -149,34 +391,48 @@ loadSeMatrix(std::istream &is)
     return m;
 }
 
-void
-saveModel(std::ostream &os, const std::vector<SeLayerRecord> &layers)
-{
-    // Serialize the body first so the header can carry its size and
-    // FNV-1a checksum; load verifies both before parsing a byte.
-    std::ostringstream body_os(std::ios::binary);
-    writePod<uint32_t>(body_os, (uint32_t)layers.size());
-    for (const auto &l : layers) {
-        writeString(body_os, l.name);
-        writePod<uint32_t>(body_os, (uint32_t)l.pieces.size());
-        for (const auto &p : l.pieces)
-            saveSeMatrix(body_os, p);
-    }
-    const std::string body = body_os.str();
+namespace {
 
+/**
+ * Bundle checksum. v2 hashes the body alone (the format predates
+ * multiple versions and stays byte-compatible); v3 seeds the hash
+ * with the version word so a bit flip that turns one valid version
+ * into another can never hand a body to the wrong parser with a
+ * still-matching checksum.
+ */
+uint64_t
+bodyChecksum(uint32_t version, const std::string &body)
+{
+    const uint64_t seed = version == kVersion
+                              ? kFnvOffsetBasis
+                              : hashValue(version);
+    return fnv1a(body.data(), body.size(), seed);
+}
+
+/**
+ * Frame a serialized body with the shared header (magic, version,
+ * size, FNV-1a checksum); load verifies all four before parsing a
+ * byte of the body.
+ */
+void
+writeFramedBody(std::ostream &os, uint32_t version,
+                const std::string &body)
+{
     writePod<uint32_t>(os, kMagic);
-    writePod<uint32_t>(os, kVersion);
+    writePod<uint32_t>(os, version);
     writePod<uint64_t>(os, (uint64_t)body.size());
-    writePod<uint64_t>(os, fnv1a(body.data(), body.size()));
+    writePod<uint64_t>(os, bodyChecksum(version, body));
     os.write(body.data(), (std::streamsize)body.size());
 }
 
-std::vector<SeLayerRecord>
-loadModel(std::istream &is)
+/** Verify the frame and return {version, body}. */
+std::pair<uint32_t, std::string>
+readFramedBody(std::istream &is)
 {
     if (readPod<uint32_t>(is) != kMagic)
         throw ModelFileError("not a SmartExchange model file");
-    if (readPod<uint32_t>(is) != kVersion)
+    const uint32_t version = readPod<uint32_t>(is);
+    if (version != kVersion && version != kVersionV3)
         throw ModelFileError("unsupported model file version");
     const uint64_t body_size = readPod<uint64_t>(is);
     const uint64_t checksum = readPod<uint64_t>(is);
@@ -197,11 +453,15 @@ loadModel(std::istream &is)
     is.read(body.data(), (std::streamsize)body_size);
     if ((uint64_t)is.gcount() != body_size)
         throw ModelFileError("truncated model file");
-    if (fnv1a(body.data(), body.size()) != checksum)
+    if (bodyChecksum(version, body) != checksum)
         throw ModelFileError("model file checksum mismatch "
                              "(corrupted stream)");
+    return {version, std::move(body)};
+}
 
-    std::istringstream body_is(body, std::ios::binary);
+std::vector<SeLayerRecord>
+loadRecords(std::istream &body_is, uint32_t version)
+{
     const uint32_t n = readPod<uint32_t>(body_is);
     if (n > (1u << 20))
         throw ModelFileError("implausible layer count in model file");
@@ -213,9 +473,80 @@ loadModel(std::istream &is)
             throw ModelFileError("implausible piece count");
         l.pieces.reserve(pieces);
         for (uint32_t i = 0; i < pieces; ++i)
-            l.pieces.push_back(loadSeMatrix(body_is));
+            l.pieces.push_back(version == kVersionV3
+                                   ? loadSeMatrixV3(body_is)
+                                   : loadSeMatrix(body_is));
     }
     return layers;
+}
+
+} // namespace
+
+void
+saveModel(std::ostream &os, const std::vector<SeLayerRecord> &layers)
+{
+    std::ostringstream body_os(std::ios::binary);
+    writePod<uint32_t>(body_os, (uint32_t)layers.size());
+    for (const auto &l : layers) {
+        writeString(body_os, l.name);
+        writePod<uint32_t>(body_os, (uint32_t)l.pieces.size());
+        for (const auto &p : l.pieces)
+            saveSeMatrix(body_os, p);
+    }
+    writeFramedBody(os, kVersion, body_os.str());
+}
+
+void
+saveModelV3(std::ostream &os,
+            const std::vector<SeLayerRecord> &layers,
+            const std::vector<DenseTensor> &dense)
+{
+    std::ostringstream body_os(std::ios::binary);
+    writePod<uint32_t>(body_os, (uint32_t)layers.size());
+    for (const auto &l : layers) {
+        writeString(body_os, l.name);
+        writePod<uint32_t>(body_os, (uint32_t)l.pieces.size());
+        for (const auto &p : l.pieces)
+            saveSeMatrixV3(body_os, p);
+    }
+    writePod<uint32_t>(body_os, (uint32_t)dense.size());
+    for (const auto &d : dense)
+        saveDenseTensor(body_os, d);
+    writeFramedBody(os, kVersionV3, body_os.str());
+}
+
+ModelBundle
+loadModelBundle(std::istream &is)
+{
+    auto [version, body] = readFramedBody(is);
+    std::istringstream body_is(body, std::ios::binary);
+    ModelBundle bundle;
+    bundle.records = loadRecords(body_is, version);
+    if (version == kVersionV3) {
+        const uint32_t n = readPod<uint32_t>(body_is);
+        if (n > (1u << 20))
+            throw ModelFileError(
+                "implausible dense tensor count in model file");
+        bundle.dense.reserve(n);
+        for (uint32_t i = 0; i < n; ++i)
+            bundle.dense.push_back(loadDenseTensor(body_is));
+    }
+    // Trailing garbage inside a checksummed body is still damage: two
+    // different byte streams must never load as the same bundle.
+    if (body_is.peek() != std::char_traits<char>::eof())
+        throw ModelFileError("trailing bytes in model file body");
+    return bundle;
+}
+
+std::vector<SeLayerRecord>
+loadModel(std::istream &is)
+{
+    ModelBundle bundle = loadModelBundle(is);
+    if (!bundle.dense.empty())
+        throw ModelFileError(
+            "bundle carries dense residual state; load it with "
+            "loadModelBundle() instead of the records-only view");
+    return std::move(bundle.records);
 }
 
 void
@@ -237,7 +568,106 @@ loadModelFile(const std::string &path)
     return loadModel(is);
 }
 
+void
+saveModelV3File(const std::string &path, const ModelBundle &b)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os.good())
+        throw ModelFileError("cannot open " + path + " for writing");
+    saveModelV3(os, b.records, b.dense);
+}
+
+ModelBundle
+loadModelBundleFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        throw ModelFileError("cannot open " + path + " for reading");
+    return loadModelBundle(is);
+}
+
 // ------------------------------------------------- nn <-> record glue
+
+namespace {
+
+/**
+ * The one walk both sides of the dense-residual contract share:
+ * visit every leaf in depth-first order and emit (name, tensor)
+ * pairs for the state the Ce*B records do not carry.
+ */
+void
+visitDenseState(
+    nn::Sequential &net,
+    const std::vector<const Tensor *> &decomposed_weights,
+    const std::function<void(const std::string &, Tensor &)> &fn)
+{
+    std::unordered_set<const Tensor *> decomposed(
+        decomposed_weights.begin(), decomposed_weights.end());
+    size_t idx = 0;
+    net.visit([&](nn::Layer &l) {
+        const std::string prefix =
+            std::to_string(idx++) + ":" + l.name() + ":";
+        if (auto *c = dynamic_cast<nn::Conv2d *>(&l)) {
+            if (!decomposed.count(&c->weightTensor()))
+                fn(prefix + "weight", c->weightTensor());
+            if (!c->biasTensor().empty())
+                fn(prefix + "bias", c->biasTensor());
+        } else if (auto *f = dynamic_cast<nn::Linear *>(&l)) {
+            if (!decomposed.count(&f->weightTensor()))
+                fn(prefix + "weight", f->weightTensor());
+            if (!f->biasTensor().empty())
+                fn(prefix + "bias", f->biasTensor());
+        } else if (auto *b = dynamic_cast<nn::BatchNorm2d *>(&l)) {
+            fn(prefix + "gamma", b->gammaTensor());
+            fn(prefix + "beta", b->betaTensor());
+            fn(prefix + "running_mean", b->runningMeanTensor());
+            fn(prefix + "running_var", b->runningVarTensor());
+        }
+    });
+}
+
+} // namespace
+
+std::vector<DenseTensor>
+collectDenseState(nn::Sequential &net,
+                  const std::vector<const Tensor *> &decomposed_weights)
+{
+    std::vector<DenseTensor> out;
+    visitDenseState(net, decomposed_weights,
+                    [&](const std::string &name, Tensor &t) {
+                        out.push_back({name, t});
+                    });
+    return out;
+}
+
+void
+installDenseState(
+    nn::Sequential &net, const std::vector<DenseTensor> &dense,
+    const std::vector<const Tensor *> &decomposed_weights)
+{
+    size_t at = 0;
+    visitDenseState(
+        net, decomposed_weights,
+        [&](const std::string &name, Tensor &t) {
+            if (at >= dense.size())
+                throw ModelFileError(
+                    "dense residual ends before tensor '" + name +
+                    "'");
+            const DenseTensor &d = dense[at++];
+            if (d.name != name)
+                throw ModelFileError(
+                    "dense tensor '" + d.name +
+                    "' does not match expected '" + name + "'");
+            if (d.value.shape() != t.shape())
+                throw ModelFileError("dense tensor '" + name +
+                                     "' has a mismatched shape");
+            t = d.value;
+        });
+    if (at != dense.size())
+        throw ModelFileError(
+            "dense residual has " +
+            std::to_string(dense.size() - at) + " extra tensor(s)");
+}
 
 CompressedModel
 compressToRecords(nn::Sequential &net, const SeOptions &se_opts,
@@ -245,12 +675,11 @@ compressToRecords(nn::Sequential &net, const SeOptions &se_opts,
                   const DecomposeFn &decomp)
 {
     if (apply_opts.channelGammaThreshold > 0.0)
-        SE_WARN("compressToRecords: channel pruning zeroes BN "
-                "gamma/beta in THIS net, but records ship only the "
-                "decomposed weights — a serving-side install into a "
-                "fresh net keeps its unpruned BN tensors and will "
-                "diverge. Ship dense BN state separately (record "
-                "format v3, see ROADMAP) or serve unpruned models.");
+        SE_WARN("compressToRecords: channel pruning mutates BN "
+                "gamma/beta in THIS net; the mutated state ships in "
+                "CompressedModel::dense and only saveModelV3 writes "
+                "it — a records-only v2 save of this model serves "
+                "diverged outputs from a fresh factory net.");
     CompressionPlan plan = planCompression(net, se_opts, apply_opts);
 
     std::vector<SeMatrix> results;
@@ -276,6 +705,16 @@ compressToRecords(nn::Sequential &net, const SeOptions &se_opts,
         if (!rec.pieces.empty())
             out.records.push_back(std::move(rec));
     }
+
+    // The dense residual (what the old "BN not shipped" warning was
+    // about): snapshot AFTER planCompression, so channel pruning's
+    // BN gamma/beta mutations ship with the model, and biases /
+    // running stats / undecomposed weights come along too.
+    std::vector<const Tensor *> decomposed_weights;
+    for (const PlannedLayer &pl : plan.layers)
+        if (pl.weight)
+            decomposed_weights.push_back(pl.weight);
+    out.dense = collectDenseState(net, decomposed_weights);
 
     out.report = finishCompression(plan, std::move(results), se_opts);
     return out;
@@ -326,18 +765,21 @@ matchRecordsToPlan(const CompressionPlan &plan,
     return bindings;
 }
 
+namespace {
+
 CompressionReport
-installLayerRecords(nn::Sequential &net,
-                    const std::vector<SeLayerRecord> &records,
-                    const SeOptions &se_opts,
-                    const ApplyOptions &apply_opts)
+installRecordsImpl(nn::Sequential &net,
+                   const std::vector<SeLayerRecord> &records,
+                   const std::vector<DenseTensor> *dense,
+                   const SeOptions &se_opts,
+                   const ApplyOptions &apply_opts)
 {
     // Never re-prune: the threshold rule must not fire on the
     // factory net's unrelated gamma values. Pruned CONV channels
     // arrive zeroed through the records themselves; pruned BN
-    // gamma/beta state is NOT shipped (see the compressToRecords
-    // warning), so pruned models need their BN tensors restored by
-    // the caller.
+    // gamma/beta state arrives through the dense residual when the
+    // caller ships one (v3) — without it, the factory net must
+    // bit-reproduce the compression-time non-decomposed state.
     ApplyOptions install_opts = apply_opts;
     install_opts.channelGammaThreshold = 0.0;
     CompressionPlan plan = planCompression(net, se_opts, install_opts);
@@ -350,7 +792,36 @@ installLayerRecords(nn::Sequential &net,
         for (size_t k = 0; k < b.unitCount; ++k)
             results.push_back(b.record->pieces[k]);
 
+    if (dense && !dense->empty()) {
+        std::vector<const Tensor *> decomposed_weights;
+        for (const PlannedLayer &pl : plan.layers)
+            if (pl.weight)
+                decomposed_weights.push_back(pl.weight);
+        installDenseState(net, *dense, decomposed_weights);
+    }
+
     return finishCompression(plan, std::move(results), se_opts);
+}
+
+} // namespace
+
+CompressionReport
+installLayerRecords(nn::Sequential &net,
+                    const std::vector<SeLayerRecord> &records,
+                    const SeOptions &se_opts,
+                    const ApplyOptions &apply_opts)
+{
+    return installRecordsImpl(net, records, nullptr, se_opts,
+                              apply_opts);
+}
+
+CompressionReport
+installModelBundle(nn::Sequential &net, const ModelBundle &bundle,
+                   const SeOptions &se_opts,
+                   const ApplyOptions &apply_opts)
+{
+    return installRecordsImpl(net, bundle.records, &bundle.dense,
+                              se_opts, apply_opts);
 }
 
 } // namespace core

@@ -3,21 +3,36 @@
  * On-disk format for SmartExchange-form weights — what a deployment
  * pipeline would ship to the accelerator (or to se::serve).
  *
- * Each SeMatrix is stored compactly: coefficients as one byte per
- * entry holding {zero | sign, exponent-code} (the hardware packs two
- * such codes per byte at 4-bit precision; the file trades that last
- * 2x for simplicity and self-description), the basis as float32, plus
- * the alphabet so the power-of-2 codes decode exactly.
+ * Two bundle versions share one header (magic, version, body size,
+ * FNV-1a body checksum — truncated or bit-corrupted streams are
+ * always rejected with a ModelFileError instead of crashing or
+ * silently mis-loading):
  *
- * Bundles (saveModel / loadModel) carry a header with the body size
- * and an FNV-1a checksum of the body, so truncated or bit-corrupted
- * streams are always rejected with a ModelFileError instead of
- * crashing or silently mis-loading.
+ *  - v2 (saveModel): coefficients as one byte per entry holding
+ *    {zero | sign, exponent-code}, the basis as float32, plus the
+ *    alphabet so the power-of-2 codes decode exactly. Records only —
+ *    a channel-pruned model is NOT servable from a v2 bundle alone
+ *    (its BN gamma/beta were mutated at compression time).
+ *
+ *  - v3 (saveModelV3): the hardware's true storage width. All-zero Ce
+ *    rows collapse to a 1-bit row mask and the surviving rows pack
+ *    two 4-bit codes per byte (sign + 3 exponent bits, exactly the
+ *    paper's Omega_P encoding), plus a dense-residual section —
+ *    BN gamma/beta/running stats, biases, undecomposed weights — so
+ *    a channel-pruned model round-trips and serves from the bundle
+ *    alone. Coefficient round-trips stay exact (codes are codes);
+ *    only layers whose alphabet exceeds 7 levels (coefBits > 4)
+ *    cannot be packed and make saveModelV3 throw.
+ *
+ * loadModelBundle() accepts both versions; loadModel() remains the
+ * records-only view (and refuses to silently drop a v3 bundle's
+ * dense section).
  */
 
 #ifndef SE_CORE_MODEL_FILE_HH
 #define SE_CORE_MODEL_FILE_HH
 
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <stdexcept>
@@ -57,17 +72,83 @@ struct SeLayerRecord
     std::vector<SeMatrix> pieces;
 };
 
-/** Serialize a whole model's decomposed layers to a stream. */
+/**
+ * One named dense tensor of the residual section: everything a served
+ * model needs that the Ce*B records do not carry — BN gamma/beta and
+ * running stats, conv/linear biases, weights of layers too small to
+ * decompose. Names are positional ("<leaf index>:<kind>:<role>") and
+ * validated on install, so a bundle can never be applied to a
+ * mismatched architecture.
+ */
+struct DenseTensor
+{
+    std::string name;
+    Tensor value;
+};
+
+/** An in-memory model bundle: records plus (v3) dense residual. */
+struct ModelBundle
+{
+    std::vector<SeLayerRecord> records;
+    std::vector<DenseTensor> dense;  ///< empty for v2 loads
+};
+
+/**
+ * A Ce matrix at the accelerator's storage width: a 1-bit-per-row
+ * non-zero mask plus the surviving rows' codes packed two 4-bit
+ * nibbles per byte (low nibble first; nibble = 0 for zero, else
+ * sign bit 0x8 | exponent code 1..numLevels; 0x8 alone is illegal).
+ * This is both the v3 wire form and what serve's CeDirect weight
+ * source keeps in memory and feeds to kernels::gemmCeB.
+ */
+struct PackedCe
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t nonZeroRows = 0;
+    quant::Pow2Alphabet alphabet;
+    std::vector<uint8_t> rowMask;  ///< ceil(rows/8), LSB-first
+    std::vector<uint8_t> nibbles;  ///< ceil(nonZeroRows*cols/2)
+};
+
+/**
+ * Pack a Ce tensor (entries in Omega_P) at true 4-bit width. Throws
+ * ModelFileError when the alphabet needs more than 7 levels (a
+ * coefBits > 4 run cannot pack; ship it as v2).
+ */
+PackedCe packCe(const Tensor &ce, const quant::Pow2Alphabet &alphabet);
+
+/** Exact inverse of packCe. */
+Tensor unpackCe(const PackedCe &p);
+
+/** Serialize a whole model's decomposed layers to a stream (v2). */
 void saveModel(std::ostream &os,
                const std::vector<SeLayerRecord> &layers);
 
-/** Load a model bundle back. Throws ModelFileError on any damage. */
+/**
+ * Load the records of a model bundle. Throws ModelFileError on any
+ * damage, and on a v3 bundle that carries dense residual state (which
+ * this records-only view would silently drop — use loadModelBundle).
+ */
 std::vector<SeLayerRecord> loadModel(std::istream &is);
+
+/**
+ * Serialize records + dense residual as a v3 bundle: packed 4-bit Ce
+ * codes with zero rows elided, float32 bases, float32 dense tensors.
+ */
+void saveModelV3(std::ostream &os,
+                 const std::vector<SeLayerRecord> &layers,
+                 const std::vector<DenseTensor> &dense = {});
+
+/** Load a v2 or v3 bundle. Throws ModelFileError on any damage. */
+ModelBundle loadModelBundle(std::istream &is);
 
 /** Save to / load from a file path. */
 void saveModelFile(const std::string &path,
                    const std::vector<SeLayerRecord> &layers);
 std::vector<SeLayerRecord> loadModelFile(const std::string &path);
+void saveModelV3File(const std::string &path, const ModelBundle &b);
+ModelBundle loadModelBundleFile(const std::string &path);
 
 // ------------------------------------------------- nn <-> record glue
 
@@ -88,19 +169,56 @@ struct CompressedModel
      * expect back.
      */
     std::vector<SeLayerRecord> records;
+    /**
+     * The dense residual (what used to be a "BN not shipped" warning,
+     * now shipped data): BN gamma/beta/running stats, biases, and
+     * undecomposed weights, captured AFTER channel pruning — so a
+     * pruned model serves from {records, dense} alone, no out-of-band
+     * restore. saveModelV3 ships it; v2 saves drop it (legacy
+     * contract: the serving factory must bit-reproduce this state).
+     */
+    std::vector<DenseTensor> dense;
     CompressionReport report;
+
+    ModelBundle
+    bundle() const
+    {
+        return {records, dense};
+    }
 };
 
 /**
  * Compress a network into shippable records: plan, decompose every
  * unit, install the Ce*B reconstructions in place (exactly like
  * applySmartExchange) and keep the decomposed pieces grouped per
- * layer. Undecomposed layers produce no record.
+ * layer plus the dense residual. Undecomposed layers produce no
+ * record (their weights ship in the dense section).
  */
 CompressedModel compressToRecords(nn::Sequential &net,
                                   const SeOptions &se_opts,
                                   const ApplyOptions &apply_opts,
                                   const DecomposeFn &decomp = nullptr);
+
+/**
+ * Snapshot a network's dense residual state — every tensor a served
+ * model needs that is NOT one of the decomposed weights: BN
+ * gamma/beta/running stats, conv/linear biases, and the weights of
+ * layers absent from `decomposed_weights`. Leaf visit order gives the
+ * positional names installDenseState() validates against.
+ */
+std::vector<DenseTensor> collectDenseState(
+    nn::Sequential &net,
+    const std::vector<const Tensor *> &decomposed_weights);
+
+/**
+ * Write a shipped dense residual back into a live network. The
+ * bundle must cover exactly the net's non-decomposed state (same
+ * names, same shapes, same order) — anything else throws
+ * ModelFileError, so a pruned bundle can never half-apply.
+ */
+void installDenseState(
+    nn::Sequential &net, const std::vector<DenseTensor> &dense,
+    const std::vector<const Tensor *> &decomposed_weights);
 
 /**
  * One decomposed planned layer matched to its shipped record: plan
@@ -137,6 +255,18 @@ std::vector<RecordBinding> matchRecordsToPlan(
 CompressionReport installLayerRecords(
     nn::Sequential &net, const std::vector<SeLayerRecord> &records,
     const SeOptions &se_opts, const ApplyOptions &apply_opts);
+
+/**
+ * installLayerRecords for a whole bundle: install the dense residual
+ * first (when present), then the Ce*B reconstructions. With a v3
+ * bundle of a channel-pruned model this restores the pruned BN
+ * state — the fresh net ends bit-identical to the compression-time
+ * net, with no out-of-band restore.
+ */
+CompressionReport installModelBundle(nn::Sequential &net,
+                                     const ModelBundle &bundle,
+                                     const SeOptions &se_opts,
+                                     const ApplyOptions &apply_opts);
 
 } // namespace core
 } // namespace se

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ce-code GEMM: rebuild W = Ce * B straight from the packed 4-bit
+ * coefficient codes, without ever materializing the decoded Ce matrix
+ * at full size.
+ *
+ * This is the software mirror of the accelerator's rebuild engine
+ * datapath: storage holds {row mask, packed nibbles, alphabet} — the
+ * model-file v3 wire form — and only a small per-panel tile of rows
+ * is decoded into the ScratchArena before the float GEMM consumes it.
+ *
+ * Bit-identity contract: decoding a nibble yields exactly the float
+ * +-2^p the dense path stores (powers of two are exact), and the
+ * panel split never changes any output element's accumulation order
+ * (each element still sums over the full inner dimension in ascending
+ * order inside sgemm). gemmCeB is therefore bit-identical to
+ * sgemm(decode(Ce), B) — and hence to SeMatrix::reconstruct() — for
+ * any panel size.
+ */
+
+#ifndef SE_KERNELS_CE_GEMM_HH
+#define SE_KERNELS_CE_GEMM_HH
+
+#include <cstdint>
+
+#include "kernels/scratch.hh"
+#include "quant/quant.hh"
+
+namespace se {
+namespace kernels {
+
+/**
+ * out (m x n) = decode(Ce) (m x r) * basis (r x n).
+ *
+ * `row_mask` is a LSB-first bitmap of non-zero Ce rows (ceil(m/8)
+ * bytes); `nibbles` packs the non-zero rows' codes two per byte, low
+ * nibble first (nibble = 0 for zero, else sign bit 0x8 | exponent
+ * code 1..alpha.numLevels — the core::PackedCe layout). Rows absent
+ * from the mask decode to zero. Decoding runs per panel into
+ * `arena`'s column buffer.
+ */
+void gemmCeB(const uint8_t *row_mask, const uint8_t *nibbles,
+             int64_t m, int64_t r, const float *basis, int64_t n,
+             const quant::Pow2Alphabet &alpha, float *out,
+             ScratchArena &arena);
+
+} // namespace kernels
+} // namespace se
+
+#endif // SE_KERNELS_CE_GEMM_HH

@@ -80,6 +80,8 @@ class Linear : public Layer
     /** Weight tensor in (out, in) layout. */
     Tensor &weightTensor() { return weight; }
     const Tensor &weightTensor() const { return weight; }
+    /** Bias tensor; empty when constructed with bias = false. */
+    Tensor &biasTensor() { return bias_; }
 
     int64_t inFeatures() const { return inF; }
     int64_t outFeatures() const { return outF; }
@@ -113,6 +115,13 @@ class BatchNorm2d : public Layer
     Tensor &gammaTensor() { return gamma; }
     const Tensor &gammaTensor() const { return gamma; }
     Tensor &betaTensor() { return beta; }
+    /**
+     * Eval-mode normalization state. Exposed so model-file v3 can ship
+     * the dense residual (a served model must reproduce the
+     * compression-time running stats, which no seeded re-build can).
+     */
+    Tensor &runningMeanTensor() { return runningMean; }
+    Tensor &runningVarTensor() { return runningVar; }
 
   private:
     int64_t ch;

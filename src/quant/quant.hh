@@ -12,6 +12,7 @@
 #ifndef SE_QUANT_QUANT_HH
 #define SE_QUANT_QUANT_HH
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,21 @@ struct Pow2Alphabet
     /** True when x is exactly representable (0 or +-2^p, p in P). */
     bool contains(float x) const;
 };
+
+/**
+ * Value of one non-zero Omega_P exponent code (1..numLevels): the
+ * single decode rule the model-file loaders and kernels::gemmCeB must
+ * share bit for bit — powers of two are exact floats, so every
+ * consumer that funnels through here reconstructs identical values.
+ * Callers validate the code range and handle the zero / sign-on-zero
+ * encodings under their own error policy.
+ */
+inline float
+pow2CodeValue(int exp_min, int code, bool negative)
+{
+    const float mag = std::ldexp(1.0f, exp_min + code - 1);
+    return negative ? -mag : mag;
+}
 
 /**
  * Choose the alphabet for a matrix: expMax from the largest magnitude,

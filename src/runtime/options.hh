@@ -6,14 +6,69 @@
 #ifndef SE_RUNTIME_OPTIONS_HH
 #define SE_RUNTIME_OPTIONS_HH
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "kernels/kernels.hh"
 
 namespace se {
 namespace runtime {
+
+namespace detail {
+
+/**
+ * Strict env-var parsers: every SE_* knob either parses completely or
+ * the run refuses to start. The old atoi/atof plumbing silently
+ * mapped typos to 0 — SE_THREADS=four used to select the legacy
+ * serial path instead of failing, which is the worst possible way to
+ * "honor" a perf knob.
+ */
+inline long long
+envInt(const char *name, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long out = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE)
+        throw std::invalid_argument(std::string(name) +
+                                    " must be an integer, got '" +
+                                    value + "'");
+    return out;
+}
+
+inline double
+envDouble(const char *name, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double out = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(out))
+        throw std::invalid_argument(std::string(name) +
+                                    " must be a finite number, got '" +
+                                    value + "'");
+    return out;
+}
+
+} // namespace detail
+
+/**
+ * Weight storage the serve drivers hand to the serve layer
+ * (runtime-level mirror of serve::WeightSource — the runtime layer
+ * does not link against se::serve).
+ */
+enum class ServeWeightSource
+{
+    Dense,     ///< decoded float Ce matrices (the v2-era path)
+    CeDirect,  ///< packed 4-bit codes through kernels::gemmCeB
+};
 
 /** Execution policy for the runtime drivers. */
 struct RuntimeOptions
@@ -57,6 +112,20 @@ struct RuntimeOptions
      * default policy in place.
      */
     double serveDeadlineMs = 0.0;
+    /**
+     * Which storage the serve drivers rebuild weights from
+     * (SE_SERVE_WEIGHT_SOURCE = dense | ce). Responses are
+     * bit-identical either way — CeDirect moves storage width and
+     * rebuild wall-clock, never values.
+     */
+    ServeWeightSource serveWeightSource = ServeWeightSource::Dense;
+    /**
+     * Model-file version the drivers save bundles in
+     * (SE_MODEL_FORMAT = 2 | 3). v3 packs Ce codes at true 4-bit
+     * width and ships the dense residual; v2 is the legacy
+     * byte-per-code records-only format.
+     */
+    int modelFormat = 3;
 
     /** Install convImpl as the process-wide kernel default. */
     void
@@ -81,20 +150,60 @@ struct RuntimeOptions
      * the thread count (0 = legacy serial path) and SE_CONV_IMPL the
      * kernel lowering. Results never depend on either value — they
      * only move wall-clock.
+     *
+     * Every SE_* knob is parsed strictly: a value that is not fully
+     * recognized throws std::invalid_argument (SE_CONV_IMPL keeps
+     * its own fatal rejection in convImplFromEnv) instead of being
+     * silently coerced to a default.
      */
     static RuntimeOptions
     fromEnv(size_t cache_capacity = 4096)
     {
         RuntimeOptions ro;
         ro.threads = -1;
-        if (const char *t = std::getenv("SE_THREADS"))
-            ro.threads = std::atoi(t);
+        if (const char *t = std::getenv("SE_THREADS")) {
+            const long long v = detail::envInt("SE_THREADS", t);
+            // Reject before narrowing: SE_THREADS=4294967296 must
+            // not wrap to 0 and silently select the serial path.
+            if (v < INT_MIN || v > INT_MAX)
+                throw std::invalid_argument(
+                    "SE_THREADS out of range: '" + std::string(t) +
+                    "'");
+            ro.threads = (int)v;
+        }
         ro.cacheCapacity = cache_capacity;
         ro.convImpl = kernels::convImplFromEnv();
-        if (const char *c = std::getenv("SE_SERVE_QUEUE_CAP"))
-            ro.serveQueueCap = (size_t)std::strtoull(c, nullptr, 10);
+        if (const char *c = std::getenv("SE_SERVE_QUEUE_CAP")) {
+            const long long cap =
+                detail::envInt("SE_SERVE_QUEUE_CAP", c);
+            if (cap < 0)
+                throw std::invalid_argument(
+                    "SE_SERVE_QUEUE_CAP must be >= 0, got '" +
+                    std::string(c) + "'");
+            ro.serveQueueCap = (size_t)cap;
+        }
         if (const char *d = std::getenv("SE_SERVE_DEADLINE_MS"))
-            ro.serveDeadlineMs = std::atof(d);
+            ro.serveDeadlineMs =
+                detail::envDouble("SE_SERVE_DEADLINE_MS", d);
+        if (const char *w = std::getenv("SE_SERVE_WEIGHT_SOURCE")) {
+            if (!std::strcmp(w, "dense"))
+                ro.serveWeightSource = ServeWeightSource::Dense;
+            else if (!std::strcmp(w, "ce") ||
+                     !std::strcmp(w, "cedirect"))
+                ro.serveWeightSource = ServeWeightSource::CeDirect;
+            else
+                throw std::invalid_argument(
+                    "SE_SERVE_WEIGHT_SOURCE must be dense|ce, got '" +
+                    std::string(w) + "'");
+        }
+        if (const char *f = std::getenv("SE_MODEL_FORMAT")) {
+            const long long v = detail::envInt("SE_MODEL_FORMAT", f);
+            if (v != 2 && v != 3)
+                throw std::invalid_argument(
+                    "SE_MODEL_FORMAT must be 2 or 3, got '" +
+                    std::string(f) + "'");
+            ro.modelFormat = (int)v;
+        }
         return ro;
     }
 };

@@ -69,9 +69,35 @@ ServeFront::ServeFront(const ModelRegistry &registry,
     engines_.reserve(ids_.size());
     for (const std::string &id : ids_) {
         const ModelEntry &e = registry.at(id);
+        // The entry decides its model's storage: weight source and
+        // (when shipped) the v3 dense residual are per-model, so
+        // quantized and float engines coexist behind one front.
+        ServeOptions eopts = per;
+        eopts.session.weightSource = e.weightSource;
+        eopts.session.denseState = e.dense;
         engines_.push_back(std::make_unique<ServeEngine>(
-            e.records, e.factory, e.seOpts, e.applyOpts, per));
+            e.records, e.factory, e.seOpts, e.applyOpts, eopts));
     }
+}
+
+ModelEntry
+makeModelEntry(core::ModelBundle bundle, NetFactory factory,
+               const core::SeOptions &se_opts,
+               const core::ApplyOptions &apply_opts,
+               WeightSource source)
+{
+    ModelEntry e;
+    e.records =
+        std::make_shared<const std::vector<core::SeLayerRecord>>(
+            std::move(bundle.records));
+    e.factory = std::move(factory);
+    e.seOpts = se_opts;
+    e.applyOpts = apply_opts;
+    e.dense =
+        std::make_shared<const std::vector<core::DenseTensor>>(
+            std::move(bundle.dense));
+    e.weightSource = source;
+    return e;
 }
 
 ServeFront::~ServeFront() = default;

@@ -49,7 +49,31 @@ struct ModelEntry
     NetFactory factory;
     core::SeOptions seOpts;
     core::ApplyOptions applyOpts;
+    /**
+     * Model-file v3 dense residual (BN/bias/undecomposed state),
+     * installed into every replica at bind time. Null (the default)
+     * keeps the legacy v2 contract: the factory must bit-reproduce
+     * the compression-time non-decomposed state. Required to serve a
+     * channel-pruned bundle.
+     */
+    std::shared_ptr<const std::vector<core::DenseTensor>> dense;
+    /**
+     * Per-model weight storage the engine serves from. Authoritative
+     * for this entry's engine: it overrides whatever
+     * ServeOptions::session.weightSource says, so one front can A/B
+     * a CeDirect engine against a Dense engine of the same bundle.
+     */
+    WeightSource weightSource = WeightSource::Dense;
 };
+
+/**
+ * Wrap a loaded bundle (v2 or v3) as a registrable entry: the records
+ * and the dense residual move into shared ownership.
+ */
+ModelEntry makeModelEntry(core::ModelBundle bundle, NetFactory factory,
+                          const core::SeOptions &se_opts,
+                          const core::ApplyOptions &apply_opts,
+                          WeightSource source = WeightSource::Dense);
 
 /**
  * An ordered id -> ModelEntry map (registration order is the serving

@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "base/clock.hh"
+#include "kernels/ce_gemm.hh"
 #include "kernels/kernels.hh"
+#include "kernels/scratch.hh"
 
 namespace se {
 namespace serve {
@@ -34,12 +36,20 @@ struct InferenceSession::BoundLayer
         const core::SeMatrix *piece = nullptr;  ///< into *model_
         int64_t filter = 0;
         int64_t rowOffset = 0;
+        /** 4-bit storage form; filled only under CeDirect. */
+        core::PackedCe packed;
     };
     std::vector<BoundUnit> units;
 
     bool stale = true;
     bool cacheValid = false;
     Tensor cache;  ///< assembled dense weight (warm-rebuild source)
+    /**
+     * CeDirect decode-panel scratch. Per layer, not per session:
+     * cold rebuild-all fans the disjoint layers over the kernel
+     * pool, so a shared arena would race.
+     */
+    kernels::ScratchArena arena;
 };
 
 InferenceSession::InferenceSession(
@@ -70,9 +80,34 @@ InferenceSession::InferenceSession(
         for (size_t k = 0; k < b.unitCount; ++k) {
             const core::DecompUnit &u = plan.units[b.unitBegin + k];
             bl.units.push_back(
-                {&b.record->pieces[k], u.filter, u.rowOffset});
+                {&b.record->pieces[k], u.filter, u.rowOffset, {}});
         }
         layers_.push_back(std::move(bl));
+    }
+
+    // v3 dense residual: restore the non-decomposed state the records
+    // cannot carry (pruned BN tensors, biases, undecomposed weights)
+    // before anything runs. Full congruence is validated — a bundle
+    // can never half-apply to a mismatched factory.
+    if (opts_.denseState && !opts_.denseState->empty()) {
+        std::vector<const Tensor *> decomposed;
+        decomposed.reserve(layers_.size());
+        for (const BoundLayer &bl : layers_)
+            decomposed.push_back(bl.weight);
+        core::installDenseState(*net_, *opts_.denseState, decomposed);
+    }
+
+    // CeDirect: keep each piece at the accelerator's storage width.
+    // Packing is exact (codes are codes), so this is a one-time
+    // transcode, not a quantization step; its cost is the CeDirect
+    // cold-start price and lands in stats().packMs.
+    if (opts_.weightSource == WeightSource::CeDirect) {
+        const auto t0 = SteadyClock::now();
+        for (BoundLayer &bl : layers_)
+            for (auto &bu : bl.units)
+                bu.packed =
+                    core::packCe(bu.piece->ce, bu.piece->alphabet);
+        stats_.packMs = msSince(t0);
     }
 }
 
@@ -93,10 +128,23 @@ InferenceSession::rebuildLayer(BoundLayer &bl)
         cold = false;
     } else {
         // Cold: reconstruct every Ce*B slice and write it back, the
-        // same geometry as core::finishCompression.
+        // same geometry as core::finishCompression. Under CeDirect
+        // the slice GEMM consumes the packed 4-bit codes directly
+        // (bit-identical to the dense reconstruct — see gemmCeB).
         Tensor &w = *bl.weight;
         for (const auto &bu : bl.units) {
-            Tensor recon = bu.piece->reconstruct();
+            Tensor recon;
+            if (opts_.weightSource == WeightSource::CeDirect) {
+                const core::PackedCe &p = bu.packed;
+                const int64_t cols = bu.piece->basis.dim(1);
+                recon = Tensor({p.rows, cols});
+                kernels::gemmCeB(p.rowMask.data(), p.nibbles.data(),
+                                 p.rows, p.cols,
+                                 bu.piece->basis.data(), cols,
+                                 p.alphabet, recon.data(), bl.arena);
+            } else {
+                recon = bu.piece->reconstruct();
+            }
             if (bl.convKxK) {
                 const int64_t r = bl.kernelR, s = bl.kernelS;
                 for (int64_t i = 0; i < recon.dim(0); ++i) {

@@ -46,6 +46,26 @@ namespace serve {
  */
 Shape sampleShape(const Tensor &t);
 
+/**
+ * What the rebuild engine reads W = Ce*B from.
+ *
+ *  - Dense: each piece's decoded float Ce matrix (the v2-era path).
+ *  - CeDirect: the packed 4-bit codes (core::PackedCe — the model
+ *    file v3 wire form), decoded per panel into a scratch arena by
+ *    kernels::gemmCeB. The stored datapath width reaches the hot
+ *    loop, mirroring the accelerator. Responses are bit-identical to
+ *    Dense: nibble decode is exact (powers of two) and the panel
+ *    split preserves every element's accumulation order, so no
+ *    tolerance is needed. Requires a 4-bit alphabet (numLevels <= 7,
+ *    i.e. SeOptions::coefBits == 4); binding a wider model throws
+ *    core::ModelFileError.
+ */
+enum class WeightSource
+{
+    Dense,
+    CeDirect,
+};
+
 /** Weight rebuild policy of a session. */
 struct SessionOptions
 {
@@ -60,6 +80,17 @@ struct SessionOptions
      * (cold). Disable to force every rebuild cold.
      */
     bool cacheRebuiltWeights = true;
+    /** Storage the cold rebuild path consumes. */
+    WeightSource weightSource = WeightSource::Dense;
+    /**
+     * Model-file v3 dense residual (BN gamma/beta/running stats,
+     * biases, undecomposed weights), installed into the net at bind
+     * time with full congruence validation — this is what makes a
+     * channel-pruned bundle servable with no out-of-band restore.
+     * Null or empty keeps the legacy contract: the factory net must
+     * bit-reproduce the compression-time non-decomposed state.
+     */
+    std::shared_ptr<const std::vector<core::DenseTensor>> denseState;
 };
 
 /** Rebuild-engine counters of one session. */
@@ -69,6 +100,13 @@ struct SessionStats
     uint64_t coldRebuilds = 0;  ///< layers assembled from Ce*B pieces
     uint64_t warmRebuilds = 0;  ///< layers restored from the cache
     double rebuildMs = 0.0;     ///< total wall-clock spent rebuilding
+    /**
+     * One-time CeDirect bind cost: wall-clock spent packing the
+     * records' Ce matrices to 4-bit form at construction (the
+     * cold-start price of serving at the stored datapath width;
+     * 0 under WeightSource::Dense).
+     */
+    double packMs = 0.0;
 };
 
 class InferenceSession
@@ -83,15 +121,17 @@ class InferenceSession
      *
      * CONTRACT: records carry only the decomposed weights. Every
      * other tensor — BN gamma/beta/running stats, biases, layers too
-     * small to decompose — is served exactly as the factory built it,
-     * and no congruence check can catch a drift there. The factory
-     * must bit-reproduce the compression-time net's non-decomposed
-     * state (e.g. the same seeded builder, or a builder that reloads
-     * dense checkpoints for those tensors). In particular, channel
-     * pruning (ApplyOptions::channelGammaThreshold) mutates BN
-     * tensors at compression time, which no seeded builder can
-     * reproduce — models compressed with pruning enabled are not
-     * servable from records alone (compressToRecords warns).
+     * small to decompose — comes from ONE of two places:
+     *
+     *  - SessionOptions::denseState (a model-file v3 bundle's dense
+     *    residual): installed here with full congruence validation
+     *    (throws core::ModelFileError on any name/shape drift). This
+     *    is the only way to serve a channel-pruned model, whose BN
+     *    tensors were mutated at compression time.
+     *  - the factory net as built (denseState null/empty): the
+     *    factory must bit-reproduce the compression-time net's
+     *    non-decomposed state (e.g. the same seeded builder), and no
+     *    congruence check can catch a drift there.
      */
     InferenceSession(
         std::unique_ptr<nn::Sequential> net,

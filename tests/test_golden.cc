@@ -111,4 +111,29 @@ TEST(Golden, Fig11InvariantUnderConvImpl)
                  "SE_CONV_IMPL=gemm");
 }
 
+TEST(Golden, Fig12Speedup)
+{
+    expectGolden("bench_fig12", "bench_fig12.txt");
+}
+
+TEST(Golden, Fig13EnergyBreakdown)
+{
+    expectGolden("bench_fig13", "bench_fig13.txt");
+}
+
+TEST(Golden, Fig14SparsityRatios)
+{
+    expectGolden("bench_fig14", "bench_fig14.txt");
+}
+
+TEST(Golden, Fig15CompactModelDesign)
+{
+    expectGolden("bench_fig15", "bench_fig15.txt");
+}
+
+TEST(Golden, Table3CompactModels)
+{
+    expectGolden("bench_table3", "bench_table3.txt");
+}
+
 } // namespace

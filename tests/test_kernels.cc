@@ -15,9 +15,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <tuple>
 #include <vector>
 
 #include "base/random.hh"
+#include "core/model_file.hh"
+#include "kernels/ce_gemm.hh"
 #include "kernels/gemm.hh"
 #include "kernels/kernels.hh"
 #include "kernels/scratch.hh"
@@ -373,6 +376,112 @@ TEST(Kernels, SimModelForwardIdenticalAcrossImpls)
         auto net = models::buildSim(models::ModelId::VGG19, cfg);
         EXPECT_TRUE(bitEqual(ref, net->forward(x, false)));
     }
+}
+
+// ------------------------------------------------------ Ce-code GEMM
+
+/** Random Ce in Omega_P (zero rows included) plus its packed form. */
+Tensor
+randomCe(Rng &rng, int64_t rows, int64_t cols,
+         const quant::Pow2Alphabet &a)
+{
+    Tensor ce({rows, cols});
+    for (int64_t i = 0; i < rows; ++i) {
+        if (rng.chance(0.3))
+            continue;  // vector-sparse row
+        for (int64_t j = 0; j < cols; ++j) {
+            if (rng.chance(0.2))
+                continue;
+            const int exp = (int)rng.integer(a.expMin(), a.expMax);
+            const float mag = std::ldexp(1.0f, exp);
+            ce.at(i, j) = rng.chance(0.5) ? mag : -mag;
+        }
+    }
+    return ce;
+}
+
+TEST(CeGemm, BitIdenticalToDenseGemmOnDecodedCodes)
+{
+    // gemmCeB must reproduce sgemm(decode(Ce), B) — and hence the
+    // dense rebuild path — to the last bit, across panel boundaries
+    // (rows > the internal panel size), odd code counts and zero
+    // rows.
+    Rng rng(31);
+    for (const auto &[rows, cols, n] :
+         std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+             {1, 1, 1}, {3, 3, 4}, {48, 3, 3}, {130, 5, 7},
+             {300, 9, 9}, {257, 4, 6}}) {
+        quant::Pow2Alphabet a;
+        a.expMax = (int)rng.integer(-4, 4);
+        a.numLevels = (int)rng.integer(1, 7);
+        Tensor ce = randomCe(rng, rows, cols, a);
+        Tensor basis = randn({cols, n}, rng);
+        const auto packed = core::packCe(ce, a);
+
+        Tensor want({rows, n});
+        kernels::sgemm(ce.data(), basis.data(), want.data(), rows,
+                       cols, n, false);
+        Tensor got({rows, n});
+        kernels::ScratchArena arena;
+        kernels::gemmCeB(packed.rowMask.data(),
+                         packed.nibbles.data(), rows, cols,
+                         basis.data(), n, a, got.data(), arena);
+        EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                              (size_t)want.size() * sizeof(float)),
+                  0)
+            << rows << "x" << cols << "x" << n;
+
+        // The Tensor-level dense path (reconstruct ==
+        // linalg::matmul) agrees too, under both lowerings.
+        core::SeMatrix m;
+        m.ce = ce;
+        m.basis = basis;
+        m.alphabet = a;
+        for (auto impl_kind :
+             {kernels::ConvImpl::Auto, kernels::ConvImpl::Naive}) {
+            ScopedImpl impl(impl_kind);
+            Tensor recon = m.reconstruct();
+            EXPECT_EQ(
+                std::memcmp(recon.data(), got.data(),
+                            (size_t)recon.size() * sizeof(float)),
+                0)
+                << "impl " << (int)impl_kind;
+        }
+    }
+}
+
+TEST(CeGemm, FullySparseAndFullyDenseEdges)
+{
+    Rng rng(32);
+    quant::Pow2Alphabet a;
+    a.expMax = 2;  // covers the 0.5 / -2.0 codes below
+    a.numLevels = 7;
+    Tensor basis = randn({3, 5}, rng);
+    kernels::ScratchArena arena;
+
+    Tensor zero({10, 3});  // all rows zero: empty nibble stream
+    auto pz = core::packCe(zero, a);
+    EXPECT_EQ(pz.nonZeroRows, 0);
+    Tensor out({10, 5}, 1.0f);
+    kernels::gemmCeB(pz.rowMask.data(), pz.nibbles.data(), 10, 3,
+                     basis.data(), 5, a, out.data(), arena);
+    for (int64_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 0.0f);
+
+    Tensor dense({10, 3});  // no zero anywhere
+    for (int64_t i = 0; i < dense.size(); ++i)
+        dense[i] = (i % 2) ? 0.5f : -2.0f;
+    auto pd = core::packCe(dense, a);
+    EXPECT_EQ(pd.nonZeroRows, 10);
+    Tensor want({10, 5});
+    kernels::sgemm(dense.data(), basis.data(), want.data(), 10, 3, 5,
+                   false);
+    Tensor got({10, 5});
+    kernels::gemmCeB(pd.rowMask.data(), pd.nibbles.data(), 10, 3,
+                     basis.data(), 5, a, got.data(), arena);
+    EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                          (size_t)want.size() * sizeof(float)),
+              0);
 }
 
 } // namespace

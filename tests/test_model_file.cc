@@ -7,18 +7,30 @@
  * stream must raise ModelFileError, never crash or silently
  * mis-load); and the nn <-> record glue (compressToRecords /
  * installLayerRecords).
+ *
+ * The v3 wall mirrors the v2 one at the packed 4-bit width: exact
+ * round trips with zero-row elision (including odd code counts),
+ * dense-residual round trips of channel-pruned models with no
+ * out-of-band restore, truncation/bit-flip rejection, and — behind a
+ * checksum-fixup helper — the structural validation the checksum
+ * alone cannot exercise (0x80-style invalid nibbles, codes outside
+ * the alphabet, dirty padding, mask/count disagreement).
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <functional>
 #include <sstream>
+#include <utility>
 
+#include "base/hash.hh"
 #include "base/random.hh"
 #include "core/apply.hh"
 #include "core/model_file.hh"
 #include "linalg/linalg.hh"
-#include "nn/layers.hh"
+#include "nn/blocks.hh"
 
 namespace se {
 namespace {
@@ -282,6 +294,292 @@ TEST(ModelFileProperty, GarbageStreamsNeverCrash)
     }
 }
 
+// ------------------------------------------------ v3: packed 4-bit
+
+/**
+ * A hand-built SeMatrix whose on-stream v3 layout is fully known:
+ * `rows` x 3 Ce with every row non-zero, alphabet {numLevels, expMax
+ * 0} — the fixture the structural-corruption tests patch bytes of.
+ */
+core::SeMatrix
+craftedMatrix(int64_t rows, int num_levels)
+{
+    core::SeMatrix m;
+    m.alphabet.expMax = 0;
+    m.alphabet.numLevels = num_levels;
+    m.ce = Tensor({rows, 3});
+    for (int64_t i = 0; i < rows; ++i)
+        for (int64_t j = 0; j < 3; ++j) {
+            const int code = (int)((i + j) % num_levels) + 1;
+            const int exp = m.alphabet.expMin() + code - 1;
+            const float mag = std::ldexp(1.0f, exp);
+            m.ce.at(i, j) = ((i + j) % 2) ? -mag : mag;
+        }
+    Rng rng(5);
+    m.basis = randn({3, 4}, rng);
+    return m;
+}
+
+/** v3 header is magic + version + body size + checksum. */
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+/**
+ * Patch one body byte of a framed bundle and fix up the header
+ * checksum, so the load reaches the structural validation instead of
+ * stopping at the checksum gate.
+ */
+std::string
+patchBody(std::string stream, size_t body_off,
+          const std::function<char(char)> &edit)
+{
+    const size_t at = kHeaderBytes + body_off;
+    EXPECT_LT(at, stream.size());
+    stream[at] = edit(stream[at]);
+    // v3 checksums are seeded with the version word.
+    const uint64_t sum =
+        fnv1a(stream.data() + kHeaderBytes,
+              stream.size() - kHeaderBytes, hashValue(3u));
+    std::memcpy(stream.data() + 16, &sum, sizeof(sum));
+    return stream;
+}
+
+/**
+ * Body offset of the row mask for a single-record, single-piece v3
+ * bundle whose record name is `name_len` bytes: record count (4) +
+ * name (4 + len) + piece count (4) + the 27-byte piece header
+ * (rows u32, rank u16, cols u16, expMax i16, numLevels u8,
+ * iterations i32, reconRelError f64, nonZeroRows u32).
+ */
+size_t
+maskOffset(size_t name_len)
+{
+    return 4 + (4 + name_len) + 4 + (4 + 2 + 2 + 2 + 1 + 4 + 8 + 4);
+}
+
+TEST(ModelFileV3, RandomMatricesRoundTripExactly)
+{
+    Rng rng(4321);
+    for (int trial = 0; trial < 60; ++trial) {
+        auto m = randomSeMatrix(rng);
+        std::stringstream ss;
+        core::saveModelV3(ss, {{"m", {m}}});
+        auto back = core::loadModelBundle(ss);
+        ASSERT_EQ(back.records.size(), 1u);
+        ASSERT_EQ(back.records[0].pieces.size(), 1u);
+        expectBitIdentical(m, back.records[0].pieces[0]);
+        EXPECT_TRUE(back.dense.empty());
+    }
+}
+
+TEST(ModelFileV3, OddCodeCountsAndAllZeroRowsRoundTrip)
+{
+    // Odd non-zero-code counts exercise the pad nibble; matrices of
+    // only zero rows exercise an empty nibble stream.
+    Rng rng(77);
+    for (const auto &[rows, cols] : std::vector<std::pair<
+             int64_t, int64_t>>{{1, 1}, {3, 3}, {5, 1}, {7, 3},
+                                {9, 5}, {2, 2}}) {
+        core::SeMatrix m;
+        m.alphabet.expMax = 2;
+        m.alphabet.numLevels = 7;
+        m.ce = Tensor({rows, cols});
+        for (int64_t i = 0; i < m.ce.size(); ++i)
+            if (rng.chance(0.5)) {
+                const int exp = (int)rng.integer(
+                    m.alphabet.expMin(), m.alphabet.expMax);
+                m.ce[i] = rng.chance(0.5) ? std::ldexp(1.0f, exp)
+                                          : -std::ldexp(1.0f, exp);
+            }
+        m.basis = randn({cols, 3}, rng);
+        std::stringstream ss;
+        core::saveModelV3(ss, {{"m", {m}}});
+        auto back = core::loadModelBundle(ss);
+        expectBitIdentical(m, back.records[0].pieces[0]);
+
+        // The packed form itself round-trips exactly too.
+        const auto packed = core::packCe(m.ce, m.alphabet);
+        const Tensor unpacked = core::unpackCe(packed);
+        EXPECT_EQ(std::memcmp(unpacked.data(), m.ce.data(),
+                              (size_t)m.ce.size() * sizeof(float)),
+                  0)
+            << rows << "x" << cols;
+    }
+}
+
+TEST(ModelFileV3, DenseResidualRoundTripsExactly)
+{
+    Rng rng(88);
+    std::vector<core::DenseTensor> dense;
+    dense.push_back({"0:bn:gamma", randn({8}, rng)});
+    dense.push_back({"0:bn:beta", randn({8}, rng)});
+    dense.push_back({"1:conv:weight", randn({4, 3, 3, 3}, rng)});
+    std::stringstream ss;
+    core::saveModelV3(ss, {{"layer", {makeMatrix(31)}}}, dense);
+    auto back = core::loadModelBundle(ss);
+    ASSERT_EQ(back.dense.size(), dense.size());
+    for (size_t i = 0; i < dense.size(); ++i) {
+        EXPECT_EQ(back.dense[i].name, dense[i].name);
+        ASSERT_EQ(back.dense[i].value.shape(),
+                  dense[i].value.shape());
+        EXPECT_EQ(std::memcmp(
+                      back.dense[i].value.data(),
+                      dense[i].value.data(),
+                      (size_t)dense[i].value.size() * sizeof(float)),
+                  0);
+    }
+}
+
+TEST(ModelFileV3, RecordsOnlyViewRefusesToDropDenseState)
+{
+    std::stringstream ss;
+    core::saveModelV3(ss, {{"layer", {makeMatrix(32)}}},
+                      {{"0:bn:gamma", Tensor({4}, 1.0f)}});
+    EXPECT_THROW(core::loadModel(ss), core::ModelFileError);
+
+    // Without a dense section the records-only view stays usable.
+    std::stringstream plain;
+    core::saveModelV3(plain, {{"layer", {makeMatrix(32)}}});
+    EXPECT_EQ(core::loadModel(plain).size(), 1u);
+}
+
+TEST(ModelFileV3, V2BundlesStillLoadThroughTheBundleApi)
+{
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"conv1", {makeMatrix(33)}});
+    std::stringstream ss;
+    core::saveModel(ss, layers);
+    auto back = core::loadModelBundle(ss);
+    ASSERT_EQ(back.records.size(), 1u);
+    EXPECT_TRUE(back.dense.empty());
+    expectBitIdentical(layers[0].pieces[0],
+                       back.records[0].pieces[0]);
+}
+
+TEST(ModelFileV3, PacksSmallerThanV2)
+{
+    // The point of v3: true 4-bit codes + zero-row elision. On a
+    // sparse matrix the coefficient payload must shrink by > 2x.
+    auto m = makeMatrix(34, 0.5);
+    std::stringstream v2, v3;
+    core::saveModel(v2, {{"m", {m}}});
+    core::saveModelV3(v3, {{"m", {m}}});
+    EXPECT_LT(v3.str().size(), v2.str().size());
+}
+
+TEST(ModelFileV3, WideAlphabetsRefuseToPack)
+{
+    core::SeMatrix m = craftedMatrix(4, 7);
+    m.alphabet.numLevels = 9;  // coefBits > 4 territory
+    std::stringstream ss;
+    EXPECT_THROW(core::saveModelV3(ss, {{"m", {m}}}),
+                 core::ModelFileError);
+    EXPECT_THROW(core::packCe(m.ce, m.alphabet),
+                 core::ModelFileError);
+}
+
+TEST(ModelFileV3Property, EveryTruncatedPrefixFailsCleanly)
+{
+    Rng rng(17);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back(
+        {"b", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    std::stringstream ss;
+    core::saveModelV3(ss, layers,
+                      {{"2:bn:gamma", Tensor({6}, 1.0f)}});
+    const std::string full = ss.str();
+
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        std::istringstream damaged(full.substr(0, cut),
+                                   std::ios::binary);
+        EXPECT_THROW(core::loadModelBundle(damaged),
+                     core::ModelFileError)
+            << "prefix of " << cut << "/" << full.size()
+            << " bytes was accepted";
+    }
+}
+
+TEST(ModelFileV3Property, EverySingleBitFlipFailsCleanly)
+{
+    Rng rng(18);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"layer", {randomSeMatrix(rng)}});
+    std::stringstream ss;
+    core::saveModelV3(ss, layers,
+                      {{"1:conv:bias", Tensor({3}, 0.5f)}});
+    const std::string full = ss.str();
+
+    for (size_t byte = 0; byte < full.size(); ++byte) {
+        const int bit = (int)rng.integer(0, 7);
+        std::string damaged = full;
+        damaged[byte] = (char)(damaged[byte] ^ (1 << bit));
+        std::istringstream is(damaged, std::ios::binary);
+        EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError)
+            << "bit " << bit << " of byte " << byte
+            << " flipped and the bundle still loaded";
+    }
+}
+
+TEST(ModelFileV3Property, StructuralCorruptionBehindAValidChecksum)
+{
+    // The deep validation the bit-flip wall cannot reach (it stops at
+    // the checksum): re-checksummed streams with targeted damage.
+    const core::SeMatrix m = craftedMatrix(3, 3);
+    std::stringstream ss;
+    core::saveModelV3(ss, {{"m", {m}}});
+    const std::string good = ss.str();
+    {
+        std::istringstream is(good, std::ios::binary);
+        EXPECT_NO_THROW(core::loadModelBundle(is));  // fixture sane
+    }
+    const size_t mask_off = maskOffset(1);  // name "m"
+    const size_t nib_off = mask_off + 1;    // 3 rows -> 1 mask byte
+
+    struct Case
+    {
+        const char *what;
+        size_t off;
+        std::function<char(char)> edit;
+    };
+    const std::vector<Case> cases{
+        // 0x80-style invalid nibble: sign bit with exponent code 0.
+        {"sign-on-zero nibble", nib_off,
+         [](char c) { return (char)((c & 0xF0) | 0x8); }},
+        // Exponent code above the stored 3-level alphabet.
+        {"code outside alphabet", nib_off,
+         [](char c) { return (char)((c & 0xF0) | 0x5); }},
+        // Mask claims a row past the last one (tail bits dirty).
+        {"mask tail bit", mask_off,
+         [](char c) { return (char)(c | 0x10); }},
+        // Mask population no longer matches the stored count.
+        {"mask popcount drift", mask_off,
+         [](char c) { return (char)(c & ~0x1); }},
+    };
+    for (const Case &c : cases) {
+        const std::string bad = patchBody(good, c.off, c.edit);
+        std::istringstream is(bad, std::ios::binary);
+        EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError)
+            << c.what;
+    }
+
+    // A flagged row whose codes all decode to zero (nibbles zeroed)
+    // must be rejected, not silently re-sparsified.
+    std::string zeroed = good;
+    zeroed = patchBody(zeroed, nib_off, [](char) { return 0; });
+    zeroed = patchBody(zeroed, nib_off + 1,
+                       [](char c) { return (char)(c & 0xF0); });
+    std::istringstream is(zeroed, std::ios::binary);
+    EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError);
+
+    // And the pad nibble of an odd code count must stay zero: 3x3
+    // fully dense = 9 codes = 4.5 bytes.
+    const size_t last_nib = nib_off + 4;
+    const std::string dirty_pad = patchBody(
+        good, last_nib, [](char c) { return (char)(c | 0x30); });
+    std::istringstream is2(dirty_pad, std::ios::binary);
+    EXPECT_THROW(core::loadModelBundle(is2), core::ModelFileError);
+}
+
 // ------------------------------------------------ nn <-> record glue
 
 /** A small CNN exercising conv KxK, 1x1 and FC reshape rules. */
@@ -361,6 +659,189 @@ TEST(ModelRecords, InstallRejectsWrongArchitecture)
                                            se_opts,
                                            core::ApplyOptions{}),
                  core::ModelFileError);
+}
+
+/** CNN with BN (prunable) plus a biased conv and a tiny dense conv. */
+std::unique_ptr<nn::Sequential>
+makePrunableCnn(uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_unique<nn::Sequential>();
+    net->add<nn::Conv2d>(3, 8, 3, 1, 1, 1, rng, false);
+    net->add<nn::BatchNorm2d>(8);
+    net->add<nn::ReLU>();
+    net->add<nn::Conv2d>(8, 12, 3, 1, 1, 1, rng, /*bias=*/true);
+    net->add<nn::BatchNorm2d>(12);
+    net->add<nn::ReLU>();
+    net->add<nn::Conv2d>(12, 2, 1, 1, 0, 1, rng, false);  // tiny:
+    net->add<nn::GlobalAvgPool>();                        // stays dense
+    net->add<nn::Flatten>();
+    net->add<nn::Linear>(2, 10, rng, /*bias=*/true);
+    return net;
+}
+
+/** Force deterministic prunable channels and non-trivial BN stats. */
+void
+perturbBn(nn::Sequential &net, uint64_t seed)
+{
+    Rng rng(seed);
+    net.visit([&](nn::Layer &l) {
+        if (auto *bn = dynamic_cast<nn::BatchNorm2d *>(&l)) {
+            Tensor &g = bn->gammaTensor();
+            for (int64_t c = 0; c < g.size(); ++c) {
+                g[c] = rng.chance(0.3) ? 1e-4f
+                                       : rng.uniform(0.5f, 1.5f);
+                bn->betaTensor()[c] = rng.uniform(-0.2f, 0.2f);
+                bn->runningMeanTensor()[c] =
+                    rng.uniform(-0.5f, 0.5f);
+                bn->runningVarTensor()[c] = rng.uniform(0.5f, 2.0f);
+            }
+        }
+    });
+}
+
+void
+expectNetsBitIdentical(nn::Sequential &a, nn::Sequential &b)
+{
+    std::vector<std::pair<std::string, const Tensor *>> ta, tb;
+    const auto collect = [](nn::Sequential &net, auto &out) {
+        net.visit([&](nn::Layer &l) {
+            if (auto *c = dynamic_cast<nn::Conv2d *>(&l)) {
+                out.emplace_back("conv.w", &c->weightTensor());
+                out.emplace_back("conv.b", &c->biasTensor());
+            } else if (auto *f = dynamic_cast<nn::Linear *>(&l)) {
+                out.emplace_back("linear.w", &f->weightTensor());
+                out.emplace_back("linear.b", &f->biasTensor());
+            } else if (auto *bn =
+                           dynamic_cast<nn::BatchNorm2d *>(&l)) {
+                out.emplace_back("bn.g", &bn->gammaTensor());
+                out.emplace_back("bn.b", &bn->betaTensor());
+                out.emplace_back("bn.rm", &bn->runningMeanTensor());
+                out.emplace_back("bn.rv", &bn->runningVarTensor());
+            }
+        });
+    };
+    collect(a, ta);
+    collect(b, tb);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+        ASSERT_EQ(ta[i].second->shape(), tb[i].second->shape())
+            << ta[i].first << " #" << i;
+        if (ta[i].second->empty())
+            continue;  // bias-less layers carry an empty tensor
+        EXPECT_EQ(std::memcmp(ta[i].second->data(),
+                              tb[i].second->data(),
+                              (size_t)ta[i].second->size() *
+                                  sizeof(float)),
+                  0)
+            << ta[i].first << " #" << i;
+    }
+}
+
+TEST(ModelBundleV3, PrunedModelRoundTripsWithNoOutOfBandRestore)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    apply_opts.channelGammaThreshold = 1e-3;  // pruning ON
+
+    auto a = makePrunableCnn(41);
+    perturbBn(*a, 42);
+    auto compressed = core::compressToRecords(*a, se_opts, apply_opts);
+    EXPECT_FALSE(compressed.dense.empty());
+
+    // Ship as v3 and install into a PRISTINE factory net — crucially,
+    // one that never saw perturbBn, so nothing about the pruned BN
+    // state can leak in out of band.
+    std::stringstream ss;
+    core::saveModelV3(ss, compressed.records, compressed.dense);
+    auto bundle = core::loadModelBundle(ss);
+    auto b = makePrunableCnn(41);
+    core::installModelBundle(*b, bundle, se_opts, apply_opts);
+
+    expectNetsBitIdentical(*a, *b);
+    Rng rng(43);
+    Tensor x = randn({2, 3, 6, 6}, rng);
+    Tensor ya = a->forward(x, false);
+    Tensor yb = b->forward(x, false);
+    EXPECT_EQ(std::memcmp(ya.data(), yb.data(),
+                          (size_t)ya.size() * sizeof(float)),
+              0);
+}
+
+TEST(ModelBundleV3Property, RandomPrunedModelsRoundTrip)
+{
+    for (uint64_t seed = 60; seed < 66; ++seed) {
+        core::SeOptions se_opts;
+        se_opts.vectorThreshold = 0.02;
+        core::ApplyOptions apply_opts;
+        apply_opts.channelGammaThreshold = 1e-3;
+
+        auto a = makePrunableCnn(seed);
+        perturbBn(*a, seed * 31 + 1);
+        auto compressed =
+            core::compressToRecords(*a, se_opts, apply_opts);
+        std::stringstream ss;
+        core::saveModelV3(ss, compressed.records, compressed.dense);
+        auto bundle = core::loadModelBundle(ss);
+        auto b = makePrunableCnn(seed);
+        core::installModelBundle(*b, bundle, se_opts, apply_opts);
+
+        Rng rng(seed + 7);
+        Tensor x = randn({1, 3, 6, 6}, rng);
+        Tensor ya = a->forward(x, false);
+        Tensor yb = b->forward(x, false);
+        EXPECT_EQ(std::memcmp(ya.data(), yb.data(),
+                              (size_t)ya.size() * sizeof(float)),
+                  0)
+            << "seed " << seed;
+    }
+}
+
+TEST(ModelBundleV3, DenseStateInstallRejectsDrift)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    auto a = makePrunableCnn(45);
+    auto compressed = core::compressToRecords(*a, se_opts, apply_opts);
+    ASSERT_FALSE(compressed.dense.empty());
+
+    // Renamed tensor: wrong architecture or wrong walk order.
+    {
+        auto bundle = compressed.bundle();
+        bundle.dense[0].name = "999:bogus:gamma";
+        auto b = makePrunableCnn(45);
+        EXPECT_THROW(core::installModelBundle(*b, bundle, se_opts,
+                                              apply_opts),
+                     core::ModelFileError);
+    }
+    // Mis-shaped tensor.
+    {
+        auto bundle = compressed.bundle();
+        bundle.dense[0].value = Tensor({1}, 0.0f);
+        auto b = makePrunableCnn(45);
+        EXPECT_THROW(core::installModelBundle(*b, bundle, se_opts,
+                                              apply_opts),
+                     core::ModelFileError);
+    }
+    // Missing and extra tensors.
+    {
+        auto bundle = compressed.bundle();
+        bundle.dense.pop_back();
+        auto b = makePrunableCnn(45);
+        EXPECT_THROW(core::installModelBundle(*b, bundle, se_opts,
+                                              apply_opts),
+                     core::ModelFileError);
+    }
+    {
+        auto bundle = compressed.bundle();
+        bundle.dense.push_back({"ghost", Tensor({2}, 1.0f)});
+        auto b = makePrunableCnn(45);
+        EXPECT_THROW(core::installModelBundle(*b, bundle, se_opts,
+                                              apply_opts),
+                     core::ModelFileError);
+    }
 }
 
 TEST(ModelRecords, InstallRejectsExtraRecords)

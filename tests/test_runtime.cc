@@ -8,7 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "accel/annotate.hh"
 #include "accel/baselines.hh"
@@ -16,11 +22,99 @@
 #include "base/hash.hh"
 #include "base/random.hh"
 #include "base/thread_pool.hh"
+#include "runtime/options.hh"
 #include "runtime/pipeline.hh"
 #include "runtime/sim_driver.hh"
 
 namespace se {
 namespace {
+
+// -------------------------------------------- RuntimeOptions::fromEnv
+
+/** RAII env var that restores the previous value on scope exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *prev = std::getenv(name))
+            prev_ = prev;
+        had_ = std::getenv(name) != nullptr;
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), prev_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_, prev_;
+    bool had_ = false;
+};
+
+TEST(RuntimeOptions, FromEnvParsesValidKnobs)
+{
+    ScopedEnv t("SE_THREADS", "3");
+    ScopedEnv q("SE_SERVE_QUEUE_CAP", "128");
+    ScopedEnv d("SE_SERVE_DEADLINE_MS", "2.5");
+    ScopedEnv w("SE_SERVE_WEIGHT_SOURCE", "ce");
+    ScopedEnv f("SE_MODEL_FORMAT", "2");
+    const auto ro = runtime::RuntimeOptions::fromEnv();
+    EXPECT_EQ(ro.threads, 3);
+    EXPECT_EQ(ro.serveQueueCap, 128u);
+    EXPECT_DOUBLE_EQ(ro.serveDeadlineMs, 2.5);
+    EXPECT_EQ(ro.serveWeightSource,
+              runtime::ServeWeightSource::CeDirect);
+    EXPECT_EQ(ro.modelFormat, 2);
+}
+
+TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
+{
+    // Regression: these used to be atoi/atof'd — SE_THREADS=four
+    // silently selected the legacy serial path (0) instead of
+    // failing. Every SE_* knob now rejects unrecognized values.
+    const std::vector<std::pair<const char *, const char *>> bad{
+        {"SE_THREADS", "four"},
+        {"SE_THREADS", "4x"},
+        {"SE_THREADS", ""},
+        {"SE_THREADS", "4294967296"},  // would wrap to 0 (serial)
+        {"SE_SERVE_QUEUE_CAP", "many"},
+        {"SE_SERVE_QUEUE_CAP", "-1"},
+        {"SE_SERVE_DEADLINE_MS", "fast"},
+        {"SE_SERVE_DEADLINE_MS", "1.5ms"},
+        {"SE_SERVE_DEADLINE_MS", "nan"},
+        {"SE_SERVE_WEIGHT_SOURCE", "quantized"},
+        {"SE_MODEL_FORMAT", "1"},
+        {"SE_MODEL_FORMAT", "v3"},
+    };
+    for (const auto &[name, value] : bad) {
+        ScopedEnv e(name, value);
+        EXPECT_THROW(runtime::RuntimeOptions::fromEnv(),
+                     std::invalid_argument)
+            << name << "=" << value;
+    }
+}
+
+TEST(RuntimeOptions, FromEnvDefaultsWithoutKnobs)
+{
+    // Shield against SE_* leaking in from the harness environment.
+    std::vector<std::unique_ptr<ScopedEnv>> clear;
+    for (const char *name :
+         {"SE_SERVE_QUEUE_CAP", "SE_SERVE_DEADLINE_MS",
+          "SE_SERVE_WEIGHT_SOURCE", "SE_MODEL_FORMAT"}) {
+        clear.push_back(std::make_unique<ScopedEnv>(name, "0"));
+        ::unsetenv(name);  // ScopedEnv restores any prior value
+    }
+    const auto ro = runtime::RuntimeOptions::fromEnv();
+    EXPECT_EQ(ro.modelFormat, 3);
+    EXPECT_EQ(ro.serveWeightSource,
+              runtime::ServeWeightSource::Dense);
+    EXPECT_EQ(ro.serveQueueCap, 0u);
+    EXPECT_DOUBLE_EQ(ro.serveDeadlineMs, 0.0);
+}
 
 // ------------------------------------------------------------ ThreadPool
 

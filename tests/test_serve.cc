@@ -677,6 +677,217 @@ TEST(ServeFront, PerModelShapeIsolation)
     EXPECT_EQ(front.stats("m2").rejected, 1u);
 }
 
+// -------------------------------------- CeDirect quantized serving
+
+TEST(InferenceSession, CeDirectBitIdenticalToDense)
+{
+    auto shipped = shipModel(91);
+    serve::InferenceSession dense(makeServeCnn(91), shipped.records,
+                                  shipped.seOpts, shipped.applyOpts);
+    serve::SessionOptions ce_opts;
+    ce_opts.weightSource = serve::WeightSource::CeDirect;
+    ce_opts.cacheRebuiltWeights = false;  // every rebuild decodes
+    ce_opts.rebuildPerCall = true;
+    serve::InferenceSession ce(makeServeCnn(91), shipped.records,
+                               shipped.seOpts, shipped.applyOpts,
+                               ce_opts);
+    EXPECT_GE(ce.stats().packMs, 0.0);
+
+    for (int i = 0; i < 4; ++i) {
+        Tensor x = makeInput(500 + (uint64_t)i, 3);
+        Tensor yd = dense.forward(x);
+        Tensor yc = ce.forward(x);
+        ASSERT_EQ(yd.shape(), yc.shape());
+        EXPECT_EQ(std::memcmp(yd.data(), yc.data(),
+                              (size_t)yd.size() * sizeof(float)),
+                  0)
+            << "request " << i;
+    }
+}
+
+TEST(ServeFront, QuantizedEngineABsAgainstFloatEngineOfSameBundle)
+{
+    // The ISCA story end-to-end: one bundle, two tenants — a Dense
+    // engine and a CeDirect engine — answering identical traffic
+    // with identical bits and separate per-tenant stats.
+    auto shipped = shipModel(92);
+    serve::ModelRegistry reg;
+    serve::ModelEntry dense_entry{shipped.records,
+                                  [] { return makeServeCnn(92); },
+                                  shipped.seOpts, shipped.applyOpts};
+    serve::ModelEntry ce_entry = dense_entry;
+    ce_entry.weightSource = serve::WeightSource::CeDirect;
+    reg.add("dense", dense_entry);
+    reg.add("ce4", ce_entry);
+
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    opts.session.rebuildPerCall = true;  // rebuilds on every batch
+    opts.session.cacheRebuiltWeights = false;
+    serve::ServeFront front(reg, opts);
+
+    const int n = 10;
+    std::vector<std::future<Tensor>> fd, fc;
+    for (int i = 0; i < n; ++i) {
+        fd.push_back(
+            front.submit("dense", makeInput(600 + (uint64_t)i)));
+        fc.push_back(
+            front.submit("ce4", makeInput(600 + (uint64_t)i)));
+    }
+    front.drain();
+    for (int i = 0; i < n; ++i) {
+        Tensor yd = fd[(size_t)i].get();
+        Tensor yc = fc[(size_t)i].get();
+        ASSERT_EQ(yd.size(), yc.size());
+        EXPECT_EQ(std::memcmp(yd.data(), yc.data(),
+                              (size_t)yd.size() * sizeof(float)),
+                  0)
+            << "request " << i;
+    }
+    EXPECT_EQ(front.stats("dense").requests, (uint64_t)n);
+    EXPECT_EQ(front.stats("ce4").requests, (uint64_t)n);
+}
+
+TEST(ServeFront, PrunedV3BundleServesWithNoOutOfBandRestore)
+{
+    // Compress WITH channel pruning, ship as v3, reload, and serve
+    // through the front from the bundle alone: the reference is the
+    // compression-time net itself.
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    apply_opts.channelGammaThreshold = 1e-3;
+
+    auto reference = makeServeCnn(93);
+    // Deterministically knock two BN channels under the threshold and
+    // give the running stats non-factory values.
+    reference->visit([&](nn::Layer &l) {
+        if (auto *bn = dynamic_cast<nn::BatchNorm2d *>(&l)) {
+            bn->gammaTensor()[1] = 1e-4f;
+            bn->gammaTensor()[3] = 1e-4f;
+            for (int64_t c = 0;
+                 c < bn->runningMeanTensor().size(); ++c) {
+                bn->runningMeanTensor()[c] = 0.05f * (float)(c + 1);
+                bn->runningVarTensor()[c] = 1.0f + 0.1f * (float)c;
+            }
+        }
+    });
+    auto compressed =
+        core::compressToRecords(*reference, se_opts, apply_opts);
+    ASSERT_FALSE(compressed.dense.empty());
+
+    std::stringstream ss;
+    core::saveModelV3(ss, compressed.records, compressed.dense);
+    auto bundle = core::loadModelBundle(ss);
+
+    serve::ModelRegistry reg;
+    reg.add("pruned-dense",
+            serve::makeModelEntry(bundle,
+                                  [] { return makeServeCnn(93); },
+                                  se_opts, apply_opts));
+    reg.add("pruned-ce4",
+            serve::makeModelEntry(std::move(bundle),
+                                  [] { return makeServeCnn(93); },
+                                  se_opts, apply_opts,
+                                  serve::WeightSource::CeDirect));
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeFront front(reg, opts);
+
+    const int n = 8;
+    std::vector<std::future<Tensor>> fd, fc;
+    for (int i = 0; i < n; ++i) {
+        fd.push_back(front.submit("pruned-dense",
+                                  makeInput(700 + (uint64_t)i)));
+        fc.push_back(front.submit("pruned-ce4",
+                                  makeInput(700 + (uint64_t)i)));
+    }
+    front.drain();
+    for (int i = 0; i < n; ++i) {
+        Tensor ref = reference->forward(
+            makeInput(700 + (uint64_t)i), false);
+        Tensor yd = fd[(size_t)i].get();
+        Tensor yc = fc[(size_t)i].get();
+        ASSERT_EQ(yd.size(), ref.size());
+        EXPECT_EQ(std::memcmp(yd.data(), ref.data(),
+                              (size_t)ref.size() * sizeof(float)),
+                  0)
+            << "dense request " << i;
+        EXPECT_EQ(std::memcmp(yc.data(), ref.data(),
+                              (size_t)ref.size() * sizeof(float)),
+                  0)
+            << "ce4 request " << i;
+    }
+}
+
+TEST(InferenceSession, DenseStateInstallRejectsWrongFactory)
+{
+    // A v3 dense residual bound to a structurally different factory
+    // must throw at construction, never serve garbage.
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    auto net = makeServeCnn(94);
+    auto compressed =
+        core::compressToRecords(*net, se_opts, apply_opts);
+    ASSERT_FALSE(compressed.dense.empty());
+    compressed.dense.pop_back();  // incomplete residual
+
+    serve::SessionOptions opts;
+    opts.denseState =
+        std::make_shared<const std::vector<core::DenseTensor>>(
+            std::move(compressed.dense));
+    auto records =
+        std::make_shared<const std::vector<core::SeLayerRecord>>(
+            std::move(compressed.records));
+    EXPECT_THROW(
+        serve::InferenceSession(makeServeCnn(94), records, se_opts,
+                                apply_opts, opts),
+        core::ModelFileError);
+}
+
+TEST(ServeEngine, CeDirectDeterministicAcrossThreadsAndBatching)
+{
+    // The determinism wall extended to the quantized path.
+    auto shipped = shipModel(95);
+    const int n = 15;
+    std::vector<uint64_t> digests;
+    for (const auto &[threads, batch] :
+         std::vector<std::pair<int, size_t>>{
+             {0, 1}, {1, 4}, {4, 3}, {2, 8}}) {
+        serve::ServeOptions opts;
+        opts.threads = threads;
+        opts.maxBatch = batch;
+        opts.session.weightSource = serve::WeightSource::CeDirect;
+        serve::ServeEngine engine(
+            shipped.records, [] { return makeServeCnn(95); },
+            shipped.seOpts, shipped.applyOpts, opts);
+        std::vector<std::future<Tensor>> futs;
+        for (int i = 0; i < n; ++i)
+            futs.push_back(
+                engine.submit(makeInput(800 + (uint64_t)i)));
+        engine.drain();
+        uint64_t digest = kFnvOffsetBasis;
+        for (auto &f : futs)
+            digest = hashTensor(f.get(), digest);
+        digests.push_back(digest);
+    }
+    for (size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], digests[0]) << "config " << i;
+
+    // And the quantized digests equal the dense reference's.
+    serve::InferenceSession dense(makeServeCnn(95), shipped.records,
+                                  shipped.seOpts, shipped.applyOpts);
+    uint64_t ref = kFnvOffsetBasis;
+    for (int i = 0; i < n; ++i) {
+        Tensor y = dense.forward(makeInput(800 + (uint64_t)i));
+        ref = hashTensor(y.reshaped({y.size()}), ref);
+    }
+    EXPECT_EQ(digests[0], ref);
+}
+
 TEST(ServeEngine, HeavyTrafficManyWaiters)
 {
     auto shipped = shipModel(65);
