@@ -14,9 +14,16 @@
  * --smoke runs only the ResNet 3x3/stride-1 shape with small repeat
  * counts and exits non-zero unless the single-threaded im2col+GEMM
  * path beats naive and matches it bit-exactly — the CI regression
- * gate for this subsystem.
+ * gate for this subsystem. The isa_dispatch section (every compiled
+ * micro-kernel ISA variant vs the scalar reference) and the
+ * gemm_ce_fused section (fused Ce-code decode-in-GEMM vs the staged
+ * panel-decode baseline) run in smoke mode too, and feed the same
+ * gate: any bit-divergence or a fused kernel slower than the staged
+ * one fails the run.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,8 +35,12 @@
 #include "bench_util.hh"
 #include "base/hash.hh"
 #include "base/random.hh"
+#include "core/model_file.hh"
+#include "kernels/ce_gemm.hh"
+#include "kernels/dispatch.hh"
 #include "kernels/gemm.hh"
 #include "kernels/kernels.hh"
+#include "kernels/scratch.hh"
 #include "linalg/linalg.hh"
 #include "nn/layers.hh"
 
@@ -126,6 +137,41 @@ naiveMatmul(const Tensor &a, const Tensor &b)
     Tensor c = linalg::matmul(a, b);
     kernels::setDefaultConvImpl(prev);
     return c;
+}
+
+/** Best-of-`rounds` ms/call — robust against scheduler noise. */
+template <typename F>
+double
+bestMs(int rounds, int reps, F &&body)
+{
+    double best = 1e30;
+    for (int r = 0; r < rounds; ++r) {
+        const auto t0 = SteadyClock::now();
+        for (int i = 0; i < reps; ++i)
+            body();
+        best = std::min(best, msSince(t0) / reps);
+    }
+    return best;
+}
+
+/** Random Ce in Omega_P (sparse rows/entries, power-of-2 values). */
+Tensor
+randomCe(Rng &rng, int64_t rows, int64_t cols,
+         const quant::Pow2Alphabet &a)
+{
+    Tensor ce({rows, cols});
+    for (int64_t i = 0; i < rows; ++i) {
+        if (rng.chance(0.3))
+            continue;
+        for (int64_t j = 0; j < cols; ++j) {
+            if (rng.chance(0.2))
+                continue;
+            const int exp = (int)rng.integer(a.expMin(), a.expMax);
+            const float mag = std::ldexp(1.0f, exp);
+            ce.at(i, j) = rng.chance(0.5) ? mag : -mag;
+        }
+    }
+    return ce;
 }
 
 } // namespace
@@ -277,11 +323,121 @@ main(int argc, char **argv)
         }
     }
 
+    // --- ISA dispatch: per-variant GFLOP/s + differential wall ----
+    //
+    // Runs in smoke mode too: CI pins SE_KERNEL_ISA=scalar in one job
+    // and best-detected in another, and this section is what proves
+    // every variant the build carries stays bit-identical.
+    kernels::configureThreads(1);
+    {
+        const int64_t m = smoke ? 96 : 256, k = smoke ? 96 : 256,
+                      n = smoke ? 96 : 256;
+        const int reps = smoke ? 3 : 10;
+        Rng rng(17);
+        Tensor a = randn({m, k}, rng);
+        Tensor b = randn({k, n}, rng);
+        Tensor c({m, n});
+        const kernels::KernelIsa prev_isa = kernels::activeIsa();
+
+        kernels::setActiveIsa(kernels::KernelIsa::Scalar);
+        Tensor c_ref({m, n});
+        kernels::sgemm(a.data(), b.data(), c_ref.data(), m, k, n,
+                       false);
+
+        const auto isas = kernels::supportedIsas();
+        std::printf("  \"isa_dispatch\": {\n");
+        std::printf("    \"active\": \"%s\",\n",
+                    kernels::isaName(prev_isa));
+        std::printf("    \"detected_best\": \"%s\",\n",
+                    kernels::isaName(kernels::detectBestIsa()));
+        std::printf("    \"variants\": [\n");
+        const double flops = 2.0 * m * k * n;
+        for (size_t i = 0; i < isas.size(); ++i) {
+            kernels::setActiveIsa(isas[i]);
+            kernels::sgemm(a.data(), b.data(), c.data(), m, k, n,
+                           false);
+            const bool identical =
+                hashTensor(c_ref) == hashTensor(c);
+            ok = ok && identical;
+            const double ms = bestMs(3, reps, [&] {
+                kernels::sgemm(a.data(), b.data(), c.data(), m, k, n,
+                               false);
+            });
+            std::printf(
+                "      {\"isa\": \"%s\", \"gemm_ms\": %.3f, "
+                "\"gflops\": %.2f, \"bit_identical\": %s}%s\n",
+                kernels::isaName(isas[i]), ms, flops / ms / 1e6,
+                bench::jsonBool(identical),
+                bench::jsonSep(i, isas.size()));
+        }
+        kernels::setActiveIsa(prev_isa);
+        std::printf("    ]\n  },\n");
+    }
+
+    // --- fused Ce-code GEMM vs the staged panel-decode baseline ---
+    double fused_speedup = 0.0;
+    bool fused_identical = true;
+    {
+        // The serve-layer rebuild geometry: tall packed Ce against a
+        // small basis. The fused kernel must at least match the
+        // staged variant (it skips the decode-store-reload pass).
+        const int64_t m = smoke ? 2048 : 8192, r = 9, n = 9;
+        const int reps = smoke ? 20 : 50;
+        Rng rng(19);
+        quant::Pow2Alphabet alpha;
+        alpha.expMax = 0;
+        alpha.numLevels = 7;
+        Tensor ce = randomCe(rng, m, r, alpha);
+        Tensor basis = randn({r, n}, rng);
+        const auto packed = core::packCe(ce, alpha);
+        kernels::ScratchArena arena;
+
+        Tensor staged({m, n});
+        kernels::gemmCeBPanelDecode(packed.rowMask.data(),
+                                    packed.nibbles.data(), m, r,
+                                    basis.data(), n, alpha,
+                                    staged.data(), arena);
+        Tensor fused({m, n});
+        kernels::gemmCeB(packed.rowMask.data(), packed.nibbles.data(),
+                         m, r, basis.data(), n, alpha, fused.data(),
+                         arena);
+        fused_identical = hashTensor(staged) == hashTensor(fused);
+        ok = ok && fused_identical;
+
+        const double staged_ms = bestMs(3, reps, [&] {
+            kernels::gemmCeBPanelDecode(
+                packed.rowMask.data(), packed.nibbles.data(), m, r,
+                basis.data(), n, alpha, staged.data(), arena);
+        });
+        const double fused_ms = bestMs(3, reps, [&] {
+            kernels::gemmCeB(packed.rowMask.data(),
+                             packed.nibbles.data(), m, r,
+                             basis.data(), n, alpha, fused.data(),
+                             arena);
+        });
+        fused_speedup = staged_ms / fused_ms;
+        const double flops = 2.0 * m * r * n;
+        std::printf(
+            "  \"gemm_ce_fused\": {\"shape\": \"%lldx%dx%d\", "
+            "\"panel_decode_ms\": %.3f, \"fused_ms\": %.3f, "
+            "\"fused_gflops\": %.2f, \"speedup\": %.2f, "
+            "\"bit_identical\": %s},\n",
+            (long long)m, (int)r, (int)n, staged_ms, fused_ms,
+            flops / fused_ms / 1e6, fused_speedup,
+            bench::jsonBool(fused_identical));
+    }
+
     std::printf("  \"all_bit_identical\": %s", bench::jsonBool(ok));
     if (smoke) {
         std::printf(",\n  \"smoke_speedup_1t\": %.2f,\n",
                     smoke_speedup);
-        const bool pass = ok && smoke_speedup > 1.0;
+        std::printf("  \"smoke_fused_speedup\": %.2f,\n",
+                    fused_speedup);
+        // Gate: fast conv path beats naive, fused Ce GEMM at least
+        // matches the staged decode (>= 1.0 minus timer noise), and
+        // every ISA variant of every checked kernel is bit-identical.
+        const bool pass =
+            ok && smoke_speedup > 1.0 && fused_speedup >= 0.98;
         std::printf("  \"smoke_pass\": %s\n}\n",
                     bench::jsonBool(pass));
         return pass ? 0 : 1;

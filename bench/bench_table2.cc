@@ -6,9 +6,18 @@
  * runs; the storage columns (CR / Param / B / Ce) are projected onto
  * the exact paper-scale layer geometry using the measured vector
  * sparsity, which is what the paper's numbers measure.
+ *
+ * Usage: ./bench_table2 [--reduced]
+ *
+ * --reduced runs the same six rows with a cut-down protocol (half the
+ * training epochs, 2 re-training rounds instead of 5) — the variant
+ * ctest pins as a golden, keeping the suite fast. The full protocol
+ * stays pinned in tests/golden/bench_table2.txt and runnable as a
+ * disabled golden test.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "base/table.hh"
 #include "bench_util.hh"
@@ -27,12 +36,18 @@ struct RowSpec
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace se;
     using models::ModelId;
 
-    std::printf("=== Table II: SmartExchange with re-training ===\n");
+    bool reduced = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--reduced"))
+            reduced = true;
+
+    std::printf("=== Table II: SmartExchange with re-training%s ===\n",
+                reduced ? " (reduced protocol)" : "");
     std::printf("paper reference rows: VGG11SE CR 47.04 spar 86%%; "
                 "ResNet50SE CR 11.53-14.24 spar 45-58.6%%;\n"
                 "VGG19SE CR 74.19-80.94 spar 92.8-93.7%%; ResNet164SE "
@@ -55,13 +70,14 @@ main()
         const int64_t width = spec.sparsityTarget > 0.9
                                   ? 16
                                   : spec.sparsityTarget > 0.8 ? 12 : 6;
-        auto tm = bench::trainSimModel(spec.id, 8, 6, 10, width);
+        auto tm = bench::trainSimModel(spec.id, reduced ? 4 : 8, 6, 10,
+                                       width);
         core::SeOptions opts;
         opts.vectorThreshold = 0.01;
         opts.minVectorSparsity = spec.sparsityTarget;
         core::ApplyOptions ao;
         core::SeRetrainConfig rc;
-        rc.rounds = 5;
+        rc.rounds = reduced ? 2 : 5;
         if (spec.sparsityTarget > 0.9) {
             rc.perRound.epochs = 2;
             rc.perRound.lr = 0.05f;
@@ -94,8 +110,15 @@ main()
             .cell(100.0 * res.report.prunedParamRatio(), 1);
     }
     t.print();
-    std::printf("\nshape check: VGG family compresses hardest (tens of "
-                "x), ResNets land around 8-15x,\nMLPs reach very high "
-                "CR; accuracy loss after re-training stays small.\n");
+    if (reduced)
+        std::printf("\nshape check (reduced): VGG family compresses "
+                    "hardest (tens of x), ResNets land around\n8-15x, "
+                    "MLPs reach very high CR; full accuracy recovery "
+                    "needs the 5-round protocol.\n");
+    else
+        std::printf("\nshape check: VGG family compresses hardest "
+                    "(tens of x), ResNets land around 8-15x,\nMLPs "
+                    "reach very high CR; accuracy loss after "
+                    "re-training stays small.\n");
     return 0;
 }

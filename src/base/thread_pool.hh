@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -58,6 +59,19 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     int threadCount() const { return (int)workers_.size(); }
+
+    /**
+     * Tasks drained by workers so far (monotonic). Exists for tests
+     * that assert a code path stayed OFF the pool: snapshot, run the
+     * path, and check the counter did not move. Inline parallelFor
+     * degradations (serial pool, nested call, SerialScope upstream)
+     * never touch it.
+     */
+    uint64_t
+    tasksExecuted() const
+    {
+        return tasks_executed_.load(std::memory_order_relaxed);
+    }
 
     /** Queue a task; the future carries its result (or exception). */
     template <typename F>
@@ -161,6 +175,7 @@ class ThreadPool
                 task = std::move(queue_.front());
                 queue_.pop();
             }
+            tasks_executed_.fetch_add(1, std::memory_order_relaxed);
             task();
         }
     }
@@ -169,6 +184,7 @@ class ThreadPool
     std::condition_variable cv_;
     std::queue<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    std::atomic<uint64_t> tasks_executed_{0};
     bool stopping_ = false;
 };
 

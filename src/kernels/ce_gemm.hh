@@ -1,21 +1,22 @@
 /**
  * @file
  * Ce-code GEMM: rebuild W = Ce * B straight from the packed 4-bit
- * coefficient codes, without ever materializing the decoded Ce matrix
- * at full size.
+ * coefficient codes, without ever materializing the decoded Ce matrix.
  *
  * This is the software mirror of the accelerator's rebuild engine
  * datapath: storage holds {row mask, packed nibbles, alphabet} — the
- * model-file v3 wire form — and only a small per-panel tile of rows
- * is decoded into the ScratchArena before the float GEMM consumes it.
+ * model-file v3 wire form — and the fused kernel decodes each code
+ * through a 16-entry alphabet LUT as part of the A-side load inside
+ * the ISA-dispatched micro-kernel, so not even a per-panel float
+ * staging buffer exists (the accelerator's no-dense-storage mode).
  *
  * Bit-identity contract: decoding a nibble yields exactly the float
- * +-2^p the dense path stores (powers of two are exact), and the
- * panel split never changes any output element's accumulation order
- * (each element still sums over the full inner dimension in ascending
- * order inside sgemm). gemmCeB is therefore bit-identical to
- * sgemm(decode(Ce), B) — and hence to SeMatrix::reconstruct() — for
- * any panel size.
+ * +-2^p the dense path stores (powers of two are exact), the LUT is
+ * built from the same quant::pow2CodeValue rule, and each output
+ * element still accumulates over the inner dimension in ascending
+ * order with the zero-code skip. gemmCeB is therefore bit-identical
+ * to sgemm(decode(Ce), B) — and hence to SeMatrix::reconstruct() —
+ * at every ISA level.
  */
 
 #ifndef SE_KERNELS_CE_GEMM_HH
@@ -30,19 +31,29 @@ namespace se {
 namespace kernels {
 
 /**
- * out (m x n) = decode(Ce) (m x r) * basis (r x n).
+ * out (m x n) = decode(Ce) (m x r) * basis (r x n), fused decode.
  *
  * `row_mask` is a LSB-first bitmap of non-zero Ce rows (ceil(m/8)
  * bytes); `nibbles` packs the non-zero rows' codes two per byte, low
  * nibble first (nibble = 0 for zero, else sign bit 0x8 | exponent
  * code 1..alpha.numLevels — the core::PackedCe layout). Rows absent
- * from the mask decode to zero. Decoding runs per panel into
- * `arena`'s column buffer.
+ * from the mask decode to zero. The arena is unused by the fused
+ * path and kept for call-site compatibility with the staged variant.
  */
 void gemmCeB(const uint8_t *row_mask, const uint8_t *nibbles,
              int64_t m, int64_t r, const float *basis, int64_t n,
              const quant::Pow2Alphabet &alpha, float *out,
              ScratchArena &arena);
+
+/**
+ * The PR-5 staged variant: decode 128-row panels into the arena and
+ * feed sgemm. Kept as the differential/bench baseline the fused
+ * kernel is gated against; bit-identical to gemmCeB by construction.
+ */
+void gemmCeBPanelDecode(const uint8_t *row_mask, const uint8_t *nibbles,
+                        int64_t m, int64_t r, const float *basis,
+                        int64_t n, const quant::Pow2Alphabet &alpha,
+                        float *out, ScratchArena &arena);
 
 } // namespace kernels
 } // namespace se

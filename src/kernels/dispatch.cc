@@ -1,0 +1,354 @@
+#include "kernels/dispatch.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "base/logging.hh"
+#include "kernels/dispatch_variants.hh"
+#include "kernels/kernels.hh"
+
+namespace se {
+namespace kernels {
+
+namespace {
+
+/** Register-tile width the column panels are aligned to. */
+constexpr int64_t kNr = 8;
+
+/**
+ * Multiply count below which a GEMM stays inline: the task plumbing
+ * costs microseconds, so only panels worth >= ~0.5 MFLOP fan out.
+ * The ALS solves and Ce*B slices (k or n of a few units) never do.
+ */
+constexpr int64_t kParallelMults = 1 << 19;
+
+// ----------------------------------------------- scalar micro-kernels
+//
+// The reference rounding sequence every SIMD variant must reproduce
+// byte for byte: per output element, ascending-k float chain with a
+// round after every add, zero entries of A skipped.
+
+/** sgemm over the column range [j0, j1). */
+void
+sgemmPanelScalar(const float *__restrict a, const float *__restrict b,
+                 float *__restrict c, int64_t m, int64_t k, int64_t n,
+                 bool accumulate, int64_t j0, int64_t j1)
+{
+    int64_t jt = j0;
+    for (; jt + kNr <= j1; jt += kNr) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * k;
+            float *ci = c + i * n + jt;
+            float acc[kNr];
+            for (int jj = 0; jj < kNr; ++jj)
+                acc[jj] = accumulate ? ci[jj] : 0.0f;
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                for (int jj = 0; jj < kNr; ++jj)
+                    acc[jj] += av * bp[jj];
+            }
+            for (int jj = 0; jj < kNr; ++jj)
+                ci[jj] = acc[jj];
+        }
+    }
+    for (; jt < j1; ++jt) {  // remainder columns
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * k;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * b[p * n + jt];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+/** sgemmABt over the B-row (output column) range [j0, j1). */
+void
+sgemmABtPanelScalar(const float *__restrict a, const float *__restrict b,
+                    float *__restrict c, int64_t m, int64_t l, int64_t n,
+                    bool accumulate, int64_t j0, int64_t j1)
+{
+    int64_t jt = j0;
+    for (; jt + kNr <= j1; jt += kNr) {
+        const float *br[kNr];
+        for (int jj = 0; jj < kNr; ++jj)
+            br[jj] = b + (jt + jj) * l;
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float *ci = c + i * n + jt;
+            float acc[kNr];
+            for (int jj = 0; jj < kNr; ++jj)
+                acc[jj] = accumulate ? ci[jj] : 0.0f;
+            for (int64_t p = 0; p < l; ++p) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                for (int jj = 0; jj < kNr; ++jj)
+                    acc[jj] += av * br[jj][p];
+            }
+            for (int jj = 0; jj < kNr; ++jj)
+                ci[jj] = acc[jj];
+        }
+    }
+    for (; jt < j1; ++jt) {
+        const float *bj = b + jt * l;
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < l; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * bj[p];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+/** Extract packed nibble `idx` (two codes per byte, low first). */
+inline uint8_t
+nibbleAt(const uint8_t *nibbles, int64_t idx)
+{
+    const uint8_t byte = nibbles[idx >> 1];
+    return (idx & 1) ? (uint8_t)(byte >> 4) : (uint8_t)(byte & 0xF);
+}
+
+/**
+ * Fused Ce-code panel: the sgemm row body with the A-side element
+ * load replaced by nibble-extract + alphabet-LUT lookup, so no
+ * decoded row is ever staged. Masked-off rows write zeros, exactly
+ * like a decoded zero row under accumulate=false.
+ */
+void
+gemmCePanelScalar(const uint8_t *row_mask, const uint8_t *nibbles,
+                  int64_t m, int64_t r, const float *__restrict basis,
+                  int64_t n, const float *__restrict lut,
+                  float *__restrict out, int64_t j0, int64_t j1)
+{
+    int64_t nz_seen = 0;  // non-zero rows before the current row
+    for (int64_t row = 0; row < m; ++row) {
+        float *crow = out + row * n;
+        if (!(row_mask[row >> 3] & (1u << (row & 7)))) {
+            std::fill(crow + j0, crow + j1, 0.0f);
+            continue;
+        }
+        const int64_t code0 = nz_seen * r;
+        ++nz_seen;
+        int64_t jt = j0;
+        for (; jt + kNr <= j1; jt += kNr) {
+            float acc[kNr] = {};
+            const float *bp = basis + jt;
+            for (int64_t p = 0; p < r; ++p, bp += n) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av == 0.0f)
+                    continue;
+                for (int jj = 0; jj < kNr; ++jj)
+                    acc[jj] += av * bp[jj];
+            }
+            float *ci = crow + jt;
+            for (int jj = 0; jj < kNr; ++jj)
+                ci[jj] = acc[jj];
+        }
+        for (; jt < j1; ++jt) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < r; ++p) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av != 0.0f)
+                    acc += av * basis[p * n + jt];
+            }
+            crow[jt] = acc;
+        }
+    }
+}
+
+const KernelOps kScalarOps{sgemmPanelScalar, sgemmABtPanelScalar,
+                           gemmCePanelScalar};
+
+bool
+cpuHasIsa(KernelIsa isa)
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return true;
+    case KernelIsa::Sse2:
+        return __builtin_cpu_supports("sse2");
+    case KernelIsa::Avx2:
+        return __builtin_cpu_supports("avx2");
+    }
+    return false;
+#else
+    return isa == KernelIsa::Scalar;
+#endif
+}
+
+KernelIsa
+initialIsa()
+{
+    const char *s = std::getenv("SE_KERNEL_ISA");
+    if (!s)
+        return detectBestIsa();
+    try {
+        return parseKernelIsa(s);
+    } catch (const std::invalid_argument &e) {
+        SE_FATAL(e.what());
+    }
+}
+
+std::atomic<KernelIsa> &
+activeIsaSlot()
+{
+    static std::atomic<KernelIsa> isa{initialIsa()};
+    return isa;
+}
+
+} // namespace
+
+const char *
+isaName(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return "scalar";
+    case KernelIsa::Sse2:
+        return "sse2";
+    case KernelIsa::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+isaSupported(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return true;
+    case KernelIsa::Sse2:
+        return detail::sse2Ops() != nullptr && cpuHasIsa(isa);
+    case KernelIsa::Avx2:
+        return detail::avx2Ops() != nullptr && cpuHasIsa(isa);
+    }
+    return false;
+}
+
+std::vector<KernelIsa>
+supportedIsas()
+{
+    std::vector<KernelIsa> out;
+    for (KernelIsa isa :
+         {KernelIsa::Scalar, KernelIsa::Sse2, KernelIsa::Avx2})
+        if (isaSupported(isa))
+            out.push_back(isa);
+    return out;
+}
+
+KernelIsa
+detectBestIsa()
+{
+    if (isaSupported(KernelIsa::Avx2))
+        return KernelIsa::Avx2;
+    if (isaSupported(KernelIsa::Sse2))
+        return KernelIsa::Sse2;
+    return KernelIsa::Scalar;
+}
+
+KernelIsa
+parseKernelIsa(const char *s)
+{
+    if (!s || !*s || !std::strcmp(s, "auto"))
+        return detectBestIsa();
+    KernelIsa isa;
+    if (!std::strcmp(s, "scalar"))
+        isa = KernelIsa::Scalar;
+    else if (!std::strcmp(s, "sse2"))
+        isa = KernelIsa::Sse2;
+    else if (!std::strcmp(s, "avx2"))
+        isa = KernelIsa::Avx2;
+    else
+        throw std::invalid_argument(
+            "SE_KERNEL_ISA must be auto|scalar|sse2|avx2, got '" +
+            std::string(s) + "'");
+    if (!isaSupported(isa))
+        throw std::invalid_argument(
+            std::string("SE_KERNEL_ISA=") + isaName(isa) +
+            " is not supported by this build/CPU");
+    return isa;
+}
+
+KernelIsa
+activeIsa()
+{
+    return activeIsaSlot().load(std::memory_order_relaxed);
+}
+
+void
+setActiveIsa(KernelIsa isa)
+{
+    if (!isaSupported(isa))
+        throw std::invalid_argument(
+            std::string("kernel ISA ") + isaName(isa) +
+            " is not supported by this build/CPU");
+    activeIsaSlot().store(isa, std::memory_order_relaxed);
+}
+
+const KernelOps &
+opsFor(KernelIsa isa)
+{
+    switch (isa) {
+    case KernelIsa::Scalar:
+        return kScalarOps;
+    case KernelIsa::Sse2:
+        if (const KernelOps *o = detail::sse2Ops())
+            return *o;
+        break;
+    case KernelIsa::Avx2:
+        if (const KernelOps *o = detail::avx2Ops())
+            return *o;
+        break;
+    }
+    throw std::invalid_argument(std::string("kernel ISA ") +
+                                isaName(isa) + " is not compiled in");
+}
+
+const KernelOps &
+ops()
+{
+    return opsFor(activeIsa());
+}
+
+void
+forEachColumnPanel(int64_t n, int64_t mults,
+                   const std::function<void(int64_t, int64_t)> &panel)
+{
+    int64_t chunks = 1;
+    if (mults >= kParallelMults && !serialScopeActive()) {
+        const int64_t tiles = (n + kNr - 1) / kNr;
+        chunks = std::min<int64_t>((int64_t)pool().threadCount(), tiles);
+    }
+    if (chunks <= 1) {
+        panel(0, n);
+        return;
+    }
+    const int64_t tiles = (n + kNr - 1) / kNr;
+    const int64_t per = (tiles + chunks - 1) / chunks;
+    parallelFor(chunks, [&](int64_t ci) {
+        const int64_t j0 = ci * per * kNr;
+        const int64_t j1 = std::min(n, j0 + per * kNr);
+        if (j0 < j1)
+            panel(j0, j1);
+    });
+}
+
+} // namespace kernels
+} // namespace se

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Runtime CPU-feature dispatch for the float-chain micro-kernels.
+ *
+ * The sgemm/sgemmABt column-panel kernels and the fused Ce-code panel
+ * kernel exist in up to three explicitly register-tiled variants —
+ * scalar (the reference, byte-for-byte the legacy rounding sequence),
+ * SSE2 (4-lane tiles) and AVX2 (8-lane, 2x16 register tiles). The
+ * best variant the CPU supports is detected once, and every variant
+ * preserves the bit-identity contract: each output element is still
+ * accumulated over the inner dimension in ascending order with a
+ * round after every multiply-add (SIMD lanes are *different output
+ * elements*, never partial sums of one element), and zero entries of
+ * A keep the legacy skip so signed zeros and NaN propagation cannot
+ * diverge. Fused multiply-add is deliberately never emitted — the
+ * AVX2 translation unit is compiled with AVX2 but *not* FMA, because
+ * a fused mul+add rounds once where the contract rounds twice.
+ *
+ * Selection order: SE_KERNEL_ISA (scalar | sse2 | avx2 | auto) if
+ * set — rejected loudly when unrecognized or not supported by the
+ * running CPU — else the best ISA the CPU reports (AVX2 > SSE2 >
+ * scalar). All variants being bit-identical, the knob only ever moves
+ * wall-clock.
+ */
+
+#ifndef SE_KERNELS_DISPATCH_HH
+#define SE_KERNELS_DISPATCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace se {
+namespace kernels {
+
+/** Instruction-set level of a registered micro-kernel variant. */
+enum class KernelIsa {
+    Scalar,  ///< plain C++ register tiles (the bit-exact reference)
+    Sse2,    ///< 128-bit tiles (x86 baseline)
+    Avx2,    ///< 256-bit tiles (no FMA — see file comment)
+};
+
+/** Stable lowercase name ("scalar" | "sse2" | "avx2"). */
+const char *isaName(KernelIsa isa);
+
+/**
+ * Parse an ISA name as used by SE_KERNEL_ISA. "auto" (and "") mean
+ * "best supported" and return detectBestIsa(); unknown names throw
+ * std::invalid_argument (the strict-env contract), as does requesting
+ * a level this build/CPU cannot run.
+ */
+KernelIsa parseKernelIsa(const char *s);
+
+/** True when this build + CPU can execute the given variant. */
+bool isaSupported(KernelIsa isa);
+
+/** Every supported level, scalar first (for differential sweeps). */
+std::vector<KernelIsa> supportedIsas();
+
+/** Best level the running CPU supports (never throws). */
+KernelIsa detectBestIsa();
+
+/**
+ * The process-wide active level: SE_KERNEL_ISA if set (fatal on a bad
+ * value — benches/tests that want a catchable error go through
+ * RuntimeOptions::fromEnv), else detectBestIsa().
+ */
+KernelIsa activeIsa();
+
+/**
+ * Override the active level (benches, tests, RuntimeOptions).
+ * Throws std::invalid_argument if the level is not supported here.
+ * Must not race in-flight kernels; results are identical for any
+ * level by construction.
+ */
+void setActiveIsa(KernelIsa isa);
+
+/**
+ * One micro-kernel variant: the column-panel bodies dispatched by
+ * sgemm / sgemmABt / gemmCeB. Panels are [j0, j1) output-column
+ * ranges; every variant computes bit-identical bytes.
+ */
+struct KernelOps
+{
+    /** sgemm body: C(m x n) = [C +] A(m x k) B(k x n) over [j0,j1). */
+    void (*sgemmPanel)(const float *a, const float *b, float *c,
+                       int64_t m, int64_t k, int64_t n, bool accumulate,
+                       int64_t j0, int64_t j1);
+    /** sgemmABt body: B given (n x l) row-major, over [j0,j1). */
+    void (*sgemmABtPanel)(const float *a, const float *b, float *c,
+                          int64_t m, int64_t l, int64_t n,
+                          bool accumulate, int64_t j0, int64_t j1);
+    /**
+     * Fused Ce-code body: out(m x n) = decode(Ce)(m x r) * basis over
+     * [j0,j1), decoding packed nibbles through the 16-entry alphabet
+     * LUT as part of the A-side load — no decoded panel is ever
+     * staged. Masked-off rows write zeros.
+     */
+    void (*gemmCePanel)(const uint8_t *row_mask, const uint8_t *nibbles,
+                        int64_t m, int64_t r, const float *basis,
+                        int64_t n, const float *lut, float *out,
+                        int64_t j0, int64_t j1);
+};
+
+/** The variant table for one level (throws if unsupported). */
+const KernelOps &opsFor(KernelIsa isa);
+
+/** The variant table for activeIsa(). */
+const KernelOps &ops();
+
+/**
+ * Split the n output columns into register-tile-aligned panels and
+ * fan them over the kernel pool — or run inline when the work is
+ * small, a SerialScope is active, or the pool is serial. Each column
+ * is owned by exactly one panel, so any worker count and any ISA
+ * level produce identical bytes. `mults` is the multiply count the
+ * parallel threshold is judged on.
+ */
+void forEachColumnPanel(int64_t n, int64_t mults,
+                        const std::function<void(int64_t, int64_t)> &panel);
+
+} // namespace kernels
+} // namespace se
+
+#endif // SE_KERNELS_DISPATCH_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * AVX2 micro-kernel variants: 256-bit register tiles (16 columns as
+ * two YMM accumulators, two A rows per pass — 4 live accumulator
+ * registers plus broadcasts and B loads, sized for FMA-class cores).
+ *
+ * This TU is compiled with -mavx2 and deliberately WITHOUT -mfma:
+ * a fused multiply-add rounds once where the bit-identity contract
+ * (the legacy loops' mul-round-add-round float chain) rounds twice,
+ * so with the FMA ISA masked off the compiler cannot contract the
+ * mul+add pairs below and every byte matches the scalar reference.
+ * Lanes are distinct output elements accumulated in ascending-k
+ * order, and the A-side zero-skip is kept per row.
+ *
+ * When the build lacks -mavx2 support (non-x86 target, old compiler),
+ * avx2Ops() returns nullptr and dispatch falls back to SSE2/scalar.
+ */
+
+#include "kernels/dispatch_variants.hh"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace se {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+constexpr int64_t kTile = 16;  // columns per register tile (2 x YMM)
+constexpr int64_t kHalf = 8;   // single-YMM stage
+
+/** Scalar remainder columns [jt, j1) — the reference loop verbatim. */
+inline void
+sgemmTail(const float *a, const float *b, float *c, int64_t m,
+          int64_t k, int64_t n, bool accumulate, int64_t jt, int64_t j1)
+{
+    for (; jt < j1; ++jt) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * k;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * b[p * n + jt];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+void
+sgemmPanelAvx2(const float *__restrict a, const float *__restrict b,
+               float *__restrict c, int64_t m, int64_t k, int64_t n,
+               bool accumulate, int64_t j0, int64_t j1)
+{
+    int64_t jt = j0;
+    for (; jt + kTile <= j1; jt += kTile) {
+        int64_t i = 0;
+        for (; i + 2 <= m; i += 2) {
+            const float *a0 = a + i * k;
+            const float *a1 = a0 + k;
+            float *c0 = c + i * n + jt;
+            float *c1 = c0 + n;
+            __m256 acc00, acc01, acc10, acc11;
+            if (accumulate) {
+                acc00 = _mm256_loadu_ps(c0);
+                acc01 = _mm256_loadu_ps(c0 + 8);
+                acc10 = _mm256_loadu_ps(c1);
+                acc11 = _mm256_loadu_ps(c1 + 8);
+            } else {
+                acc00 = acc01 = acc10 = acc11 = _mm256_setzero_ps();
+            }
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av0 = a0[p];
+                const float av1 = a1[p];
+                if (av0 == 0.0f && av1 == 0.0f)
+                    continue;
+                const __m256 b0 = _mm256_loadu_ps(bp);
+                const __m256 b1 = _mm256_loadu_ps(bp + 8);
+                if (av0 != 0.0f) {
+                    const __m256 va = _mm256_set1_ps(av0);
+                    acc00 = _mm256_add_ps(acc00,
+                                          _mm256_mul_ps(va, b0));
+                    acc01 = _mm256_add_ps(acc01,
+                                          _mm256_mul_ps(va, b1));
+                }
+                if (av1 != 0.0f) {
+                    const __m256 va = _mm256_set1_ps(av1);
+                    acc10 = _mm256_add_ps(acc10,
+                                          _mm256_mul_ps(va, b0));
+                    acc11 = _mm256_add_ps(acc11,
+                                          _mm256_mul_ps(va, b1));
+                }
+            }
+            _mm256_storeu_ps(c0, acc00);
+            _mm256_storeu_ps(c0 + 8, acc01);
+            _mm256_storeu_ps(c1, acc10);
+            _mm256_storeu_ps(c1 + 8, acc11);
+        }
+        if (i < m) {
+            const float *ai = a + i * k;
+            float *ci = c + i * n + jt;
+            __m256 acc0, acc1;
+            if (accumulate) {
+                acc0 = _mm256_loadu_ps(ci);
+                acc1 = _mm256_loadu_ps(ci + 8);
+            } else {
+                acc0 = acc1 = _mm256_setzero_ps();
+            }
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                const __m256 va = _mm256_set1_ps(av);
+                acc0 = _mm256_add_ps(
+                    acc0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(va, _mm256_loadu_ps(bp + 8)));
+            }
+            _mm256_storeu_ps(ci, acc0);
+            _mm256_storeu_ps(ci + 8, acc1);
+        }
+    }
+    for (; jt + kHalf <= j1; jt += kHalf) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * k;
+            float *ci = c + i * n + jt;
+            __m256 acc = accumulate ? _mm256_loadu_ps(ci)
+                                    : _mm256_setzero_ps();
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                                       _mm256_loadu_ps(bp)));
+            }
+            _mm256_storeu_ps(ci, acc);
+        }
+    }
+    sgemmTail(a, b, c, m, k, n, accumulate, jt, j1);
+}
+
+/** Per-thread transposed strip of B (see the SSE2 variant). */
+std::vector<float> &
+packBuffer()
+{
+    static thread_local std::vector<float> buf;
+    return buf;
+}
+
+void
+sgemmABtPanelAvx2(const float *__restrict a, const float *__restrict b,
+                  float *__restrict c, int64_t m, int64_t l, int64_t n,
+                  bool accumulate, int64_t j0, int64_t j1)
+{
+    std::vector<float> &pack = packBuffer();
+    if ((int64_t)pack.size() < l * kTile)
+        pack.resize((size_t)(l * kTile));
+    int64_t jt = j0;
+    for (; jt + kTile <= j1; jt += kTile) {
+        for (int jj = 0; jj < kTile; ++jj) {
+            const float *bj = b + (jt + jj) * l;
+            for (int64_t p = 0; p < l; ++p)
+                pack[(size_t)(p * kTile + jj)] = bj[p];
+        }
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float *ci = c + i * n + jt;
+            __m256 acc0, acc1;
+            if (accumulate) {
+                acc0 = _mm256_loadu_ps(ci);
+                acc1 = _mm256_loadu_ps(ci + 8);
+            } else {
+                acc0 = acc1 = _mm256_setzero_ps();
+            }
+            const float *bp = pack.data();
+            for (int64_t p = 0; p < l; ++p, bp += kTile) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                const __m256 va = _mm256_set1_ps(av);
+                acc0 = _mm256_add_ps(
+                    acc0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(va, _mm256_loadu_ps(bp + 8)));
+            }
+            _mm256_storeu_ps(ci, acc0);
+            _mm256_storeu_ps(ci + 8, acc1);
+        }
+    }
+    for (; jt < j1; ++jt) {
+        const float *bj = b + jt * l;
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < l; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * bj[p];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+inline uint8_t
+nibbleAt(const uint8_t *nibbles, int64_t idx)
+{
+    const uint8_t byte = nibbles[idx >> 1];
+    return (idx & 1) ? (uint8_t)(byte >> 4) : (uint8_t)(byte & 0xF);
+}
+
+void
+gemmCePanelAvx2(const uint8_t *row_mask, const uint8_t *nibbles,
+                int64_t m, int64_t r, const float *__restrict basis,
+                int64_t n, const float *__restrict lut,
+                float *__restrict out, int64_t j0, int64_t j1)
+{
+    int64_t nz_seen = 0;
+    for (int64_t row = 0; row < m; ++row) {
+        float *crow = out + row * n;
+        if (!(row_mask[row >> 3] & (1u << (row & 7)))) {
+            std::fill(crow + j0, crow + j1, 0.0f);
+            continue;
+        }
+        const int64_t code0 = nz_seen * r;
+        ++nz_seen;
+        int64_t jt = j0;
+        for (; jt + kTile <= j1; jt += kTile) {
+            __m256 acc0 = _mm256_setzero_ps();
+            __m256 acc1 = _mm256_setzero_ps();
+            const float *bp = basis + jt;
+            for (int64_t p = 0; p < r; ++p, bp += n) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av == 0.0f)
+                    continue;
+                const __m256 va = _mm256_set1_ps(av);
+                acc0 = _mm256_add_ps(
+                    acc0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(va, _mm256_loadu_ps(bp + 8)));
+            }
+            _mm256_storeu_ps(crow + jt, acc0);
+            _mm256_storeu_ps(crow + jt + 8, acc1);
+        }
+        for (; jt + kHalf <= j1; jt += kHalf) {
+            __m256 acc = _mm256_setzero_ps();
+            const float *bp = basis + jt;
+            for (int64_t p = 0; p < r; ++p, bp += n) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av == 0.0f)
+                    continue;
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                                       _mm256_loadu_ps(bp)));
+            }
+            _mm256_storeu_ps(crow + jt, acc);
+        }
+        for (; jt < j1; ++jt) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < r; ++p) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av != 0.0f)
+                    acc += av * basis[p * n + jt];
+            }
+            crow[jt] = acc;
+        }
+    }
+}
+
+const KernelOps kAvx2Ops{sgemmPanelAvx2, sgemmABtPanelAvx2,
+                         gemmCePanelAvx2};
+
+} // namespace
+
+const KernelOps *
+avx2Ops()
+{
+    return &kAvx2Ops;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace se
+
+#else  // !__AVX2__
+
+namespace se {
+namespace kernels {
+namespace detail {
+
+const KernelOps *
+avx2Ops()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace se
+
+#endif

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * SSE2 micro-kernel variants: 128-bit register tiles (8 columns as
+ * two XMM accumulators, two A rows per pass). Lanes are distinct
+ * output elements, each still accumulated in ascending-k order with a
+ * round after every add, and the A-side zero-skip is kept per row —
+ * so every byte matches the scalar reference. No FMA exists at this
+ * ISA level, so the mul-round-add-round contract holds by
+ * construction.
+ */
+
+#include "kernels/dispatch_variants.hh"
+
+#ifdef __SSE2__
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace se {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+constexpr int64_t kTile = 8;  // columns per register tile (2 x XMM)
+
+/** Scalar remainder columns [jt, j1) — the reference loop verbatim. */
+inline void
+sgemmTail(const float *a, const float *b, float *c, int64_t m,
+          int64_t k, int64_t n, bool accumulate, int64_t jt, int64_t j1)
+{
+    for (; jt < j1; ++jt) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * k;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * b[p * n + jt];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+void
+sgemmPanelSse2(const float *__restrict a, const float *__restrict b,
+               float *__restrict c, int64_t m, int64_t k, int64_t n,
+               bool accumulate, int64_t j0, int64_t j1)
+{
+    int64_t jt = j0;
+    for (; jt + kTile <= j1; jt += kTile) {
+        int64_t i = 0;
+        for (; i + 2 <= m; i += 2) {
+            const float *a0 = a + i * k;
+            const float *a1 = a0 + k;
+            float *c0 = c + i * n + jt;
+            float *c1 = c0 + n;
+            __m128 acc00, acc01, acc10, acc11;
+            if (accumulate) {
+                acc00 = _mm_loadu_ps(c0);
+                acc01 = _mm_loadu_ps(c0 + 4);
+                acc10 = _mm_loadu_ps(c1);
+                acc11 = _mm_loadu_ps(c1 + 4);
+            } else {
+                acc00 = acc01 = acc10 = acc11 = _mm_setzero_ps();
+            }
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av0 = a0[p];
+                const float av1 = a1[p];
+                if (av0 == 0.0f && av1 == 0.0f)
+                    continue;
+                const __m128 b0 = _mm_loadu_ps(bp);
+                const __m128 b1 = _mm_loadu_ps(bp + 4);
+                if (av0 != 0.0f) {
+                    const __m128 va = _mm_set1_ps(av0);
+                    acc00 = _mm_add_ps(acc00, _mm_mul_ps(va, b0));
+                    acc01 = _mm_add_ps(acc01, _mm_mul_ps(va, b1));
+                }
+                if (av1 != 0.0f) {
+                    const __m128 va = _mm_set1_ps(av1);
+                    acc10 = _mm_add_ps(acc10, _mm_mul_ps(va, b0));
+                    acc11 = _mm_add_ps(acc11, _mm_mul_ps(va, b1));
+                }
+            }
+            _mm_storeu_ps(c0, acc00);
+            _mm_storeu_ps(c0 + 4, acc01);
+            _mm_storeu_ps(c1, acc10);
+            _mm_storeu_ps(c1 + 4, acc11);
+        }
+        if (i < m) {
+            const float *ai = a + i * k;
+            float *ci = c + i * n + jt;
+            __m128 acc0, acc1;
+            if (accumulate) {
+                acc0 = _mm_loadu_ps(ci);
+                acc1 = _mm_loadu_ps(ci + 4);
+            } else {
+                acc0 = acc1 = _mm_setzero_ps();
+            }
+            const float *bp = b + jt;
+            for (int64_t p = 0; p < k; ++p, bp += n) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                const __m128 va = _mm_set1_ps(av);
+                acc0 = _mm_add_ps(acc0,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp)));
+                acc1 = _mm_add_ps(acc1,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp + 4)));
+            }
+            _mm_storeu_ps(ci, acc0);
+            _mm_storeu_ps(ci + 4, acc1);
+        }
+    }
+    sgemmTail(a, b, c, m, k, n, accumulate, jt, j1);
+}
+
+/**
+ * Per-thread pack buffer: one kTile-wide strip of B transposed so the
+ * inner loop streams contiguously. Packing moves values, it never
+ * re-associates them, so results are unchanged.
+ */
+std::vector<float> &
+packBuffer()
+{
+    static thread_local std::vector<float> buf;
+    return buf;
+}
+
+void
+sgemmABtPanelSse2(const float *__restrict a, const float *__restrict b,
+                  float *__restrict c, int64_t m, int64_t l, int64_t n,
+                  bool accumulate, int64_t j0, int64_t j1)
+{
+    std::vector<float> &pack = packBuffer();
+    if ((int64_t)pack.size() < l * kTile)
+        pack.resize((size_t)(l * kTile));
+    int64_t jt = j0;
+    for (; jt + kTile <= j1; jt += kTile) {
+        for (int jj = 0; jj < kTile; ++jj) {
+            const float *bj = b + (jt + jj) * l;
+            for (int64_t p = 0; p < l; ++p)
+                pack[(size_t)(p * kTile + jj)] = bj[p];
+        }
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float *ci = c + i * n + jt;
+            __m128 acc0, acc1;
+            if (accumulate) {
+                acc0 = _mm_loadu_ps(ci);
+                acc1 = _mm_loadu_ps(ci + 4);
+            } else {
+                acc0 = acc1 = _mm_setzero_ps();
+            }
+            const float *bp = pack.data();
+            for (int64_t p = 0; p < l; ++p, bp += kTile) {
+                const float av = ai[p];
+                if (av == 0.0f)
+                    continue;
+                const __m128 va = _mm_set1_ps(av);
+                acc0 = _mm_add_ps(acc0,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp)));
+                acc1 = _mm_add_ps(acc1,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp + 4)));
+            }
+            _mm_storeu_ps(ci, acc0);
+            _mm_storeu_ps(ci + 4, acc1);
+        }
+    }
+    for (; jt < j1; ++jt) {
+        const float *bj = b + jt * l;
+        for (int64_t i = 0; i < m; ++i) {
+            const float *ai = a + i * l;
+            float acc = accumulate ? c[i * n + jt] : 0.0f;
+            for (int64_t p = 0; p < l; ++p) {
+                const float av = ai[p];
+                if (av != 0.0f)
+                    acc += av * bj[p];
+            }
+            c[i * n + jt] = acc;
+        }
+    }
+}
+
+inline uint8_t
+nibbleAt(const uint8_t *nibbles, int64_t idx)
+{
+    const uint8_t byte = nibbles[idx >> 1];
+    return (idx & 1) ? (uint8_t)(byte >> 4) : (uint8_t)(byte & 0xF);
+}
+
+void
+gemmCePanelSse2(const uint8_t *row_mask, const uint8_t *nibbles,
+                int64_t m, int64_t r, const float *__restrict basis,
+                int64_t n, const float *__restrict lut,
+                float *__restrict out, int64_t j0, int64_t j1)
+{
+    int64_t nz_seen = 0;
+    for (int64_t row = 0; row < m; ++row) {
+        float *crow = out + row * n;
+        if (!(row_mask[row >> 3] & (1u << (row & 7)))) {
+            std::fill(crow + j0, crow + j1, 0.0f);
+            continue;
+        }
+        const int64_t code0 = nz_seen * r;
+        ++nz_seen;
+        int64_t jt = j0;
+        for (; jt + kTile <= j1; jt += kTile) {
+            __m128 acc0 = _mm_setzero_ps();
+            __m128 acc1 = _mm_setzero_ps();
+            const float *bp = basis + jt;
+            for (int64_t p = 0; p < r; ++p, bp += n) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av == 0.0f)
+                    continue;
+                const __m128 va = _mm_set1_ps(av);
+                acc0 = _mm_add_ps(acc0,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp)));
+                acc1 = _mm_add_ps(acc1,
+                                  _mm_mul_ps(va, _mm_loadu_ps(bp + 4)));
+            }
+            _mm_storeu_ps(crow + jt, acc0);
+            _mm_storeu_ps(crow + jt + 4, acc1);
+        }
+        for (; jt < j1; ++jt) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < r; ++p) {
+                const float av = lut[nibbleAt(nibbles, code0 + p)];
+                if (av != 0.0f)
+                    acc += av * basis[p * n + jt];
+            }
+            crow[jt] = acc;
+        }
+    }
+}
+
+const KernelOps kSse2Ops{sgemmPanelSse2, sgemmABtPanelSse2,
+                         gemmCePanelSse2};
+
+} // namespace
+
+const KernelOps *
+sse2Ops()
+{
+    return &kSse2Ops;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace se
+
+#else  // !__SSE2__
+
+namespace se {
+namespace kernels {
+namespace detail {
+
+const KernelOps *
+sse2Ops()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace se
+
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/dispatch.hh"
 #include "kernels/kernels.hh"
 
 namespace se {
@@ -9,126 +10,8 @@ namespace kernels {
 
 namespace {
 
-/** Register-tile width: accumulators live in SSE/AVX registers. */
+/** Register-tile width of the double-chain panels below. */
 constexpr int64_t kNr = 8;
-
-/**
- * Multiply count below which a GEMM stays inline: the task plumbing
- * costs microseconds, so only panels worth >= ~0.5 MFLOP fan out.
- * The ALS solves and Ce*B slices (k or n of a few units) never do.
- */
-constexpr int64_t kParallelMults = 1 << 19;
-
-/**
- * Split the n output columns into kNr-aligned panels and fan them
- * over the kernel pool. Each column is owned by exactly one panel, so
- * any worker count produces identical bytes.
- */
-void
-forEachColumnPanel(int64_t n, int64_t mults,
-                   const std::function<void(int64_t, int64_t)> &panel)
-{
-    int64_t chunks = 1;
-    if (mults >= kParallelMults && !serialScopeActive()) {
-        const int64_t tiles = (n + kNr - 1) / kNr;
-        chunks = std::min<int64_t>((int64_t)pool().threadCount(), tiles);
-    }
-    if (chunks <= 1) {
-        panel(0, n);
-        return;
-    }
-    const int64_t tiles = (n + kNr - 1) / kNr;
-    const int64_t per = (tiles + chunks - 1) / chunks;
-    parallelFor(chunks, [&](int64_t ci) {
-        const int64_t j0 = ci * per * kNr;
-        const int64_t j1 = std::min(n, j0 + per * kNr);
-        if (j0 < j1)
-            panel(j0, j1);
-    });
-}
-
-/** sgemm over the column range [j0, j1). */
-void
-sgemmPanel(const float *__restrict a, const float *__restrict b,
-           float *__restrict c, int64_t m, int64_t k, int64_t n,
-           bool accumulate, int64_t j0, int64_t j1)
-{
-    int64_t jt = j0;
-    for (; jt + kNr <= j1; jt += kNr) {
-        for (int64_t i = 0; i < m; ++i) {
-            const float *ai = a + i * k;
-            float *ci = c + i * n + jt;
-            float acc[kNr];
-            for (int jj = 0; jj < kNr; ++jj)
-                acc[jj] = accumulate ? ci[jj] : 0.0f;
-            const float *bp = b + jt;
-            for (int64_t p = 0; p < k; ++p, bp += n) {
-                const float av = ai[p];
-                if (av == 0.0f)
-                    continue;
-                for (int jj = 0; jj < kNr; ++jj)
-                    acc[jj] += av * bp[jj];
-            }
-            for (int jj = 0; jj < kNr; ++jj)
-                ci[jj] = acc[jj];
-        }
-    }
-    for (; jt < j1; ++jt) {  // remainder columns
-        for (int64_t i = 0; i < m; ++i) {
-            const float *ai = a + i * k;
-            float acc = accumulate ? c[i * n + jt] : 0.0f;
-            for (int64_t p = 0; p < k; ++p) {
-                const float av = ai[p];
-                if (av != 0.0f)
-                    acc += av * b[p * n + jt];
-            }
-            c[i * n + jt] = acc;
-        }
-    }
-}
-
-/** sgemmABt over the B-row (output column) range [j0, j1). */
-void
-sgemmABtPanel(const float *__restrict a, const float *__restrict b,
-              float *__restrict c, int64_t m, int64_t l, int64_t n,
-              bool accumulate, int64_t j0, int64_t j1)
-{
-    int64_t jt = j0;
-    for (; jt + kNr <= j1; jt += kNr) {
-        const float *br[kNr];
-        for (int jj = 0; jj < kNr; ++jj)
-            br[jj] = b + (jt + jj) * l;
-        for (int64_t i = 0; i < m; ++i) {
-            const float *ai = a + i * l;
-            float *ci = c + i * n + jt;
-            float acc[kNr];
-            for (int jj = 0; jj < kNr; ++jj)
-                acc[jj] = accumulate ? ci[jj] : 0.0f;
-            for (int64_t p = 0; p < l; ++p) {
-                const float av = ai[p];
-                if (av == 0.0f)
-                    continue;
-                for (int jj = 0; jj < kNr; ++jj)
-                    acc[jj] += av * br[jj][p];
-            }
-            for (int jj = 0; jj < kNr; ++jj)
-                ci[jj] = acc[jj];
-        }
-    }
-    for (; jt < j1; ++jt) {
-        const float *bj = b + jt * l;
-        for (int64_t i = 0; i < m; ++i) {
-            const float *ai = a + i * l;
-            float acc = accumulate ? c[i * n + jt] : 0.0f;
-            for (int64_t p = 0; p < l; ++p) {
-                const float av = ai[p];
-                if (av != 0.0f)
-                    acc += av * bj[p];
-            }
-            c[i * n + jt] = acc;
-        }
-    }
-}
 
 /**
  * gemmRowBiasD over [j0, j1): the conv-forward micro-kernel. Two A
@@ -308,8 +191,11 @@ void
 sgemm(const float *a, const float *b, float *c, int64_t m, int64_t k,
       int64_t n, bool accumulate)
 {
+    // The float-chain panels are ISA-dispatched (dispatch.hh); every
+    // variant reproduces the scalar rounding sequence byte for byte.
+    const KernelOps &o = ops();
     forEachColumnPanel(n, m * k * n, [&](int64_t j0, int64_t j1) {
-        sgemmPanel(a, b, c, m, k, n, accumulate, j0, j1);
+        o.sgemmPanel(a, b, c, m, k, n, accumulate, j0, j1);
     });
 }
 
@@ -317,8 +203,9 @@ void
 sgemmABt(const float *a, const float *b, float *c, int64_t m, int64_t l,
          int64_t n, bool accumulate)
 {
+    const KernelOps &o = ops();
     forEachColumnPanel(n, m * l * n, [&](int64_t j0, int64_t j1) {
-        sgemmABtPanel(a, b, c, m, l, n, accumulate, j0, j1);
+        o.sgemmABtPanel(a, b, c, m, l, n, accumulate, j0, j1);
     });
 }
 

@@ -164,8 +164,53 @@ fitCoefficientsMasked(const Tensor &w, const Tensor &b, const Tensor &mask,
     const int64_t m = w.dim(0), r = b.dim(0), n = b.dim(1);
     Tensor ce({m, r});
 
-    // Each row of Ce is an independent least-squares problem over the
-    // subset of basis rows allowed by the mask.
+    if (kernels::useBitIdenticalFastPath(kernels::defaultConvImpl())) {
+        // GEMM-backed lowering. Every per-row Gram entry is a dot
+        // product of two full basis rows — independent of the mask —
+        // so the r x r Gram B B^T and the m x r right-hand side W B^T
+        // are each computed ONCE through kernels::gemmABtColBiasD
+        // (the double-chain ascending-t kernel, the exact rounding
+        // sequence of the legacy per-row dots), and each row's solve
+        // just gathers its masked submatrix. This replaces the legacy
+        // O(m * q^2 * n) per-row dot products with O(r^2 * n + m*r*n)
+        // GEMM work; outputs are bit-identical.
+        Tensor gram_full({r, r});
+        kernels::gemmABtColBiasD(b.data(), b.data(), nullptr,
+                                 gram_full.data(), r, n, r);
+        Tensor rhs_full({m, r});
+        kernels::gemmABtColBiasD(w.data(), b.data(), nullptr,
+                                 rhs_full.data(), m, n, r);
+
+        std::vector<int64_t> idx;
+        idx.reserve((size_t)r);
+        for (int64_t i = 0; i < m; ++i) {
+            idx.clear();
+            for (int64_t j = 0; j < r; ++j)
+                if (mask.at(i, j) != 0.0f)
+                    idx.push_back(j);
+            if (idx.empty())
+                continue;
+            const int64_t q = (int64_t)idx.size();
+            Tensor gram({q, q});
+            Tensor rhs({q, (int64_t)1});
+            for (int64_t u = 0; u < q; ++u) {
+                for (int64_t v = 0; v < q; ++v)
+                    gram.at(u, v) = gram_full.at(idx[(size_t)u],
+                                                 idx[(size_t)v]);
+                gram.at(u, u) += (float)ridge + 1e-7f;
+                rhs.at(u, 0) = rhs_full.at(i, idx[(size_t)u]);
+            }
+            Tensor sol = choleskySolve(gram, rhs);
+            for (int64_t u = 0; u < q; ++u)
+                ce.at(i, idx[(size_t)u]) = sol.at(u, 0);
+        }
+        return ce;
+    }
+
+    // Legacy path (SE_CONV_IMPL=naive): each row of Ce is an
+    // independent least-squares problem over the subset of basis rows
+    // allowed by the mask, with the Gram dots recomputed per row —
+    // the reference the lowering above is diffed against.
     for (int64_t i = 0; i < m; ++i) {
         std::vector<int64_t> idx;
         for (int64_t j = 0; j < r; ++j)

@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "kernels/dispatch.hh"
 #include "kernels/kernels.hh"
 
 namespace se {
@@ -98,6 +100,16 @@ struct RuntimeOptions
      */
     kernels::ConvImpl convImpl = kernels::ConvImpl::Auto;
     /**
+     * Which micro-kernel ISA variant the GEMM layer runs
+     * (SE_KERNEL_ISA = auto | scalar | sse2 | avx2). Empty (the
+     * default) leaves the process-wide selection alone — dispatch
+     * already initialized itself from SE_KERNEL_ISA at startup, so
+     * this field only matters for programmatic overrides via
+     * applyKernelConfig(). Every variant is bit-identical; the knob
+     * moves wall-clock only. Requesting an ISA the CPU lacks throws.
+     */
+    std::optional<kernels::KernelIsa> kernelIsa;
+    /**
      * Serving admission cap (SE_SERVE_QUEUE_CAP in the environment):
      * requests beyond this many queued-but-undispatched ones are shed
      * with serve::AdmissionError. 0 = unbounded. Consumed by the
@@ -127,11 +139,16 @@ struct RuntimeOptions
      */
     int modelFormat = 3;
 
-    /** Install convImpl as the process-wide kernel default. */
+    /**
+     * Install convImpl (and, when set, kernelIsa) as the process-wide
+     * kernel defaults.
+     */
     void
     applyKernelConfig() const
     {
         kernels::setDefaultConvImpl(convImpl);
+        if (kernelIsa)
+            kernels::setActiveIsa(*kernelIsa);
     }
 
     /** The thread count after resolving the "per core" sentinel. */
@@ -173,6 +190,10 @@ struct RuntimeOptions
         }
         ro.cacheCapacity = cache_capacity;
         ro.convImpl = kernels::convImplFromEnv();
+        // parseKernelIsa throws std::invalid_argument on anything it
+        // does not recognize, matching the other knobs' strictness.
+        if (const char *isa = std::getenv("SE_KERNEL_ISA"))
+            ro.kernelIsa = kernels::parseKernelIsa(isa);
         if (const char *c = std::getenv("SE_SERVE_QUEUE_CAP")) {
             const long long cap =
                 detail::envInt("SE_SERVE_QUEUE_CAP", c);

@@ -129,8 +129,9 @@ InferenceSession::rebuildLayer(BoundLayer &bl)
     } else {
         // Cold: reconstruct every Ce*B slice and write it back, the
         // same geometry as core::finishCompression. Under CeDirect
-        // the slice GEMM consumes the packed 4-bit codes directly
-        // (bit-identical to the dense reconstruct — see gemmCeB).
+        // the fused gemmCeB decodes the packed 4-bit codes inside the
+        // micro-kernel — no staged float panels, the arena stays cold
+        // (bit-identical to the dense reconstruct at every ISA).
         Tensor &w = *bl.weight;
         for (const auto &bu : bl.units) {
             Tensor recon;

@@ -21,6 +21,7 @@
 #include "base/random.hh"
 #include "core/model_file.hh"
 #include "kernels/ce_gemm.hh"
+#include "kernels/dispatch.hh"
 #include "kernels/gemm.hh"
 #include "kernels/kernels.hh"
 #include "kernels/scratch.hh"
@@ -482,6 +483,272 @@ TEST(CeGemm, FullySparseAndFullyDenseEdges)
     EXPECT_EQ(std::memcmp(want.data(), got.data(),
                           (size_t)want.size() * sizeof(float)),
               0);
+}
+
+// ------------------------------------------------------ ISA dispatch
+
+/** Force one micro-kernel ISA for a scope, restoring the previous. */
+class ScopedIsa
+{
+  public:
+    explicit ScopedIsa(kernels::KernelIsa isa)
+        : prev_(kernels::activeIsa())
+    {
+        kernels::setActiveIsa(isa);
+    }
+    ~ScopedIsa() { kernels::setActiveIsa(prev_); }
+
+  private:
+    kernels::KernelIsa prev_;
+};
+
+TEST(Dispatch, SupportedIsasStartWithScalarAndMatchActive)
+{
+    const auto isas = kernels::supportedIsas();
+    ASSERT_FALSE(isas.empty());
+    EXPECT_EQ(isas.front(), kernels::KernelIsa::Scalar);
+    EXPECT_TRUE(kernels::isaSupported(kernels::activeIsa()));
+    EXPECT_TRUE(kernels::isaSupported(kernels::detectBestIsa()));
+}
+
+TEST(Dispatch, ParseKernelIsaStrict)
+{
+    EXPECT_EQ(kernels::parseKernelIsa("auto"),
+              kernels::detectBestIsa());
+    EXPECT_EQ(kernels::parseKernelIsa(""), kernels::detectBestIsa());
+    EXPECT_EQ(kernels::parseKernelIsa("scalar"),
+              kernels::KernelIsa::Scalar);
+    EXPECT_THROW(kernels::parseKernelIsa("avx512"),
+                 std::invalid_argument);
+    EXPECT_THROW(kernels::parseKernelIsa("fast"),
+                 std::invalid_argument);
+    EXPECT_THROW(kernels::parseKernelIsa("AVX2"),
+                 std::invalid_argument);
+}
+
+TEST(Dispatch, ForcedSelectionSticks)
+{
+    for (kernels::KernelIsa isa : kernels::supportedIsas()) {
+        ScopedIsa forced(isa);
+        EXPECT_EQ(kernels::activeIsa(), isa);
+    }
+}
+
+/**
+ * Random matrix with ~25% exact zeros, a few negative zeros and — when
+ * asked — a NaN planted in a row the other operand zeros out, so the
+ * sweep exercises the zero-skip semantics (signed-zero preservation,
+ * no 0*NaN) every variant must share with the scalar kernel.
+ */
+Tensor
+sparseRandn(Rng &rng, int64_t rows, int64_t cols)
+{
+    Tensor t = randn({rows, cols}, rng);
+    for (int64_t i = 0; i < t.size(); ++i) {
+        if (rng.chance(0.2))
+            t[i] = 0.0f;
+        else if (rng.chance(0.05))
+            t[i] = -0.0f;
+    }
+    return t;
+}
+
+TEST(Dispatch, SgemmEveryIsaBitIdenticalToScalar)
+{
+    Rng rng(201);
+    // m x k x n sweep: unit dims, empty inner dim, tile-aligned,
+    // remainder tails for the 8- and 16-wide SIMD stages.
+    const std::vector<std::vector<int64_t>> shapes{
+        {1, 1, 1},  {1, 17, 1},  {9, 1, 13},   {5, 0, 7},
+        {17, 23, 9}, {32, 16, 24}, {33, 15, 17}, {96, 31, 40},
+    };
+    for (const auto &s : shapes) {
+        const int64_t m = s[0], k = s[1], n = s[2];
+        Tensor a = sparseRandn(rng, m, k);
+        Tensor b = sparseRandn(rng, k, n);
+        for (bool accumulate : {false, true}) {
+            Tensor seed = randn({m, n}, rng);
+            Tensor want = seed;
+            {
+                ScopedIsa isa(kernels::KernelIsa::Scalar);
+                kernels::sgemm(a.data(), b.data(), want.data(), m, k,
+                               n, accumulate);
+            }
+            for (kernels::KernelIsa isa : kernels::supportedIsas()) {
+                Tensor got = seed;
+                ScopedIsa forced(isa);
+                kernels::sgemm(a.data(), b.data(), got.data(), m, k,
+                               n, accumulate);
+                EXPECT_TRUE(bitEqual(want, got))
+                    << kernels::isaName(isa) << " " << m << "x" << k
+                    << "x" << n << " acc=" << accumulate;
+            }
+        }
+    }
+}
+
+TEST(Dispatch, SgemmABtEveryIsaBitIdenticalToScalar)
+{
+    Rng rng(202);
+    const std::vector<std::vector<int64_t>> shapes{
+        {1, 1, 1},  {1, 17, 1},  {9, 1, 13},   {5, 0, 7},
+        {17, 23, 9}, {32, 16, 24}, {33, 15, 17}, {96, 31, 40},
+    };
+    for (const auto &s : shapes) {
+        const int64_t m = s[0], l = s[1], n = s[2];
+        Tensor a = sparseRandn(rng, m, l);
+        Tensor b = sparseRandn(rng, n, l);  // B is n x l, used as B^T
+        for (bool accumulate : {false, true}) {
+            Tensor seed = randn({m, n}, rng);
+            Tensor want = seed;
+            {
+                ScopedIsa isa(kernels::KernelIsa::Scalar);
+                kernels::sgemmABt(a.data(), b.data(), want.data(), m,
+                                  l, n, accumulate);
+            }
+            for (kernels::KernelIsa isa : kernels::supportedIsas()) {
+                Tensor got = seed;
+                ScopedIsa forced(isa);
+                kernels::sgemmABt(a.data(), b.data(), got.data(), m,
+                                  l, n, accumulate);
+                EXPECT_TRUE(bitEqual(want, got))
+                    << kernels::isaName(isa) << " " << m << "x" << l
+                    << "x" << n << " acc=" << accumulate;
+            }
+        }
+    }
+}
+
+TEST(Dispatch, SgemmSkipsZeroTimesNaN)
+{
+    // A zero entry of A must SKIP the multiply, not fold 0 * NaN into
+    // the chain — the scalar contract every variant inherits.
+    Tensor a({2, 2});
+    a.at(0, 0) = 1.0f;  // row 0 uses only B row 0
+    a.at(1, 1) = 2.0f;  // row 1 uses only B row 1
+    Tensor b({2, 3});
+    b.at(0, 0) = 3.0f;
+    b.at(1, 1) = std::nanf("");
+    for (kernels::KernelIsa isa : kernels::supportedIsas()) {
+        ScopedIsa forced(isa);
+        Tensor c({2, 3});
+        kernels::sgemm(a.data(), b.data(), c.data(), 2, 2, 3, false);
+        EXPECT_EQ(c.at(0, 0), 3.0f) << kernels::isaName(isa);
+        EXPECT_FALSE(std::isnan(c.at(0, 1))) << kernels::isaName(isa);
+        EXPECT_TRUE(std::isnan(c.at(1, 1))) << kernels::isaName(isa);
+    }
+}
+
+TEST(Dispatch, GemmCeBEveryIsaBitIdenticalToScalarAndPanelDecode)
+{
+    Rng rng(203);
+    for (const auto &[rows, cols, n] :
+         std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+             {1, 1, 1}, {3, 3, 4}, {48, 3, 3}, {130, 5, 7},
+             {300, 9, 9}, {257, 4, 6}}) {
+        quant::Pow2Alphabet a;
+        a.expMax = (int)rng.integer(-4, 4);
+        a.numLevels = (int)rng.integer(1, 7);
+        Tensor ce = randomCe(rng, rows, cols, a);
+        Tensor basis = randn({cols, n}, rng);
+        const auto packed = core::packCe(ce, a);
+        kernels::ScratchArena arena;
+
+        Tensor want({rows, n});
+        {
+            ScopedIsa isa(kernels::KernelIsa::Scalar);
+            kernels::gemmCeB(packed.rowMask.data(),
+                             packed.nibbles.data(), rows, cols,
+                             basis.data(), n, a, want.data(), arena);
+        }
+        // The staged decode-then-sgemm baseline agrees with the fused
+        // kernel...
+        Tensor staged({rows, n});
+        kernels::gemmCeBPanelDecode(packed.rowMask.data(),
+                                    packed.nibbles.data(), rows, cols,
+                                    basis.data(), n, a, staged.data(),
+                                    arena);
+        EXPECT_TRUE(bitEqual(want, staged))
+            << rows << "x" << cols << "x" << n;
+        // ...and so does every SIMD variant of the fused kernel.
+        for (kernels::KernelIsa isa : kernels::supportedIsas()) {
+            Tensor got({rows, n});
+            ScopedIsa forced(isa);
+            kernels::gemmCeB(packed.rowMask.data(),
+                             packed.nibbles.data(), rows, cols,
+                             basis.data(), n, a, got.data(), arena);
+            EXPECT_TRUE(bitEqual(want, got))
+                << kernels::isaName(isa) << " " << rows << "x" << cols
+                << "x" << n;
+        }
+    }
+}
+
+TEST(Dispatch, SerialScopeKeepsFusedGemmOffThePool)
+{
+    // A fused Ce GEMM big enough to clear the parallel threshold
+    // (m * r * n >= 2^19 multiplies) must stay inline when the caller
+    // holds a SerialScope — the ServeEngine batch path runs exactly
+    // this way from pool workers, where re-entering the pool would
+    // deadlock it.
+    Rng rng(204);
+    quant::Pow2Alphabet a;
+    a.expMax = 0;
+    a.numLevels = 7;
+    const int64_t m = 320, r = 8, n = 256;
+    Tensor ce = randomCe(rng, m, r, a);
+    Tensor basis = randn({r, n}, rng);
+    const auto packed = core::packCe(ce, a);
+    kernels::ScratchArena arena;
+
+    Tensor want({m, n});
+    kernels::gemmCeB(packed.rowMask.data(), packed.nibbles.data(), m,
+                     r, basis.data(), n, a, want.data(), arena);
+
+    const uint64_t before = kernels::pool().tasksExecuted();
+    Tensor got({m, n});
+    {
+        kernels::SerialScope serial;
+        kernels::gemmCeB(packed.rowMask.data(), packed.nibbles.data(),
+                         m, r, basis.data(), n, a, got.data(), arena);
+    }
+    EXPECT_EQ(kernels::pool().tasksExecuted(), before);
+    EXPECT_TRUE(bitEqual(want, got));
+}
+
+TEST(Dispatch, NestedFusedGemmFromPoolWorkerStaysInline)
+{
+    // The same fused GEMM issued FROM a pool worker (no SerialScope)
+    // must run inline via the worker-thread guard: only the one
+    // submitted task may hit the pool, never nested panel tasks.
+    Rng rng(205);
+    quant::Pow2Alphabet a;
+    a.expMax = 0;
+    a.numLevels = 7;
+    const int64_t m = 320, r = 8, n = 256;
+    Tensor ce = randomCe(rng, m, r, a);
+    Tensor basis = randn({r, n}, rng);
+    const auto packed = core::packCe(ce, a);
+
+    Tensor want({m, n});
+    {
+        kernels::ScratchArena arena;
+        kernels::gemmCeB(packed.rowMask.data(), packed.nibbles.data(),
+                         m, r, basis.data(), n, a, want.data(), arena);
+    }
+
+    const uint64_t before = kernels::pool().tasksExecuted();
+    Tensor got({m, n});
+    kernels::pool()
+        .submit([&] {
+            kernels::ScratchArena arena;
+            kernels::gemmCeB(packed.rowMask.data(),
+                             packed.nibbles.data(), m, r,
+                             basis.data(), n, a, got.data(), arena);
+        })
+        .get();
+    EXPECT_EQ(kernels::pool().tasksExecuted(), before + 1);
+    EXPECT_TRUE(bitEqual(want, got));
 }
 
 } // namespace

@@ -7,11 +7,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "base/random.hh"
+#include "kernels/kernels.hh"
 #include "linalg/linalg.hh"
 
 namespace se {
 namespace {
+
+/** Flip the process-wide kernel lowering for one scope. */
+class ScopedImpl
+{
+  public:
+    explicit ScopedImpl(kernels::ConvImpl impl)
+        : prev_(kernels::defaultConvImpl())
+    {
+        kernels::setDefaultConvImpl(impl);
+    }
+    ~ScopedImpl() { kernels::setDefaultConvImpl(prev_); }
+
+  private:
+    kernels::ConvImpl prev_;
+};
 
 using linalg::choleskySolve;
 using linalg::fitBasis;
@@ -181,6 +200,45 @@ TEST(Linalg, MaskedFitBeatsZeroedUnmaskedFit)
     const double err_zeroed = frobDiff(w, matmul(zeroed, b));
     const double err_refit = frobDiff(w, matmul(refit, b));
     EXPECT_LE(err_refit, err_zeroed + 1e-5);
+}
+
+TEST(Linalg, MaskedFitGemmLoweringBitIdenticalToLegacy)
+{
+    // The GEMM-backed masked refit (B B^T and W B^T precomputed once
+    // through kernels::gemmABtColBiasD, per-row masked gather) must
+    // reproduce the legacy per-row-dot path to the last bit — same
+    // contract as matmul's Auto-vs-Naive split. Sweep shapes across
+    // ranks and mask densities, including empty rows and a full mask.
+    Rng rng(11);
+    for (const auto &dims : std::vector<std::vector<int64_t>>{
+             {1, 1, 1}, {10, 3, 3}, {33, 5, 17}, {64, 9, 40}}) {
+        const int64_t m = dims[0], r = dims[1], n = dims[2];
+        Tensor w = randn({m, n}, rng);
+        Tensor b = randn({r, n}, rng);
+        for (int64_t i = 0; i < r; ++i)
+            b.at(i, i % n) += 2.0f;
+        for (double density : {1.0, 0.6, 0.25}) {
+            Tensor mask({m, r}, 1.0f);
+            for (int64_t i = 0; i < mask.size(); ++i)
+                if (!rng.chance(density))
+                    mask[i] = 0.0f;
+            Tensor fast, slow;
+            {
+                ScopedImpl impl(kernels::ConvImpl::Auto);
+                fast = fitCoefficientsMasked(w, b, mask);
+            }
+            {
+                ScopedImpl impl(kernels::ConvImpl::Naive);
+                slow = fitCoefficientsMasked(w, b, mask);
+            }
+            ASSERT_EQ(fast.shape(), slow.shape());
+            EXPECT_EQ(std::memcmp(fast.data(), slow.data(),
+                                  (size_t)fast.size() * sizeof(float)),
+                      0)
+                << m << "x" << r << "x" << n
+                << " density=" << density;
+        }
+    }
 }
 
 /** Property sweep: ALS fixed points across sizes. */

@@ -89,12 +89,46 @@ TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
         {"SE_SERVE_WEIGHT_SOURCE", "quantized"},
         {"SE_MODEL_FORMAT", "1"},
         {"SE_MODEL_FORMAT", "v3"},
+        {"SE_KERNEL_ISA", "avx512"},
+        {"SE_KERNEL_ISA", "fast"},
+        {"SE_KERNEL_ISA", "AVX2"},  // case-sensitive like the others
     };
     for (const auto &[name, value] : bad) {
         ScopedEnv e(name, value);
         EXPECT_THROW(runtime::RuntimeOptions::fromEnv(),
                      std::invalid_argument)
             << name << "=" << value;
+    }
+}
+
+TEST(RuntimeOptions, FromEnvKernelIsaForcedSelection)
+{
+    // SE_KERNEL_ISA=scalar is valid on every build; applyKernelConfig
+    // must install it process-wide, and the default (unset) env must
+    // leave the field empty so apply keeps the startup selection.
+    const kernels::KernelIsa before = kernels::activeIsa();
+    {
+        ScopedEnv isa("SE_KERNEL_ISA", "scalar");
+        const auto ro = runtime::RuntimeOptions::fromEnv();
+        ASSERT_TRUE(ro.kernelIsa.has_value());
+        EXPECT_EQ(*ro.kernelIsa, kernels::KernelIsa::Scalar);
+        ro.applyKernelConfig();
+        EXPECT_EQ(kernels::activeIsa(), kernels::KernelIsa::Scalar);
+    }
+    kernels::setActiveIsa(before);
+    {
+        ScopedEnv isa("SE_KERNEL_ISA", "auto");
+        const auto ro = runtime::RuntimeOptions::fromEnv();
+        ASSERT_TRUE(ro.kernelIsa.has_value());
+        EXPECT_EQ(*ro.kernelIsa, kernels::detectBestIsa());
+    }
+    {
+        ScopedEnv isa("SE_KERNEL_ISA", "unset-sentinel");
+        ::unsetenv("SE_KERNEL_ISA");
+        const auto ro = runtime::RuntimeOptions::fromEnv();
+        EXPECT_FALSE(ro.kernelIsa.has_value());
+        ro.applyKernelConfig();  // no-op on the ISA
+        EXPECT_EQ(kernels::activeIsa(), before);
     }
 }
 
