@@ -32,6 +32,7 @@
 
 #include "base/hash.hh"
 #include "base/random.hh"
+#include "core/stream_loader.hh"
 #include "models/zoo.hh"
 #include "runtime/pipeline.hh"
 #include "serve/front.hh"
@@ -138,10 +139,17 @@ main(int argc, char **argv)
                 return pipe.cache().getOrCompute(w, o);
             });
         const std::string path = "/tmp/serve_demo_" + name + ".sexm";
-        if (run_opts.modelFormat >= 3)
+        if (run_opts.modelFormat >= 4) {
+            // v4 requires the compress-time int8 basis pin so the
+            // bundle serves the same bits as the live net.
+            core::quantizeBasisAtCompress(*net, compressed, se_opts,
+                                          apply_opts);
+            core::saveModelV4File(path, compressed.bundle());
+        } else if (run_opts.modelFormat == 3) {
             core::saveModelV3File(path, compressed.bundle());
-        else
+        } else {
             core::saveModelFile(path, compressed.records);
+        }
         std::ifstream probe(path, std::ios::binary | std::ios::ate);
         std::printf(
             "[%s] compressed %zu layers, CR %.2fx -> %s (v%d, %lld "
@@ -149,12 +157,24 @@ main(int argc, char **argv)
             name.c_str(), compressed.records.size(),
             compressed.report.compressionRate(), path.c_str(),
             run_opts.modelFormat, (long long)probe.tellg());
-        registry.add(
-            name,
-            serve::makeModelEntry(
-                core::loadModelBundleFile(path),
-                [id, cfg] { return models::buildSim(id, cfg); },
-                se_opts, apply_opts, source));
+        auto factory = [id, cfg] { return models::buildSim(id, cfg); };
+        if (run_opts.modelFormat >= 4) {
+            // Streamed entry: the mmap open verifies only the meta;
+            // piece decode (and the engine build) waits for this
+            // model's first request. SE_STREAM_LOADER=eager opts out.
+            auto streamed = std::make_shared<core::StreamedModel>(
+                path,
+                core::StreamLoaderOptions{run_opts.streamEager,
+                                          false});
+            registry.add(name, serve::makeModelEntry(
+                                   std::move(streamed), factory,
+                                   se_opts, apply_opts, source));
+        } else {
+            registry.add(name, serve::makeModelEntry(
+                                   core::loadModelBundleFile(path),
+                                   factory, se_opts, apply_opts,
+                                   source));
+        }
     }
 
     // 2. One front, one engine per model, the thread budget split.

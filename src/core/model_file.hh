@@ -24,9 +24,30 @@
  *    only layers whose alphabet exceeds 7 levels (coefBits > 4)
  *    cannot be packed and make saveModelV3 throw.
  *
- * loadModelBundle() accepts both versions; loadModel() remains the
- * records-only view (and refuses to silently drop a v3 bundle's
- * dense section).
+ *  - v4 (saveModelV4): the streaming format. A small meta section
+ *    (record table, dense residual, 8-byte-per-piece directory of
+ *    lengths + FNV-1a checksums — offsets are derived, not stored)
+ *    under its own version-seeded checksum, followed by the piece
+ *    region: its start is 64-byte aligned, and the independently-
+ *    checksummed payloads pack back-to-back inside it, so
+ *    core::StreamedModel can mmap a bundle, verify only the
+ *    meta at open, and decode pieces lazily on first touch. Piece
+ *    payloads shrink below v3 two ways: Ce columns carry tthresh-
+ *    style adaptive bit widths (each column pays only the bits its
+ *    occupied code alphabet needs, sign+magnitude, byte-aligned
+ *    per-piece flush through encode::BitWriter; the width table
+ *    itself is 2-bit packed), and the basis ships
+ *    as 8-bit fixed-point integers plus one float scale — the
+ *    paper's accelerator width. saveModelV4 therefore requires every
+ *    basis to already BE 8-bit fixed-point (it throws otherwise):
+ *    run quantizeBasisAtCompress() at compression time so the live
+ *    net and the shipped bundle stay bit-faithful to each other.
+ *
+ * loadModelBundle() accepts all versions; loadModel() remains the
+ * records-only view (and refuses to silently drop a v3/v4 bundle's
+ * dense section). Load errors name the offending record, piece index
+ * and byte offset, so a corrupt multi-thousand-piece bundle is
+ * debuggable from the message alone.
  */
 
 #ifndef SE_CORE_MODEL_FILE_HH
@@ -140,7 +161,21 @@ void saveModelV3(std::ostream &os,
                  const std::vector<SeLayerRecord> &layers,
                  const std::vector<DenseTensor> &dense = {});
 
-/** Load a v2 or v3 bundle. Throws ModelFileError on any damage. */
+/**
+ * Serialize records + dense residual as a v4 streaming bundle:
+ * checksummed meta (record table, dense residual, length+checksum
+ * piece directory) followed by back-to-back independently-checksummed
+ * piece payloads in a 64-byte-aligned region — adaptive per-column
+ * Ce bit widths, int8 basis + one float scale per piece. Every basis must already be at an 8-bit
+ * fixed point (see quantizeBasisAtCompress); saveModelV4 throws
+ * ModelFileError otherwise rather than ship a bundle that would not
+ * be bit-faithful to the live net.
+ */
+void saveModelV4(std::ostream &os,
+                 const std::vector<SeLayerRecord> &layers,
+                 const std::vector<DenseTensor> &dense = {});
+
+/** Load a v2, v3 or v4 bundle. Throws ModelFileError on any damage. */
 ModelBundle loadModelBundle(std::istream &is);
 
 /** Save to / load from a file path. */
@@ -148,7 +183,82 @@ void saveModelFile(const std::string &path,
                    const std::vector<SeLayerRecord> &layers);
 std::vector<SeLayerRecord> loadModelFile(const std::string &path);
 void saveModelV3File(const std::string &path, const ModelBundle &b);
+void saveModelV4File(const std::string &path, const ModelBundle &b);
 ModelBundle loadModelBundleFile(const std::string &path);
+
+/**
+ * Snap every piece's basis to an 8-bit (or `bits`-wide) fixed point
+ * in place: iterate fakeQuantize under a freshly calibrated
+ * quant::FixedPointQuantizer until the tensor is bitwise stable, so
+ * saveModelV4's exact-recovery check (re-calibrate, toInt, toFloat,
+ * compare bits) is deterministic — a basis that merely LOOKS
+ * quantized but sits one ulp off a representable point can never
+ * slip through. Returns the number of pieces whose basis changed.
+ */
+size_t quantizeBasisAtCompress(std::vector<SeLayerRecord> &records,
+                               int bits = 8);
+
+// ------------------------------------------------- v4 streaming layout
+//
+// Shared between the eager loadModelBundle path and the lazy
+// core::StreamedModel: both must agree bit-for-bit on what a valid
+// v4 bundle looks like.
+namespace modelv4 {
+
+/** Fixed 32-byte header: u32 magic, u32 version=4, u64 metaBytes,
+ *  u64 fileBytes (total, header included), u64 meta checksum
+ *  (FNV-1a over the meta section, seeded with hashValue(4u)). */
+constexpr size_t kHeaderBytes = 32;
+/** The piece region (first payload) starts on a 64-byte boundary
+ *  (one cache line / mmap-friendly); payloads then pack back-to-back
+ *  and the meta→region padding run must be zero. */
+constexpr size_t kPieceAlign = 64;
+
+/** One piece directory row as parsed: the file stores only a u32
+ *  payload length and the low 32 bits of the version-seeded FNV-1a
+ *  checksum of the payload bytes (8 bytes per piece — the directory
+ *  itself sits under the u64 meta checksum); the absolute offset is
+ *  derived by parseMeta from the aligned region start + running
+ *  lengths. */
+struct PieceDirEntry
+{
+    uint64_t offset = 0;    ///< derived, not stored in the file
+    uint64_t length = 0;
+    uint64_t checksum = 0;  ///< low 32 bits of fnv1a(payload, v4 seed)
+};
+
+/** Parsed + validated header/meta of a v4 bundle. Piece payloads are
+ *  NOT decoded (that is decodePiece, per piece). */
+struct Meta
+{
+    std::vector<std::string> recordNames;
+    std::vector<uint32_t> pieceCounts;  ///< per record, sums to directory size
+    std::vector<DenseTensor> dense;
+    std::vector<PieceDirEntry> directory;
+    uint64_t metaBytes = 0;
+    uint64_t fileBytes = 0;
+};
+
+/**
+ * Parse and validate the header + meta section of a v4 bundle held
+ * (or mmapped) in memory: magic/version, meta checksum, dense
+ * residual, and full directory canonicality (offsets derived from
+ * the aligned region start and running lengths, last piece ends
+ * exactly at fileBytes == size). Throws ModelFileError on any damage. O(meta),
+ * independent of total piece bytes — this is the lazy loader's
+ * open-time cost.
+ */
+Meta parseMeta(const uint8_t *file, size_t size);
+
+/**
+ * Checksum-verify and decode directory entry `index` of a bundle
+ * whose parseMeta already succeeded. Errors carry the piece index
+ * and byte offset. Exact: re-encoding the result reproduces the
+ * payload bytes.
+ */
+SeMatrix decodePiece(const uint8_t *file, const Meta &meta, size_t index);
+
+} // namespace modelv4
 
 // ------------------------------------------------- nn <-> record glue
 
@@ -198,6 +308,17 @@ CompressedModel compressToRecords(nn::Sequential &net,
                                   const SeOptions &se_opts,
                                   const ApplyOptions &apply_opts,
                                   const DecomposeFn &decomp = nullptr);
+
+/**
+ * Compress-time variant of quantizeBasisAtCompress(records): quantize
+ * the bases of `model.records` and, when anything changed, reinstall
+ * the records into the live net so the compression-time net is
+ * bit-identical to what a v4 bundle will serve. Call between
+ * compressToRecords() and saveModelV4().
+ */
+void quantizeBasisAtCompress(nn::Sequential &net, CompressedModel &model,
+                             const SeOptions &se_opts,
+                             const ApplyOptions &apply_opts, int bits = 8);
 
 /**
  * Snapshot a network's dense residual state — every tensor a served

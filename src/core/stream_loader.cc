@@ -1,0 +1,185 @@
+#include "core/stream_loader.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SE_HAVE_MMAP 0
+#endif
+
+namespace se {
+namespace core {
+
+namespace {
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        throw ModelFileError("cannot open " + path + " for reading");
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+StreamedModel::StreamedModel(const std::string &path,
+                             StreamLoaderOptions opts)
+    : path_(path)
+{
+#if SE_HAVE_MMAP
+    if (!opts.forceRead) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            throw ModelFileError("cannot open " + path +
+                                 " for reading");
+        struct stat st;
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            throw ModelFileError("cannot stat " + path);
+        }
+        mapLen_ = (size_t)st.st_size;
+        // mmap refuses empty files; an empty bundle is invalid
+        // anyway, so route it through the parser for the real error.
+        map_ = mapLen_ ? ::mmap(nullptr, mapLen_, PROT_READ,
+                                MAP_PRIVATE, fd, 0)
+                       : MAP_FAILED;
+        ::close(fd);
+        mapped_ = map_ != MAP_FAILED;
+        if (!mapped_) {
+            map_ = nullptr;
+            buffer_ = readWholeFile(path);
+        }
+    } else {
+        buffer_ = readWholeFile(path);
+    }
+#else
+    (void)opts.forceRead;
+    buffer_ = readWholeFile(path);
+#endif
+
+    try {
+        const size_t size = mapped_ ? mapLen_ : buffer_.size();
+        meta_ = modelv4::parseMeta(filePtr(), size);
+    } catch (...) {
+#if SE_HAVE_MMAP
+        if (mapped_)
+            ::munmap(map_, mapLen_);
+#endif
+        throw;
+    }
+    cache_.resize(meta_.directory.size());
+
+    if (opts.eager) {
+        // Full validation, matching loadModelBundle: padding bytes
+        // between pieces must be zero, and every piece must decode.
+        const uint8_t *file = filePtr();
+        uint64_t expect = modelv4::kHeaderBytes + meta_.metaBytes;
+        for (const auto &e : meta_.directory) {
+            for (uint64_t b = expect; b < e.offset; ++b)
+                if (file[b] != 0)
+                    throw ModelFileError(
+                        "non-zero padding byte at offset " +
+                        std::to_string(b));
+            expect = e.offset + e.length;
+        }
+        records();
+    }
+}
+
+StreamedModel::~StreamedModel()
+{
+#if SE_HAVE_MMAP
+    if (mapped_)
+        ::munmap(map_, mapLen_);
+#endif
+}
+
+const uint8_t *
+StreamedModel::filePtr() const
+{
+    return mapped_ ? (const uint8_t *)map_
+                   : (const uint8_t *)buffer_.data();
+}
+
+const SeMatrix &
+StreamedModel::pieceLocked(size_t index) const
+{
+    SE_ASSERT(index < cache_.size(), "piece index out of range");
+    if (!cache_[index]) {
+        cache_[index].reset(
+            new SeMatrix(modelv4::decodePiece(filePtr(), meta_, index)));
+        decoded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *cache_[index];
+}
+
+const SeMatrix &
+StreamedModel::piece(size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pieceLocked(index);
+}
+
+size_t
+StreamedModel::prefetch(size_t first, size_t count) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t fresh = 0;
+    for (size_t i = first; i < cache_.size() && i < first + count;
+         ++i) {
+        if (!cache_[i]) {
+            pieceLocked(i);
+            ++fresh;
+        }
+    }
+    return fresh;
+}
+
+std::shared_ptr<const std::vector<SeLayerRecord>>
+StreamedModel::records() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (records_)
+        return records_;
+    auto out = std::make_shared<std::vector<SeLayerRecord>>();
+    out->resize(meta_.recordNames.size());
+    size_t flat = 0;
+    for (size_t ri = 0; ri < meta_.recordNames.size(); ++ri) {
+        SeLayerRecord &rec = (*out)[ri];
+        rec.name = meta_.recordNames[ri];
+        rec.pieces.reserve(meta_.pieceCounts[ri]);
+        for (uint32_t k = 0; k < meta_.pieceCounts[ri]; ++k) {
+            try {
+                rec.pieces.push_back(pieceLocked(flat++));
+            } catch (const ModelFileError &e) {
+                throw ModelFileError("record '" + rec.name + "': " +
+                                     e.what());
+            }
+        }
+    }
+    records_ = std::move(out);
+    return records_;
+}
+
+ModelBundle
+StreamedModel::bundle() const
+{
+    ModelBundle b;
+    b.records = *records();
+    b.dense = meta_.dense;
+    return b;
+}
+
+} // namespace core
+} // namespace se

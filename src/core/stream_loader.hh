@@ -1,0 +1,139 @@
+/**
+ * @file
+ * StreamedModel — mmap-backed lazy access to a v4 model bundle.
+ *
+ * loadModelBundle() decodes every piece of every record before the
+ * caller sees a byte; fine for one model, hostile to a multi-model
+ * fleet where most models are cold at process start. StreamedModel
+ * opens a v4 bundle by mmapping it and validating only the header +
+ * checksummed meta section (record table, dense residual, piece
+ * directory) — O(meta), independent of how many gigabytes of piece
+ * payloads follow. Pieces are checksum-verified and decoded on first
+ * touch and cached; a model nobody submits to never pays its decode.
+ *
+ * The dense residual lives in the meta section and is available
+ * immediately after open (it is small and the serve factory needs it
+ * to build a net before any piece decodes).
+ *
+ * Laziness is an access policy, not a validation loophole: every
+ * byte that IS read is checksummed first, so a corrupt piece fails
+ * loudly at first touch with its index and offset, exactly like the
+ * eager loader. Opening with StreamLoaderOptions::eager decodes (and
+ * fully validates, padding included) everything up front — same
+ * guarantees as loadModelBundleFile, same decoded bits.
+ *
+ * prefetch() is the hook for pipelined streaming execution (ROADMAP:
+ * overlap decode with compute): decode a window of pieces ahead of
+ * the consumer without blocking it on the whole bundle.
+ *
+ * Thread safety: all accessors are safe to call concurrently after
+ * construction; piece decode is serialized by an internal mutex.
+ */
+
+#ifndef SE_CORE_STREAM_LOADER_HH
+#define SE_CORE_STREAM_LOADER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model_file.hh"
+
+namespace se {
+namespace core {
+
+struct StreamLoaderOptions
+{
+    /** Decode and validate every piece (and every padding byte) at
+     *  open — the eager fallback with mmap residency. */
+    bool eager = false;
+    /** Skip mmap and read the file into an owned buffer (platforms
+     *  without mmap get this automatically; tests use it to pin both
+     *  backends to identical bits). */
+    bool forceRead = false;
+};
+
+class StreamedModel
+{
+  public:
+    explicit StreamedModel(const std::string &path,
+                           StreamLoaderOptions opts = {});
+    ~StreamedModel();
+
+    StreamedModel(const StreamedModel &) = delete;
+    StreamedModel &operator=(const StreamedModel &) = delete;
+
+    /** True when the bundle is mmapped (false on the read fallback). */
+    bool mapped() const { return mapped_; }
+
+    size_t pieceCount() const { return meta_.directory.size(); }
+
+    /** Pieces decoded so far — the lazy-loading observable: after a
+     *  lazy open it is 0, and it only grows when something actually
+     *  touches a piece. */
+    size_t decodedPieces() const
+    {
+        return decoded_.load(std::memory_order_relaxed);
+    }
+
+    const std::vector<std::string> &
+    recordNames() const
+    {
+        return meta_.recordNames;
+    }
+
+    /** Dense residual — available at open, no piece decode. */
+    const std::vector<DenseTensor> &dense() const { return meta_.dense; }
+
+    const modelv4::Meta &meta() const { return meta_; }
+
+    /**
+     * Piece `index` (flat directory order), checksum-verified and
+     * decoded on first touch, cached thereafter. Throws ModelFileError
+     * (with the piece index and byte offset) on corruption.
+     */
+    const SeMatrix &piece(size_t index) const;
+
+    /**
+     * Decode pieces [first, first+count) ahead of a consumer —
+     * clamped to the directory, never an error to over-ask. Returns
+     * the number of pieces this call actually decoded.
+     */
+    size_t prefetch(size_t first, size_t count) const;
+
+    /**
+     * The full record vector (grouped per layer, piece order
+     * preserved) — decodes every remaining piece on first call, then
+     * serves the cached copy. This is what a serve engine binds
+     * against; shared_ptr so a caller can hold the records across a
+     * registry swap without copying them.
+     */
+    std::shared_ptr<const std::vector<SeLayerRecord>> records() const;
+
+    /** records() + dense() as an eager-equivalent bundle (decodes
+     *  everything). */
+    ModelBundle bundle() const;
+
+  private:
+    const uint8_t *filePtr() const;
+    const SeMatrix &pieceLocked(size_t index) const;
+
+    std::string path_;
+    bool mapped_ = false;
+    void *map_ = nullptr;     ///< mmap base (mapped_ == true)
+    size_t mapLen_ = 0;
+    std::string buffer_;      ///< read fallback (mapped_ == false)
+    modelv4::Meta meta_;
+
+    mutable std::mutex mu_;
+    mutable std::vector<std::unique_ptr<SeMatrix>> cache_;
+    mutable std::shared_ptr<const std::vector<SeLayerRecord>> records_;
+    mutable std::atomic<size_t> decoded_{0};
+};
+
+} // namespace core
+} // namespace se
+
+#endif // SE_CORE_STREAM_LOADER_HH

@@ -17,6 +17,13 @@
  * order with the zero-code skip. gemmCeB is therefore bit-identical
  * to sgemm(decode(Ce), B) — and hence to SeMatrix::reconstruct() —
  * at every ISA level.
+ *
+ * Model-file v4 (adaptive per-column bit widths) feeds this kernel
+ * through a transcode shim rather than a second decode path: the v4
+ * loader decodes a piece to SeMatrix once, and serve's CeDirect bind
+ * re-packs it with core::packCe into exactly this fixed 4-bit form.
+ * Codes are codes — the widths are a wire-format concern — so the
+ * kernel's LUT, and with it the bit-identity contract, is untouched.
  */
 
 #ifndef SE_KERNELS_CE_GEMM_HH

@@ -133,11 +133,23 @@ struct RuntimeOptions
     ServeWeightSource serveWeightSource = ServeWeightSource::Dense;
     /**
      * Model-file version the drivers save bundles in
-     * (SE_MODEL_FORMAT = 2 | 3). v3 packs Ce codes at true 4-bit
+     * (SE_MODEL_FORMAT = 2 | 3 | 4). v4 is the streaming format:
+     * adaptive per-column Ce bit widths, int8 basis (quantized at
+     * compress time), checksummed piece directory served lazily
+     * through core::StreamedModel. v3 packs Ce codes at fixed 4-bit
      * width and ships the dense residual; v2 is the legacy
      * byte-per-code records-only format.
      */
     int modelFormat = 3;
+    /**
+     * How the serve drivers open a v4 bundle (SE_STREAM_LOADER =
+     * mmap | eager). `mmap` (default) opens lazily — O(meta) at
+     * open, pieces decode on first touch. `eager` decodes and fully
+     * validates everything up front. Responses are bit-identical
+     * either way; only cold-start wall-clock moves. Meaningless
+     * (and ignored) for v2/v3 bundles.
+     */
+    bool streamEager = false;
 
     /**
      * Install convImpl (and, when set, kernelIsa) as the process-wide
@@ -219,11 +231,21 @@ struct RuntimeOptions
         }
         if (const char *f = std::getenv("SE_MODEL_FORMAT")) {
             const long long v = detail::envInt("SE_MODEL_FORMAT", f);
-            if (v != 2 && v != 3)
+            if (v != 2 && v != 3 && v != 4)
                 throw std::invalid_argument(
-                    "SE_MODEL_FORMAT must be 2 or 3, got '" +
+                    "SE_MODEL_FORMAT must be 2, 3 or 4, got '" +
                     std::string(f) + "'");
             ro.modelFormat = (int)v;
+        }
+        if (const char *s = std::getenv("SE_STREAM_LOADER")) {
+            if (!std::strcmp(s, "mmap"))
+                ro.streamEager = false;
+            else if (!std::strcmp(s, "eager"))
+                ro.streamEager = true;
+            else
+                throw std::invalid_argument(
+                    "SE_STREAM_LOADER must be mmap|eager, got '" +
+                    std::string(s) + "'");
         }
         return ro;
     }

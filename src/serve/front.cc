@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/stream_loader.hh"
+
 namespace se {
 namespace serve {
 
@@ -14,7 +16,7 @@ ModelRegistry::add(std::string id, ModelEntry entry)
         if (e.first == id)
             throw std::invalid_argument("model id '" + id +
                                         "' already registered");
-    if (!entry.records)
+    if (!entry.records && !entry.streamed)
         throw std::invalid_argument("model '" + id +
                                     "' has no records bundle");
     if (!entry.factory)
@@ -59,25 +61,57 @@ ServeFront::ServeFront(const ModelRegistry &registry,
             "ServeFront needs at least one registered model");
     // Split the worker budget across models instead of multiplying
     // it: N models on a T-thread budget get max(1, T/N) replicas
-    // each (threads == 0 keeps every engine inline).
+    // each (threads == 0 keeps every engine inline). Streamed models
+    // count toward the split even while unbuilt, so a late first
+    // submit can't change anyone else's replica count.
     const int total = opts.resolvedThreads();
-    ServeOptions per = opts;
+    perEngineOpts_ = opts;
     if (total > 0)
-        per.threads =
+        perEngineOpts_.threads =
             std::max(1, total / (int)registry.size());
     ids_ = registry.ids();
-    engines_.reserve(ids_.size());
-    for (const std::string &id : ids_) {
-        const ModelEntry &e = registry.at(id);
-        // The entry decides its model's storage: weight source and
-        // (when shipped) the v3 dense residual are per-model, so
-        // quantized and float engines coexist behind one front.
-        ServeOptions eopts = per;
-        eopts.session.weightSource = e.weightSource;
-        eopts.session.denseState = e.dense;
-        engines_.push_back(std::make_unique<ServeEngine>(
-            e.records, e.factory, e.seOpts, e.applyOpts, eopts));
+    entries_.reserve(ids_.size());
+    for (const std::string &id : ids_)
+        entries_.push_back(registry.at(id));
+    engines_.resize(ids_.size());
+    // Records-backed entries build eagerly (their pieces are already
+    // decoded — deferring would only delay failures). Streamed (v4)
+    // entries wait for their first submit; until then the bundle's
+    // pieces stay undecoded bytes on disk.
+    for (size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].records)
+            buildEngineLocked(i);
+}
+
+void
+ServeFront::buildEngineLocked(size_t i)
+{
+    const ModelEntry &e = entries_[i];
+    // The entry decides its model's storage: weight source and
+    // (when shipped) the v3/v4 dense residual are per-model, so
+    // quantized and float engines coexist behind one front.
+    ServeOptions eopts = perEngineOpts_;
+    eopts.session.weightSource = e.weightSource;
+    eopts.session.denseState = e.dense;
+    // For a streamed entry this records() call is where the bundle's
+    // pieces actually decode — the lazy loader's first touch.
+    auto records = e.records ? e.records : e.streamed->records();
+    engines_[i] = std::make_unique<ServeEngine>(
+        records, e.factory, e.seOpts, e.applyOpts, eopts);
+}
+
+ServeEngine &
+ServeFront::engineAt(size_t i)
+{
+    std::lock_guard<std::mutex> lock(buildMu_);
+    if (!engines_[i]) {
+        if (stopped_)
+            throw EngineStoppedError(
+                "ServeFront is stopped; model '" + ids_[i] +
+                "' cannot build its engine");
+        buildEngineLocked(i);
     }
+    return *engines_[i];
 }
 
 ModelEntry
@@ -100,6 +134,29 @@ makeModelEntry(core::ModelBundle bundle, NetFactory factory,
     return e;
 }
 
+ModelEntry
+makeModelEntry(std::shared_ptr<core::StreamedModel> streamed,
+               NetFactory factory, const core::SeOptions &se_opts,
+               const core::ApplyOptions &apply_opts,
+               WeightSource source)
+{
+    if (!streamed)
+        throw std::invalid_argument(
+            "makeModelEntry: null streamed model");
+    ModelEntry e;
+    e.factory = std::move(factory);
+    e.seOpts = se_opts;
+    e.applyOpts = apply_opts;
+    // The dense residual lives in the (already validated) meta
+    // section: copying it out now costs nothing piece-related and
+    // lets replica nets build before any piece decodes.
+    e.dense = std::make_shared<const std::vector<core::DenseTensor>>(
+        streamed->dense());
+    e.weightSource = source;
+    e.streamed = std::move(streamed);
+    return e;
+}
+
 ServeFront::~ServeFront() = default;
 
 size_t
@@ -115,27 +172,49 @@ ServeFront::indexOf(const std::string &modelId) const
 std::future<Tensor>
 ServeFront::submit(const std::string &modelId, Tensor sample)
 {
-    return engines_[indexOf(modelId)]->submit(std::move(sample));
+    return engineAt(indexOf(modelId)).submit(std::move(sample));
+}
+
+std::vector<ServeEngine *>
+ServeFront::builtEngines() const
+{
+    // Snapshot under the build lock (engine slots are written by
+    // concurrent first submits), then operate outside it so a long
+    // drain can't block an unrelated model's engine build.
+    std::lock_guard<std::mutex> lock(buildMu_);
+    std::vector<ServeEngine *> out;
+    out.reserve(engines_.size());
+    for (const auto &e : engines_)
+        if (e)
+            out.push_back(e.get());
+    return out;
 }
 
 void
 ServeFront::drain()
 {
-    for (auto &e : engines_)
+    for (ServeEngine *e : builtEngines())
         e->drain();
 }
 
 void
 ServeFront::stop()
 {
-    for (auto &e : engines_)
+    {
+        std::lock_guard<std::mutex> lock(buildMu_);
+        stopped_ = true;
+    }
+    for (ServeEngine *e : builtEngines())
         e->stop();
 }
 
 ServeStats
 ServeFront::stats(const std::string &modelId) const
 {
-    return engines_[indexOf(modelId)]->stats();
+    const size_t i = indexOf(modelId);
+    std::lock_guard<std::mutex> lock(buildMu_);
+    // An unbuilt streamed engine has by definition served nothing.
+    return engines_[i] ? engines_[i]->stats() : ServeStats{};
 }
 
 ServeStats
@@ -144,7 +223,7 @@ ServeFront::aggregateStats() const
     ServeStats agg;
     double latWeighted = 0.0;
     double batchWeighted = 0.0;
-    for (const auto &e : engines_) {
+    for (const ServeEngine *e : builtEngines()) {
         const ServeStats s = e->stats();
         agg.requests += s.requests;
         agg.failed += s.failed;
@@ -166,14 +245,22 @@ ServeFront::aggregateStats() const
 ServeEngine &
 ServeFront::engine(const std::string &modelId)
 {
-    return *engines_[indexOf(modelId)];
+    return engineAt(indexOf(modelId));
+}
+
+bool
+ServeFront::engineBuilt(const std::string &modelId) const
+{
+    const size_t i = indexOf(modelId);
+    std::lock_guard<std::mutex> lock(buildMu_);
+    return engines_[i] != nullptr;
 }
 
 int
 ServeFront::replicaCount() const
 {
     int n = 0;
-    for (const auto &e : engines_)
+    for (const ServeEngine *e : builtEngines())
         n += e->replicaCount();
     return n;
 }

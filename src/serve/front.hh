@@ -25,6 +25,7 @@
 #define SE_SERVE_FRONT_HH
 
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -33,6 +34,10 @@
 #include "serve/engine.hh"
 
 namespace se {
+namespace core {
+class StreamedModel;
+}
+
 namespace serve {
 
 /** submit()/stats() named a model id the registry does not hold. */
@@ -64,13 +69,34 @@ struct ModelEntry
      * a CeDirect engine against a Dense engine of the same bundle.
      */
     WeightSource weightSource = WeightSource::Dense;
+    /**
+     * Lazy alternative to `records`: an open v4 streaming bundle.
+     * When set (and `records` is null) the front defers the engine —
+     * and with it the bundle's piece decode — until the model's first
+     * submit, so a fleet of mostly-cold models pays open-time O(meta)
+     * per model instead of decoding every piece of every bundle.
+     * Responses are bit-identical to the eager path (same decoder,
+     * same bits, just later).
+     */
+    std::shared_ptr<core::StreamedModel> streamed;
 };
 
 /**
- * Wrap a loaded bundle (v2 or v3) as a registrable entry: the records
- * and the dense residual move into shared ownership.
+ * Wrap a loaded bundle (v2, v3 or v4) as a registrable entry: the
+ * records and the dense residual move into shared ownership.
  */
 ModelEntry makeModelEntry(core::ModelBundle bundle, NetFactory factory,
+                          const core::SeOptions &se_opts,
+                          const core::ApplyOptions &apply_opts,
+                          WeightSource source = WeightSource::Dense);
+
+/**
+ * Wrap an open v4 streaming bundle as a lazily-decoded entry. The
+ * dense residual (needed to build replica nets) is copied out of the
+ * meta section up front; piece decode waits for the first submit.
+ */
+ModelEntry makeModelEntry(std::shared_ptr<core::StreamedModel> streamed,
+                          NetFactory factory,
                           const core::SeOptions &se_opts,
                           const core::ApplyOptions &apply_opts,
                           WeightSource source = WeightSource::Dense);
@@ -99,10 +125,12 @@ class ServeFront
 {
   public:
     /**
-     * Builds one engine per registered model (the registry is only
-     * read during construction — entries are copied in). `opts` is
-     * applied to every engine, except that a positive/per-core
-     * thread budget is split evenly across models.
+     * Builds one engine per records-backed registered model (the
+     * registry is only read during construction — entries are copied
+     * in); engines of streamed (v4) entries are deferred to the
+     * model's first submit. `opts` is applied to every engine, except
+     * that a positive/per-core thread budget is split evenly across
+     * models.
      */
     explicit ServeFront(const ModelRegistry &registry,
                         ServeOptions opts = {});
@@ -111,17 +139,20 @@ class ServeFront
     ServeFront(const ServeFront &) = delete;
     ServeFront &operator=(const ServeFront &) = delete;
 
-    /** Route one sample to the named model's engine. */
+    /** Route one sample to the named model's engine (building the
+     *  engine first when this is a streamed model's first submit). */
     std::future<Tensor> submit(const std::string &modelId,
                                Tensor sample);
 
-    /** Drain every engine (all accepted requests answered). */
+    /** Drain every built engine (all accepted requests answered). */
     void drain();
 
-    /** Stop every engine; later submits throw EngineStoppedError. */
+    /** Stop every engine; later submits throw EngineStoppedError
+     *  (including first submits to still-unbuilt streamed models). */
     void stop();
 
-    /** Per-model statistics (latency percentiles included). */
+    /** Per-model statistics (latency percentiles included). A
+     *  streamed model that never saw a submit reports all zeros. */
     ServeStats stats(const std::string &modelId) const;
 
     /**
@@ -132,17 +163,30 @@ class ServeFront
      */
     ServeStats aggregateStats() const;
 
-    /** Direct engine access (e.g. per-model drain or replica count). */
+    /** Direct engine access (e.g. per-model drain or replica count).
+     *  Forces a deferred streamed engine to build. */
     ServeEngine &engine(const std::string &modelId);
+
+    /** True once the model's engine exists — the lazy-serving
+     *  observable: false for a streamed model nobody submitted to. */
+    bool engineBuilt(const std::string &modelId) const;
 
     std::vector<std::string> modelIds() const { return ids_; }
     size_t modelCount() const { return ids_.size(); }
-    int replicaCount() const;  ///< summed across engines
+    int replicaCount() const;  ///< summed across BUILT engines
 
   private:
     size_t indexOf(const std::string &modelId) const;
+    /** Build engine i if needed, then return it. */
+    ServeEngine &engineAt(size_t i);
+    void buildEngineLocked(size_t i);
+    std::vector<ServeEngine *> builtEngines() const;
 
     std::vector<std::string> ids_;
+    std::vector<ModelEntry> entries_;
+    ServeOptions perEngineOpts_;
+    mutable std::mutex buildMu_;
+    bool stopped_ = false;
     std::vector<std::unique_ptr<ServeEngine>> engines_;
 };
 

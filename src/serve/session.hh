@@ -59,6 +59,11 @@ Shape sampleShape(const Tensor &t);
  *    tolerance is needed. Requires a 4-bit alphabet (numLevels <= 7,
  *    i.e. SeOptions::coefBits == 4); binding a wider model throws
  *    core::ModelFileError.
+ *
+ * CeDirect is wire-format agnostic: bind packs whatever SeMatrix the
+ * loader produced, so a v4 bundle's adaptive-width pieces transcode
+ * to the same fixed 4-bit PackedCe here (codes are codes) and serve
+ * bit-identically to the v3 path.
  */
 enum class WeightSource
 {

@@ -15,12 +15,22 @@
  * checksum-fixup helper — the structural validation the checksum
  * alone cannot exercise (0x80-style invalid nibbles, codes outside
  * the alphabet, dirty padding, mask/count disagreement).
+ *
+ * The v4 wall extends the same discipline to the streaming format:
+ * adaptive-width round trips (all-zero columns, single-row pieces,
+ * 1/2/3-bit alphabets), the quantize-at-compress contract, full
+ * truncation/bit-flip rejection across header + meta + directory +
+ * payloads + padding, structural corruption behind BOTH fixed-up
+ * checksums (piece and meta), error messages that name the offending
+ * record/piece/offset, and the StreamedModel lazy loader (O(meta)
+ * open, decode-on-touch, prefetch, corrupt-piece containment).
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <utility>
@@ -29,6 +39,7 @@
 #include "base/random.hh"
 #include "core/apply.hh"
 #include "core/model_file.hh"
+#include "core/stream_loader.hh"
 #include "linalg/linalg.hh"
 #include "nn/blocks.hh"
 
@@ -858,6 +869,635 @@ TEST(ModelRecords, InstallRejectsExtraRecords)
                                            se_opts,
                                            core::ApplyOptions{}),
                  core::ModelFileError);
+}
+
+// ====================================================== model file v4
+
+std::string
+saveV4String(const std::vector<core::SeLayerRecord> &records,
+             const std::vector<core::DenseTensor> &dense = {})
+{
+    std::stringstream ss;
+    core::saveModelV4(ss, records, dense);
+    return ss.str();
+}
+
+core::ModelBundle
+loadFromString(const std::string &s)
+{
+    std::istringstream is(s);
+    return core::loadModelBundle(is);
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), (std::streamsize)bytes.size());
+    EXPECT_TRUE(os.good());
+}
+
+/**
+ * v4 piece-payload header offsets (27 bytes): rows u32 @0, rank u16
+ * @4, cols u16 @6, expMax i16 @8, numLevels u8 @10, iterations i32
+ * @11, reconRelError f64 @15, basisScale f32 @23; row mask @27, then
+ * the 2-bit-packed width table, bitstream, int8 basis.
+ */
+constexpr size_t kV4NumLevelsOff = 10;
+constexpr size_t kV4ScaleOff = 23;
+constexpr size_t kV4MaskOff = 27;
+
+/**
+ * Patch one byte of piece `piece`'s payload and fix up BOTH checksums
+ * behind it — the piece checksum in the directory row and the meta
+ * checksum in the header — so the load reaches the structural
+ * validation instead of stopping at a checksum gate.
+ */
+std::string
+patchV4Piece(std::string stream, size_t piece, size_t payload_off,
+             const std::function<char(char)> &edit)
+{
+    namespace v4 = core::modelv4;
+    const v4::Meta meta = v4::parseMeta(
+        reinterpret_cast<const uint8_t *>(stream.data()),
+        stream.size());
+    const v4::PieceDirEntry &e = meta.directory.at(piece);
+    EXPECT_LT(payload_off, (size_t)e.length);
+    stream[(size_t)e.offset + payload_off] =
+        edit(stream[(size_t)e.offset + payload_off]);
+    const uint32_t psum =
+        (uint32_t)fnv1a(stream.data() + e.offset, (size_t)e.length,
+                        hashValue(4u));
+    // Directory rows (u32 length + u32 checksum) are the last
+    // 8 * pieces bytes of the meta section; the checksum sits 4
+    // bytes into a row.
+    const size_t dir_at = v4::kHeaderBytes + (size_t)meta.metaBytes -
+                          8 * meta.directory.size() + 8 * piece + 4;
+    std::memcpy(stream.data() + dir_at, &psum, sizeof(psum));
+    const uint64_t msum =
+        fnv1a(stream.data() + v4::kHeaderBytes,
+              (size_t)meta.metaBytes, hashValue(4u));
+    std::memcpy(stream.data() + 24, &msum, sizeof(msum));
+    return stream;
+}
+
+TEST(ModelFileV4, RandomBundlesRoundTripExactly)
+{
+    Rng rng(60);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<core::SeLayerRecord> layers;
+        const int n_layers = (int)rng.integer(1, 3);
+        for (int l = 0; l < n_layers; ++l) {
+            core::SeLayerRecord rec;
+            rec.name = "layer" + std::to_string(l);
+            const int n_pieces = (int)rng.integer(1, 3);
+            for (int p = 0; p < n_pieces; ++p)
+                rec.pieces.push_back(randomSeMatrix(rng));
+            layers.push_back(std::move(rec));
+        }
+        core::quantizeBasisAtCompress(layers);
+
+        const core::ModelBundle back =
+            loadFromString(saveV4String(layers));
+        ASSERT_EQ(back.records.size(), layers.size());
+        for (size_t l = 0; l < layers.size(); ++l) {
+            EXPECT_EQ(back.records[l].name, layers[l].name);
+            ASSERT_EQ(back.records[l].pieces.size(),
+                      layers[l].pieces.size());
+            for (size_t p = 0; p < layers[l].pieces.size(); ++p)
+                expectBitIdentical(layers[l].pieces[p],
+                                   back.records[l].pieces[p]);
+        }
+    }
+}
+
+TEST(ModelFileV4, EdgeShapesRoundTrip)
+{
+    Rng rng(61);
+    std::vector<core::SeLayerRecord> layers;
+
+    // An all-zero Ce: zero surviving rows, zero bitstream bytes.
+    core::SeMatrix zero = randomSeMatrix(rng);
+    zero.ce = Tensor({zero.ce.dim(0), zero.ce.dim(1)});
+    layers.push_back({"zero", {zero}});
+
+    // A single-row piece.
+    core::SeMatrix one_row = randomSeMatrix(rng);
+    one_row.alphabet.expMax = 0;
+    one_row.alphabet.numLevels = 1;
+    one_row.ce = Tensor({1, 3});
+    one_row.ce.at(0, 1) = 1.0f;  // 2^0, the alphabet's only level
+    one_row.basis = randn({3, 2}, rng);
+    layers.push_back({"one_row", {one_row}});
+
+    // An all-zero COLUMN among live ones: that column's width is 0
+    // and it spends no bits at all.
+    core::SeMatrix dead_col = craftedMatrix(5, 3);
+    for (int64_t i = 0; i < dead_col.ce.dim(0); ++i)
+        dead_col.ce.at(i, 1) = 0.0f;
+    layers.push_back({"dead_col", {dead_col}});
+
+    // The width extremes: 1-level alphabet (1-bit codes) and the
+    // 7-level maximum (3-bit codes).
+    layers.push_back({"w1", {craftedMatrix(5, 1)}});
+    layers.push_back({"w3", {craftedMatrix(5, 7)}});
+
+    // An all-zero basis (scale canonically 1).
+    core::SeMatrix zero_basis = craftedMatrix(3, 3);
+    zero_basis.basis = Tensor({3, 4});
+    layers.push_back({"zero_basis", {zero_basis}});
+
+    core::quantizeBasisAtCompress(layers);
+    const core::ModelBundle back = loadFromString(saveV4String(layers));
+    ASSERT_EQ(back.records.size(), layers.size());
+    for (size_t l = 0; l < layers.size(); ++l)
+        expectBitIdentical(layers[l].pieces[0],
+                           back.records[l].pieces[0]);
+}
+
+TEST(ModelFileV4, SaveRequiresAQuantizedBasis)
+{
+    // 0.3 is not representable on the {scale = 1/127} int8 grid that
+    // calibration picks for a max-1.0 basis, so this basis cannot be
+    // recovered exactly and the save must refuse it.
+    core::SeMatrix m;
+    m.alphabet.expMax = 0;
+    m.alphabet.numLevels = 1;
+    m.ce = Tensor({1, 1}, 1.0f);
+    m.basis = Tensor({1, 3});
+    m.basis[0] = 1.0f;
+    m.basis[1] = 0.3f;
+    m.basis[2] = 0.7f;
+    std::vector<core::SeLayerRecord> layers{{"m", {m}}};
+    std::stringstream ss;
+    EXPECT_THROW(core::saveModelV4(ss, layers), core::ModelFileError);
+
+    // quantizeBasisAtCompress is exactly the missing step.
+    core::quantizeBasisAtCompress(layers);
+    std::stringstream ok;
+    core::saveModelV4(ok, layers);
+    expectBitIdentical(layers[0].pieces[0],
+                       loadFromString(ok.str()).records[0].pieces[0]);
+}
+
+TEST(ModelFileV4, QuantizeBasisAtCompressReachesAFixedPoint)
+{
+    Rng rng(62);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back({"b", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+
+    EXPECT_GT(core::quantizeBasisAtCompress(layers), 0u);
+    // Idempotent at the bit level: a second pass moves nothing.
+    std::vector<Tensor> snap;
+    for (const auto &rec : layers)
+        for (const auto &p : rec.pieces)
+            snap.push_back(p.basis);
+    EXPECT_EQ(core::quantizeBasisAtCompress(layers), 0u);
+    size_t k = 0;
+    for (const auto &rec : layers)
+        for (const auto &p : rec.pieces) {
+            EXPECT_EQ(std::memcmp(snap[k].data(), p.basis.data(),
+                                  (size_t)p.basis.size() *
+                                      sizeof(float)),
+                      0);
+            ++k;
+        }
+}
+
+TEST(ModelFileV4, PacksSmallerThanV3)
+{
+    // At a realistic shape (hundreds of rows, a 2-bit-occupied
+    // alphabet, a float basis worth shrinking to int8) the adaptive
+    // widths + int8 basis beat v3's fixed nibbles + f32 basis even
+    // after the region-alignment and directory overhead.
+    Rng rng(63);
+    core::SeMatrix m;
+    m.alphabet.expMax = 0;
+    m.alphabet.numLevels = 3;  // codes fit 2 bits vs v3's fixed 4
+    m.ce = Tensor({512, 8});
+    for (int64_t i = 0; i < m.ce.size(); ++i) {
+        if (rng.chance(0.4))
+            continue;
+        const int exp =
+            m.alphabet.expMin() + (int)rng.integer(0, 2);
+        const float mag = std::ldexp(1.0f, exp);
+        m.ce[i] = rng.chance(0.5) ? mag : -mag;
+    }
+    m.basis = randn({8, 16}, rng);
+    std::vector<core::SeLayerRecord> layers{{"big", {m}}};
+    core::quantizeBasisAtCompress(layers);
+
+    std::stringstream v3;
+    core::saveModelV3(v3, layers);
+    const std::string v4 = saveV4String(layers);
+    EXPECT_LT(v4.size(), v3.str().size());
+}
+
+TEST(ModelFileV4, FileRoundTripOnDisk)
+{
+    Rng rng(64);
+    core::ModelBundle bundle;
+    bundle.records.push_back({"layer", {randomSeMatrix(rng)}});
+    bundle.dense.push_back({"0:bn:gamma", randn({6}, rng)});
+    core::quantizeBasisAtCompress(bundle.records);
+
+    const std::string path = "/tmp/se_model_v4_test.sexm";
+    core::saveModelV4File(path, bundle);
+    const core::ModelBundle back = core::loadModelBundleFile(path);
+    ASSERT_EQ(back.records.size(), 1u);
+    expectBitIdentical(bundle.records[0].pieces[0],
+                       back.records[0].pieces[0]);
+    ASSERT_EQ(back.dense.size(), 1u);
+    EXPECT_EQ(back.dense[0].name, "0:bn:gamma");
+    EXPECT_EQ(std::memcmp(back.dense[0].value.data(),
+                          bundle.dense[0].value.data(),
+                          (size_t)bundle.dense[0].value.size() *
+                              sizeof(float)),
+              0);
+}
+
+TEST(ModelFileV4Property, EveryTruncatedPrefixFailsCleanly)
+{
+    Rng rng(65);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back({"b", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string full =
+        saveV4String(layers, {{"bias", randn({4}, rng)}});
+
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        std::istringstream damaged(full.substr(0, cut));
+        EXPECT_THROW(core::loadModelBundle(damaged),
+                     core::ModelFileError)
+            << "prefix of " << cut << " bytes must not load";
+    }
+}
+
+TEST(ModelFileV4Property, EverySingleBitFlipFailsCleanly)
+{
+    // Header, meta, directory, payloads AND the meta→region padding
+    // run: no byte of a v4 file is flippable without the eager loader
+    // noticing. (Padding is the subtle one — it sits outside both
+    // checksums and is caught by the explicit zero check.)
+    Rng rng(66);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back({"b", {randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string full = saveV4String(layers);
+
+    for (size_t byte = 0; byte < full.size(); ++byte) {
+        std::string damaged = full;
+        damaged[byte] ^= (char)(1u << rng.integer(0, 7));
+        std::istringstream is(damaged);
+        EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError)
+            << "bit flip in byte " << byte << " must not load";
+    }
+}
+
+TEST(ModelFileV4Property, StructuralCorruptionBehindAValidChecksum)
+{
+    // craftedMatrix(3, 3): 3x3 Ce, every row live, codes 1..3 so
+    // every column width is 2 bits — the packed width byte is
+    // 0b00101010 = 0x2A (bits 6-7 are pad); 27-bit stream in 4 bytes
+    // (5 pad bits); 3x4 basis. Fixed offsets into the 45-byte payload.
+    std::vector<core::SeLayerRecord> layers{
+        {"m", {craftedMatrix(3, 3)}}};
+    core::quantizeBasisAtCompress(layers);
+    const std::string good = saveV4String(layers);
+    ASSERT_NO_THROW(loadFromString(good));
+
+    const size_t widths_off = kV4MaskOff + 1;   // 1 mask byte
+    const size_t stream_off = widths_off + 1;   // 1 packed width byte
+    struct Case
+    {
+        const char *what;
+        size_t off;
+        std::function<char(char)> edit;
+    };
+    const Case cases[] = {
+        {"dirty width-table padding", widths_off,
+         [](char) { return (char)0xFF; }},
+        {"non-minimal column width", widths_off,
+         [](char) { return (char)0x2B; }},  // widths (3, 2, 2)
+        {"negative basis scale", kV4ScaleOff + 3,
+         [](char c) { return (char)(c | 0x80); }},
+        {"mask tail bit set", kV4MaskOff,
+         [](char c) { return (char)(c | 0x08); }},
+        {"mask bit cleared (stream row miscount)", kV4MaskOff,
+         [](char c) { return (char)(c & ~0x01); }},
+        {"code outside the alphabet", kV4NumLevelsOff,
+         [](char) { return (char)1; }},
+        {"dirty bitstream padding", stream_off + 3,
+         [](char c) { return (char)(c | 0x80); }},
+    };
+    for (const Case &c : cases) {
+        const std::string bad = patchV4Piece(good, 0, c.off, c.edit);
+        std::istringstream is(bad);
+        EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError)
+            << c.what;
+    }
+
+    // A non-1 scale on an all-zero basis is non-canonical even
+    // though it decodes to the same zeros.
+    core::SeMatrix zb = craftedMatrix(3, 3);
+    zb.basis = Tensor({3, 4});
+    std::vector<core::SeLayerRecord> zb_layers{{"z", {zb}}};
+    core::quantizeBasisAtCompress(zb_layers);
+    const std::string zb_good = saveV4String(zb_layers);
+    const std::string zb_bad = patchV4Piece(
+        // 1.0f is 00 00 80 3F; turning 3F into 40 gives 4.0f.
+        zb_good, 0, kV4ScaleOff + 3, [](char) { return (char)0x40; });
+    std::istringstream is(zb_bad);
+    EXPECT_THROW(core::loadModelBundle(is), core::ModelFileError);
+}
+
+TEST(ModelFileV4, ErrorsNameThePieceAndOffset)
+{
+    Rng rng(67);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"alpha", {randomSeMatrix(rng)}});
+    layers.push_back(
+        {"beta", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string good = saveV4String(layers);
+
+    // Corrupt global piece 1 (beta's first) without fixing its
+    // checksum: the load must name the record, the flat piece index
+    // and the byte offset of the damage.
+    namespace v4 = core::modelv4;
+    const v4::Meta meta = v4::parseMeta(
+        reinterpret_cast<const uint8_t *>(good.data()), good.size());
+    ASSERT_EQ(meta.directory.size(), 3u);
+    std::string bad = good;
+    bad[(size_t)meta.directory[1].offset + 5] ^= 0x10;
+    try {
+        loadFromString(bad);
+        FAIL() << "corrupt piece must not load";
+    } catch (const core::ModelFileError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("record 'beta'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("piece 1 at offset " +
+                           std::to_string(meta.directory[1].offset)),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(ModelFileV3, ErrorsNameTheRecordAndPiece)
+{
+    // The v3 loader wraps per-piece failures the same way: corrupt a
+    // nibble (sign bit on a zero code) behind a fixed-up checksum and
+    // the message must say which record and piece it sat in.
+    std::vector<core::SeLayerRecord> layers{
+        {"m", {craftedMatrix(3, 3)}}};
+    std::stringstream ss;
+    core::saveModelV3(ss, layers);
+    const std::string bad =
+        patchBody(ss.str(), maskOffset(1) + 1,
+                  [](char) { return (char)0x88; });
+    try {
+        loadFromString(bad);
+        FAIL() << "corrupt nibble must not load";
+    } catch (const core::ModelFileError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("record 'm' piece 0"), std::string::npos)
+            << msg;
+    }
+}
+
+// ==================================================== StreamedModel
+
+TEST(StreamedModelTest, LazyOpenDecodesNoPieces)
+{
+    Rng rng(70);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng)}});
+    layers.push_back({"b", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string path = "/tmp/se_model_v4_stream.sexm";
+    writeFile(path,
+              saveV4String(layers, {{"bias", randn({4}, rng)}}));
+
+    core::StreamedModel sm(path);
+    // O(meta) open: names and dense residual are up, no piece is.
+    EXPECT_EQ(sm.decodedPieces(), 0u);
+    EXPECT_EQ(sm.pieceCount(), 3u);
+    ASSERT_EQ(sm.recordNames().size(), 2u);
+    EXPECT_EQ(sm.recordNames()[1], "b");
+    ASSERT_EQ(sm.dense().size(), 1u);
+    EXPECT_EQ(sm.dense()[0].name, "bias");
+    EXPECT_EQ(sm.decodedPieces(), 0u);
+
+    // First touch decodes exactly that piece; a second touch is a
+    // cache hit.
+    expectBitIdentical(layers[0].pieces[0], sm.piece(0));
+    EXPECT_EQ(sm.decodedPieces(), 1u);
+    expectBitIdentical(layers[0].pieces[0], sm.piece(0));
+    EXPECT_EQ(sm.decodedPieces(), 1u);
+
+    // records() decodes the rest and groups per layer.
+    auto recs = sm.records();
+    EXPECT_EQ(sm.decodedPieces(), 3u);
+    ASSERT_EQ(recs->size(), 2u);
+    ASSERT_EQ((*recs)[1].pieces.size(), 2u);
+    for (size_t l = 0; l < layers.size(); ++l)
+        for (size_t p = 0; p < layers[l].pieces.size(); ++p)
+            expectBitIdentical(layers[l].pieces[p],
+                               (*recs)[l].pieces[p]);
+    EXPECT_EQ(sm.records(), recs);  // cached, same vector
+}
+
+TEST(StreamedModelTest, AllBackendsServeIdenticalBits)
+{
+    Rng rng(71);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng), randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string bytes =
+        saveV4String(layers, {{"gamma", randn({3}, rng)}});
+    const std::string path = "/tmp/se_model_v4_backends.sexm";
+    writeFile(path, bytes);
+
+    const core::ModelBundle reference = loadFromString(bytes);
+    for (const bool eager : {false, true})
+        for (const bool force_read : {false, true}) {
+            core::StreamedModel sm(path, {eager, force_read});
+            if (force_read)
+                EXPECT_FALSE(sm.mapped());
+            const core::ModelBundle got = sm.bundle();
+            ASSERT_EQ(got.records.size(), reference.records.size());
+            for (size_t p = 0; p < 2; ++p)
+                expectBitIdentical(reference.records[0].pieces[p],
+                                   got.records[0].pieces[p]);
+            ASSERT_EQ(got.dense.size(), 1u);
+            EXPECT_EQ(std::memcmp(
+                          got.dense[0].value.data(),
+                          reference.dense[0].value.data(),
+                          (size_t)reference.dense[0].value.size() *
+                              sizeof(float)),
+                      0);
+        }
+}
+
+TEST(StreamedModelTest, PrefetchDecodesAWindow)
+{
+    Rng rng(72);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng), randomSeMatrix(rng),
+                            randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string path = "/tmp/se_model_v4_prefetch.sexm";
+    writeFile(path, saveV4String(layers));
+
+    core::StreamedModel sm(path);
+    EXPECT_EQ(sm.prefetch(0, 2), 2u);
+    EXPECT_EQ(sm.decodedPieces(), 2u);
+    EXPECT_EQ(sm.prefetch(0, 2), 0u);  // already resident
+    // Over-asking clamps to the directory instead of throwing.
+    EXPECT_EQ(sm.prefetch(1, 100), 1u);
+    EXPECT_EQ(sm.decodedPieces(), 3u);
+    EXPECT_EQ(sm.prefetch(99, 5), 0u);
+}
+
+TEST(StreamedModelTest, CorruptPieceFailsAtFirstTouch)
+{
+    Rng rng(73);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng), randomSeMatrix(rng),
+                            randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string good = saveV4String(layers);
+
+    namespace v4 = core::modelv4;
+    const v4::Meta meta = v4::parseMeta(
+        reinterpret_cast<const uint8_t *>(good.data()), good.size());
+    std::string bad = good;
+    bad[(size_t)meta.directory[1].offset + 7] ^= 0x04;
+    const std::string path = "/tmp/se_model_v4_corrupt.sexm";
+    writeFile(path, bad);
+
+    // Lazy open only validates meta, so it succeeds; the damage is
+    // contained to the piece that carries it.
+    core::StreamedModel sm(path);
+    EXPECT_NO_THROW(sm.piece(0));
+    try {
+        sm.piece(1);
+        FAIL() << "corrupt piece must not decode";
+    } catch (const core::ModelFileError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("piece 1 at offset " +
+                           std::to_string(meta.directory[1].offset)),
+                  std::string::npos)
+            << msg;
+    }
+    EXPECT_NO_THROW(sm.piece(2));
+    EXPECT_EQ(sm.decodedPieces(), 2u);
+    EXPECT_THROW(sm.records(), core::ModelFileError);
+
+    // The eager open refuses the same file up front.
+    EXPECT_THROW(core::StreamedModel(path, {true, false}),
+                 core::ModelFileError);
+}
+
+TEST(StreamedModelTest, TruncatedFileFailsAtOpen)
+{
+    Rng rng(74);
+    std::vector<core::SeLayerRecord> layers{
+        {"a", {randomSeMatrix(rng)}}};
+    core::quantizeBasisAtCompress(layers);
+    const std::string full = saveV4String(layers);
+    const std::string path = "/tmp/se_model_v4_trunc.sexm";
+
+    for (const size_t keep :
+         {full.size() - 1, full.size() / 2, (size_t)40, (size_t)0}) {
+        writeFile(path, full.substr(0, keep));
+        EXPECT_THROW(core::StreamedModel sm(path),
+                     core::ModelFileError)
+            << keep << " bytes kept";
+    }
+}
+
+TEST(StreamedModelTest, RefusesNonStreamingFormats)
+{
+    Rng rng(75);
+    std::vector<core::SeLayerRecord> layers{
+        {"a", {randomSeMatrix(rng)}}};
+    std::stringstream v3;
+    core::saveModelV3(v3, layers);
+    const std::string path = "/tmp/se_model_v4_wrongver.sexm";
+    writeFile(path, v3.str());
+    try {
+        core::StreamedModel sm(path);
+        FAIL() << "a v3 file is not streamable";
+    } catch (const core::ModelFileError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("not a v4 streaming bundle"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(StreamedModelTest, EagerOpenValidatesPadding)
+{
+    // The meta→region padding run sits outside both checksums; only
+    // the eager open (like the eager loadModelBundle) walks it.
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {craftedMatrix(3, 3)}});
+    layers.push_back({"b", {craftedMatrix(4, 3)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string good = saveV4String(layers);
+
+    namespace v4 = core::modelv4;
+    const v4::Meta meta = v4::parseMeta(
+        reinterpret_cast<const uint8_t *>(good.data()), good.size());
+    const size_t meta_end =
+        v4::kHeaderBytes + (size_t)meta.metaBytes;
+    const size_t pad_at = meta_end;
+    ASSERT_LT(pad_at, (size_t)meta.directory[0].offset)
+        << "fixture must leave padding before the piece region";
+    std::string bad = good;
+    bad[pad_at] = (char)0x5A;
+    const std::string path = "/tmp/se_model_v4_pad.sexm";
+    writeFile(path, bad);
+
+    EXPECT_THROW(core::StreamedModel(path, {true, false}),
+                 core::ModelFileError);
+    // The lazy open never reads those bytes, and the pieces it does
+    // read are intact — laziness narrows coverage to what is used.
+    core::StreamedModel lazy(path);
+    expectBitIdentical(layers[0].pieces[0], lazy.piece(0));
+    expectBitIdentical(layers[1].pieces[0], lazy.piece(1));
+}
+
+TEST(ModelRecordsV4, CompressQuantizeSaveLoadInstallRoundTrip)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+
+    // Compress net A in place, then pin its bases to the int8 grid —
+    // the compress-time step that makes the v4 file exact.
+    auto a = makeCnn(31);
+    auto compressed = core::compressToRecords(*a, se_opts, apply_opts);
+    core::quantizeBasisAtCompress(*a, compressed, se_opts, apply_opts);
+
+    auto bundle = compressed.bundle();
+    std::stringstream ss;
+    core::saveModelV4(ss, bundle.records, bundle.dense);
+    const core::ModelBundle shipped = loadFromString(ss.str());
+
+    auto b = makeCnn(31);
+    core::installModelBundle(*b, shipped, se_opts, apply_opts);
+    auto wa = collectWeights(*a), wb = collectWeights(*b);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(std::memcmp(wa[i]->data(), wb[i]->data(),
+                              (size_t)wa[i]->size() * sizeof(float)),
+                  0)
+            << "weight " << i;
 }
 
 } // namespace

@@ -62,6 +62,7 @@ TEST(RuntimeOptions, FromEnvParsesValidKnobs)
     ScopedEnv d("SE_SERVE_DEADLINE_MS", "2.5");
     ScopedEnv w("SE_SERVE_WEIGHT_SOURCE", "ce");
     ScopedEnv f("SE_MODEL_FORMAT", "2");
+    ScopedEnv s("SE_STREAM_LOADER", "eager");
     const auto ro = runtime::RuntimeOptions::fromEnv();
     EXPECT_EQ(ro.threads, 3);
     EXPECT_EQ(ro.serveQueueCap, 128u);
@@ -69,6 +70,16 @@ TEST(RuntimeOptions, FromEnvParsesValidKnobs)
     EXPECT_EQ(ro.serveWeightSource,
               runtime::ServeWeightSource::CeDirect);
     EXPECT_EQ(ro.modelFormat, 2);
+    EXPECT_TRUE(ro.streamEager);
+}
+
+TEST(RuntimeOptions, FromEnvParsesStreamingKnobs)
+{
+    ScopedEnv f("SE_MODEL_FORMAT", "4");
+    ScopedEnv s("SE_STREAM_LOADER", "mmap");
+    const auto ro = runtime::RuntimeOptions::fromEnv();
+    EXPECT_EQ(ro.modelFormat, 4);
+    EXPECT_FALSE(ro.streamEager);
 }
 
 TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
@@ -88,7 +99,11 @@ TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
         {"SE_SERVE_DEADLINE_MS", "nan"},
         {"SE_SERVE_WEIGHT_SOURCE", "quantized"},
         {"SE_MODEL_FORMAT", "1"},
+        {"SE_MODEL_FORMAT", "5"},
         {"SE_MODEL_FORMAT", "v3"},
+        {"SE_STREAM_LOADER", "lazy"},
+        {"SE_STREAM_LOADER", "MMAP"},  // case-sensitive
+        {"SE_STREAM_LOADER", ""},
         {"SE_KERNEL_ISA", "avx512"},
         {"SE_KERNEL_ISA", "fast"},
         {"SE_KERNEL_ISA", "AVX2"},  // case-sensitive like the others
@@ -138,12 +153,14 @@ TEST(RuntimeOptions, FromEnvDefaultsWithoutKnobs)
     std::vector<std::unique_ptr<ScopedEnv>> clear;
     for (const char *name :
          {"SE_SERVE_QUEUE_CAP", "SE_SERVE_DEADLINE_MS",
-          "SE_SERVE_WEIGHT_SOURCE", "SE_MODEL_FORMAT"}) {
+          "SE_SERVE_WEIGHT_SOURCE", "SE_MODEL_FORMAT",
+          "SE_STREAM_LOADER"}) {
         clear.push_back(std::make_unique<ScopedEnv>(name, "0"));
         ::unsetenv(name);  // ScopedEnv restores any prior value
     }
     const auto ro = runtime::RuntimeOptions::fromEnv();
     EXPECT_EQ(ro.modelFormat, 3);
+    EXPECT_FALSE(ro.streamEager);
     EXPECT_EQ(ro.serveWeightSource,
               runtime::ServeWeightSource::Dense);
     EXPECT_EQ(ro.serveQueueCap, 0u);

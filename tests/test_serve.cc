@@ -17,6 +17,7 @@
 
 #include "base/hash.hh"
 #include "base/random.hh"
+#include "core/stream_loader.hh"
 #include "nn/blocks.hh"
 #include "serve/engine.hh"
 #include "serve/front.hh"
@@ -911,6 +912,203 @@ TEST(ServeEngine, HeavyTrafficManyWaiters)
     auto st = engine.stats();
     EXPECT_EQ(st.requests, (uint64_t)n);
     EXPECT_GE(st.meanBatchSize, 1.0);
+}
+
+// ------------------------------------ model-file v4 streamed serving
+
+/**
+ * Compress a makeServeCnn(seed), pin its bases to the int8 grid (the
+ * v4 compress-time contract) and write the v4 bundle to `path`. The
+ * returned net is the quantized compression-time reference every
+ * served response must bit-match.
+ */
+std::unique_ptr<nn::Sequential>
+shipV4Model(uint64_t seed, const std::string &path,
+            const core::SeOptions &se_opts,
+            const core::ApplyOptions &apply_opts)
+{
+    auto reference = makeServeCnn(seed);
+    auto compressed =
+        core::compressToRecords(*reference, se_opts, apply_opts);
+    core::quantizeBasisAtCompress(*reference, compressed, se_opts,
+                                  apply_opts);
+    core::saveModelV4File(path, compressed.bundle());
+    return reference;
+}
+
+TEST(ServeFrontV4, V4BundleServesDenseAndCeDirectBitIdentical)
+{
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    const std::string path = "/tmp/se_serve_v4_ab.sexm";
+    auto reference = shipV4Model(96, path, se_opts, apply_opts);
+
+    // One v4 file, opened lazily once, served by two tenants — a
+    // Dense engine and a CeDirect engine (the transcode shim).
+    auto streamed = std::make_shared<core::StreamedModel>(path);
+    serve::ModelRegistry reg;
+    reg.add("dense",
+            serve::makeModelEntry(streamed,
+                                  [] { return makeServeCnn(96); },
+                                  se_opts, apply_opts));
+    reg.add("ce4",
+            serve::makeModelEntry(streamed,
+                                  [] { return makeServeCnn(96); },
+                                  se_opts, apply_opts,
+                                  serve::WeightSource::CeDirect));
+
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeFront front(reg, opts);
+
+    const int n = 10;
+    std::vector<std::future<Tensor>> fd, fc;
+    for (int i = 0; i < n; ++i) {
+        fd.push_back(
+            front.submit("dense", makeInput(900 + (uint64_t)i)));
+        fc.push_back(
+            front.submit("ce4", makeInput(900 + (uint64_t)i)));
+    }
+    front.drain();
+    for (int i = 0; i < n; ++i) {
+        Tensor ref = reference->forward(
+            makeInput(900 + (uint64_t)i), false);
+        Tensor yd = fd[(size_t)i].get();
+        Tensor yc = fc[(size_t)i].get();
+        ASSERT_EQ(yd.size(), ref.size());
+        EXPECT_EQ(std::memcmp(yd.data(), ref.data(),
+                              (size_t)ref.size() * sizeof(float)),
+                  0)
+            << "dense request " << i;
+        EXPECT_EQ(std::memcmp(yc.data(), ref.data(),
+                              (size_t)ref.size() * sizeof(float)),
+                  0)
+            << "ce4 request " << i;
+    }
+}
+
+TEST(ServeFrontV4, LazyEagerAndRecordsPathsAnswerIdentically)
+{
+    // The loader is an access policy, not a value policy: lazy mmap,
+    // eager decode-at-open, and the classic loadModelBundleFile ->
+    // records path must produce bit-identical responses — and so
+    // must every thread/batch configuration (the SE_THREADS
+    // invariance, exercised programmatically).
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    const std::string path = "/tmp/se_serve_v4_loaders.sexm";
+    auto reference = shipV4Model(97, path, se_opts, apply_opts);
+
+    const int n = 8;
+    std::vector<uint64_t> digests;
+    for (const auto &[threads, batch] :
+         std::vector<std::pair<int, size_t>>{
+             {0, 1}, {1, 4}, {4, 3}}) {
+        for (int mode = 0; mode < 3; ++mode) {
+            serve::ModelRegistry reg;
+            if (mode == 2) {  // eager records path, no streaming
+                reg.add("m", serve::makeModelEntry(
+                                 core::loadModelBundleFile(path),
+                                 [] { return makeServeCnn(97); },
+                                 se_opts, apply_opts));
+            } else {
+                core::StreamLoaderOptions lo;
+                lo.eager = (mode == 1);
+                auto sm = std::make_shared<core::StreamedModel>(
+                    path, lo);
+                reg.add("m", serve::makeModelEntry(
+                                 std::move(sm),
+                                 [] { return makeServeCnn(97); },
+                                 se_opts, apply_opts));
+            }
+            serve::ServeOptions opts;
+            opts.threads = threads;
+            opts.maxBatch = batch;
+            serve::ServeFront front(reg, opts);
+            std::vector<std::future<Tensor>> futs;
+            for (int i = 0; i < n; ++i)
+                futs.push_back(front.submit(
+                    "m", makeInput(1000 + (uint64_t)i)));
+            front.drain();
+            uint64_t digest = kFnvOffsetBasis;
+            for (auto &f : futs)
+                digest = hashTensor(f.get(), digest);
+            digests.push_back(digest);
+        }
+    }
+    for (size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[i], digests[0]) << "config " << i;
+
+    // All equal the quantized compression-time net's own forward.
+    uint64_t ref = kFnvOffsetBasis;
+    for (int i = 0; i < n; ++i) {
+        Tensor y =
+            reference->forward(makeInput(1000 + (uint64_t)i), false);
+        ref = hashTensor(y.reshaped({y.size()}), ref);
+    }
+    EXPECT_EQ(digests[0], ref);
+}
+
+TEST(ServeFrontV4, UntouchedStreamedModelStaysCold)
+{
+    // The point of the lazy loader: in a multi-model front, a
+    // streamed model nobody submits to never builds its engine and
+    // never decodes a piece.
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    const std::string hot_path = "/tmp/se_serve_v4_hot.sexm";
+    const std::string cold_path = "/tmp/se_serve_v4_cold.sexm";
+    auto hot_ref = shipV4Model(98, hot_path, se_opts, apply_opts);
+    shipV4Model(99, cold_path, se_opts, apply_opts);
+
+    auto hot = std::make_shared<core::StreamedModel>(hot_path);
+    auto cold = std::make_shared<core::StreamedModel>(cold_path);
+    serve::ModelRegistry reg;
+    reg.add("hot", serve::makeModelEntry(
+                       hot, [] { return makeServeCnn(98); },
+                       se_opts, apply_opts));
+    reg.add("cold", serve::makeModelEntry(
+                        cold, [] { return makeServeCnn(99); },
+                        se_opts, apply_opts));
+
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeFront front(reg, opts);
+    EXPECT_FALSE(front.engineBuilt("hot"));
+    EXPECT_FALSE(front.engineBuilt("cold"));
+    EXPECT_EQ(hot->decodedPieces(), 0u);
+    EXPECT_EQ(cold->decodedPieces(), 0u);
+    EXPECT_EQ(front.replicaCount(), 0);  // no engine built yet
+
+    auto fut = front.submit("hot", makeInput(1100));
+    front.drain();
+    Tensor ref = hot_ref->forward(makeInput(1100), false);
+    Tensor got = fut.get();
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                          (size_t)ref.size() * sizeof(float)),
+              0);
+
+    // The hot model paid its decode; the cold one still has not.
+    EXPECT_TRUE(front.engineBuilt("hot"));
+    EXPECT_GT(hot->decodedPieces(), 0u);
+    EXPECT_FALSE(front.engineBuilt("cold"));
+    EXPECT_EQ(cold->decodedPieces(), 0u);
+    EXPECT_GT(front.replicaCount(), 0);
+    EXPECT_EQ(front.stats("hot").requests, 1u);
+    EXPECT_EQ(front.stats("cold").requests, 0u);  // all-zero stats
+
+    // A stopped front refuses to build the cold engine on a late
+    // first submit instead of standing up workers post-stop.
+    front.stop();
+    EXPECT_THROW(front.submit("cold", makeInput(1)),
+                 serve::EngineStoppedError);
+    EXPECT_FALSE(front.engineBuilt("cold"));
+    EXPECT_EQ(cold->decodedPieces(), 0u);
 }
 
 } // namespace
