@@ -20,6 +20,8 @@
  *    (pack + first rebuild) cost, and a bit-identity gate;
  *  - multi-model serving: two zoo models behind one ServeFront, each
  *    response checked bit-identical to its single-model session;
+ *  - hot reload: 50 reloadModel() generation flips under in-flight
+ *    traffic — zero drops, no cross-generation blends, gen == 51;
  *  - admission control: queueCap shed rate under a burst, with the
  *    completed+shed == offered conservation check;
  *  - flush policy: Deadline vs Full p99 at equal paced offered load
@@ -38,9 +40,16 @@
  * / SE_MODEL_FORMAT (via RuntimeOptions::fromEnv) override the
  * admission cap, deadline, serving weight source and reported save
  * format used by the respective sections.
+ *
+ * SE_FAILPOINTS=<spec> switches the whole run into a fault drill:
+ * the perf sections are skipped (faults would corrupt their timings)
+ * and a quarantine/fallback/recovery scenario is gated instead — the
+ * Release CI job runs it with stream_piece_decode:1in8.
  */
 
+#include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,10 +60,12 @@
 #include <vector>
 
 #include "base/clock.hh"
+#include "base/failpoint.hh"
 #include "base/hash.hh"
 #include "bench_util.hh"
 #include "core/stream_loader.hh"
 #include "kernels/kernels.hh"
+#include "nn/blocks.hh"
 #include "runtime/pipeline.hh"
 #include "serve/engine.hh"
 #include "serve/front.hh"
@@ -90,6 +101,26 @@ makeSecondSubject()
 {
     return se::models::buildSim(se::models::ModelId::VGG11,
                                 subjectConfig());
+}
+
+/**
+ * Tiny CNN for the failpoint drill's streamed victim tenant: few
+ * enough v4 pieces (two) that a 1-in-N decode fault leaves most
+ * stand-up attempts clean, so reload-driven recovery is reachable.
+ */
+std::unique_ptr<se::nn::Sequential>
+makeDrillNet(uint64_t seed)
+{
+    se::Rng rng(seed);
+    const auto cfg = subjectConfig();
+    auto net = std::make_unique<se::nn::Sequential>();
+    net->add<se::nn::Conv2d>(cfg.inChannels, 4, 3, 1, 1, 1, rng,
+                             false);
+    net->add<se::nn::ReLU>();
+    net->add<se::nn::GlobalAvgPool>();
+    net->add<se::nn::Flatten>();
+    net->add<se::nn::Linear>(4, 4, rng, false);
+    return net;
 }
 
 /** Fixed synthetic request stream. */
@@ -154,6 +185,7 @@ main(int argc, char **argv)
     auto subject = makeSubject();
     const runtime::RuntimeOptions run_opts =
         runtime::RuntimeOptions::fromEnv();
+    run_opts.applyFailpoints();  // arm SE_FAILPOINTS, if any
     runtime::CompressionPipeline pipe(run_opts);
     auto compressed = core::compressToRecords(
         *subject, se_opts, apply_opts,
@@ -187,6 +219,228 @@ main(int argc, char **argv)
                 weight_source == serve::WeightSource::CeDirect
                     ? "ce"
                     : "dense");
+
+    // --- failpoint drill (replaces the perf run when armed) ---------
+    // With SE_FAILPOINTS armed, wall-clock numbers are meaningless (a
+    // fault can land mid-measurement), so the run becomes a fault
+    // drill: a streamed "victim" tenant absorbs the injected faults
+    // through quarantine / fallback / reload recovery while a
+    // records-backed "resident" bystander must keep answering
+    // bit-identically. Designed for decode/build/exec-class faults
+    // (the CI job arms stream_piece_decode:1in8); the exit status
+    // gates confinement, conservation and recovery.
+    if (failpoint::anyArmed()) {
+        std::string armed_json;
+        for (const auto &n : failpoint::armedNames()) {
+            if (!armed_json.empty())
+                armed_json += ", ";
+            armed_json += "\"" + n + "\"";
+        }
+
+        // Ship the victim as a v4 streaming bundle; every stand-up
+        // re-opens the file so piece decode stays on the fault path.
+        core::SeOptions drill_se;
+        drill_se.vectorThreshold = 0.01;
+        auto drill_net = makeDrillNet(5);
+        auto drill_comp =
+            core::compressToRecords(*drill_net, drill_se, apply_opts);
+        core::quantizeBasisAtCompress(drill_comp.records);
+        const char *victim_path = "/tmp/se_bench_serve_failpoint.sexm";
+        {
+            std::ostringstream os(std::ios::binary);
+            core::saveModelV4(os, drill_comp.records,
+                              drill_comp.dense);
+            std::ofstream f(victim_path,
+                            std::ios::binary | std::ios::trunc);
+            f << os.str();
+        }
+        const serve::NetFactory drill_factory = [] {
+            return makeDrillNet(5);
+        };
+        const auto openVictim = [&] {
+            return serve::makeModelEntry(
+                std::make_shared<core::StreamedModel>(victim_path),
+                drill_factory, drill_se, apply_opts);
+        };
+
+        // Per-input resident references from a plain session (no
+        // engine, no stream — the reference path carries no
+        // failpoints the drill arms).
+        const int offered = 24;
+        std::vector<Tensor> resident_ref;
+        {
+            serve::SessionOptions so;
+            so.weightSource = weight_source;
+            so.denseState = dense;
+            serve::InferenceSession session(makeSubject(), records,
+                                            se_opts, apply_opts, so);
+            for (int i = 0; i < offered; ++i) {
+                const Tensor &x = traffic[(size_t)i % traffic.size()];
+                resident_ref.push_back(session.forward(x.reshaped(
+                    {1, x.dim(0), x.dim(1), x.dim(2)})));
+            }
+        }
+
+        // Stand the front up. A fault injected into the eager
+        // resident build or the victim's open only advances the
+        // policy counters — retry until one attempt gets through.
+        serve::ServeOptions fopts;
+        fopts.threads = 2;
+        fopts.maxBatch = 8;
+        fopts.reloadFallback = true;
+        std::unique_ptr<serve::ServeFront> front;
+        int standup_retries = 0;
+        while (!front && standup_retries < 64) {
+            try {
+                serve::ModelRegistry reg;
+                reg.add("resident",
+                        serve::ModelEntry{records,
+                                          [] { return makeSubject(); },
+                                          se_opts, apply_opts, dense,
+                                          weight_source});
+                reg.add("victim", openVictim());
+                front = std::make_unique<serve::ServeFront>(reg,
+                                                            fopts);
+            } catch (const std::exception &) {
+                ++standup_retries;
+            }
+        }
+
+        int resident_ok = 0, resident_fault = 0;
+        int resident_mismatch = 0;
+        int victim_ok = 0, victim_fault = 0, victim_mismatch = 0;
+        int quarantines = 0, recoveries = 0, churn_failures = 0;
+        bool recovered = false, probe_identical = false;
+        uint64_t fallbacks = 0, generation = 0;
+        if (front) {
+            Tensor victim_ref;  // first successful victim response
+            const auto checkVictim = [&](const Tensor &y) {
+                if (victim_ref.size() == 0)
+                    victim_ref = y;
+                else if (y.size() != victim_ref.size() ||
+                         std::memcmp(y.data(), victim_ref.data(),
+                                     (size_t)y.size() *
+                                         sizeof(float)) != 0)
+                    ++victim_mismatch;
+            };
+
+            // Phase 1: mixed traffic. The bystander must answer every
+            // request bit-identically; the victim may fault but never
+            // answer wrong, and a quarantine must be curable by
+            // reloadModel() while traffic keeps flowing.
+            for (int i = 0; i < offered; ++i) {
+                const Tensor &x = traffic[(size_t)i % traffic.size()];
+                try {
+                    Tensor y = front->submit("resident", x).get();
+                    const Tensor &ref = resident_ref[(size_t)i];
+                    if (y.size() != ref.size() ||
+                        std::memcmp(y.data(), ref.data(),
+                                    (size_t)y.size() *
+                                        sizeof(float)) != 0)
+                        ++resident_mismatch;
+                    else
+                        ++resident_ok;
+                } catch (const std::exception &) {
+                    ++resident_fault;
+                }
+                // The victim always gets the same probe input so its
+                // responses are comparable across generations.
+                try {
+                    Tensor y =
+                        front->submit("victim", traffic[0]).get();
+                    checkVictim(y);
+                    ++victim_ok;
+                } catch (const std::exception &) {
+                    ++victim_fault;
+                    if (front->health("victim") ==
+                        serve::ModelHealth::Unhealthy) {
+                        ++quarantines;
+                        try {
+                            front->reloadModel("victim",
+                                               openVictim());
+                            ++recoveries;
+                        } catch (const std::exception &) {
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: reload churn. Failed reloads must fall back to
+            // the live generation (reloadFallback) — after every
+            // attempt, good or bad, the victim still answers.
+            for (int r = 0; r < 16; ++r) {
+                try {
+                    front->reloadModel("victim", openVictim());
+                } catch (const std::exception &) {
+                    ++churn_failures;
+                }
+                try {
+                    Tensor y =
+                        front->submit("victim", traffic[0]).get();
+                    checkVictim(y);
+                    ++victim_ok;
+                } catch (const std::exception &) {
+                    ++victim_fault;
+                }
+            }
+            fallbacks = front->reloadFallbacks("victim");
+
+            // Phase 3: final recovery — a quarantined victim must be
+            // nursed back to Healthy by reloading (counters advance
+            // every attempt, so a non-1in1 policy lets one through).
+            for (int r = 0;
+                 r < 64 && front->health("victim") !=
+                               serve::ModelHealth::Healthy;
+                 ++r) {
+                try {
+                    front->reloadModel("victim", openVictim());
+                } catch (const std::exception &) {
+                }
+            }
+            recovered = front->health("victim") ==
+                        serve::ModelHealth::Healthy;
+            if (recovered) {
+                try {
+                    Tensor y =
+                        front->submit("victim", traffic[0]).get();
+                    probe_identical =
+                        victim_ref.size() == y.size() &&
+                        std::memcmp(y.data(), victim_ref.data(),
+                                    (size_t)y.size() *
+                                        sizeof(float)) == 0;
+                } catch (const std::exception &) {
+                }
+            }
+            generation = front->generation("victim");
+            front->stop();
+        }
+        std::remove(victim_path);
+
+        const bool drill_pass =
+            front != nullptr && resident_ok == offered &&
+            resident_fault == 0 && resident_mismatch == 0 &&
+            victim_mismatch == 0 && recovered && probe_identical;
+        std::printf(
+            "  \"failpoint_drill\": {\"armed\": [%s], "
+            "\"offered\": %d, "
+            "\"resident\": {\"answered\": %d, \"faulted\": %d, "
+            "\"mismatched\": %d}, "
+            "\"victim\": {\"answered\": %d, \"faulted\": %d, "
+            "\"mismatched\": %d, \"quarantines\": %d, "
+            "\"recoveries\": %d, \"reload_failures\": %d, "
+            "\"fallbacks\": %" PRIu64 ", "
+            "\"generation\": %" PRIu64 ", "
+            "\"recovered\": %s, \"probe_identical\": %s}, "
+            "\"pass\": %s}\n",
+            armed_json.c_str(), offered, resident_ok, resident_fault,
+            resident_mismatch, victim_ok, victim_fault,
+            victim_mismatch, quarantines, recoveries, churn_failures,
+            fallbacks, generation, bench::jsonBool(recovered),
+            bench::jsonBool(probe_identical),
+            bench::jsonBool(drill_pass));
+        std::printf("}\n");
+        return drill_pass ? 0 : 1;
+    }
 
     // --- model file: v2 vs v3 size on the same bundle ---------------
     // v3 packs Ce codes two per byte with zero rows elided AND ships
@@ -599,18 +853,20 @@ main(int argc, char **argv)
     // --- multi-model serving: two tenants behind one front ---------
     // Each model's responses must be bit-identical to its own
     // single-model session — tenants never bleed into each other.
+    // Second tenant bundle, shared by the multi-model and hot-reload
+    // sections.
+    auto second = makeSecondSubject();
+    auto compressed2 = core::compressToRecords(
+        *second, se_opts, apply_opts,
+        [&pipe](const Tensor &w, const core::SeOptions &o) {
+            return pipe.cache().getOrCompute(w, o);
+        });
+    auto records2 =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            std::move(compressed2.records));
+
     bool multi_model_identical;
     {
-        auto second = makeSecondSubject();
-        auto compressed2 = core::compressToRecords(
-            *second, se_opts, apply_opts,
-            [&pipe](const Tensor &w, const core::SeOptions &o) {
-                return pipe.cache().getOrCompute(w, o);
-            });
-        auto records2 =
-            std::make_shared<std::vector<core::SeLayerRecord>>(
-                std::move(compressed2.records));
-
         // Per-model reference digests from direct sessions.
         uint64_t ref_digest[2] = {kFnvOffsetBasis, kFnvOffsetBasis};
         const int per_model = std::min(requests, 48);
@@ -673,6 +929,101 @@ main(int argc, char **argv)
             front.replicaCount(), per_model, ms,
             1000.0 * 2 * per_model / ms, agg.meanBatchSize,
             bench::jsonBool(multi_model_identical));
+    }
+
+    // --- hot reload: generation flips under in-flight traffic ------
+    // reloadModel() flips one tenant between the VGG19 and VGG11
+    // bundles 50 times while a traffic thread keeps submitting. Zero
+    // requests may drop (a submit that races the swap is retried on
+    // the new generation), every response must be bit-identical to
+    // one of the two generations' serial references (a response can
+    // never blend generations), and the generation counter must land
+    // at flips + 1 (--smoke gates all three).
+    bool hot_reload_ok;
+    {
+        const int flips = 50, ref_n = 8;
+        std::vector<Tensor> refA, refB;
+        {
+            serve::InferenceSession sa(makeSubject(), records,
+                                       se_opts, apply_opts);
+            serve::InferenceSession sb(makeSecondSubject(), records2,
+                                       se_opts, apply_opts);
+            for (int i = 0; i < ref_n; ++i) {
+                const Tensor &x = traffic[(size_t)i];
+                Tensor xb = x.reshaped(
+                    {1, x.dim(0), x.dim(1), x.dim(2)});
+                refA.push_back(sa.forward(xb));
+                refB.push_back(sb.forward(xb));
+            }
+        }
+
+        serve::ModelRegistry reg;
+        reg.add("hot", {records, factory, se_opts, apply_opts,
+                        nullptr});
+        serve::ServeOptions opts;
+        opts.threads = 2;
+        opts.maxBatch = 8;
+        serve::ServeFront front(reg, opts);
+
+        std::atomic<bool> done{false};
+        std::atomic<int> answered{0}, dropped{0}, blended{0};
+        std::thread traffic_thread([&] {
+            int i = 0;
+            while (!done.load()) {
+                const size_t k = (size_t)(i++ % ref_n);
+                try {
+                    Tensor y = front.submit("hot", traffic[k]).get();
+                    const Tensor &a = refA[k], &b = refB[k];
+                    const bool is_a =
+                        y.size() == a.size() &&
+                        !std::memcmp(y.data(), a.data(),
+                                     (size_t)y.size() *
+                                         sizeof(float));
+                    const bool is_b =
+                        y.size() == b.size() &&
+                        !std::memcmp(y.data(), b.data(),
+                                     (size_t)y.size() *
+                                         sizeof(float));
+                    if (!is_a && !is_b)
+                        ++blended;
+                    ++answered;
+                } catch (const serve::EngineStoppedError &) {
+                    ++dropped;  // a swap escape = a dropped request
+                }
+            }
+        });
+
+        auto t0 = Clock::now();
+        for (int flip = 0; flip < flips; ++flip) {
+            serve::ModelEntry next;
+            if (flip % 2 == 0) {
+                next = serve::ModelEntry{
+                    records2, [] { return makeSecondSubject(); },
+                    se_opts, apply_opts, nullptr};
+            } else {
+                next = serve::ModelEntry{records, factory, se_opts,
+                                         apply_opts, nullptr};
+            }
+            front.reloadModel("hot", std::move(next));
+        }
+        const double ms = msSince(t0);
+        done.store(true);
+        traffic_thread.join();
+        front.drain();
+
+        const uint64_t gen = front.generation("hot");
+        hot_reload_ok =
+            dropped.load() == 0 && blended.load() == 0 &&
+            answered.load() > 0 && gen == (uint64_t)(flips + 1) &&
+            front.health("hot") == serve::ModelHealth::Healthy;
+        std::printf(
+            "  \"hot_reload\": {\"flips\": %d, \"ms\": %.2f, "
+            "\"ms_per_reload\": %.2f, \"answered\": %d, "
+            "\"dropped\": %d, \"blended\": %d, "
+            "\"generation\": %" PRIu64 ", \"zero_downtime\": %s},\n",
+            flips, ms, ms / flips, answered.load(), dropped.load(),
+            blended.load(), gen, bench::jsonBool(hot_reload_ok));
+        front.stop();
     }
 
     // --- admission control: queueCap shed rate under a burst -------
@@ -797,6 +1148,7 @@ main(int argc, char **argv)
     if (smoke)
         pass = pass && best_percall_rps >= serial_percall_rps &&
                deadline_p99 < full_p99 && v3_over_v2 <= 0.60 &&
-               v4_over_v3 <= 0.90 && v4_lazy_faster;
+               v4_over_v3 <= 0.90 && v4_lazy_faster &&
+               hot_reload_ok;
     return pass ? 0 : 1;
 }

@@ -106,6 +106,7 @@ main(int argc, char **argv)
     // The serving knobs from the environment.
     const runtime::RuntimeOptions run_opts =
         runtime::RuntimeOptions::fromEnv();
+    run_opts.applyFailpoints();  // honour SE_FAILPOINTS fault drills
     serve_opts.queueCap = run_opts.serveQueueCap;
     if (run_opts.serveDeadlineMs > 0.0) {
         serve_opts.flush = serve::FlushPolicy::Deadline;

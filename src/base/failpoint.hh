@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * A failpoint is a named site in production code where a fault can be
+ * injected on demand: the I/O call that writes a bundle, the lazy
+ * piece decode a streamed model performs at first touch, the body of
+ * a serve worker. Unarmed (the default, and the only state production
+ * ever runs in) a site costs one relaxed atomic load and a predicted
+ * branch; armed, the site's trigger policy decides per evaluation
+ * whether the fault fires.
+ *
+ * Trigger policies (the SE_FAILPOINTS grammar, strictly parsed —
+ * anything unrecognized throws std::invalid_argument instead of
+ * silently not injecting):
+ *
+ *   name:once       fire on the 1st evaluation only
+ *   name:1inN       fire on every Nth evaluation (N, 2N, ...)
+ *   name:afterN     fire on every evaluation after the first N
+ *   name:pF         fire with probability F in (0, 1], drawn from a
+ *   name:pF@SEED    deterministic per-failpoint RNG (default seed or
+ *                   an explicit one) — reproducible "random" faults
+ *
+ * Multiple failpoints arm as a comma-separated list:
+ *   SE_FAILPOINTS=stream_piece_decode:1in8,decomp_spill_write:once
+ *
+ * Sites choose what an injected fault looks like so the error path
+ * under test is the SAME path a real fault would take:
+ *
+ *   SE_FAILPOINT(name);              // throws failpoint::InjectedFault
+ *   SE_FAILPOINT_THROW(name, Exc);   // throws Exc (e.g. ModelFileError)
+ *
+ * Every injected message carries the kInjectedPrefix marker so tests
+ * (and humans reading a log) can tell injected faults from real ones.
+ *
+ * Evaluation counts are global per name, not per call site: two sites
+ * sharing a name share one policy state. Arming is process-wide and
+ * test-ordering-sensitive by nature — tests arm in a scope guard
+ * (failpoint::ScopedArm) so a failed assertion can't leak an armed
+ * fault into the next test.
+ */
+
+#ifndef SE_BASE_FAILPOINT_HH
+#define SE_BASE_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace se {
+namespace failpoint {
+
+/** Marker prefix every injected fault's message starts with. */
+constexpr const char *kInjectedPrefix = "injected fault at failpoint";
+
+/** What SE_FAILPOINT(name) throws when the site fires. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One parsed trigger policy. */
+struct Policy
+{
+    enum class Kind
+    {
+        Once,    ///< fire on evaluation 1 only
+        EveryN,  ///< fire on evaluations N, 2N, 3N, ...
+        AfterN,  ///< fire on every evaluation > N
+        Prob,    ///< fire with probability p (seeded RNG)
+    };
+    Kind kind = Kind::Once;
+    uint64_t n = 1;       ///< EveryN period / AfterN threshold
+    double p = 0.0;       ///< Prob only
+    uint64_t seed = 0x5e5e5e5eULL;  ///< Prob only
+};
+
+/**
+ * Parse one policy string ("once", "1in8", "after3", "p0.25",
+ * "p0.25@42"). Throws std::invalid_argument on anything else.
+ */
+Policy parsePolicy(const std::string &text);
+
+/**
+ * Parse a full comma-separated spec ("a:once,b:1in8") into
+ * (name, policy) pairs. Strict: empty names, missing colons, bad
+ * policies and duplicate names all throw std::invalid_argument. An
+ * empty spec yields an empty list (and arms nothing).
+ */
+std::vector<std::pair<std::string, Policy>>
+parseSpec(const std::string &spec);
+
+/** Arm (or re-arm, resetting counters) one failpoint. */
+void arm(const std::string &name, const Policy &policy);
+
+/** Convenience: arm(name, parsePolicy(policy)). */
+void arm(const std::string &name, const std::string &policy);
+
+/** Disarm everything, then arm every entry of the spec. */
+void armFromSpec(const std::string &spec);
+
+/** Disarm one failpoint (a no-op when it was not armed). */
+void disarm(const std::string &name);
+
+/** Disarm everything and reset all counters. */
+void disarmAll();
+
+/** Names currently armed, in arming order. */
+std::vector<std::string> armedNames();
+
+/** Evaluations of `name` so far (0 when never armed). */
+uint64_t hitCount(const std::string &name);
+
+/** Times `name` actually fired (0 when never armed). */
+uint64_t fireCount(const std::string &name);
+
+namespace detail {
+extern std::atomic<int> g_armedCount;
+/** The slow path: count one evaluation and apply the policy. */
+bool evaluateSlow(const char *name);
+} // namespace detail
+
+/** True when at least one failpoint is armed — the inline fast path. */
+inline bool
+anyArmed()
+{
+    return detail::g_armedCount.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Count one evaluation of `name` and return whether the fault fires.
+ * With nothing armed this is one relaxed load; sites normally use the
+ * SE_FAILPOINT macros instead of calling this directly.
+ */
+inline bool
+evaluate(const char *name)
+{
+    return anyArmed() && detail::evaluateSlow(name);
+}
+
+/** Arm one failpoint for the lifetime of a scope (test helper). */
+class ScopedArm
+{
+  public:
+    ScopedArm(const std::string &name, const std::string &policy)
+        : name_(name)
+    {
+        arm(name_, policy);
+    }
+    ~ScopedArm() { disarm(name_); }
+    ScopedArm(const ScopedArm &) = delete;
+    ScopedArm &operator=(const ScopedArm &) = delete;
+
+  private:
+    std::string name_;
+};
+
+} // namespace failpoint
+} // namespace se
+
+/** Injection site: throws failpoint::InjectedFault when armed+fired. */
+#define SE_FAILPOINT(name) \
+    do { \
+        if (::se::failpoint::evaluate(name)) \
+            throw ::se::failpoint::InjectedFault( \
+                std::string(::se::failpoint::kInjectedPrefix) + \
+                " '" + (name) + "'"); \
+    } while (0)
+
+/**
+ * Injection site that throws the SAME exception type a real fault at
+ * this site would, so callers' error handling is exercised verbatim.
+ */
+#define SE_FAILPOINT_THROW(name, Exc) \
+    do { \
+        if (::se::failpoint::evaluate(name)) \
+            throw Exc(std::string(::se::failpoint::kInjectedPrefix) + \
+                      " '" + (name) + "'"); \
+    } while (0)
+
+#endif // SE_BASE_FAILPOINT_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "base/failpoint.hh"
 #include "base/hash.hh"
 #include "base/logging.hh"
 #include "encode/bitstream.hh"
@@ -1208,6 +1209,9 @@ void
 saveModelFile(const std::string &path,
               const std::vector<SeLayerRecord> &layers)
 {
+    // The failpoint takes the exact path a full disk / yanked volume
+    // would: ModelFileError out of the save, nothing half-installed.
+    SE_FAILPOINT_THROW("model_file_save_io", ModelFileError);
     std::ofstream os(path, std::ios::binary);
     if (!os.good())
         throw ModelFileError("cannot open " + path + " for writing");
@@ -1217,6 +1221,7 @@ saveModelFile(const std::string &path,
 std::vector<SeLayerRecord>
 loadModelFile(const std::string &path)
 {
+    SE_FAILPOINT_THROW("model_file_load_io", ModelFileError);
     std::ifstream is(path, std::ios::binary);
     if (!is.good())
         throw ModelFileError("cannot open " + path + " for reading");
@@ -1226,6 +1231,7 @@ loadModelFile(const std::string &path)
 void
 saveModelV3File(const std::string &path, const ModelBundle &b)
 {
+    SE_FAILPOINT_THROW("model_file_save_io", ModelFileError);
     std::ofstream os(path, std::ios::binary);
     if (!os.good())
         throw ModelFileError("cannot open " + path + " for writing");
@@ -1235,6 +1241,7 @@ saveModelV3File(const std::string &path, const ModelBundle &b)
 void
 saveModelV4File(const std::string &path, const ModelBundle &b)
 {
+    SE_FAILPOINT_THROW("model_file_save_io", ModelFileError);
     std::ofstream os(path, std::ios::binary);
     if (!os.good())
         throw ModelFileError("cannot open " + path + " for writing");
@@ -1247,6 +1254,7 @@ saveModelV4File(const std::string &path, const ModelBundle &b)
 ModelBundle
 loadModelBundleFile(const std::string &path)
 {
+    SE_FAILPOINT_THROW("model_file_load_io", ModelFileError);
     std::ifstream is(path, std::ios::binary);
     if (!is.good())
         throw ModelFileError("cannot open " + path + " for reading");

@@ -1,8 +1,10 @@
 #include "core/stream_loader.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "base/failpoint.hh"
 #include "base/logging.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -37,6 +39,7 @@ StreamedModel::StreamedModel(const std::string &path,
                              StreamLoaderOptions opts)
     : path_(path)
 {
+    SE_FAILPOINT_THROW("stream_open", ModelFileError);
 #if SE_HAVE_MMAP
     if (!opts.forceRead) {
         const int fd = ::open(path.c_str(), O_RDONLY);
@@ -117,6 +120,11 @@ StreamedModel::pieceLocked(size_t index) const
 {
     SE_ASSERT(index < cache_.size(), "piece index out of range");
     if (!cache_[index]) {
+        if (failpoint::evaluate("stream_piece_decode"))
+            throw ModelFileError(
+                std::string(failpoint::kInjectedPrefix) +
+                " 'stream_piece_decode': piece " +
+                std::to_string(index));
         cache_[index].reset(
             new SeMatrix(modelv4::decodePiece(filePtr(), meta_, index)));
         decoded_.fetch_add(1, std::memory_order_relaxed);
@@ -135,11 +143,26 @@ size_t
 StreamedModel::prefetch(size_t first, size_t count) const
 {
     std::lock_guard<std::mutex> lock(mu_);
+    if (first >= cache_.size() || count == 0)
+        return 0;
+    // Clamp instead of comparing against first + count: the sum can
+    // wrap around size_t, and a wrapped bound used to make huge
+    // prefetch requests silently fetch nothing.
+    count = std::min(count, cache_.size() - first);
     size_t fresh = 0;
-    for (size_t i = first; i < cache_.size() && i < first + count;
-         ++i) {
+    for (size_t i = first; i < first + count; ++i) {
         if (!cache_[i]) {
-            pieceLocked(i);
+            try {
+                pieceLocked(i);
+            } catch (const ModelFileError &e) {
+                throw ModelFileError("prefetch: piece " +
+                                     std::to_string(i) + ": " +
+                                     e.what());
+            } catch (const std::exception &e) {
+                throw ModelFileError("prefetch: piece " +
+                                     std::to_string(i) + ": " +
+                                     e.what());
+            }
             ++fresh;
         }
     }

@@ -98,8 +98,12 @@ class StreamedModel
 
     /**
      * Decode pieces [first, first+count) ahead of a consumer —
-     * clamped to the directory, never an error to over-ask. Returns
-     * the number of pieces this call actually decoded.
+     * clamped to the directory (overflow-safe: first+count past
+     * SIZE_MAX still prefetches the tail), never an error to
+     * over-ask. Returns the number of pieces this call actually
+     * decoded. A piece that fails mid-range surfaces as a
+     * ModelFileError naming that piece, whatever the underlying
+     * decode threw.
      */
     size_t prefetch(size_t first, size_t count) const;
 

@@ -1,9 +1,104 @@
 #include "runtime/decomp_cache.hh"
 
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/failpoint.hh"
 #include "base/hash.hh"
+#include "base/logging.hh"
+#include "core/model_file.hh"
 
 namespace se {
 namespace runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Spill entry layout: u32 magic, u32 version, u64 key, u64
+// payloadBytes, payload (saveSeMatrix bytes), u64 checksum. The
+// checksum is FNV-1a over the payload seeded with (version, key), so
+// an entry can neither be truncated nor served under the wrong key
+// (a renamed or cross-linked file fails validation like any other
+// corruption).
+constexpr uint32_t kSpillMagic = 0x53454443u;  // "SEDC"
+constexpr uint32_t kSpillVersion = 1;
+constexpr size_t kSpillHeaderBytes = 4 + 4 + 8 + 8;
+
+uint64_t
+spillChecksum(uint64_t key, const std::string &payload)
+{
+    uint64_t seed = hashValue(kSpillVersion);
+    seed = hashValue(key, seed);
+    return fnv1a(payload.data(), payload.size(), seed);
+}
+
+template <typename T>
+void
+putRaw(std::string &out, const T &v)
+{
+    out.append((const char *)&v, sizeof(T));
+}
+
+template <typename T>
+T
+getRaw(const std::string &in, size_t offset)
+{
+    T v;
+    std::memcpy(&v, in.data() + offset, sizeof(T));
+    return v;
+}
+
+/**
+ * Validate one spill file's bytes end to end; on success decode the
+ * payload into `out` (when non-null) and return the stored key.
+ * Returns false on ANY damage — wrong magic/version, truncation,
+ * trailing garbage, checksum mismatch, undecodable payload.
+ */
+bool
+validateSpillBytes(const std::string &bytes, core::SeMatrix *out,
+                   uint64_t *keyOut)
+{
+    if (bytes.size() < kSpillHeaderBytes + 8)
+        return false;
+    if (getRaw<uint32_t>(bytes, 0) != kSpillMagic ||
+        getRaw<uint32_t>(bytes, 4) != kSpillVersion)
+        return false;
+    const uint64_t key = getRaw<uint64_t>(bytes, 8);
+    const uint64_t payloadBytes = getRaw<uint64_t>(bytes, 16);
+    if (payloadBytes != bytes.size() - kSpillHeaderBytes - 8)
+        return false;
+    const std::string payload =
+        bytes.substr(kSpillHeaderBytes, (size_t)payloadBytes);
+    if (getRaw<uint64_t>(bytes, bytes.size() - 8) !=
+        spillChecksum(key, payload))
+        return false;
+    if (out) {
+        try {
+            std::istringstream is(payload, std::ios::binary);
+            *out = core::loadSeMatrix(is);
+        } catch (...) {
+            return false;
+        }
+    }
+    if (keyOut)
+        *keyOut = key;
+    return true;
+}
+
+std::string
+keyHex(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+} // namespace
 
 uint64_t
 decompKey(const Tensor &w, const core::SeOptions &opts)
@@ -26,25 +121,36 @@ decompKey(const Tensor &w, const core::SeOptions &opts)
     return h;
 }
 
+DecompCache::DecompCache(const DecompCacheOptions &opts)
+    : capacity_(opts.capacity), spillDir_(opts.spillDir)
+{
+    if (spillDir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(spillDir_, ec);
+    if (ec || !fs::is_directory(spillDir_))
+        throw std::runtime_error("DecompCache: cannot create spill "
+                                 "directory '" +
+                                 spillDir_ + "'");
+    recoverScan();
+}
+
 bool
-DecompCache::lookup(uint64_t key, core::SeMatrix &out)
+DecompCache::memoryLookup(uint64_t key, core::SeMatrix &out)
 {
     if (capacity_ == 0)
         return false;
     std::lock_guard<std::mutex> lk(mu_);
     auto it = index_.find(key);
-    if (it == index_.end()) {
-        ++misses_;
+    if (it == index_.end())
         return false;
-    }
     lru_.splice(lru_.begin(), lru_, it->second);
     out = it->second->value;
-    ++hits_;
     return true;
 }
 
 void
-DecompCache::insert(uint64_t key, const core::SeMatrix &m)
+DecompCache::memoryInsert(uint64_t key, const core::SeMatrix &m)
 {
     if (capacity_ == 0)
         return;
@@ -63,6 +169,125 @@ DecompCache::insert(uint64_t key, const core::SeMatrix &m)
     }
 }
 
+std::string
+DecompCache::entryPath(uint64_t key) const
+{
+    return (fs::path(spillDir_) / (keyHex(key) + ".sedc")).string();
+}
+
+bool
+DecompCache::spillRead(uint64_t key, core::SeMatrix &out)
+{
+    const std::string path = entryPath(key);
+    std::string bytes;
+    bool corrupt = false;
+    try {
+        SE_FAILPOINT("decomp_spill_read");
+        std::ifstream is(path, std::ios::binary);
+        if (!is.good())
+            return false;  // plain miss: no such entry
+        std::ostringstream os;
+        os << is.rdbuf();
+        bytes = os.str();
+        uint64_t storedKey = 0;
+        corrupt = !validateSpillBytes(bytes, &out, &storedKey) ||
+                  storedKey != key;
+    } catch (...) {
+        // An unreadable entry (I/O error, injected fault) is handled
+        // exactly like a corrupt one: miss, and drop the file so the
+        // next writer re-creates it cleanly.
+        corrupt = true;
+    }
+    if (corrupt) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard<std::mutex> lk(spillMu_);
+        ++corruptDropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+DecompCache::spillWrite(uint64_t key, const core::SeMatrix &m)
+{
+    // A failed spill must never fail the computation that produced
+    // the entry: every throw below (real I/O error or injected fault)
+    // is absorbed into spillFailures().
+    std::string tmp;
+    try {
+        SE_FAILPOINT("decomp_spill_write");
+        std::ostringstream payload_os(std::ios::binary);
+        core::saveSeMatrix(payload_os, m);
+        const std::string payload = payload_os.str();
+        std::string bytes;
+        bytes.reserve(kSpillHeaderBytes + payload.size() + 8);
+        putRaw(bytes, kSpillMagic);
+        putRaw(bytes, kSpillVersion);
+        putRaw(bytes, key);
+        putRaw(bytes, (uint64_t)payload.size());
+        bytes += payload;
+        putRaw(bytes, spillChecksum(key, payload));
+
+        uint64_t seq;
+        {
+            std::lock_guard<std::mutex> lk(spillMu_);
+            seq = tempSeq_++;
+        }
+        // Unique per (instance, write); concurrent processes sharing
+        // the directory are still safe because the commit below is a
+        // single atomic rename.
+        tmp = entryPath(key) + ".tmp" + keyHex((uint64_t)(uintptr_t)this) +
+              "." + std::to_string(seq);
+        {
+            std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+            if (!os.good())
+                throw std::runtime_error("cannot open spill temp");
+            os.write(bytes.data(), (std::streamsize)bytes.size());
+            os.flush();
+            if (!os.good())
+                throw std::runtime_error("spill temp write failed");
+        }
+        // A crash between the write above and the rename below leaves
+        // only a temp file — invisible to readers, swept by the next
+        // recoverScan. This failpoint simulates exactly that kill.
+        SE_FAILPOINT("decomp_spill_commit");
+        fs::rename(tmp, entryPath(key));
+        std::lock_guard<std::mutex> lk(spillMu_);
+        ++spills_;
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(spillMu_);
+        ++spillFailures_;
+    }
+}
+
+bool
+DecompCache::lookup(uint64_t key, core::SeMatrix &out)
+{
+    if (memoryLookup(key, out)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++hits_;
+        return true;
+    }
+    if (!spillDir_.empty() && spillRead(key, out)) {
+        memoryInsert(key, out);  // promote for the next lookup
+        std::lock_guard<std::mutex> lk(spillMu_);
+        ++diskHits_;
+        return true;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++misses_;
+    return false;
+}
+
+void
+DecompCache::insert(uint64_t key, const core::SeMatrix &m)
+{
+    memoryInsert(key, m);
+    if (!spillDir_.empty())
+        spillWrite(key, m);
+}
+
 core::SeMatrix
 DecompCache::getOrCompute(const Tensor &w, const core::SeOptions &opts)
 {
@@ -73,6 +298,61 @@ DecompCache::getOrCompute(const Tensor &w, const core::SeOptions &opts)
     m = core::decomposeMatrix(w, opts);
     insert(key, m);
     return m;
+}
+
+size_t
+DecompCache::recoverScan()
+{
+    if (spillDir_.empty())
+        return 0;
+    size_t valid = 0;
+    uint64_t dropped = 0;
+    for (const auto &entry : fs::directory_iterator(spillDir_)) {
+        const std::string name = entry.path().filename().string();
+        std::error_code ec;
+        if (name.find(".tmp") != std::string::npos) {
+            // A temp file at scan time is a write that never
+            // committed (crash mid-write) — readers never saw it.
+            fs::remove(entry.path(), ec);
+            ++dropped;
+            continue;
+        }
+        if (name.size() < 6 ||
+            name.compare(name.size() - 5, 5, ".sedc") != 0)
+            continue;  // not ours; leave foreign files alone
+        std::string bytes;
+        {
+            std::ifstream is(entry.path(), std::ios::binary);
+            std::ostringstream os;
+            os << is.rdbuf();
+            bytes = os.str();
+        }
+        uint64_t key = 0;
+        if (validateSpillBytes(bytes, nullptr, &key) &&
+            keyHex(key) + ".sedc" == name) {
+            ++valid;
+        } else {
+            fs::remove(entry.path(), ec);
+            ++dropped;
+        }
+    }
+    std::lock_guard<std::mutex> lk(spillMu_);
+    corruptDropped_ += dropped;
+    return valid;
+}
+
+void
+DecompCache::purgeSpill()
+{
+    if (spillDir_.empty())
+        return;
+    for (const auto &entry : fs::directory_iterator(spillDir_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".sedc") != std::string::npos) {
+            std::error_code ec;
+            fs::remove(entry.path(), ec);
+        }
+    }
 }
 
 size_t
@@ -96,14 +376,49 @@ DecompCache::misses() const
     return misses_;
 }
 
+uint64_t
+DecompCache::diskHits() const
+{
+    std::lock_guard<std::mutex> lk(spillMu_);
+    return diskHits_;
+}
+
+uint64_t
+DecompCache::spills() const
+{
+    std::lock_guard<std::mutex> lk(spillMu_);
+    return spills_;
+}
+
+uint64_t
+DecompCache::spillFailures() const
+{
+    std::lock_guard<std::mutex> lk(spillMu_);
+    return spillFailures_;
+}
+
+uint64_t
+DecompCache::corruptDropped() const
+{
+    std::lock_guard<std::mutex> lk(spillMu_);
+    return corruptDropped_;
+}
+
 void
 DecompCache::clear()
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    lru_.clear();
-    index_.clear();
-    hits_ = 0;
-    misses_ = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        lru_.clear();
+        index_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+    std::lock_guard<std::mutex> lk(spillMu_);
+    diskHits_ = 0;
+    spills_ = 0;
+    spillFailures_ = 0;
+    corruptDropped_ = 0;
 }
 
 } // namespace runtime

@@ -1,6 +1,7 @@
 /**
  * @file
- * An LRU cache of SmartExchange decomposition results.
+ * An LRU cache of SmartExchange decomposition results, optionally
+ * persisted to disk.
  *
  * Keyed by the FNV-1a content hash of (weight matrix bytes + shape +
  * SeOptions), so any sweep that re-decomposes the same matrix with the
@@ -9,9 +10,31 @@
  * of re-running the ALS loop. decomposeMatrix is deterministic, so a
  * cache hit is bit-identical to a recompute.
  *
- * Thread-safe: one mutex around the map + LRU list. The guarded work
- * is pointer shuffling and an SeMatrix copy, orders of magnitude
- * cheaper than the ALS solve it replaces, so contention is immaterial.
+ * Persistence (DecompCacheOptions::spillDir, SE_CACHE_DIR from the
+ * drivers): every insert also spills the entry to
+ * `<spillDir>/<key-hex>.sedc` so compression sweeps and serve
+ * cold-starts survive restarts, and concurrent processes pointed at
+ * one directory share each other's work. The spill tier is crash-safe
+ * by construction:
+ *
+ *  - writes go to a unique temp file first and land via atomic
+ *    rename(2) — a reader can never observe a half-written entry;
+ *  - every entry carries a key-seeded FNV-1a checksum over its
+ *    payload; a corrupt or truncated entry (a crash mid-write, a
+ *    flipped bit at rest) is silently treated as a miss and deleted;
+ *  - recoverScan() (run at construction) sweeps the directory once,
+ *    deleting stale temp files and corrupt entries, and reports how
+ *    many valid entries survive.
+ *
+ * A spill-tier I/O failure never fails the computation: the write is
+ * dropped, counted in spillFailures(), and the in-memory result is
+ * returned as usual. `capacity` bounds the in-memory tier only;
+ * memory eviction does not delete the on-disk copy (that is the
+ * persistent tier's point). purgeSpill() wipes the directory.
+ *
+ * Thread-safe: one mutex around the map + LRU list, a second around
+ * the spill directory I/O. Cross-process safety comes from the atomic
+ * rename + checksum-validated reads, not from locking.
  */
 
 #ifndef SE_RUNTIME_DECOMP_CACHE_HH
@@ -20,6 +43,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "core/smart_exchange.hh"
@@ -30,16 +54,40 @@ namespace runtime {
 /** Cache key for one (weight matrix, SeOptions) decomposition. */
 uint64_t decompKey(const Tensor &w, const core::SeOptions &opts);
 
+struct DecompCacheOptions
+{
+    /** In-memory capacity in entries; 0 disables the memory tier
+     *  (every memory lookup misses — disk, when set, still works). */
+    size_t capacity = 0;
+    /** Spill directory; empty disables persistence (legacy
+     *  memory-only behaviour). Created if missing. */
+    std::string spillDir;
+};
+
 class DecompCache
 {
   public:
-    /** capacity == 0 disables the cache (every lookup misses). */
-    explicit DecompCache(size_t capacity) : capacity_(capacity) {}
+    /** Memory-only cache; capacity == 0 disables it entirely. */
+    explicit DecompCache(size_t capacity)
+        : DecompCache(DecompCacheOptions{capacity, {}})
+    {
+    }
 
-    /** Copy the cached result into `out`; true on hit. */
+    /** May persist to opts.spillDir; runs a recovery scan when the
+     *  directory is set (creating it if missing). Throws
+     *  std::runtime_error when the directory cannot be created. */
+    explicit DecompCache(const DecompCacheOptions &opts);
+
+    /**
+     * Copy the cached result into `out`; true on hit. Misses in
+     * memory fall through to the spill tier: a valid disk entry is
+     * promoted into memory and counts as a diskHit, a corrupt one is
+     * deleted and counts as a miss.
+     */
     bool lookup(uint64_t key, core::SeMatrix &out);
 
-    /** Insert (or refresh) a result; evicts the LRU entry when full. */
+    /** Insert (or refresh) a result; evicts the LRU entry when the
+     *  memory tier is full, and spills to disk when persistent. */
     void insert(uint64_t key, const core::SeMatrix &m);
 
     /**
@@ -49,10 +97,32 @@ class DecompCache
     core::SeMatrix getOrCompute(const Tensor &w,
                                 const core::SeOptions &opts);
 
+    /**
+     * Sweep the spill directory: delete stale temp files and corrupt
+     * or truncated entries, return the number of valid entries left.
+     * Run at construction; callable again to model crash recovery.
+     * No-op (returns 0) without a spill directory.
+     */
+    size_t recoverScan();
+
+    /** Delete every spill entry and temp file (memory untouched). */
+    void purgeSpill();
+
     size_t size() const;
     size_t capacity() const { return capacity_; }
+    bool persistent() const { return !spillDir_.empty(); }
+    const std::string &spillDir() const { return spillDir_; }
     uint64_t hits() const;
     uint64_t misses() const;
+    uint64_t diskHits() const;
+    /** Entries written to the spill tier by this instance. */
+    uint64_t spills() const;
+    /** Spill writes dropped on an I/O error (never fatal). */
+    uint64_t spillFailures() const;
+    /** Corrupt/truncated spill entries deleted (lookups + scans). */
+    uint64_t corruptDropped() const;
+    /** Clear the MEMORY tier and counters; the spill tier persists
+     *  (that is its point — use purgeSpill() to wipe it). */
     void clear();
 
   private:
@@ -62,12 +132,28 @@ class DecompCache
         core::SeMatrix value;
     };
 
+    bool memoryLookup(uint64_t key, core::SeMatrix &out);
+    void memoryInsert(uint64_t key, const core::SeMatrix &m);
+    std::string entryPath(uint64_t key) const;
+    /** True + decoded value when the entry exists and validates;
+     *  deletes the file and returns false otherwise. */
+    bool spillRead(uint64_t key, core::SeMatrix &out);
+    void spillWrite(uint64_t key, const core::SeMatrix &m);
+
     size_t capacity_;
+    std::string spillDir_;
     mutable std::mutex mu_;
     std::list<Entry> lru_;  ///< front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+
+    mutable std::mutex spillMu_;
+    uint64_t diskHits_ = 0;
+    uint64_t spills_ = 0;
+    uint64_t spillFailures_ = 0;
+    uint64_t corruptDropped_ = 0;
+    uint64_t tempSeq_ = 0;  ///< unique temp-file suffix counter
 };
 
 } // namespace runtime

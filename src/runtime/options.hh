@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 
+#include "base/failpoint.hh"
 #include "kernels/dispatch.hh"
 #include "kernels/kernels.hh"
 
@@ -150,6 +151,24 @@ struct RuntimeOptions
      * (and ignored) for v2/v3 bundles.
      */
     bool streamEager = false;
+    /**
+     * Spill directory of the persistent DecompCache (SE_CACHE_DIR).
+     * Empty (the default) keeps the cache memory-only; set, every
+     * decomposition result is also written to disk (atomic
+     * temp+rename, per-entry checksum) so compression sweeps and
+     * serve cold-starts survive restarts and are shared across
+     * processes pointed at the same directory. Results never depend
+     * on this knob — a disk hit is bit-identical to a recompute.
+     */
+    std::string cacheDir;
+    /**
+     * Failpoint arming spec (SE_FAILPOINTS = name:policy,... with
+     * policies once | 1inN | afterN | pF[@seed]), strictly parsed by
+     * fromEnv — a malformed spec refuses to start instead of silently
+     * not injecting. Empty arms nothing. Takes effect through
+     * applyFailpoints(); see base/failpoint.hh.
+     */
+    std::string failpoints;
 
     /**
      * Install convImpl (and, when set, kernelIsa) as the process-wide
@@ -161,6 +180,18 @@ struct RuntimeOptions
         kernels::setDefaultConvImpl(convImpl);
         if (kernelIsa)
             kernels::setActiveIsa(*kernelIsa);
+    }
+
+    /**
+     * Arm exactly the failpoints of `failpoints` process-wide
+     * (disarming anything armed before). Driver binaries call this
+     * next to applyKernelConfig() so SE_FAILPOINTS reaches the
+     * library's injection sites.
+     */
+    void
+    applyFailpoints() const
+    {
+        failpoint::armFromSpec(failpoints);
     }
 
     /** The thread count after resolving the "per core" sentinel. */
@@ -246,6 +277,19 @@ struct RuntimeOptions
                 throw std::invalid_argument(
                     "SE_STREAM_LOADER must be mmap|eager, got '" +
                     std::string(s) + "'");
+        }
+        if (const char *d = std::getenv("SE_CACHE_DIR")) {
+            if (*d == '\0')
+                throw std::invalid_argument(
+                    "SE_CACHE_DIR must name a directory (unset it "
+                    "to disable the persistent cache)");
+            ro.cacheDir = d;
+        }
+        if (const char *fp = std::getenv("SE_FAILPOINTS")) {
+            // Validate the whole spec now — a typo'd policy must
+            // refuse the run, not silently skip injection.
+            failpoint::parseSpec(fp);
+            ro.failpoints = fp;
         }
         return ro;
     }

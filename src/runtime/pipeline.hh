@@ -37,7 +37,8 @@ class CompressionPipeline
 {
   public:
     explicit CompressionPipeline(RuntimeOptions opts = {})
-        : opts_(opts), cache_(opts.cacheCapacity)
+        : opts_(opts),
+          cache_(DecompCacheOptions{opts.cacheCapacity, opts.cacheDir})
     {
         // The pool lives as long as the pipeline so repeated runs
         // (re-training rounds, sweeps) don't re-spawn workers.

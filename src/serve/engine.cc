@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "base/clock.hh"
+#include "base/failpoint.hh"
 #include "kernels/kernels.hh"
 
 namespace se {
@@ -224,6 +225,9 @@ ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
     const size_t n = batch.size();
     size_t fulfilled = 0;  // promises already satisfied
     try {
+        // Injected faults take the same path as a throwing model
+        // forward: unanswered requests fail, the replica survives.
+        SE_FAILPOINT("serve_batch_exec");
         // Admission already rejected mismatched shapes; this is an
         // internal invariant, not a reachable request-error path.
         const Shape sample = sampleShape(batch[0].input);

@@ -115,6 +115,13 @@ struct ServeOptions
     Shape expectedSample;
     /** Rebuild policy handed to every replica. */
     SessionOptions session;
+    /**
+     * Consumed by ServeFront, ignored by a bare engine: when a
+     * reloadModel() build fails, keep the previous healthy
+     * generation serving (counted in reloadFallbacks()) instead of
+     * quarantining the model.
+     */
+    bool reloadFallback = false;
 
     int
     resolvedThreads() const

@@ -2,10 +2,38 @@
 
 #include <algorithm>
 
+#include "base/failpoint.hh"
 #include "core/stream_loader.hh"
 
 namespace se {
 namespace serve {
+
+namespace {
+
+void
+validateEntry(const std::string &id, const ModelEntry &entry)
+{
+    if (!entry.records && !entry.streamed)
+        throw std::invalid_argument("model '" + id +
+                                    "' has no records bundle");
+    if (!entry.factory)
+        throw std::invalid_argument("model '" + id +
+                                    "' has no net factory");
+}
+
+std::string
+describeException(std::exception_ptr err)
+{
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+} // namespace
 
 void
 ModelRegistry::add(std::string id, ModelEntry entry)
@@ -13,23 +41,31 @@ ModelRegistry::add(std::string id, ModelEntry entry)
     if (id.empty())
         throw std::invalid_argument("model id must be non-empty");
     for (const auto &e : entries_)
-        if (e.first == id)
+        if (e.id == id)
             throw std::invalid_argument("model id '" + id +
                                         "' already registered");
-    if (!entry.records && !entry.streamed)
-        throw std::invalid_argument("model '" + id +
-                                    "' has no records bundle");
-    if (!entry.factory)
-        throw std::invalid_argument("model '" + id +
-                                    "' has no net factory");
-    entries_.emplace_back(std::move(id), std::move(entry));
+    validateEntry(id, entry);
+    entries_.push_back(Row{std::move(id), std::move(entry), 1});
+}
+
+void
+ModelRegistry::replace(const std::string &id, ModelEntry entry)
+{
+    validateEntry(id, entry);
+    for (auto &e : entries_)
+        if (e.id == id) {
+            e.entry = std::move(entry);
+            ++e.generation;
+            return;
+        }
+    throw UnknownModelError("model '" + id + "' is not registered");
 }
 
 bool
 ModelRegistry::contains(const std::string &id) const
 {
     for (const auto &e : entries_)
-        if (e.first == id)
+        if (e.id == id)
             return true;
     return false;
 }
@@ -38,8 +74,17 @@ const ModelEntry &
 ModelRegistry::at(const std::string &id) const
 {
     for (const auto &e : entries_)
-        if (e.first == id)
-            return e.second;
+        if (e.id == id)
+            return e.entry;
+    throw UnknownModelError("model '" + id + "' is not registered");
+}
+
+uint64_t
+ModelRegistry::generationOf(const std::string &id) const
+{
+    for (const auto &e : entries_)
+        if (e.id == id)
+            return e.generation;
     throw UnknownModelError("model '" + id + "' is not registered");
 }
 
@@ -49,7 +94,7 @@ ModelRegistry::ids() const
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto &e : entries_)
-        out.push_back(e.first);
+        out.push_back(e.id);
     return out;
 }
 
@@ -70,23 +115,34 @@ ServeFront::ServeFront(const ModelRegistry &registry,
         perEngineOpts_.threads =
             std::max(1, total / (int)registry.size());
     ids_ = registry.ids();
-    entries_.reserve(ids_.size());
-    for (const std::string &id : ids_)
-        entries_.push_back(registry.at(id));
-    engines_.resize(ids_.size());
+    slots_.resize(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i)
+        slots_[i].entry = registry.at(ids_[i]);
     // Records-backed entries build eagerly (their pieces are already
-    // decoded — deferring would only delay failures). Streamed (v4)
-    // entries wait for their first submit; until then the bundle's
-    // pieces stay undecoded bytes on disk.
-    for (size_t i = 0; i < entries_.size(); ++i)
-        if (entries_[i].records)
-            buildEngineLocked(i);
+    // decoded — deferring would only delay failures; a construction
+    // failure here throws rather than quarantines, because nothing is
+    // serving yet and a dead-on-arrival front helps nobody). Streamed
+    // (v4) entries wait for their first submit; until then the
+    // bundle's pieces stay undecoded bytes on disk.
+    for (size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].entry.records) {
+            slots_[i].current = buildGeneration(slots_[i].entry, 1);
+            slots_[i].generation = 1;
+        }
 }
 
-void
-ServeFront::buildEngineLocked(size_t i)
+ServeFront::~ServeFront()
 {
-    const ModelEntry &e = entries_[i];
+    stop();
+}
+
+std::shared_ptr<ServeFront::Generation>
+ServeFront::buildGeneration(const ModelEntry &e, uint64_t number) const
+{
+    SE_FAILPOINT("serve_engine_build");
+    auto gen = std::make_shared<Generation>();
+    gen->number = number;
+    gen->entry = e;
     // The entry decides its model's storage: weight source and
     // (when shipped) the v3/v4 dense residual are per-model, so
     // quantized and float engines coexist behind one front.
@@ -94,24 +150,171 @@ ServeFront::buildEngineLocked(size_t i)
     eopts.session.weightSource = e.weightSource;
     eopts.session.denseState = e.dense;
     // For a streamed entry this records() call is where the bundle's
-    // pieces actually decode — the lazy loader's first touch.
+    // pieces actually decode — the lazy loader's first touch (and
+    // where a corrupt piece or the stream_piece_decode failpoint
+    // surfaces, quarantining only this model).
     auto records = e.records ? e.records : e.streamed->records();
-    engines_[i] = std::make_unique<ServeEngine>(
+    gen->engine = std::make_unique<ServeEngine>(
         records, e.factory, e.seOpts, e.applyOpts, eopts);
+    return gen;
 }
 
-ServeEngine &
-ServeFront::engineAt(size_t i)
+std::shared_ptr<ServeFront::Generation>
+ServeFront::generationFor(size_t i)
 {
-    std::lock_guard<std::mutex> lock(buildMu_);
-    if (!engines_[i]) {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        Slot &s = slots_[i];
         if (stopped_)
             throw EngineStoppedError(
                 "ServeFront is stopped; model '" + ids_[i] +
-                "' cannot build its engine");
-        buildEngineLocked(i);
+                "' cannot serve");
+        if (s.health == ModelHealth::Unhealthy)
+            throw ModelUnhealthyError("model '" + ids_[i] +
+                                      "' is quarantined: " + s.reason);
+        if (s.current)
+            return s.current;
+        if (s.building) {
+            // Someone else's first touch is already standing the
+            // engine up; wait for the verdict instead of building a
+            // second copy (the old build-under-lock path both
+            // double-built here and deadlocked stop() behind a slow
+            // decode).
+            cv_.wait(lk);
+            continue;
+        }
+        s.building = true;
+        break;
     }
-    return *engines_[i];
+
+    const uint64_t number = slots_[i].generation + 1;
+    lk.unlock();
+    std::shared_ptr<Generation> gen;
+    std::exception_ptr err;
+    try {
+        gen = buildGeneration(slots_[i].entry, number);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    lk.lock();
+    Slot &s = slots_[i];
+    s.building = false;
+    cv_.notify_all();
+    if (err) {
+        s.health = ModelHealth::Unhealthy;
+        s.reason = describeException(err);
+        throw ModelUnhealthyError("model '" + ids_[i] +
+                                  "' is quarantined: " + s.reason);
+    }
+    if (stopped_) {
+        // stop() ran while we were building off-lock: it could not
+        // see this engine, so retire it here and refuse like any
+        // other post-stop submit.
+        lk.unlock();
+        gen->engine->stop();
+        throw EngineStoppedError("ServeFront is stopped; model '" +
+                                 ids_[i] + "' cannot serve");
+    }
+    s.current = gen;
+    s.generation = number;
+    s.health = ModelHealth::Healthy;
+    s.reason.clear();
+    return gen;
+}
+
+void
+ServeFront::mergeRetiredLocked(Slot &s, const ServeStats &st) const
+{
+    RetiredStats &r = s.retired;
+    r.requests += st.requests;
+    r.failed += st.failed;
+    r.rejected += st.rejected;
+    r.shed += st.shed;
+    r.batches += st.batches;
+    r.latencyWeighted += st.meanLatencyMs * (double)st.requests;
+    r.batchWeighted += st.meanBatchSize * (double)st.batches;
+    r.maxMs = std::max(r.maxMs, st.maxMs);
+}
+
+void
+ServeFront::retireGeneration(size_t i, std::shared_ptr<Generation> gen)
+{
+    if (!gen || !gen->engine)
+        return;
+    // stop() answers every request the engine accepted, then refuses;
+    // racing submitters see EngineStoppedError and retry on the new
+    // generation (see submit()), so retirement drops nothing.
+    gen->engine->stop();
+    const ServeStats st = gen->engine->stats();
+    std::lock_guard<std::mutex> lk(mu_);
+    mergeRetiredLocked(slots_[i], st);
+}
+
+void
+ServeFront::reloadModel(const std::string &modelId, ModelEntry entry)
+{
+    validateEntry(modelId, entry);
+    const size_t i = indexOf(modelId);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    // One stand-up per slot at a time: wait out a racing first-touch
+    // build (or another reload) instead of numbering generations
+    // against a moving target.
+    cv_.wait(lk, [&] { return !slots_[i].building; });
+    if (stopped_)
+        throw EngineStoppedError(
+            "reloadModel() on a stopped ServeFront");
+    slots_[i].building = true;
+    const uint64_t number = slots_[i].generation + 1;
+    lk.unlock();
+
+    // Build generation N+1 entirely off to the side: the live
+    // generation keeps serving, untouched, while the new bundle
+    // decodes and its engine spins up. Any failure lands here,
+    // before anything swapped.
+    std::shared_ptr<Generation> gen;
+    std::exception_ptr err;
+    try {
+        gen = buildGeneration(entry, number);
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    lk.lock();
+    Slot &s = slots_[i];
+    s.building = false;
+    cv_.notify_all();
+    if (err) {
+        if (perEngineOpts_.reloadFallback && s.current &&
+            s.health == ModelHealth::Healthy) {
+            // The previous healthy generation just keeps serving;
+            // the operator still learns the reload failed.
+            ++s.fallbacks;
+            std::rethrow_exception(err);
+        }
+        s.health = ModelHealth::Unhealthy;
+        s.reason = describeException(err);
+        auto old = std::move(s.current);
+        lk.unlock();
+        retireGeneration(i, std::move(old));
+        std::rethrow_exception(err);
+    }
+    if (stopped_) {
+        lk.unlock();
+        gen->engine->stop();
+        throw EngineStoppedError(
+            "reloadModel() on a stopped ServeFront");
+    }
+    auto old = std::move(s.current);
+    s.current = std::move(gen);
+    s.entry = std::move(entry);
+    s.generation = number;
+    s.health = ModelHealth::Healthy;
+    s.reason.clear();
+    lk.unlock();
+    // Swap done: new submits already route to N+1. Now retire N —
+    // it answers everything it accepted first.
+    retireGeneration(i, std::move(old));
 }
 
 ModelEntry
@@ -157,8 +360,6 @@ makeModelEntry(std::shared_ptr<core::StreamedModel> streamed,
     return e;
 }
 
-ServeFront::~ServeFront() = default;
-
 size_t
 ServeFront::indexOf(const std::string &modelId) const
 {
@@ -172,49 +373,91 @@ ServeFront::indexOf(const std::string &modelId) const
 std::future<Tensor>
 ServeFront::submit(const std::string &modelId, Tensor sample)
 {
-    return engineAt(indexOf(modelId)).submit(std::move(sample));
+    const size_t i = indexOf(modelId);
+    for (;;) {
+        std::shared_ptr<Generation> gen = generationFor(i);
+        try {
+            // Pass a copy: a submit that loses the race against a
+            // generation swap is retried with the original sample.
+            return gen->engine->submit(sample);
+        } catch (const EngineStoppedError &) {
+            std::unique_lock<std::mutex> lk(mu_);
+            if (slots_[i].current == gen)
+                throw;  // the front itself stopped this engine
+            // Reload flipped the generation between our snapshot and
+            // the enqueue: retry on the new one. This is the
+            // zero-dropped-requests half of hot reload.
+        }
+    }
 }
 
-std::vector<ServeEngine *>
-ServeFront::builtEngines() const
+std::vector<std::shared_ptr<ServeFront::Generation>>
+ServeFront::builtGenerations() const
 {
-    // Snapshot under the build lock (engine slots are written by
-    // concurrent first submits), then operate outside it so a long
-    // drain can't block an unrelated model's engine build.
-    std::lock_guard<std::mutex> lock(buildMu_);
-    std::vector<ServeEngine *> out;
-    out.reserve(engines_.size());
-    for (const auto &e : engines_)
-        if (e)
-            out.push_back(e.get());
+    // Snapshot under the lock (generations are swapped by concurrent
+    // reloads), then operate outside it so a long drain can't block
+    // an unrelated model's engine build. The shared_ptrs keep the
+    // engines alive across the walk even if a reload retires them.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Generation>> out;
+    out.reserve(slots_.size());
+    for (const auto &s : slots_)
+        if (s.current && s.current->engine)
+            out.push_back(s.current);
     return out;
 }
 
 void
 ServeFront::drain()
 {
-    for (ServeEngine *e : builtEngines())
-        e->drain();
+    for (const auto &gen : builtGenerations())
+        gen->engine->drain();
 }
 
 void
 ServeFront::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(buildMu_);
+        std::lock_guard<std::mutex> lock(mu_);
         stopped_ = true;
     }
-    for (ServeEngine *e : builtEngines())
-        e->stop();
+    // Wake first-touch waiters so they observe stopped_ instead of
+    // sleeping on a build that may be about to refuse its engine.
+    cv_.notify_all();
+    for (const auto &gen : builtGenerations())
+        gen->engine->stop();
 }
 
 ServeStats
 ServeFront::stats(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(buildMu_);
-    // An unbuilt streamed engine has by definition served nothing.
-    return engines_[i] ? engines_[i]->stats() : ServeStats{};
+    std::shared_ptr<Generation> cur;
+    RetiredStats retired;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cur = slots_[i].current;
+        retired = slots_[i].retired;
+    }
+    // Live generation first: its percentiles are the ones reported
+    // (retired reservoirs are gone; counters and means merge).
+    ServeStats s = cur && cur->engine ? cur->engine->stats()
+                                      : ServeStats{};
+    double latWeighted = s.meanLatencyMs * (double)s.requests +
+                         retired.latencyWeighted;
+    double batchWeighted = s.meanBatchSize * (double)s.batches +
+                           retired.batchWeighted;
+    s.requests += retired.requests;
+    s.failed += retired.failed;
+    s.rejected += retired.rejected;
+    s.shed += retired.shed;
+    s.batches += retired.batches;
+    s.maxMs = std::max(s.maxMs, retired.maxMs);
+    s.meanLatencyMs =
+        s.requests > 0 ? latWeighted / (double)s.requests : 0.0;
+    s.meanBatchSize =
+        s.batches > 0 ? batchWeighted / (double)s.batches : 0.0;
+    return s;
 }
 
 ServeStats
@@ -223,8 +466,8 @@ ServeFront::aggregateStats() const
     ServeStats agg;
     double latWeighted = 0.0;
     double batchWeighted = 0.0;
-    for (const ServeEngine *e : builtEngines()) {
-        const ServeStats s = e->stats();
+    for (const std::string &id : ids_) {
+        const ServeStats s = stats(id);  // per-model, all generations
         agg.requests += s.requests;
         agg.failed += s.failed;
         agg.rejected += s.rejected;
@@ -245,23 +488,47 @@ ServeFront::aggregateStats() const
 ServeEngine &
 ServeFront::engine(const std::string &modelId)
 {
-    return engineAt(indexOf(modelId));
+    return *generationFor(indexOf(modelId))->engine;
 }
 
 bool
 ServeFront::engineBuilt(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(buildMu_);
-    return engines_[i] != nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].current && slots_[i].current->engine;
+}
+
+uint64_t
+ServeFront::generation(const std::string &modelId) const
+{
+    const size_t i = indexOf(modelId);
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].generation;
+}
+
+ModelHealth
+ServeFront::health(const std::string &modelId) const
+{
+    const size_t i = indexOf(modelId);
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].health;
+}
+
+uint64_t
+ServeFront::reloadFallbacks(const std::string &modelId) const
+{
+    const size_t i = indexOf(modelId);
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_[i].fallbacks;
 }
 
 int
 ServeFront::replicaCount() const
 {
     int n = 0;
-    for (const ServeEngine *e : builtEngines())
-        n += e->replicaCount();
+    for (const auto &gen : builtGenerations())
+        n += gen->engine->replicaCount();
     return n;
 }
 

@@ -12,18 +12,40 @@
  * and with responses bit-identical to a single-model session of the
  * same bundle.
  *
+ * Generations and hot reload: every model slot serves from a
+ * numbered Generation (entry + engine). reloadModel() builds
+ * generation N+1 completely off to the side — the live generation
+ * keeps serving, untouched, while the new engine decodes and binds —
+ * then atomically swaps it in and retires generation N (every
+ * accepted request answered first). submit() rides the swap with a
+ * retry: a request that races the flip and hits the retiring engine's
+ * stop is resubmitted to the new generation, so a reload drops zero
+ * requests and every response is bit-identical to whichever
+ * generation's bundle answered it.
+ *
+ * Quarantine: a failure while standing a generation up (piece decode
+ * of a streamed bundle, engine build, an injected fault) marks only
+ * that model Unhealthy — submits to it throw ModelUnhealthyError,
+ * every other model keeps serving. With
+ * ServeOptions::reloadFallback set, a failed reload instead keeps
+ * the previous healthy generation serving (counted in
+ * reloadFallbacks). A later successful reloadModel() returns the
+ * model to Healthy.
+ *
  * Thread budget: a front splits ServeOptions::threads evenly across
  * its engines (at least one replica each) so registering more models
  * doesn't multiply the worker count; pass threads == 0 for inline
  * engines.
  *
  * Failure semantics are ServeEngine's, plus: submit() with an
- * unregistered model id throws UnknownModelError.
+ * unregistered model id throws UnknownModelError, and submit() to a
+ * quarantined model throws ModelUnhealthyError.
  */
 
 #ifndef SE_SERVE_FRONT_HH
 #define SE_SERVE_FRONT_HH
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -45,6 +67,22 @@ class UnknownModelError : public std::runtime_error
 {
   public:
     using std::runtime_error::runtime_error;
+};
+
+/** submit() named a model whose current generation failed to stand
+ *  up; the message carries the original build error. A successful
+ *  reloadModel() clears the condition. */
+class ModelUnhealthyError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Per-model serving health (see the quarantine rules above). */
+enum class ModelHealth
+{
+    Healthy,
+    Unhealthy,
 };
 
 /** Everything needed to stand up one servable model. */
@@ -103,7 +141,9 @@ ModelEntry makeModelEntry(std::shared_ptr<core::StreamedModel> streamed,
 
 /**
  * An ordered id -> ModelEntry map (registration order is the serving
- * order everywhere: ids(), per-engine thread split, stats).
+ * order everywhere: ids(), per-engine thread split, stats). Entries
+ * are generation-tagged: replace() bumps the tag so a caller can tell
+ * which bundle revision a registry snapshot holds.
  */
 class ModelRegistry
 {
@@ -111,14 +151,27 @@ class ModelRegistry
     /** Throws std::invalid_argument on an empty or duplicate id. */
     void add(std::string id, ModelEntry entry);
 
+    /** Swap a registered id's entry in place (same serving order),
+     *  bumping its generation tag. Throws UnknownModelError when the
+     *  id is absent and std::invalid_argument on an invalid entry. */
+    void replace(const std::string &id, ModelEntry entry);
+
     bool contains(const std::string &id) const;
     /** Throws UnknownModelError when absent. */
     const ModelEntry &at(const std::string &id) const;
+    /** 1 after add(), +1 per replace(). Throws UnknownModelError. */
+    uint64_t generationOf(const std::string &id) const;
     std::vector<std::string> ids() const;
     size_t size() const { return entries_.size(); }
 
   private:
-    std::vector<std::pair<std::string, ModelEntry>> entries_;
+    struct Row
+    {
+        std::string id;
+        ModelEntry entry;
+        uint64_t generation = 1;
+    };
+    std::vector<Row> entries_;
 };
 
 class ServeFront
@@ -139,10 +192,32 @@ class ServeFront
     ServeFront(const ServeFront &) = delete;
     ServeFront &operator=(const ServeFront &) = delete;
 
-    /** Route one sample to the named model's engine (building the
-     *  engine first when this is a streamed model's first submit). */
+    /**
+     * Route one sample to the named model's current generation
+     * (building the engine first when this is a streamed model's
+     * first submit). Rides generation swaps transparently: a request
+     * that races reloadModel() is retried on the new generation, so
+     * reloads drop nothing. Throws ModelUnhealthyError for a
+     * quarantined model.
+     */
     std::future<Tensor> submit(const std::string &modelId,
                                Tensor sample);
+
+    /**
+     * Hot-swap `modelId` to a new generation serving `entry` with
+     * zero downtime: generation N+1 is built entirely off to the side
+     * (decode + engine up; the `serve_engine_build` failpoint and any
+     * piece-decode fault fire here, before anything is touched), then
+     * swapped in atomically; generation N answers everything it
+     * accepted and is retired, its counters folded into stats().
+     *
+     * On a build failure the live generation is untouched; with
+     * ServeOptions::reloadFallback it simply keeps serving (counted
+     * in reloadFallbacks()), otherwise the model is quarantined. The
+     * build error is rethrown either way. A successful reload also
+     * recovers a quarantined model (Unhealthy -> Healthy).
+     */
+    void reloadModel(const std::string &modelId, ModelEntry entry);
 
     /** Drain every built engine (all accepted requests answered). */
     void drain();
@@ -151,7 +226,10 @@ class ServeFront
      *  (including first submits to still-unbuilt streamed models). */
     void stop();
 
-    /** Per-model statistics (latency percentiles included). A
+    /** Per-model statistics (latency percentiles included), merged
+     *  across every generation the model has served: counters sum,
+     *  the latency mean is request-weighted, percentiles are the
+     *  current generation's (reservoirs don't merge exactly). A
      *  streamed model that never saw a submit reports all zeros. */
     ServeStats stats(const std::string &modelId) const;
 
@@ -164,30 +242,84 @@ class ServeFront
     ServeStats aggregateStats() const;
 
     /** Direct engine access (e.g. per-model drain or replica count).
-     *  Forces a deferred streamed engine to build. */
+     *  Forces a deferred streamed engine to build. The pointer is
+     *  only stable until the model's next reloadModel(). */
     ServeEngine &engine(const std::string &modelId);
 
     /** True once the model's engine exists — the lazy-serving
-     *  observable: false for a streamed model nobody submitted to. */
+     *  observable: false for a streamed model nobody submitted to
+     *  (and for a quarantined model, whose engine is retired). */
     bool engineBuilt(const std::string &modelId) const;
+
+    /** Current generation number: 0 before the first build, 1 after
+     *  it, +1 per successful reloadModel(). A quarantined model keeps
+     *  the number of the last generation that became current. */
+    uint64_t generation(const std::string &modelId) const;
+
+    /** Healthy unless the model's last stand-up attempt failed. */
+    ModelHealth health(const std::string &modelId) const;
+
+    /** Failed reloads absorbed by falling back to the previous
+     *  healthy generation (only grows under reloadFallback). */
+    uint64_t reloadFallbacks(const std::string &modelId) const;
 
     std::vector<std::string> modelIds() const { return ids_; }
     size_t modelCount() const { return ids_.size(); }
     int replicaCount() const;  ///< summed across BUILT engines
 
   private:
+    /** One numbered (entry, engine) pair; engines_ of old. */
+    struct Generation
+    {
+        uint64_t number = 0;
+        ModelEntry entry;
+        std::unique_ptr<ServeEngine> engine;
+    };
+
+    /** Retired-generation counters folded into stats(). */
+    struct RetiredStats
+    {
+        uint64_t requests = 0;
+        uint64_t failed = 0;
+        uint64_t rejected = 0;
+        uint64_t shed = 0;
+        uint64_t batches = 0;
+        double latencyWeighted = 0.0;  ///< sum of mean * requests
+        double batchWeighted = 0.0;    ///< sum of meanBatch * batches
+        double maxMs = 0.0;
+    };
+
+    struct Slot
+    {
+        ModelEntry entry;  ///< registered entry (generation-1 source)
+        std::shared_ptr<Generation> current;  ///< null until built
+        bool building = false;  ///< a stand-up is in flight off-lock
+        ModelHealth health = ModelHealth::Healthy;
+        std::string reason;       ///< last stand-up error (Unhealthy)
+        uint64_t generation = 0;  ///< newest number that went live
+        uint64_t fallbacks = 0;
+        RetiredStats retired;
+    };
+
     size_t indexOf(const std::string &modelId) const;
-    /** Build engine i if needed, then return it. */
-    ServeEngine &engineAt(size_t i);
-    void buildEngineLocked(size_t i);
-    std::vector<ServeEngine *> builtEngines() const;
+    /** Current generation of slot i, standing one up (outside the
+     *  lock) on first touch. Throws on stopped/unhealthy. */
+    std::shared_ptr<Generation> generationFor(size_t i);
+    /** Decode + construct one generation. Runs with no front lock
+     *  held; the `serve_engine_build` failpoint fires here. */
+    std::shared_ptr<Generation> buildGeneration(const ModelEntry &e,
+                                                uint64_t number) const;
+    void mergeRetiredLocked(Slot &s, const ServeStats &st) const;
+    /** Stop `gen`'s engine and fold its counters into slot i. */
+    void retireGeneration(size_t i, std::shared_ptr<Generation> gen);
+    std::vector<std::shared_ptr<Generation>> builtGenerations() const;
 
     std::vector<std::string> ids_;
-    std::vector<ModelEntry> entries_;
     ServeOptions perEngineOpts_;
-    mutable std::mutex buildMu_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;  ///< building-flag waiters
     bool stopped_ = false;
-    std::vector<std::unique_ptr<ServeEngine>> engines_;
+    std::vector<Slot> slots_;
 };
 
 } // namespace serve

@@ -1362,6 +1362,60 @@ TEST(StreamedModelTest, PrefetchDecodesAWindow)
     EXPECT_EQ(sm.prefetch(99, 5), 0u);
 }
 
+TEST(StreamedModelTest, PrefetchIsOverflowSafe)
+{
+    Rng rng(75);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng), randomSeMatrix(rng),
+                            randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string path = "/tmp/se_model_v4_prefetch_ovf.sexm";
+    writeFile(path, saveV4String(layers));
+
+    core::StreamedModel sm(path);
+    // first + count wraps size_t; the old bound check silently
+    // prefetched nothing. The clamp decodes the whole tail instead.
+    EXPECT_EQ(sm.prefetch(1, SIZE_MAX), 2u);
+    EXPECT_EQ(sm.decodedPieces(), 2u);
+    EXPECT_EQ(sm.prefetch(0, SIZE_MAX), 1u);
+    EXPECT_EQ(sm.decodedPieces(), 3u);
+    EXPECT_EQ(sm.prefetch(0, 0), 0u);
+    EXPECT_EQ(sm.prefetch(SIZE_MAX, SIZE_MAX), 0u);
+}
+
+TEST(StreamedModelTest, PrefetchNamesTheCorruptMidRangePiece)
+{
+    Rng rng(76);
+    std::vector<core::SeLayerRecord> layers;
+    layers.push_back({"a", {randomSeMatrix(rng), randomSeMatrix(rng),
+                            randomSeMatrix(rng)}});
+    core::quantizeBasisAtCompress(layers);
+    const std::string good = saveV4String(layers);
+
+    namespace v4 = core::modelv4;
+    const v4::Meta meta = v4::parseMeta(
+        reinterpret_cast<const uint8_t *>(good.data()), good.size());
+    std::string bad = good;
+    bad[(size_t)meta.directory[1].offset + 7] ^= 0x04;
+    const std::string path = "/tmp/se_model_v4_prefetch_bad.sexm";
+    writeFile(path, bad);
+
+    core::StreamedModel sm(path);
+    EXPECT_EQ(sm.prefetch(0, 1), 1u);  // piece 0 is intact
+    try {
+        sm.prefetch(0, sm.pieceCount());
+        FAIL() << "corrupt mid-range piece did not throw";
+    } catch (const core::ModelFileError &e) {
+        // The typed error names the failing piece, not just
+        // whatever the underlying decode said.
+        EXPECT_NE(std::string(e.what()).find("prefetch: piece 1"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The failure is not sticky for intact pieces past it.
+    EXPECT_EQ(sm.prefetch(2, 1), 1u);
+}
+
 TEST(StreamedModelTest, CorruptPieceFailsAtFirstTouch)
 {
     Rng rng(73);

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -295,6 +297,172 @@ TEST(DecompCache, ZeroCapacityDisables)
     cache.getOrCompute(w, core::SeOptions{});
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.hits(), 0u);
+}
+
+// ------------------------------------------- persistent DecompCache
+
+namespace fs = std::filesystem;
+
+/** Fresh spill directory, removed again on scope exit. */
+struct SpillDir
+{
+    explicit SpillDir(const std::string &name)
+        : path((fs::temp_directory_path() / name).string())
+    {
+        fs::remove_all(path);
+    }
+    ~SpillDir() { fs::remove_all(path); }
+    std::string path;
+};
+
+TEST(PersistentDecompCache, SurvivesARestart)
+{
+    SpillDir dir("se_runtime_spill_restart");
+    Rng rng(16);
+    Tensor w = randn({16, 4}, rng, 0.0f, 0.1f);
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.01;
+
+    core::SeMatrix first;
+    {
+        runtime::DecompCache cache(
+            runtime::DecompCacheOptions{8, dir.path});
+        first = cache.getOrCompute(w, opts);
+        EXPECT_EQ(cache.spills(), 1u);
+        EXPECT_EQ(cache.spillFailures(), 0u);
+    }
+    // "Restart": a fresh instance (empty memory tier) finds the
+    // entry on disk, bit-identical to the computed one.
+    runtime::DecompCache cache(
+        runtime::DecompCacheOptions{8, dir.path});
+    EXPECT_EQ(cache.recoverScan(), 1u);
+    const auto second = cache.getOrCompute(w, opts);
+    EXPECT_EQ(cache.diskHits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+    ASSERT_EQ(first.ce.size(), second.ce.size());
+    EXPECT_EQ(std::memcmp(first.ce.data(), second.ce.data(),
+                          (size_t)first.ce.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(first.basis.data(), second.basis.data(),
+                          (size_t)first.basis.size() * sizeof(float)),
+              0);
+    // The disk hit was promoted: the next lookup is a memory hit.
+    cache.getOrCompute(w, opts);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PersistentDecompCache, MemoryEvictionKeepsTheDiskCopy)
+{
+    SpillDir dir("se_runtime_spill_evict");
+    Rng rng(17);
+    core::SeOptions opts;
+    runtime::DecompCache cache(
+        runtime::DecompCacheOptions{1, dir.path});
+    Tensor w0 = randn({8, 4}, rng, 0.0f, 0.1f);
+    Tensor w1 = randn({8, 4}, rng, 0.0f, 0.1f);
+    cache.getOrCompute(w0, opts);
+    cache.getOrCompute(w1, opts);  // evicts w0 from memory
+    EXPECT_EQ(cache.size(), 1u);
+    cache.getOrCompute(w0, opts);  // …but the spill tier still has it
+    EXPECT_EQ(cache.diskHits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PersistentDecompCache, CorruptAndTruncatedEntriesAreDropped)
+{
+    SpillDir dir("se_runtime_spill_corrupt");
+    Rng rng(18);
+    core::SeOptions opts;
+    Tensor w0 = randn({8, 4}, rng, 0.0f, 0.1f);
+    Tensor w1 = randn({8, 4}, rng, 0.0f, 0.1f);
+    {
+        runtime::DecompCache cache(
+            runtime::DecompCacheOptions{8, dir.path});
+        cache.getOrCompute(w0, opts);
+        cache.getOrCompute(w1, opts);
+    }
+    // Flip one payload byte in the first entry, truncate the second.
+    std::vector<std::string> files;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        files.push_back(e.path().string());
+    ASSERT_EQ(files.size(), 2u);
+    {
+        std::fstream f(files[0],
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(30);
+        char b = 0;
+        f.seekg(30);
+        f.get(b);
+        b = (char)(b ^ 0x10);
+        f.seekp(30);
+        f.put(b);
+    }
+    fs::resize_file(files[1], 10);
+
+    runtime::DecompCache cache(
+        runtime::DecompCacheOptions{8, dir.path});
+    // The recovery scan at construction already swept both.
+    EXPECT_EQ(cache.corruptDropped(), 2u);
+    EXPECT_EQ(cache.recoverScan(), 0u);
+    for (const auto &e : fs::directory_iterator(dir.path))
+        FAIL() << "stale file survived recovery: " << e.path();
+    // Both lookups are ordinary misses that recompute and re-spill.
+    core::SeMatrix out;
+    EXPECT_FALSE(cache.lookup(runtime::decompKey(w0, opts), out));
+    cache.getOrCompute(w0, opts);
+    EXPECT_EQ(cache.spills(), 1u);
+}
+
+TEST(PersistentDecompCache, ForeignAndMisnamedFilesAreHandled)
+{
+    SpillDir dir("se_runtime_spill_foreign");
+    Rng rng(19);
+    core::SeOptions opts;
+    Tensor w = randn({8, 4}, rng, 0.0f, 0.1f);
+    {
+        runtime::DecompCache cache(
+            runtime::DecompCacheOptions{8, dir.path});
+        cache.getOrCompute(w, opts);
+    }
+    // A foreign file is left alone; a valid entry renamed under the
+    // wrong key must NOT be served (key binding) and is dropped.
+    std::string entry;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        entry = e.path().string();
+    {
+        std::ofstream f((fs::path(dir.path) / "notes.txt").string());
+        f << "not a cache entry";
+    }
+    const std::string renamed =
+        (fs::path(dir.path) / "0123456789abcdef.sedc").string();
+    fs::copy_file(entry, renamed);
+
+    runtime::DecompCache cache(
+        runtime::DecompCacheOptions{8, dir.path});
+    EXPECT_EQ(cache.recoverScan(), 1u);  // the real entry survives
+    EXPECT_FALSE(fs::exists(renamed));
+    EXPECT_TRUE(
+        fs::exists((fs::path(dir.path) / "notes.txt").string()));
+    core::SeMatrix out;
+    EXPECT_TRUE(cache.lookup(runtime::decompKey(w, opts), out));
+    EXPECT_EQ(cache.diskHits(), 1u);
+}
+
+TEST(PersistentDecompCache, ClearKeepsSpillPurgeWipesIt)
+{
+    SpillDir dir("se_runtime_spill_purge");
+    Rng rng(20);
+    core::SeOptions opts;
+    Tensor w = randn({8, 4}, rng, 0.0f, 0.1f);
+    runtime::DecompCache cache(
+        runtime::DecompCacheOptions{8, dir.path});
+    EXPECT_TRUE(cache.persistent());
+    cache.getOrCompute(w, opts);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.recoverScan(), 1u);  // disk tier survived clear()
+    cache.purgeSpill();
+    EXPECT_EQ(cache.recoverScan(), 0u);
 }
 
 // --------------------------------------------------- CompressionPipeline

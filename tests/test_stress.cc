@@ -14,15 +14,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "base/failpoint.hh"
 #include "base/random.hh"
 #include "base/thread_pool.hh"
 #include "nn/blocks.hh"
 #include "runtime/decomp_cache.hh"
 #include "serve/engine.hh"
+#include "serve/front.hh"
 
 namespace se {
 namespace {
@@ -422,6 +425,212 @@ TEST(ServeEngineStress, DrainVsSubmitInterleavingNeverLosesRequests)
         }
     EXPECT_EQ(engine.stats().requests,
               (uint64_t)(submitters * per_thread));
+}
+
+// --------------------------------------- persistent cache sharing
+
+TEST(DecompCacheStress, SharedSpillDirAcrossInstancesStaysCoherent)
+{
+    // Two cache instances sharing one spill directory model two
+    // processes pointed at the same SE_CACHE_DIR: interleaved
+    // writes, recovery scans and memory evictions from several
+    // threads must never produce a torn read — every answer is
+    // bit-identical to the direct decomposition.
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "se_stress_shared_spill")
+            .string();
+    fs::remove_all(dir);
+
+    core::SeOptions opts;
+    opts.vectorThreshold = 0.01;
+    const int distinct = 6;
+    std::vector<Tensor> keys;
+    std::vector<core::SeMatrix> refs;
+    for (int k = 0; k < distinct; ++k) {
+        keys.push_back(smallMatrix(300 + (uint64_t)k));
+        refs.push_back(core::decomposeMatrix(keys.back(), opts));
+    }
+
+    runtime::DecompCache a(runtime::DecompCacheOptions{2, dir});
+    runtime::DecompCache b(runtime::DecompCacheOptions{2, dir});
+
+    const int threads_per = 3, per_thread = 40;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> workers;
+    for (int inst = 0; inst < 2; ++inst) {
+        runtime::DecompCache &cache = inst == 0 ? a : b;
+        for (int t = 0; t < threads_per; ++t) {
+            workers.emplace_back([&, inst, t] {
+                for (int i = 0; i < per_thread; ++i) {
+                    const int k =
+                        (i + t + inst * threads_per) % distinct;
+                    core::SeMatrix got = cache.getOrCompute(
+                        keys[(size_t)k], opts);
+                    const core::SeMatrix &ref = refs[(size_t)k];
+                    if (got.ce.size() != ref.ce.size() ||
+                        std::memcmp(got.ce.data(), ref.ce.data(),
+                                    (size_t)ref.ce.size() *
+                                        sizeof(float)) != 0 ||
+                        std::memcmp(got.basis.data(),
+                                    ref.basis.data(),
+                                    (size_t)ref.basis.size() *
+                                        sizeof(float)) != 0)
+                        mismatches++;
+                    if (i % 13 == 0)
+                        cache.recoverScan();  // concurrent sweeps
+                    if (i % 17 == 0)
+                        cache.clear();  // evict the memory tier
+                }
+            });
+        }
+    }
+    for (auto &th : workers)
+        th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    // Every distinct key ended up durable and valid on disk.
+    EXPECT_EQ(a.recoverScan(), (size_t)distinct);
+    EXPECT_EQ(b.recoverScan(), (size_t)distinct);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------ reload under fire
+
+TEST(ServeFrontStress, FiftyReloadFlipsUnderTrafficDropNothing)
+{
+    // The hot-reload wall: two bundles flip back and forth 50 times
+    // under continuous traffic. Zero requests may drop, and every
+    // response must be bit-identical to one of the two generations'
+    // reference nets (a response can never blend generations).
+    auto refA = makeTinyCnn(46);
+    auto refB = makeTinyCnn(47);
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    auto compA = core::compressToRecords(*refA, se_opts, apply_opts);
+    auto compB = core::compressToRecords(*refB, se_opts, apply_opts);
+    auto recsA =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            compA.records);
+    auto recsB =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            compB.records);
+
+    serve::ModelRegistry reg;
+    reg.add("m", serve::ModelEntry{recsA,
+                                   [] { return makeTinyCnn(46); },
+                                   se_opts, apply_opts, nullptr});
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeFront front(reg, opts);
+
+    Tensor x = tinyInput(9);
+    Tensor batched = x.reshaped({1, x.dim(0), x.dim(1), x.dim(2)});
+    Tensor wantA = refA->forward(batched, false);
+    Tensor wantB = refB->forward(batched, false);
+
+    std::atomic<bool> done{false};
+    std::atomic<int> answered{0}, dropped{0}, blended{0};
+    constexpr int traffic_threads = 2;
+    std::vector<std::thread> traffic;
+    for (int t = 0; t < traffic_threads; ++t)
+        traffic.emplace_back([&] {
+            while (!done.load()) {
+                try {
+                    Tensor y = front.submit("m", x).get();
+                    const size_t bytes =
+                        (size_t)y.size() * sizeof(float);
+                    if (std::memcmp(y.data(), wantA.data(), bytes) &&
+                        std::memcmp(y.data(), wantB.data(), bytes))
+                        ++blended;
+                    ++answered;
+                } catch (const serve::EngineStoppedError &) {
+                    ++dropped;  // a swap escape = a dropped request
+                }
+            }
+        });
+
+    constexpr int flips = 50;
+    for (int flip = 0; flip < flips; ++flip) {
+        const bool toB = flip % 2 == 0;
+        front.reloadModel(
+            "m",
+            serve::ModelEntry{toB ? recsB : recsA,
+                              [toB] {
+                                  return makeTinyCnn(toB ? 47 : 46);
+                              },
+                              se_opts, apply_opts, nullptr});
+        EXPECT_EQ(front.generation("m"), (uint64_t)(flip + 2));
+    }
+    done.store(true);
+    for (auto &t : traffic)
+        t.join();
+    front.drain();
+
+    EXPECT_EQ(dropped.load(), 0);
+    EXPECT_EQ(blended.load(), 0);
+    EXPECT_GT(answered.load(), 0);
+    EXPECT_EQ(front.generation("m"), (uint64_t)(flips + 1));
+    EXPECT_EQ(front.health("m"), serve::ModelHealth::Healthy);
+    // Merged stats saw every answered request across 51 generations.
+    EXPECT_EQ(front.stats("m").requests, (uint64_t)answered.load());
+    front.stop();
+}
+
+TEST(ServeEngineStress, InjectedBatchFaultsUnderLoadNeverHang)
+{
+    // A "replica keeps dying" drill: serve_batch_exec fires on a
+    // deterministic schedule under concurrent traffic. Every request
+    // must resolve (answered or failed with the injected fault), the
+    // engine must keep serving afterwards, and nothing may hang.
+    failpoint::disarmAll();
+    auto shipped = shipTiny(48);
+    serve::ServeOptions opts;
+    opts.threads = 2;
+    opts.maxBatch = 4;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeTinyCnn(48); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    constexpr int submitters = 3, per_thread = 40;
+    std::vector<std::vector<std::future<Tensor>>> futs(
+        (size_t)submitters);
+    {
+        failpoint::ScopedArm arm("serve_batch_exec", "1in5");
+        std::vector<std::thread> threads;
+        for (int t = 0; t < submitters; ++t)
+            threads.emplace_back([&, t] {
+                for (int i = 0; i < per_thread; ++i)
+                    futs[(size_t)t].push_back(
+                        engine.submit(tinyInput((uint64_t)i)));
+            });
+        for (auto &t : threads)
+            t.join();
+        engine.drain();
+    }
+
+    int ok = 0, injected = 0;
+    for (auto &vec : futs)
+        for (auto &f : vec) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                      std::future_status::ready);
+            try {
+                f.get();
+                ++ok;
+            } catch (const failpoint::InjectedFault &) {
+                ++injected;
+            }
+        }
+    EXPECT_EQ(ok + injected, submitters * per_thread);
+    EXPECT_GT(injected, 0);
+    EXPECT_EQ(engine.stats().failed, (uint64_t)injected);
+
+    // Disarmed again: the engine serves on as if nothing happened.
+    auto after = engine.submit(tinyInput(5));
+    engine.drain();
+    EXPECT_NO_THROW(after.get());
 }
 
 } // namespace
