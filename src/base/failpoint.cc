@@ -3,8 +3,9 @@
 #include <cerrno>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <random>
+
+#include "base/mutex.hh"
 
 namespace se {
 namespace failpoint {
@@ -26,15 +27,18 @@ struct State
     std::mt19937_64 rng;  ///< Prob policies only
 };
 
-std::mutex g_mu;
-/** std::map keeps armedNames() deterministic; the registry is tiny. */
+base::Mutex g_mu;
+/** std::map keeps armedNames() deterministic; the registry is tiny.
+ *  Function-local static (arming can legally happen during another
+ *  TU's static init); SE_REQUIRES makes every access prove it holds
+ *  g_mu, since the returned reference outlives the call. */
 std::map<std::string, State> &
-registry()
+registry() SE_REQUIRES(g_mu)
 {
     static std::map<std::string, State> r;
     return r;
 }
-std::vector<std::string> g_armOrder;
+std::vector<std::string> g_armOrder SE_GUARDED_BY(g_mu);
 
 uint64_t
 parseCount(const char *name, const std::string &digits, uint64_t min)
@@ -134,7 +138,7 @@ arm(const std::string &name, const Policy &policy)
     if (name.empty())
         throw std::invalid_argument(
             "failpoint name must be non-empty");
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     State &s = registry()[name];
     if (!s.armed)
         detail::g_armedCount.fetch_add(1, std::memory_order_relaxed);
@@ -167,7 +171,7 @@ armFromSpec(const std::string &spec)
 void
 disarm(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     auto it = registry().find(name);
     if (it == registry().end() || !it->second.armed)
         return;
@@ -183,7 +187,7 @@ disarm(const std::string &name)
 void
 disarmAll()
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     int armed = 0;
     for (auto &e : registry())
         if (e.second.armed) {
@@ -198,14 +202,14 @@ disarmAll()
 std::vector<std::string>
 armedNames()
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     return g_armOrder;
 }
 
 uint64_t
 hitCount(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     auto it = registry().find(name);
     return it == registry().end() ? 0 : it->second.hits;
 }
@@ -213,7 +217,7 @@ hitCount(const std::string &name)
 uint64_t
 fireCount(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     auto it = registry().find(name);
     return it == registry().end() ? 0 : it->second.fires;
 }
@@ -223,7 +227,7 @@ namespace detail {
 bool
 evaluateSlow(const char *name)
 {
-    std::lock_guard<std::mutex> lk(g_mu);
+    base::LockGuard lk(g_mu);
     auto it = registry().find(name);
     if (it == registry().end() || !it->second.armed)
         return false;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Annotated mutex primitives — the only locks the library uses.
+ *
+ * se::base::Mutex / LockGuard / CondVar wrap their std:: counterparts
+ * 1:1 at zero runtime cost; what they add is the thread-safety
+ * annotation surface (base/thread_annotations.hh) that lets clang
+ * verify every lock acquisition and every guarded-member access at
+ * compile time. House rules the wrappers encode:
+ *
+ *  - No bare std::mutex outside base/ (grep-gated in CI): a new
+ *    mutex is a base::Mutex, its protected members are tagged
+ *    SE_GUARDED_BY, and helpers that assume the lock are tagged
+ *    SE_REQUIRES.
+ *  - No predicate-lambda condition waits. The analysis cannot see
+ *    into a wait lambda, so guarded reads inside one would need an
+ *    opt-out; write the explicit loop instead:
+ *        while (!condition_over_guarded_members)
+ *            cv_.wait(lk);
+ *    which the analysis checks like any other locked region.
+ *  - CondVar::wait() is modeled as holding the lock throughout
+ *    (the caller's capability never lapses), matching how the
+ *    post-wait state appears to the waiting code.
+ *
+ * LockGuard is deliberately both the lock_guard and the unique_lock
+ * of the house: construction acquires, destruction releases whatever
+ * is still held, and explicit unlock()/lock() support the
+ * build-off-lock / re-check-after pattern (ServeFront::generationFor)
+ * with the analysis tracking the capability across each transition.
+ */
+
+#ifndef SE_BASE_MUTEX_HH
+#define SE_BASE_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.hh"
+
+namespace se {
+namespace base {
+
+class SE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SE_ACQUIRE() { mu_.lock(); }
+    void unlock() SE_RELEASE() { mu_.unlock(); }
+    bool tryLock() SE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class LockGuard;
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over a Mutex. Acquired on construction; whatever is
+ * still held is released on destruction. unlock()/lock() re-cycle
+ * the capability mid-scope (the unique_lock idiom) under full
+ * analysis tracking.
+ */
+class SE_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mu) SE_ACQUIRE(mu) : lk_(mu.mu_) {}
+
+    ~LockGuard() SE_RELEASE() {}
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+    /** Release early (e.g. to run a build step off-lock). */
+    void unlock() SE_RELEASE() { lk_.unlock(); }
+
+    /** Re-acquire after an unlock(). */
+    void lock() SE_ACQUIRE() { lk_.lock(); }
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lk_;
+};
+
+/**
+ * Condition variable over base::Mutex. wait() atomically releases
+ * and re-acquires the guard's mutex; to the thread-safety analysis
+ * (and to the waiting code, which re-checks its predicate in an
+ * explicit loop) the capability is held across the call.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void wait(LockGuard &lk) { cv_.wait(lk.lk_); }
+
+    template <typename Clock, typename Duration>
+    std::cv_status
+    waitUntil(LockGuard &lk,
+              const std::chrono::time_point<Clock, Duration> &tp)
+    {
+        return cv_.wait_until(lk.lk_, tp);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace base
+} // namespace se
+
+#endif // SE_BASE_MUTEX_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Clang -Wthread-safety macro shims.
+ *
+ * These macros make the library's lock discipline machine-checked:
+ * a member tagged SE_GUARDED_BY(mu_) read without mu_ held, a
+ * SE_REQUIRES method called off-lock, or an SE_EXCLUDES method called
+ * under the lock it re-acquires is a COMPILE ERROR under the clang CI
+ * job (`-Wthread-safety -Werror=thread-safety`). GCC ignores the
+ * attributes entirely (every macro expands to nothing), so the g++
+ * builds are byte-identical to the unannotated code.
+ *
+ * The vocabulary (mirrors clang's ThreadSafetyAnalysis doc, with the
+ * same semantics as the widely used abseil shims):
+ *
+ *   SE_CAPABILITY("mutex")   class is a lockable capability
+ *   SE_SCOPED_CAPABILITY     RAII class acquiring at ctor, releasing
+ *                            at dtor (LockGuard)
+ *   SE_GUARDED_BY(mu)        member may only be touched holding mu
+ *   SE_PT_GUARDED_BY(mu)     pointee may only be touched holding mu
+ *   SE_REQUIRES(mu)          caller must hold mu at entry
+ *   SE_ACQUIRE(mu)           function acquires mu, holds it at exit
+ *   SE_RELEASE(mu)           function releases mu
+ *   SE_TRY_ACQUIRE(b, mu)    acquires mu iff it returns b
+ *   SE_EXCLUDES(mu)          caller must NOT hold mu (the method
+ *                            takes it itself — catches self-deadlock)
+ *   SE_ACQUIRED_BEFORE/AFTER document (and, under
+ *                            -Wthread-safety-beta, enforce) the house
+ *                            lock order
+ *   SE_NO_THREAD_SAFETY_ANALYSIS
+ *                            opt one function out (used only where a
+ *                            protocol the analysis cannot express —
+ *                            never as a convenience)
+ *
+ * Annotations are contracts about CALLERS, not implementation notes:
+ * when adding a member to an annotated class, decide which mutex
+ * guards it and say so, or the clang job will make the next
+ * off-lock access a build break — which is the point.
+ */
+
+#ifndef SE_BASE_THREAD_ANNOTATIONS_HH
+#define SE_BASE_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define SE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SE_THREAD_ANNOTATION__(x)  // no-op on GCC and everything else
+#endif
+
+#define SE_CAPABILITY(x) SE_THREAD_ANNOTATION__(capability(x))
+
+#define SE_SCOPED_CAPABILITY SE_THREAD_ANNOTATION__(scoped_lockable)
+
+#define SE_GUARDED_BY(x) SE_THREAD_ANNOTATION__(guarded_by(x))
+
+#define SE_PT_GUARDED_BY(x) SE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define SE_ACQUIRED_BEFORE(...) \
+    SE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define SE_ACQUIRED_AFTER(...) \
+    SE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define SE_REQUIRES(...) \
+    SE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define SE_ACQUIRE(...) \
+    SE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define SE_RELEASE(...) \
+    SE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define SE_TRY_ACQUIRE(...) \
+    SE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define SE_EXCLUDES(...) \
+    SE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define SE_RETURN_CAPABILITY(x) SE_THREAD_ANNOTATION__(lock_returned(x))
+
+#define SE_NO_THREAD_SAFETY_ANALYSIS \
+    SE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // SE_BASE_THREAD_ANNOTATIONS_HH

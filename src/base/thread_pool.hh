@@ -17,15 +17,15 @@
 #define SE_BASE_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.hh"
 
 namespace se {
 
@@ -47,10 +47,10 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            base::LockGuard lk(mu_);
             stopping_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         for (auto &w : workers_)
             w.join();
     }
@@ -83,10 +83,10 @@ class ThreadPool
             std::forward<F>(f));
         std::future<R> fut = task->get_future();
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            base::LockGuard lk(mu_);
             queue_.emplace([task] { (*task)(); });
         }
-        cv_.notify_one();
+        cv_.notifyOne();
         return fut;
     }
 
@@ -121,7 +121,7 @@ class ThreadPool
         auto next = std::make_shared<std::atomic<int64_t>>(0);
         auto failed = std::make_shared<std::atomic<bool>>(false);
         auto first_error = std::make_shared<std::exception_ptr>();
-        auto error_mu = std::make_shared<std::mutex>();
+        auto error_mu = std::make_shared<base::Mutex>();
         auto body = [next, failed, first_error, error_mu, n, &fn] {
             // Stop claiming new indices once any index has thrown,
             // mirroring the serial loop's early exit.
@@ -132,7 +132,7 @@ class ThreadPool
                     fn(i);
                 } catch (...) {
                     failed->store(true, std::memory_order_relaxed);
-                    std::lock_guard<std::mutex> lk(*error_mu);
+                    base::LockGuard lk(*error_mu);
                     if (!*first_error)
                         *first_error = std::current_exception();
                 }
@@ -167,9 +167,11 @@ class ThreadPool
         for (;;) {
             std::function<void()> task;
             {
-                std::unique_lock<std::mutex> lk(mu_);
-                cv_.wait(lk,
-                         [this] { return stopping_ || !queue_.empty(); });
+                base::LockGuard lk(mu_);
+                // Explicit loop, not a wait-lambda: the analysis
+                // checks these guarded reads like any locked region.
+                while (!stopping_ && queue_.empty())
+                    cv_.wait(lk);
                 if (stopping_ && queue_.empty())
                     return;
                 task = std::move(queue_.front());
@@ -180,12 +182,12 @@ class ThreadPool
         }
     }
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::queue<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;
+    base::Mutex mu_;
+    base::CondVar cv_;
+    std::queue<std::function<void()>> queue_ SE_GUARDED_BY(mu_);
+    std::vector<std::thread> workers_;  ///< ctor/dtor only
     std::atomic<uint64_t> tasks_executed_{0};
-    bool stopping_ = false;
+    bool stopping_ SE_GUARDED_BY(mu_) = false;
 };
 
 } // namespace se

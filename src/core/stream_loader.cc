@@ -135,14 +135,14 @@ StreamedModel::pieceLocked(size_t index) const
 const SeMatrix &
 StreamedModel::piece(size_t index) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     return pieceLocked(index);
 }
 
 size_t
 StreamedModel::prefetch(size_t first, size_t count) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     if (first >= cache_.size() || count == 0)
         return 0;
     // Clamp instead of comparing against first + count: the sum can
@@ -172,7 +172,7 @@ StreamedModel::prefetch(size_t first, size_t count) const
 std::shared_ptr<const std::vector<SeLayerRecord>>
 StreamedModel::records() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     if (records_)
         return records_;
     auto out = std::make_shared<std::vector<SeLayerRecord>>();

@@ -35,10 +35,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "core/model_file.hh"
 
 namespace se {
@@ -94,7 +94,7 @@ class StreamedModel
      * decoded on first touch, cached thereafter. Throws ModelFileError
      * (with the piece index and byte offset) on corruption.
      */
-    const SeMatrix &piece(size_t index) const;
+    const SeMatrix &piece(size_t index) const SE_EXCLUDES(mu_);
 
     /**
      * Decode pieces [first, first+count) ahead of a consumer —
@@ -105,7 +105,8 @@ class StreamedModel
      * ModelFileError naming that piece, whatever the underlying
      * decode threw.
      */
-    size_t prefetch(size_t first, size_t count) const;
+    size_t prefetch(size_t first, size_t count) const
+        SE_EXCLUDES(mu_);
 
     /**
      * The full record vector (grouped per layer, piece order
@@ -114,7 +115,8 @@ class StreamedModel
      * against; shared_ptr so a caller can hold the records across a
      * registry swap without copying them.
      */
-    std::shared_ptr<const std::vector<SeLayerRecord>> records() const;
+    std::shared_ptr<const std::vector<SeLayerRecord>> records() const
+        SE_EXCLUDES(mu_);
 
     /** records() + dense() as an eager-equivalent bundle (decodes
      *  everything). */
@@ -122,7 +124,7 @@ class StreamedModel
 
   private:
     const uint8_t *filePtr() const;
-    const SeMatrix &pieceLocked(size_t index) const;
+    const SeMatrix &pieceLocked(size_t index) const SE_REQUIRES(mu_);
 
     std::string path_;
     bool mapped_ = false;
@@ -131,9 +133,14 @@ class StreamedModel
     std::string buffer_;      ///< read fallback (mapped_ == false)
     modelv4::Meta meta_;
 
-    mutable std::mutex mu_;
-    mutable std::vector<std::unique_ptr<SeMatrix>> cache_;
-    mutable std::shared_ptr<const std::vector<SeLayerRecord>> records_;
+    /** Serializes piece decode; guards the decode cache and the
+     *  assembled record vector. decoded_ stays an atomic so the
+     *  decodedPieces() observable needs no lock. */
+    mutable base::Mutex mu_;
+    mutable std::vector<std::unique_ptr<SeMatrix>> cache_
+        SE_GUARDED_BY(mu_);
+    mutable std::shared_ptr<const std::vector<SeLayerRecord>> records_
+        SE_GUARDED_BY(mu_);
     mutable std::atomic<size_t> decoded_{0};
 };
 

@@ -4,9 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <mutex>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/mutex.hh"
 
 namespace se {
 namespace kernels {
@@ -30,8 +31,18 @@ threadsFromEnv()
     return threads < 1 ? 1 : threads;
 }
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
+base::Mutex g_pool_mu;
+/** The live pool. Only the pointer is guarded: pool() hands out a
+ *  reference that callers use off-lock, which is safe because a pool
+ *  is never destroyed mid-process — configureThreads() retires the
+ *  old one into g_retired_pools instead of deleting it under a
+ *  caller still fanning work onto it. */
+std::unique_ptr<ThreadPool> g_pool SE_GUARDED_BY(g_pool_mu);
+/** Replaced pools, kept alive until exit (see above). A test suite
+ *  reconfiguring thread counts leaks a handful of idle workers at
+ *  most; correctness beats that footprint. */
+std::vector<std::unique_ptr<ThreadPool>> g_retired_pools
+    SE_GUARDED_BY(g_pool_mu);
 
 bool &
 serialFlag()
@@ -84,7 +95,7 @@ useReassociatingFastPath(ConvImpl impl)
 ThreadPool &
 pool()
 {
-    std::lock_guard<std::mutex> lk(g_pool_mu);
+    base::LockGuard lk(g_pool_mu);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(threadsFromEnv());
     return *g_pool;
@@ -93,7 +104,14 @@ pool()
 void
 configureThreads(int threads)
 {
-    std::lock_guard<std::mutex> lk(g_pool_mu);
+    base::LockGuard lk(g_pool_mu);
+    // Retire, don't destroy: a concurrent parallelFor() may hold the
+    // reference pool() returned before this call took the lock, and
+    // destroying the pool under it would join workers mid-submit (a
+    // use-after-free TSan catches). The old pool drains naturally and
+    // idles until process exit.
+    if (g_pool)
+        g_retired_pools.push_back(std::move(g_pool));
     g_pool = std::make_unique<ThreadPool>(threads < 1 ? 1 : threads);
 }
 

@@ -140,7 +140,7 @@ DecompCache::memoryLookup(uint64_t key, core::SeMatrix &out)
 {
     if (capacity_ == 0)
         return false;
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     auto it = index_.find(key);
     if (it == index_.end())
         return false;
@@ -154,7 +154,7 @@ DecompCache::memoryInsert(uint64_t key, const core::SeMatrix &m)
 {
     if (capacity_ == 0)
         return;
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
         it->second->value = m;
@@ -201,7 +201,7 @@ DecompCache::spillRead(uint64_t key, core::SeMatrix &out)
     if (corrupt) {
         std::error_code ec;
         fs::remove(path, ec);
-        std::lock_guard<std::mutex> lk(spillMu_);
+        base::LockGuard lk(spillMu_);
         ++corruptDropped_;
         return false;
     }
@@ -231,7 +231,7 @@ DecompCache::spillWrite(uint64_t key, const core::SeMatrix &m)
 
         uint64_t seq;
         {
-            std::lock_guard<std::mutex> lk(spillMu_);
+            base::LockGuard lk(spillMu_);
             seq = tempSeq_++;
         }
         // Unique per (instance, write); concurrent processes sharing
@@ -253,10 +253,10 @@ DecompCache::spillWrite(uint64_t key, const core::SeMatrix &m)
         // recoverScan. This failpoint simulates exactly that kill.
         SE_FAILPOINT("decomp_spill_commit");
         fs::rename(tmp, entryPath(key));
-        std::lock_guard<std::mutex> lk(spillMu_);
+        base::LockGuard lk(spillMu_);
         ++spills_;
     } catch (...) {
-        std::lock_guard<std::mutex> lk(spillMu_);
+        base::LockGuard lk(spillMu_);
         ++spillFailures_;
     }
 }
@@ -265,17 +265,17 @@ bool
 DecompCache::lookup(uint64_t key, core::SeMatrix &out)
 {
     if (memoryLookup(key, out)) {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         ++hits_;
         return true;
     }
     if (!spillDir_.empty() && spillRead(key, out)) {
         memoryInsert(key, out);  // promote for the next lookup
-        std::lock_guard<std::mutex> lk(spillMu_);
+        base::LockGuard lk(spillMu_);
         ++diskHits_;
         return true;
     }
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     ++misses_;
     return false;
 }
@@ -336,7 +336,7 @@ DecompCache::recoverScan()
             ++dropped;
         }
     }
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     corruptDropped_ += dropped;
     return valid;
 }
@@ -358,49 +358,49 @@ DecompCache::purgeSpill()
 size_t
 DecompCache::size() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     return lru_.size();
 }
 
 uint64_t
 DecompCache::hits() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     return hits_;
 }
 
 uint64_t
 DecompCache::misses() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     return misses_;
 }
 
 uint64_t
 DecompCache::diskHits() const
 {
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     return diskHits_;
 }
 
 uint64_t
 DecompCache::spills() const
 {
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     return spills_;
 }
 
 uint64_t
 DecompCache::spillFailures() const
 {
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     return spillFailures_;
 }
 
 uint64_t
 DecompCache::corruptDropped() const
 {
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     return corruptDropped_;
 }
 
@@ -408,13 +408,13 @@ void
 DecompCache::clear()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         lru_.clear();
         index_.clear();
         hits_ = 0;
         misses_ = 0;
     }
-    std::lock_guard<std::mutex> lk(spillMu_);
+    base::LockGuard lk(spillMu_);
     diskHits_ = 0;
     spills_ = 0;
     spillFailures_ = 0;

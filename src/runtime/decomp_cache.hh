@@ -42,10 +42,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "base/mutex.hh"
 #include "core/smart_exchange.hh"
 
 namespace se {
@@ -132,28 +132,40 @@ class DecompCache
         core::SeMatrix value;
     };
 
-    bool memoryLookup(uint64_t key, core::SeMatrix &out);
-    void memoryInsert(uint64_t key, const core::SeMatrix &m);
+    bool memoryLookup(uint64_t key, core::SeMatrix &out)
+        SE_EXCLUDES(mu_);
+    void memoryInsert(uint64_t key, const core::SeMatrix &m)
+        SE_EXCLUDES(mu_);
     std::string entryPath(uint64_t key) const;
     /** True + decoded value when the entry exists and validates;
      *  deletes the file and returns false otherwise. */
-    bool spillRead(uint64_t key, core::SeMatrix &out);
-    void spillWrite(uint64_t key, const core::SeMatrix &m);
+    bool spillRead(uint64_t key, core::SeMatrix &out)
+        SE_EXCLUDES(spillMu_);
+    void spillWrite(uint64_t key, const core::SeMatrix &m)
+        SE_EXCLUDES(spillMu_);
 
     size_t capacity_;
     std::string spillDir_;
-    mutable std::mutex mu_;
-    std::list<Entry> lru_;  ///< front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
 
-    mutable std::mutex spillMu_;
-    uint64_t diskHits_ = 0;
-    uint64_t spills_ = 0;
-    uint64_t spillFailures_ = 0;
-    uint64_t corruptDropped_ = 0;
-    uint64_t tempSeq_ = 0;  ///< unique temp-file suffix counter
+    /** Memory tier: map + LRU list + their hit/miss counters. House
+     *  lock order (never nested today, enforced by SE_EXCLUDES on
+     *  every helper): mu_ and spillMu_ are only ever held one at a
+     *  time. */
+    mutable base::Mutex mu_;
+    std::list<Entry> lru_ SE_GUARDED_BY(mu_);  ///< front = MRU
+    std::unordered_map<uint64_t, std::list<Entry>::iterator>
+        index_ SE_GUARDED_BY(mu_);
+    uint64_t hits_ SE_GUARDED_BY(mu_) = 0;
+    uint64_t misses_ SE_GUARDED_BY(mu_) = 0;
+
+    /** Spill tier: disk I/O counters + the temp-name sequence. */
+    mutable base::Mutex spillMu_;
+    uint64_t diskHits_ SE_GUARDED_BY(spillMu_) = 0;
+    uint64_t spills_ SE_GUARDED_BY(spillMu_) = 0;
+    uint64_t spillFailures_ SE_GUARDED_BY(spillMu_) = 0;
+    uint64_t corruptDropped_ SE_GUARDED_BY(spillMu_) = 0;
+    /** Unique temp-file suffix counter. */
+    uint64_t tempSeq_ SE_GUARDED_BY(spillMu_) = 0;
 };
 
 } // namespace runtime

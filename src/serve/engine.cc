@@ -1,6 +1,7 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -61,12 +62,12 @@ ServeEngine::~ServeEngine()
 void
 ServeEngine::stop()
 {
-    std::lock_guard<std::mutex> sl(stop_mu_);
+    base::LockGuard sl(stop_mu_);
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     if (dispatcher_.joinable())
         dispatcher_.join();
     // The pool destructor runs every already-submitted batch; it must
@@ -95,7 +96,7 @@ ServeEngine::submit(Tensor sample)
     }
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         if (stopping_)
             throw EngineStoppedError(
                 "submit() on a stopped ServeEngine");
@@ -116,7 +117,7 @@ ServeEngine::submit(Tensor sample)
             if (opts_.queueCap > 0 &&
                 queue_.size() >= opts_.queueCap) {
                 {
-                    std::lock_guard<std::mutex> sk(stats_mu_);
+                    base::LockGuard sk(stats_mu_);
                     ++shed_;
                 }
                 throw AdmissionError(
@@ -130,11 +131,11 @@ ServeEngine::submit(Tensor sample)
     }
     if (malformed) {
         r.promise.set_exception(malformed);
-        std::lock_guard<std::mutex> sk(stats_mu_);
+        base::LockGuard sk(stats_mu_);
         ++rejected_;
         return fut;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     return fut;
 }
 
@@ -145,7 +146,7 @@ ServeEngine::dispatchLoop()
         std::vector<Request> batch;
         size_t replica;
         {
-            std::unique_lock<std::mutex> lk(mu_);
+            base::LockGuard lk(mu_);
             // Wait for work AND a free replica before forming the
             // batch: while every replica is busy the queue keeps
             // growing, so the batch popped at dispatch time is as
@@ -178,7 +179,7 @@ ServeEngine::dispatchLoop()
                                 opts_.flushDeadlineMs));
                     if (Clock::now() >= flushAt)
                         break;
-                    cv_.wait_until(lk, flushAt);
+                    cv_.waitUntil(lk, flushAt);
                     continue;
                 }
                 cv_.wait(lk);  // Full: hold for a complete batch
@@ -210,10 +211,10 @@ void
 ServeEngine::releaseReplica(size_t idx)
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         freeReplicas_.push_back(idx);
     }
-    cv_.notify_all();
+    cv_.notifyAll();
 }
 
 void
@@ -256,49 +257,59 @@ ServeEngine::runBatch(size_t replica, std::vector<Request> &batch)
             out_sample.push_back(1);
         const int64_t out_elems = numel(out_sample);
 
-        std::vector<double> lat(n);
+        // Commit stats BEFORE fulfilling any promise: a caller that
+        // has seen its future become ready must also see itself in
+        // stats() (a waiter preempting this thread between set_value
+        // and a later stats commit used to read requests == 0 after
+        // a successful get() — a real flake under machine load).
+        {
+            base::LockGuard lk(stats_mu_);
+            for (size_t i = 0; i < n; ++i)
+                latency_.add(msSince(batch[i].enqueued));
+            ++batches_;
+            batchedRequests_ += n;
+        }
         for (size_t i = 0; i < n; ++i) {
             Tensor resp(out_sample);
             std::memcpy(resp.data(),
                         out.data() + (int64_t)i * out_elems,
                         (size_t)out_elems * sizeof(float));
             batch[i].promise.set_value(std::move(resp));
-            lat[i] = msSince(batch[i].enqueued);
             ++fulfilled;
         }
-        {
-            std::lock_guard<std::mutex> lk(stats_mu_);
-            for (double v : lat)
-                latency_.add(v);
-            ++batches_;
-            batchedRequests_ += n;
-        }
+        // Schedule-perturbation failpoint: armed, the worker sleeps
+        // 1ms right after publishing this batch's responses —
+        // simulating preemption at the publish instant, the window
+        // the stats-before-publish ordering above exists to close.
+        if (failpoint::evaluate("serve_publish_delay"))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
     } catch (...) {
         // Fail only the requests whose promise is still pending —
         // set_exception on a satisfied promise would itself throw,
         // escape this handler and leak the replica.
         for (size_t i = fulfilled; i < n; ++i)
             batch[i].promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        base::LockGuard lk(stats_mu_);
         failed_ += n - fulfilled;
     }
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::LockGuard lk(mu_);
         pending_ -= n;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
 }
 
 void
 ServeEngine::drain()
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     // A counter, not a flag: with two concurrent drainers a flag
     // would be reset by whichever caller wakes first, leaving the
     // other stuck behind a Full/Deadline hold.
     ++drainers_;
-    cv_.notify_all();
-    cv_.wait(lk, [this] { return pending_ == 0; });
+    cv_.notifyAll();
+    while (pending_ != 0)
+        cv_.wait(lk);
     --drainers_;
 }
 
@@ -308,7 +319,7 @@ ServeEngine::stats() const
     std::vector<double> lat;
     ServeStats s;
     {
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        base::LockGuard lk(stats_mu_);
         lat = latency_.sortedSample();  // bounded by the reservoir cap
         s.requests = latency_.count();
         s.meanLatencyMs = latency_.mean();

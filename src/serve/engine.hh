@@ -37,16 +37,15 @@
 #ifndef SE_SERVE_ENGINE_HH
 #define SE_SERVE_ENGINE_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "base/thread_pool.hh"
 #include "serve/latency.hh"
 #include "serve/session.hh"
@@ -174,21 +173,21 @@ class ServeEngine
      * admission-failure semantics (AdmissionError /
      * EngineStoppedError throw; malformed shapes fail the future).
      */
-    std::future<Tensor> submit(Tensor sample);
+    std::future<Tensor> submit(Tensor sample) SE_EXCLUDES(mu_);
 
     /** Block until every accepted request has been answered (flushes
      *  partial batches under Full/Deadline). Concurrent drainers each
      *  observe an empty engine before returning. */
-    void drain();
+    void drain() SE_EXCLUDES(mu_);
 
     /**
      * Answer every accepted request, then stop accepting: subsequent
      * submit() calls throw EngineStoppedError instead of killing the
      * process. Idempotent and safe to race with submit().
      */
-    void stop();
+    void stop() SE_EXCLUDES(stop_mu_, mu_);
 
-    ServeStats stats() const;
+    ServeStats stats() const SE_EXCLUDES(stats_mu_);
     int replicaCount() const { return (int)replicas_.size(); }
 
   private:
@@ -199,35 +198,45 @@ class ServeEngine
         std::chrono::steady_clock::time_point enqueued;
     };
 
-    void dispatchLoop();
-    void runBatch(size_t replica, std::vector<Request> &batch);
-    void releaseReplica(size_t idx);
+    void dispatchLoop() SE_EXCLUDES(mu_);
+    void runBatch(size_t replica, std::vector<Request> &batch)
+        SE_EXCLUDES(mu_, stats_mu_);
+    void releaseReplica(size_t idx) SE_EXCLUDES(mu_);
 
     ServeOptions opts_;
+    /** Immutable after construction; each replica is used by at most
+     *  one in-flight batch at a time (the freeReplicas_ protocol). */
     std::vector<std::unique_ptr<InferenceSession>> replicas_;
     std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 0
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Request> queue_;
-    Shape expected_;        ///< locked per-sample shape (guarded by mu_)
-    uint64_t pending_ = 0;  ///< accepted but not yet answered
-    int drainers_ = 0;      ///< concurrent drain() callers
-    bool stopping_ = false;
+    /** Serializes stop() callers. House lock order:
+     *  stop_mu_ -> mu_ -> stats_mu_ (documented here, spot-enforced
+     *  by the SE_ACQUIRED_AFTER annotations below under clang's
+     *  -Wthread-safety-beta, and dynamically by TSan's deadlock
+     *  detector in the `-L concurrency` CI job). */
+    base::Mutex stop_mu_;
 
-    std::vector<size_t> freeReplicas_;  ///< guarded by mu_
+    mutable base::Mutex mu_ SE_ACQUIRED_AFTER(stop_mu_);
+    base::CondVar cv_;
+    std::deque<Request> queue_ SE_GUARDED_BY(mu_);
+    /** Locked per-sample shape. */
+    Shape expected_ SE_GUARDED_BY(mu_);
+    /** Accepted but not yet answered. */
+    uint64_t pending_ SE_GUARDED_BY(mu_) = 0;
+    /** Concurrent drain() callers. */
+    int drainers_ SE_GUARDED_BY(mu_) = 0;
+    bool stopping_ SE_GUARDED_BY(mu_) = false;
+    std::vector<size_t> freeReplicas_ SE_GUARDED_BY(mu_);
 
-    std::mutex stop_mu_;  ///< serializes stop() callers
+    mutable base::Mutex stats_mu_ SE_ACQUIRED_AFTER(mu_);
+    LatencyReservoir latency_ SE_GUARDED_BY(stats_mu_);
+    uint64_t batches_ SE_GUARDED_BY(stats_mu_) = 0;
+    uint64_t batchedRequests_ SE_GUARDED_BY(stats_mu_) = 0;
+    uint64_t failed_ SE_GUARDED_BY(stats_mu_) = 0;
+    uint64_t rejected_ SE_GUARDED_BY(stats_mu_) = 0;
+    uint64_t shed_ SE_GUARDED_BY(stats_mu_) = 0;
 
-    mutable std::mutex stats_mu_;
-    LatencyReservoir latency_;
-    uint64_t batches_ = 0;
-    uint64_t batchedRequests_ = 0;
-    uint64_t failed_ = 0;
-    uint64_t rejected_ = 0;
-    uint64_t shed_ = 0;
-
-    std::thread dispatcher_;
+    std::thread dispatcher_;  ///< set in ctor, joined under stop_mu_
 };
 
 } // namespace serve

@@ -162,7 +162,7 @@ ServeFront::buildGeneration(const ModelEntry &e, uint64_t number) const
 std::shared_ptr<ServeFront::Generation>
 ServeFront::generationFor(size_t i)
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     for (;;) {
         Slot &s = slots_[i];
         if (stopped_)
@@ -188,18 +188,24 @@ ServeFront::generationFor(size_t i)
     }
 
     const uint64_t number = slots_[i].generation + 1;
+    // Copy the entry while still locked. The building flag does keep
+    // every other stand-up (including reloadModel's move-assign of
+    // slots_[i].entry) out until we re-lock, but that exclusion is a
+    // protocol spanning two functions; the copy makes the off-lock
+    // build's safety local and checkable (no slots_ touch off-lock).
+    ModelEntry entry = slots_[i].entry;
     lk.unlock();
     std::shared_ptr<Generation> gen;
     std::exception_ptr err;
     try {
-        gen = buildGeneration(slots_[i].entry, number);
+        gen = buildGeneration(entry, number);
     } catch (...) {
         err = std::current_exception();
     }
     lk.lock();
     Slot &s = slots_[i];
     s.building = false;
-    cv_.notify_all();
+    cv_.notifyAll();
     if (err) {
         s.health = ModelHealth::Unhealthy;
         s.reason = describeException(err);
@@ -246,7 +252,7 @@ ServeFront::retireGeneration(size_t i, std::shared_ptr<Generation> gen)
     // generation (see submit()), so retirement drops nothing.
     gen->engine->stop();
     const ServeStats st = gen->engine->stats();
-    std::lock_guard<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     mergeRetiredLocked(slots_[i], st);
 }
 
@@ -256,11 +262,12 @@ ServeFront::reloadModel(const std::string &modelId, ModelEntry entry)
     validateEntry(modelId, entry);
     const size_t i = indexOf(modelId);
 
-    std::unique_lock<std::mutex> lk(mu_);
+    base::LockGuard lk(mu_);
     // One stand-up per slot at a time: wait out a racing first-touch
     // build (or another reload) instead of numbering generations
     // against a moving target.
-    cv_.wait(lk, [&] { return !slots_[i].building; });
+    while (slots_[i].building)
+        cv_.wait(lk);
     if (stopped_)
         throw EngineStoppedError(
             "reloadModel() on a stopped ServeFront");
@@ -283,7 +290,7 @@ ServeFront::reloadModel(const std::string &modelId, ModelEntry entry)
     lk.lock();
     Slot &s = slots_[i];
     s.building = false;
-    cv_.notify_all();
+    cv_.notifyAll();
     if (err) {
         if (perEngineOpts_.reloadFallback && s.current &&
             s.health == ModelHealth::Healthy) {
@@ -381,7 +388,7 @@ ServeFront::submit(const std::string &modelId, Tensor sample)
             // generation swap is retried with the original sample.
             return gen->engine->submit(sample);
         } catch (const EngineStoppedError &) {
-            std::unique_lock<std::mutex> lk(mu_);
+            base::LockGuard lk(mu_);
             if (slots_[i].current == gen)
                 throw;  // the front itself stopped this engine
             // Reload flipped the generation between our snapshot and
@@ -398,7 +405,7 @@ ServeFront::builtGenerations() const
     // reloads), then operate outside it so a long drain can't block
     // an unrelated model's engine build. The shared_ptrs keep the
     // engines alive across the walk even if a reload retires them.
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     std::vector<std::shared_ptr<Generation>> out;
     out.reserve(slots_.size());
     for (const auto &s : slots_)
@@ -418,12 +425,12 @@ void
 ServeFront::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        base::LockGuard lk(mu_);
         stopped_ = true;
     }
     // Wake first-touch waiters so they observe stopped_ instead of
     // sleeping on a build that may be about to refuse its engine.
-    cv_.notify_all();
+    cv_.notifyAll();
     for (const auto &gen : builtGenerations())
         gen->engine->stop();
 }
@@ -435,7 +442,7 @@ ServeFront::stats(const std::string &modelId) const
     std::shared_ptr<Generation> cur;
     RetiredStats retired;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        base::LockGuard lk(mu_);
         cur = slots_[i].current;
         retired = slots_[i].retired;
     }
@@ -495,7 +502,7 @@ bool
 ServeFront::engineBuilt(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     return slots_[i].current && slots_[i].current->engine;
 }
 
@@ -503,7 +510,7 @@ uint64_t
 ServeFront::generation(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     return slots_[i].generation;
 }
 
@@ -511,7 +518,7 @@ ModelHealth
 ServeFront::health(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     return slots_[i].health;
 }
 
@@ -519,7 +526,7 @@ uint64_t
 ServeFront::reloadFallbacks(const std::string &modelId) const
 {
     const size_t i = indexOf(modelId);
-    std::lock_guard<std::mutex> lock(mu_);
+    base::LockGuard lk(mu_);
     return slots_[i].fallbacks;
 }
 

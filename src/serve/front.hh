@@ -45,14 +45,13 @@
 #ifndef SE_SERVE_FRONT_HH
 #define SE_SERVE_FRONT_HH
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/mutex.hh"
 #include "serve/engine.hh"
 
 namespace se {
@@ -201,7 +200,7 @@ class ServeFront
      * quarantined model.
      */
     std::future<Tensor> submit(const std::string &modelId,
-                               Tensor sample);
+                               Tensor sample) SE_EXCLUDES(mu_);
 
     /**
      * Hot-swap `modelId` to a new generation serving `entry` with
@@ -217,21 +216,23 @@ class ServeFront
      * build error is rethrown either way. A successful reload also
      * recovers a quarantined model (Unhealthy -> Healthy).
      */
-    void reloadModel(const std::string &modelId, ModelEntry entry);
+    void reloadModel(const std::string &modelId, ModelEntry entry)
+        SE_EXCLUDES(mu_);
 
     /** Drain every built engine (all accepted requests answered). */
-    void drain();
+    void drain() SE_EXCLUDES(mu_);
 
     /** Stop every engine; later submits throw EngineStoppedError
      *  (including first submits to still-unbuilt streamed models). */
-    void stop();
+    void stop() SE_EXCLUDES(mu_);
 
     /** Per-model statistics (latency percentiles included), merged
      *  across every generation the model has served: counters sum,
      *  the latency mean is request-weighted, percentiles are the
      *  current generation's (reservoirs don't merge exactly). A
      *  streamed model that never saw a submit reports all zeros. */
-    ServeStats stats(const std::string &modelId) const;
+    ServeStats stats(const std::string &modelId) const
+        SE_EXCLUDES(mu_);
 
     /**
      * Counters summed across models, mean latency weighted by
@@ -239,33 +240,38 @@ class ServeFront
      * per-model quantity (per-engine reservoirs can't be merged
      * exactly) and stay 0 here — read stats(modelId) for them.
      */
-    ServeStats aggregateStats() const;
+    ServeStats aggregateStats() const SE_EXCLUDES(mu_);
 
     /** Direct engine access (e.g. per-model drain or replica count).
      *  Forces a deferred streamed engine to build. The pointer is
      *  only stable until the model's next reloadModel(). */
-    ServeEngine &engine(const std::string &modelId);
+    ServeEngine &engine(const std::string &modelId)
+        SE_EXCLUDES(mu_);
 
     /** True once the model's engine exists — the lazy-serving
      *  observable: false for a streamed model nobody submitted to
      *  (and for a quarantined model, whose engine is retired). */
-    bool engineBuilt(const std::string &modelId) const;
+    bool engineBuilt(const std::string &modelId) const
+        SE_EXCLUDES(mu_);
 
     /** Current generation number: 0 before the first build, 1 after
      *  it, +1 per successful reloadModel(). A quarantined model keeps
      *  the number of the last generation that became current. */
-    uint64_t generation(const std::string &modelId) const;
+    uint64_t generation(const std::string &modelId) const
+        SE_EXCLUDES(mu_);
 
     /** Healthy unless the model's last stand-up attempt failed. */
-    ModelHealth health(const std::string &modelId) const;
+    ModelHealth health(const std::string &modelId) const
+        SE_EXCLUDES(mu_);
 
     /** Failed reloads absorbed by falling back to the previous
      *  healthy generation (only grows under reloadFallback). */
-    uint64_t reloadFallbacks(const std::string &modelId) const;
+    uint64_t reloadFallbacks(const std::string &modelId) const
+        SE_EXCLUDES(mu_);
 
     std::vector<std::string> modelIds() const { return ids_; }
     size_t modelCount() const { return ids_.size(); }
-    int replicaCount() const;  ///< summed across BUILT engines
+    int replicaCount() const SE_EXCLUDES(mu_);  ///< BUILT engines
 
   private:
     /** One numbered (entry, engine) pair; engines_ of old. */
@@ -304,22 +310,31 @@ class ServeFront
     size_t indexOf(const std::string &modelId) const;
     /** Current generation of slot i, standing one up (outside the
      *  lock) on first touch. Throws on stopped/unhealthy. */
-    std::shared_ptr<Generation> generationFor(size_t i);
+    std::shared_ptr<Generation> generationFor(size_t i)
+        SE_EXCLUDES(mu_);
     /** Decode + construct one generation. Runs with no front lock
      *  held; the `serve_engine_build` failpoint fires here. */
     std::shared_ptr<Generation> buildGeneration(const ModelEntry &e,
-                                                uint64_t number) const;
-    void mergeRetiredLocked(Slot &s, const ServeStats &st) const;
+                                                uint64_t number) const
+        SE_EXCLUDES(mu_);
+    void mergeRetiredLocked(Slot &s, const ServeStats &st) const
+        SE_REQUIRES(mu_);
     /** Stop `gen`'s engine and fold its counters into slot i. */
-    void retireGeneration(size_t i, std::shared_ptr<Generation> gen);
-    std::vector<std::shared_ptr<Generation>> builtGenerations() const;
+    void retireGeneration(size_t i, std::shared_ptr<Generation> gen)
+        SE_EXCLUDES(mu_);
+    std::vector<std::shared_ptr<Generation>> builtGenerations() const
+        SE_EXCLUDES(mu_);
 
-    std::vector<std::string> ids_;
-    ServeOptions perEngineOpts_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;  ///< building-flag waiters
-    bool stopped_ = false;
-    std::vector<Slot> slots_;
+    std::vector<std::string> ids_;  ///< immutable after construction
+    ServeOptions perEngineOpts_;    ///< immutable after construction
+    mutable base::Mutex mu_;
+    base::CondVar cv_;  ///< building-flag waiters
+    bool stopped_ SE_GUARDED_BY(mu_) = false;
+    /** Slot state (entry, current generation, health, counters) is
+     *  all mu_-guarded; a slot's `building` flag grants its one
+     *  stand-up thread the right to read the ENTRY COPY it took
+     *  under the lock, never to touch the slot itself off-lock. */
+    std::vector<Slot> slots_ SE_GUARDED_BY(mu_);
 };
 
 } // namespace serve

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Negative-compile case: reading an SE_GUARDED_BY member without
+ * holding its mutex. Under Clang -Werror=thread-safety this TU must
+ * FAIL to compile (the harness errors out if it succeeds); under GCC
+ * the annotations are no-ops and it must compile cleanly, proving the
+ * Clang failure comes from the analysis, not from a syntax error.
+ */
+
+#include "base/mutex.hh"
+
+namespace {
+
+struct Counter
+{
+    se::base::Mutex mu;
+    int n SE_GUARDED_BY(mu) = 0;
+
+    int
+    read()
+    {
+        return n;  // BAD: guarded read, no lock held
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.read();
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Positive control for the negative-compile harness: the same guarded
+ * member and SE_REQUIRES callee as the failing cases, accessed
+ * correctly through base::LockGuard. Must compile cleanly under EVERY
+ * compiler — if this one breaks, the harness is miswired (bad include
+ * path, broken flags) and the negative results mean nothing.
+ */
+
+#include "base/mutex.hh"
+
+namespace {
+
+struct Counter
+{
+    se::base::Mutex mu;
+    int n SE_GUARDED_BY(mu) = 0;
+
+    void
+    bumpLocked() SE_REQUIRES(mu)
+    {
+        ++n;
+    }
+
+    int
+    bump()
+    {
+        se::base::LockGuard lk(mu);
+        bumpLocked();
+        return n;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    return c.bump();
+}

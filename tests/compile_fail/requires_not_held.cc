@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Negative-compile case: calling an SE_REQUIRES method without
+ * holding the capability it names. Under Clang -Werror=thread-safety
+ * this TU must FAIL to compile; under GCC it must compile cleanly
+ * (see guarded_by_off_lock.cc for the rationale).
+ */
+
+#include "base/mutex.hh"
+
+namespace {
+
+struct Counter
+{
+    se::base::Mutex mu;
+    int n SE_GUARDED_BY(mu) = 0;
+
+    void
+    bumpLocked() SE_REQUIRES(mu)
+    {
+        ++n;
+    }
+
+    void
+    bump()
+    {
+        bumpLocked();  // BAD: caller does not hold mu
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bump();
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include <future>
 #include <thread>
 
+#include "base/failpoint.hh"
 #include "base/hash.hh"
 #include "base/random.hh"
 #include "core/stream_loader.hh"
@@ -435,6 +436,36 @@ TEST(ServeEngine, DeadlinePolicyFlushesPartialBatchWithoutDrain)
     for (auto &f : futs)
         EXPECT_NO_THROW(f.get());
     EXPECT_EQ(engine.stats().requests, 3u);
+}
+
+TEST(ServeEngine, StatsIncludeEveryRequestWhoseFutureIsReady)
+{
+    // Regression (surfaced as a flake under `ctest -j2` machine
+    // load): runBatch used to set promise values BEFORE committing
+    // latencies under stats_mu_, so a waiter that woke on its future
+    // and immediately called stats() could read requests == 0 after a
+    // successful get(). The contract is now commit-then-fulfill: a
+    // ready future implies its request is visible in stats(). The
+    // serve_publish_delay failpoint parks the batch worker for 1ms at
+    // the publish instant, turning the one-in-a-thousand preemption
+    // into a deterministic one — this test fails every iteration
+    // under the old ordering.
+    failpoint::ScopedArm delay("serve_publish_delay", "after0");
+    auto shipped = shipModel(75);
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    serve::ServeEngine engine(
+        shipped.records, [] { return makeServeCnn(75); },
+        shipped.seOpts, shipped.applyOpts, opts);
+
+    for (uint64_t i = 0; i < 50; ++i) {
+        auto fut = engine.submit(makeInput(i));
+        ASSERT_NO_THROW(fut.get());
+        EXPECT_EQ(engine.stats().requests, i + 1)
+            << "future ready but stats() missed the request "
+               "(iteration "
+            << i << ")";
+    }
 }
 
 TEST(ServeEngine, ConcurrentDrainersAllObserveTheFlush)
