@@ -26,6 +26,10 @@
  *    completed+shed == offered conservation check;
  *  - flush policy: Deadline vs Full p99 at equal paced offered load
  *    (the latency/throughput knob made visible);
+ *  - pipelined streaming execution: the streamed-v4 CeDirect bundle
+ *    served by the serial one-request loop vs the stage-decoupled
+ *    engine with prefetch/pipelining off and on, with decode-stall,
+ *    prefetch hit/miss and pipeline-occupancy counters;
  *  - engine latency percentiles.
  *
  * Usage: ./bench_serve [--smoke] [threads] [requests]
@@ -33,13 +37,18 @@
  * --smoke shrinks the run and turns the noise-tolerant invariants
  * into exit gates (batched >= serial, deadline p99 < full p99,
  * v3 <= 60% of v2 bytes, v4 <= 90% of v3 bytes, lazy v4 cold start
- * < eager) on top of the always-gated bit-identity/
- * warm<cold checks — the Release CI job runs it on every PR.
+ * < eager, pipelined >= 1.15x the serial loop with a shrinking
+ * rebuild stall and ~0 prefetched decode stall) on top of the
+ * always-gated bit-identity/warm<cold checks — the Release CI job
+ * runs it on every PR.
  *
  * SE_SERVE_QUEUE_CAP / SE_SERVE_DEADLINE_MS / SE_SERVE_WEIGHT_SOURCE
  * / SE_MODEL_FORMAT (via RuntimeOptions::fromEnv) override the
  * admission cap, deadline, serving weight source and reported save
- * format used by the respective sections.
+ * format used by the respective sections. SE_PIPELINE switches the
+ * per-call engine section to the stage-decoupled loop (responses
+ * must not change) and SE_PREFETCH_DEPTH sets the lookahead the
+ * pipeline section's prefetch lane uses.
  *
  * SE_FAILPOINTS=<spec> switches the whole run into a fault drill:
  * the perf sections are skipped (faults would corrupt their timings)
@@ -643,10 +652,14 @@ main(int argc, char **argv)
             serve::ServeOptions opts;
             opts.threads = thread_counts[ti];
             opts.maxBatch = 16;
+            // SE_PIPELINE flips this section's engines to the
+            // stage-decoupled loop; responses must stay identical.
+            opts.pipeline = run_opts.servePipeline;
             opts.session.rebuildPerCall = true;
             opts.session.cacheRebuiltWeights = false;
             opts.session.weightSource = weight_source;
             opts.session.denseState = dense;
+            opts.session.pipelineRebuild = run_opts.servePipeline;
             serve::ServeEngine engine(records, factory, se_opts,
                                       apply_opts, opts);
             auto t0 = Clock::now();
@@ -667,12 +680,14 @@ main(int argc, char **argv)
             auto st = engine.stats();
             std::printf(
                 "    {\"threads\": %d, \"max_batch\": 16, "
+                "\"pipeline\": %s, "
                 "\"ms\": %.2f, \"rps\": %.1f, "
                 "\"mean_batch\": %.1f, \"p50_ms\": %.2f, "
                 "\"p95_ms\": %.2f, \"p99_ms\": %.2f, "
                 "\"bit_identical\": %s}%s\n",
-                thread_counts[ti], ms, rps, st.meanBatchSize,
-                st.p50Ms, st.p95Ms, st.p99Ms,
+                thread_counts[ti],
+                bench::jsonBool(run_opts.servePipeline), ms, rps,
+                st.meanBatchSize, st.p50Ms, st.p95Ms, st.p99Ms,
                 bench::jsonBool(digest == serial_digest),
                 bench::jsonSep(ti, thread_counts.size()));
         }
@@ -1124,6 +1139,186 @@ main(int argc, char **argv)
             full_p99 / deadline_p99);
     }
 
+    // --- pipelined streaming execution -----------------------------
+    // The v4 bundle served CeDirect at three rungs of the same work:
+    // the serial one-request-at-a-time loop (every request pays a
+    // full inline rebuild), the stage-decoupled engine with
+    // everything off, and with everything on — prefetch lane decoding
+    // pieces ahead of the consumer, the session rebuilding layer
+    // group g+1 while group g's GEMMs run, and the engine's
+    // admit -> form -> execute -> complete stages overlapped.
+    // Responses must be bit-identical on all three rungs; --smoke
+    // additionally gates pipelined >= 1.15x the serial loop and the
+    // rebuild stall shrinking against the serial-stage engine.
+    bool pipe_identical, prefetch_clean;
+    double pipe_speedup, pipe_stall_ms[2];
+    double stream_stall_inline_ms, stream_stall_lane_ms;
+    {
+        const int pipe_n = std::min(requests, 64);
+        std::vector<core::SeLayerRecord> qrecords = *records;
+        core::quantizeBasisAtCompress(qrecords);
+        const char *path = "/tmp/se_bench_serve_pipe.sexm";
+        {
+            std::ostringstream os(std::ios::binary);
+            core::saveModelV4(os, qrecords, *dense);
+            std::ofstream f(path,
+                            std::ios::binary | std::ios::trunc);
+            f << os.str();
+        }
+        const size_t depth =
+            run_opts.prefetchDepth > 0 ? run_opts.prefetchDepth : 3;
+
+        // Piece-decode stall: inline (every piece decoded on the
+        // consumer's clock) vs a lane with a head start (every touch
+        // a hit — the success metric's "decode-stall ~0").
+        uint64_t lane_hits;
+        size_t pieces;
+        {
+            core::StreamedModel inline_sm(path);
+            inline_sm.records();
+            stream_stall_inline_ms =
+                inline_sm.streamStats().decodeStallMs;
+            pieces = inline_sm.pieceCount();
+
+            core::StreamLoaderOptions lo;
+            lo.prefetchDepth = 4096;  // full lookahead
+            core::StreamedModel lane_sm(path, lo);
+            lane_sm.drainPrefetch();  // the head start
+            lane_sm.records();
+            stream_stall_lane_ms =
+                lane_sm.streamStats().decodeStallMs;
+            lane_hits = lane_sm.streamStats().prefetchHits;
+        }
+
+        // Rung 1: serial one-at-a-time loop on the streamed bundle.
+        double serial_loop_rps;
+        uint64_t pipe_digest[3];
+        {
+            core::StreamedModel sm(path);
+            serve::SessionOptions so;
+            so.rebuildPerCall = true;
+            so.cacheRebuiltWeights = false;
+            so.weightSource = serve::WeightSource::CeDirect;
+            so.denseState = std::make_shared<
+                const std::vector<core::DenseTensor>>(sm.dense());
+            serve::InferenceSession session(makeSubject(),
+                                            sm.records(), se_opts,
+                                            apply_opts, so);
+            session.forward(traffic[0].reshaped(
+                {1, traffic[0].dim(0), traffic[0].dim(1),
+                 traffic[0].dim(2)}));  // warmup allocation paths
+            uint64_t digest = kFnvOffsetBasis;
+            auto t0 = Clock::now();
+            for (int i = 0; i < pipe_n; ++i) {
+                const Tensor &x = traffic[(size_t)i % traffic.size()];
+                Tensor y = session.forward(x.reshaped(
+                    {1, x.dim(0), x.dim(1), x.dim(2)}));
+                digest =
+                    hashTensor(y.reshaped({y.size()}), digest);
+            }
+            const double ms = msSince(t0);
+            serial_loop_rps = 1000.0 * pipe_n / ms;
+            pipe_digest[0] = digest;
+        }
+
+        // Rungs 2 and 3: the engine with SE_PIPELINE off, then on.
+        double mode_rps[2], mode_occ[2];
+        double mode_form[2], mode_exec[2], mode_complete[2];
+        uint64_t mode_overlapped[2];
+        uint64_t mode_hits[2], mode_misses[2], mode_errors[2];
+        for (int v = 0; v < 2; ++v) {
+            const bool on = v == 1;
+            core::StreamLoaderOptions lo;
+            lo.prefetchDepth = on ? depth : 0;
+            core::StreamedModel sm(path, lo);
+            serve::ServeOptions opts;
+            opts.pipeline = on;
+            opts.threads = max_threads;
+            opts.maxBatch = 16;
+            opts.session.rebuildPerCall = true;
+            opts.session.cacheRebuiltWeights = false;
+            opts.session.weightSource =
+                serve::WeightSource::CeDirect;
+            opts.session.pipelineRebuild = on;
+            opts.session.denseState = std::make_shared<
+                const std::vector<core::DenseTensor>>(sm.dense());
+            serve::ServeEngine engine(sm.records(), factory,
+                                      se_opts, apply_opts, opts);
+            auto t0 = Clock::now();
+            std::vector<std::future<Tensor>> futs;
+            futs.reserve((size_t)pipe_n);
+            for (int i = 0; i < pipe_n; ++i)
+                futs.push_back(engine.submit(
+                    traffic[(size_t)i % traffic.size()]));
+            engine.drain();
+            uint64_t digest = kFnvOffsetBasis;
+            for (auto &f : futs)
+                digest = hashTensor(f.get(), digest);
+            const double ms = msSince(t0);
+            engine.stop();
+            sm.drainPrefetch();
+            const auto st = engine.stats();
+            const auto ss = sm.streamStats();
+            mode_rps[v] = 1000.0 * pipe_n / ms;
+            pipe_digest[v + 1] = digest;
+            pipe_stall_ms[v] = st.decodeStallMs;
+            mode_occ[v] = st.pipelineOccupancy;
+            mode_overlapped[v] = st.overlappedBatches;
+            mode_form[v] = st.formMs;
+            mode_exec[v] = st.execMs;
+            mode_complete[v] = st.completeMs;
+            mode_hits[v] = ss.prefetchHits;
+            mode_misses[v] = ss.prefetchMisses;
+            mode_errors[v] = ss.prefetchErrors;
+        }
+        std::remove(path);
+
+        pipe_identical = pipe_digest[0] == pipe_digest[1] &&
+                         pipe_digest[1] == pipe_digest[2];
+        prefetch_clean = lane_hits == (uint64_t)pieces &&
+                         mode_errors[0] == 0 &&
+                         mode_errors[1] == 0 &&
+                         mode_hits[1] + mode_misses[1] ==
+                             (uint64_t)pieces;
+        pipe_speedup = mode_rps[1] / serial_loop_rps;
+
+        std::printf(
+            "  \"pipeline\": {\"env_pipeline\": \"%s\", "
+            "\"prefetch_depth\": %zu, \"requests\": %d, "
+            "\"stream_decode\": {\"pieces\": %zu, "
+            "\"inline_stall_ms\": %.3f, \"lane_stall_ms\": %.3f, "
+            "\"lane_hits\": %" PRIu64 "}, "
+            "\"serial_loop_rps\": %.1f,\n"
+            "    \"engine\": [\n",
+            run_opts.servePipeline ? "on" : "off", depth, pipe_n,
+            pieces, stream_stall_inline_ms, stream_stall_lane_ms,
+            lane_hits, serial_loop_rps);
+        for (int v = 0; v < 2; ++v)
+            std::printf(
+                "      {\"pipeline\": %s, \"rps\": %.1f, "
+                "\"decode_stall_ms\": %.3f, \"form_ms\": %.3f, "
+                "\"exec_ms\": %.3f, \"complete_ms\": %.3f, "
+                "\"overlapped_batches\": %" PRIu64 ", "
+                "\"occupancy\": %.2f, "
+                "\"prefetch_hits\": %" PRIu64 ", "
+                "\"prefetch_misses\": %" PRIu64 ", "
+                "\"prefetch_errors\": %" PRIu64 "}%s\n",
+                bench::jsonBool(v == 1), mode_rps[v],
+                pipe_stall_ms[v], mode_form[v], mode_exec[v],
+                mode_complete[v], mode_overlapped[v], mode_occ[v],
+                mode_hits[v], mode_misses[v], mode_errors[v],
+                bench::jsonSep((size_t)v, 2));
+        std::printf(
+            "    ],\n"
+            "    \"pipelined_speedup_vs_serial_loop\": %.2f, "
+            "\"stall_reduction\": %.2f, \"bit_identical\": %s},\n",
+            pipe_speedup,
+            pipe_stall_ms[1] > 0.0
+                ? pipe_stall_ms[0] / pipe_stall_ms[1]
+                : 0.0,
+            bench::jsonBool(pipe_identical));
+    }
+
     std::printf("  \"responses_bit_identical\": %s\n",
                 bench::jsonBool(digests_match));
     std::printf("}\n");
@@ -1144,11 +1339,14 @@ main(int argc, char **argv)
     bool pass = digests_match && conv_identical &&
                 warm_ms < cold_ms && multi_model_identical &&
                 shed_accounted && ce_identical && v3_reload_ok &&
-                v4_ok;
+                v4_ok && pipe_identical && prefetch_clean;
     if (smoke)
         pass = pass && best_percall_rps >= serial_percall_rps &&
                deadline_p99 < full_p99 && v3_over_v2 <= 0.60 &&
                v4_over_v3 <= 0.90 && v4_lazy_faster &&
-               hot_reload_ok;
+               hot_reload_ok && pipe_speedup >= 1.15 &&
+               pipe_stall_ms[1] < pipe_stall_ms[0] &&
+               stream_stall_lane_ms <=
+                   std::max(0.25 * stream_stall_inline_ms, 0.1);
     return pass ? 0 : 1;
 }

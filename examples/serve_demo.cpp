@@ -19,6 +19,9 @@
  * SE_MODEL_FORMAT picks the bundle format shipped through /tmp
  * (3 = packed 4-bit + dense residual, 2 = legacy records-only), and
  * SE_SERVE_WEIGHT_SOURCE=ce serves from the packed codes directly.
+ * SE_PIPELINE=on overlaps the engines' form/execute/complete stages
+ * (stage and stall counters are printed per model) and
+ * SE_PREFETCH_DEPTH>0 arms the v4 stream's async decode lane.
  */
 
 #include <algorithm>
@@ -112,6 +115,11 @@ main(int argc, char **argv)
         serve_opts.flush = serve::FlushPolicy::Deadline;
         serve_opts.flushDeadlineMs = run_opts.serveDeadlineMs;
     }
+    // SE_PIPELINE=on overlaps form/execute/complete in every engine
+    // and rebuilds layer groups concurrently with the forward;
+    // responses are bit-identical either way.
+    serve_opts.pipeline = run_opts.servePipeline;
+    serve_opts.session.pipelineRebuild = run_opts.servePipeline;
     serve_opts.expectedSample = {cfg.inChannels, cfg.inHeight,
                                  cfg.inWidth};
 
@@ -131,7 +139,12 @@ main(int argc, char **argv)
             ? serve::WeightSource::CeDirect
             : serve::WeightSource::Dense;
     serve::ModelRegistry registry;
-    for (const std::string &name : names) {
+    // Streamed handles kept aside so the prefetch-lane counters can
+    // be reported after the traffic (the registry owns one ref too).
+    std::vector<std::shared_ptr<core::StreamedModel>> streams(
+        names.size());
+    for (size_t ni = 0; ni < names.size(); ++ni) {
+        const std::string &name = names[ni];
         const models::ModelId id = parseModel(name);
         auto net = models::buildSim(id, cfg);
         auto compressed = core::compressToRecords(
@@ -162,11 +175,14 @@ main(int argc, char **argv)
         if (run_opts.modelFormat >= 4) {
             // Streamed entry: the mmap open verifies only the meta;
             // piece decode (and the engine build) waits for this
-            // model's first request. SE_STREAM_LOADER=eager opts out.
+            // model's first request. SE_STREAM_LOADER=eager opts
+            // out; SE_PREFETCH_DEPTH>0 arms the async lane that
+            // decodes ahead of the consumer.
             auto streamed = std::make_shared<core::StreamedModel>(
                 path,
-                core::StreamLoaderOptions{run_opts.streamEager,
-                                          false});
+                core::StreamLoaderOptions{run_opts.streamEager, false,
+                                          run_opts.prefetchDepth});
+            streams[ni] = streamed;
             registry.add(name, serve::makeModelEntry(
                                    std::move(streamed), factory,
                                    se_opts, apply_opts, source));
@@ -220,6 +236,30 @@ main(int argc, char **argv)
                     (unsigned long long)st.batches, st.meanBatchSize,
                     st.meanLatencyMs, st.p50Ms, st.p95Ms, st.p99Ms,
                     st.maxMs, (unsigned long long)digest);
+        if (serve_opts.pipeline)
+            std::printf("[%s] pipeline: decode stall %.3f ms, "
+                        "stages ms form %.3f exec %.3f complete "
+                        "%.3f, overlapped %llu/%llu batches "
+                        "(occupancy %.2f)\n",
+                        names[m].c_str(), st.decodeStallMs,
+                        st.formMs, st.execMs, st.completeMs,
+                        (unsigned long long)st.overlappedBatches,
+                        (unsigned long long)st.batches,
+                        st.pipelineOccupancy);
+        if (streams[m]) {
+            streams[m]->drainPrefetch();
+            const auto ss = streams[m]->streamStats();
+            std::printf("[%s] stream: %zu/%zu pieces decoded, "
+                        "prefetch hits %llu misses %llu errors "
+                        "%llu, decode stall %.3f ms\n",
+                        names[m].c_str(),
+                        streams[m]->decodedPieces(),
+                        streams[m]->pieceCount(),
+                        (unsigned long long)ss.prefetchHits,
+                        (unsigned long long)ss.prefetchMisses,
+                        (unsigned long long)ss.prefetchErrors,
+                        ss.decodeStallMs);
+        }
     }
     if (shed > 0)
         std::printf("admission: %d request(s) shed at queue cap "

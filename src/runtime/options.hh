@@ -152,6 +152,22 @@ struct RuntimeOptions
      */
     bool streamEager = false;
     /**
+     * Pipelined streaming execution in the serve drivers
+     * (SE_PIPELINE = on | off). On, engines run the stage-decoupled
+     * dispatch loop (form / execute / complete overlap) and sessions
+     * rebuild weights on a lane concurrent with compute. Responses
+     * are bit-identical either way — the knob moves wall-clock and
+     * the stage/occupancy stats, never values.
+     */
+    bool servePipeline = false;
+    /**
+     * Streaming-loader lookahead window (SE_PREFETCH_DEPTH >= 0):
+     * how many pieces the v4 prefetch lane decodes ahead of every
+     * touch. 0 (default) disables the lane. Decoded bits are
+     * identical on every path; only decode-stall wall-clock moves.
+     */
+    size_t prefetchDepth = 0;
+    /**
      * Spill directory of the persistent DecompCache (SE_CACHE_DIR).
      * Empty (the default) keeps the cache memory-only; set, every
      * decomposition result is also written to disk (atomic
@@ -277,6 +293,25 @@ struct RuntimeOptions
                 throw std::invalid_argument(
                     "SE_STREAM_LOADER must be mmap|eager, got '" +
                     std::string(s) + "'");
+        }
+        if (const char *p = std::getenv("SE_PIPELINE")) {
+            if (!std::strcmp(p, "on"))
+                ro.servePipeline = true;
+            else if (!std::strcmp(p, "off"))
+                ro.servePipeline = false;
+            else
+                throw std::invalid_argument(
+                    "SE_PIPELINE must be on|off, got '" +
+                    std::string(p) + "'");
+        }
+        if (const char *d = std::getenv("SE_PREFETCH_DEPTH")) {
+            const long long v =
+                detail::envInt("SE_PREFETCH_DEPTH", d);
+            if (v < 0)
+                throw std::invalid_argument(
+                    "SE_PREFETCH_DEPTH must be >= 0, got '" +
+                    std::string(d) + "'");
+            ro.prefetchDepth = (size_t)v;
         }
         if (const char *d = std::getenv("SE_CACHE_DIR")) {
             if (*d == '\0')

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/failpoint.hh"
+#include "base/hash.hh"
 #include "base/random.hh"
 #include "core/model_file.hh"
 #include "core/smart_exchange.hh"
@@ -399,6 +400,36 @@ TEST_F(StreamInjection, PrefetchNamesTheFailingPiece)
     fs::remove(path);
 }
 
+TEST_F(StreamInjection, AsyncLaneFaultIsSilentAndConsumerRecovers)
+{
+    // `stream_prefetch` kills decodes on the background lane only.
+    // Contract: the lane swallows the fault (piece reverts to Cold,
+    // prefetchErrors counts it) and the consumer path re-decodes on
+    // demand — no exception ever crosses to a caller.
+    const std::string path = "/tmp/se_fp_lane.sexm";
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    shipTinyV4(10, path, se_opts, apply_opts);
+
+    failpoint::ScopedArm arm("stream_prefetch", "once");
+    core::StreamLoaderOptions lo;
+    lo.prefetchDepth = 2;
+    core::StreamedModel m(path, lo);  // ctor queues piece 0
+    m.drainPrefetch();
+    auto ss = m.streamStats();
+    EXPECT_EQ(ss.prefetchErrors, 1u)
+        << "the armed lane decode must fail exactly once";
+
+    // `once` spent: every piece still arrives through piece()/lane.
+    EXPECT_NO_THROW(m.records());
+    m.drainPrefetch();
+    ss = m.streamStats();
+    EXPECT_EQ(m.decodedPieces(), m.pieceCount());
+    EXPECT_EQ(ss.prefetchHits + ss.prefetchMisses, m.pieceCount());
+    fs::remove(path);
+}
+
 // -------------------------------------------- spill-tier injection
 
 struct SpillDir
@@ -532,6 +563,51 @@ TEST_F(ServeInjection, BatchExecFaultFailsFuturesNotTheEngine)
     engine.drain();
     EXPECT_NO_THROW(good.get());
     EXPECT_EQ(engine.stats().requests, 1u);
+}
+
+TEST_F(ServeInjection, PipelineStageDelayPerturbsOnlyTheSchedule)
+{
+    // `pipeline_stage_delay` stalls the form stage between hand-offs
+    // — a pure schedule perturbation. Responses must stay
+    // bit-identical to an unarmed run and nothing may fail.
+    core::SeOptions se_opts;
+    se_opts.vectorThreshold = 0.01;
+    core::ApplyOptions apply_opts;
+    auto net = makeTinyCnn(33);
+    auto compressed =
+        core::compressToRecords(*net, se_opts, apply_opts);
+    auto records =
+        std::make_shared<std::vector<core::SeLayerRecord>>(
+            std::move(compressed.records));
+
+    const int n = 8;
+    std::vector<uint64_t> digests;
+    for (const bool armed : {false, true}) {
+        serve::ServeOptions opts;
+        opts.pipeline = true;
+        opts.pipelineDepth = 2;
+        opts.threads = 1;
+        opts.maxBatch = 3;
+        serve::ServeEngine engine(
+            records, [] { return makeTinyCnn(33); }, se_opts,
+            apply_opts, opts);
+        std::unique_ptr<failpoint::ScopedArm> arm;
+        if (armed)
+            arm = std::make_unique<failpoint::ScopedArm>(
+                "pipeline_stage_delay", "1in2");
+        std::vector<std::future<Tensor>> futs;
+        for (int i = 0; i < n; ++i)
+            futs.push_back(engine.submit(tinyInput((uint64_t)i)));
+        engine.drain();
+        uint64_t digest = kFnvOffsetBasis;
+        for (auto &f : futs)
+            digest = hashTensor(f.get(), digest);
+        digests.push_back(digest);
+        EXPECT_EQ(engine.stats().failed, 0u);
+        EXPECT_EQ(engine.stats().requests, (uint64_t)n);
+    }
+    EXPECT_EQ(digests[0], digests[1])
+        << "a stage delay must never change responses";
 }
 
 TEST_F(ServeInjection, FirstTouchFaultQuarantinesOnlyThatModel)

@@ -84,6 +84,24 @@ TEST(RuntimeOptions, FromEnvParsesStreamingKnobs)
     EXPECT_FALSE(ro.streamEager);
 }
 
+TEST(RuntimeOptions, FromEnvParsesPipelineKnobs)
+{
+    {
+        ScopedEnv p("SE_PIPELINE", "on");
+        ScopedEnv d("SE_PREFETCH_DEPTH", "3");
+        const auto ro = runtime::RuntimeOptions::fromEnv();
+        EXPECT_TRUE(ro.servePipeline);
+        EXPECT_EQ(ro.prefetchDepth, 3u);
+    }
+    {
+        ScopedEnv p("SE_PIPELINE", "off");
+        ScopedEnv d("SE_PREFETCH_DEPTH", "0");
+        const auto ro = runtime::RuntimeOptions::fromEnv();
+        EXPECT_FALSE(ro.servePipeline);
+        EXPECT_EQ(ro.prefetchDepth, 0u);
+    }
+}
+
 TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
 {
     // Regression: these used to be atoi/atof'd — SE_THREADS=four
@@ -109,6 +127,14 @@ TEST(RuntimeOptions, FromEnvRejectsMalformedValues)
         {"SE_KERNEL_ISA", "avx512"},
         {"SE_KERNEL_ISA", "fast"},
         {"SE_KERNEL_ISA", "AVX2"},  // case-sensitive like the others
+        {"SE_PIPELINE", "1"},
+        {"SE_PIPELINE", "true"},
+        {"SE_PIPELINE", "ON"},  // case-sensitive like the others
+        {"SE_PIPELINE", ""},
+        {"SE_PREFETCH_DEPTH", "-1"},
+        {"SE_PREFETCH_DEPTH", "two"},
+        {"SE_PREFETCH_DEPTH", "2x"},
+        {"SE_PREFETCH_DEPTH", ""},
     };
     for (const auto &[name, value] : bad) {
         ScopedEnv e(name, value);
@@ -156,7 +182,7 @@ TEST(RuntimeOptions, FromEnvDefaultsWithoutKnobs)
     for (const char *name :
          {"SE_SERVE_QUEUE_CAP", "SE_SERVE_DEADLINE_MS",
           "SE_SERVE_WEIGHT_SOURCE", "SE_MODEL_FORMAT",
-          "SE_STREAM_LOADER"}) {
+          "SE_STREAM_LOADER", "SE_PIPELINE", "SE_PREFETCH_DEPTH"}) {
         clear.push_back(std::make_unique<ScopedEnv>(name, "0"));
         ::unsetenv(name);  // ScopedEnv restores any prior value
     }
@@ -167,6 +193,8 @@ TEST(RuntimeOptions, FromEnvDefaultsWithoutKnobs)
               runtime::ServeWeightSource::Dense);
     EXPECT_EQ(ro.serveQueueCap, 0u);
     EXPECT_DOUBLE_EQ(ro.serveDeadlineMs, 0.0);
+    EXPECT_FALSE(ro.servePipeline);
+    EXPECT_EQ(ro.prefetchDepth, 0u);
 }
 
 // ------------------------------------------------------------ ThreadPool
